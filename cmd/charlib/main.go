@@ -1,0 +1,56 @@
+// Command charlib runs the software macro-modeling characterization flow of
+// Fig 3: every POLIS macro-operation is compiled to the SPARC target via a
+// template program, measured on the instruction-set simulator, and the
+// resulting delay/size/energy parameter file is written out.
+//
+// Example:
+//
+//	charlib -o sparclite.params
+//	charlib -dsp            # characterize against the data-dependent model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/iss"
+	"repro/internal/macromodel"
+)
+
+func main() {
+	var (
+		out = flag.String("o", "", "output file (default stdout)")
+		dsp = flag.Bool("dsp", false, "use the data-dependent DSP-flavored power model")
+	)
+	flag.Parse()
+
+	power := iss.SPARCliteModel()
+	if *dsp {
+		power = iss.DSPModel()
+	}
+	timing := iss.SPARCliteTiming()
+
+	fmt.Fprintf(os.Stderr, "charlib: characterizing %d macro-operations on %s at %g MHz\n",
+		36, power.Name, float64(timing.Clock)/1e6)
+	tbl, err := macromodel.Characterize(timing, power)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "charlib:", err)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "charlib:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tbl.ToParamFile().Write(w); err != nil {
+		fmt.Fprintln(os.Stderr, "charlib:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,362 @@
+// Command coest runs one power co-estimation (or the separate-estimation
+// baseline) on a named case-study system and prints the energy report —
+// the command-line face of the paper's tool.
+//
+// Examples:
+//
+//	coest -system tcpip -packets 6 -dma 16
+//	coest -system tcpip -ecache -cachereport
+//	coest -system prodcons -mode separate
+//	coest -system automotive -waveform
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/cfsmtext"
+	"repro/internal/core"
+	"repro/internal/ecache"
+	"repro/internal/gate"
+	"repro/internal/iss"
+	"repro/internal/macromodel"
+	"repro/internal/paramfile"
+	"repro/internal/systems"
+	"repro/internal/units"
+	"repro/internal/vcd"
+)
+
+func main() {
+	var (
+		system    = flag.String("system", "tcpip", "system to estimate: tcpip, prodcons, automotive")
+		file      = flag.String("file", "", "load the system from a .cfsm source file instead")
+		mode      = flag.String("mode", "co", "estimation mode: co or separate")
+		packets   = flag.Int("packets", 0, "packet count override (tcpip/prodcons)")
+		dma       = flag.Int("dma", 0, "bus DMA block size override")
+		perm      = flag.Int("perm", 0, "tcpip bus-priority permutation (0..5)")
+		useCache  = flag.Bool("ecache", false, "enable energy & delay caching (sec. 4.2)")
+		useMacro  = flag.Bool("macromodel", false, "enable software power macro-modeling (sec. 4.1)")
+		useSamp   = flag.Bool("sampling", false, "enable reaction-level statistical sampling (sec. 4.3)")
+		dsp       = flag.Bool("dsp", false, "use the data-dependent DSP-flavored power model")
+		waveform  = flag.Bool("waveform", false, "record and summarize the power waveform")
+		vcdPath   = flag.String("vcd", "", "write the per-component power waveform as a VCD file")
+		vlogDir   = flag.String("verilog", "", "export each HW block's synthesized netlist as Verilog into this directory")
+		trace     = flag.Bool("trace", false, "print the simulation master's event trace")
+		cacheRep  = flag.Bool("cachereport", false, "print the energy-cache path snapshot (Fig 4c)")
+		breakdown = flag.Bool("breakdown", false, "print per-transition energy (functional/power correlation)")
+		asJSON    = flag.Bool("json", false, "emit the report as JSON")
+		asmDump   = flag.Bool("asm", false, "print the synthesized SPARC program listing")
+		probEst   = flag.Bool("prob", false, "print probabilistic (vectorless) power estimates for each HW block")
+		exportSys = flag.Bool("export", false, "print the system in the textual CFSM language and exit")
+		paramFile = flag.String("params", "", "macro-model parameter file (skips characterization; implies -macromodel)")
+	)
+	flag.Parse()
+
+	var sys *core.System
+	var cfg core.Config
+	var err error
+	if *file != "" {
+		src, rerr := os.ReadFile(*file)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		spec, perr := cfsmtext.Parse(strings.TrimSuffix(filepath.Base(*file), ".cfsm"), string(src))
+		if perr != nil {
+			fatal(fmt.Errorf("%s: %w", *file, perr))
+		}
+		sys = spec.System
+		cfg = core.DefaultConfig()
+		cfg.MaxSimTime = 50 * units.Millisecond
+		if *dma > 0 {
+			cfg.Bus.DMASize = *dma
+		}
+	} else {
+		sys, cfg, err = buildSystem(*system, *packets, *dma, *perm)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *mode == "separate" {
+		cfg.Mode = core.Separate
+	} else if *mode != "co" {
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+	if *dsp {
+		cfg.Power = iss.DSPModel()
+	}
+	if *useCache {
+		cfg.Accel.ECache = true
+		cfg.Accel.ECacheParams = ecache.DefaultParams()
+	}
+	if *paramFile != "" {
+		f, err := os.Open(*paramFile)
+		if err != nil {
+			fatal(err)
+		}
+		pf, err := paramfile.Parse(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		tbl, err := macromodel.FromParamFile(pf, cfg.Timing.Clock)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Accel.Macromodel = true
+		cfg.Accel.MacromodelTable = tbl
+	} else if *useMacro {
+		fmt.Fprintln(os.Stderr, "characterizing macro-operation library...")
+		tbl, err := macromodel.Characterize(cfg.Timing, cfg.Power)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Accel.Macromodel = true
+		cfg.Accel.MacromodelTable = tbl
+	}
+	if *useSamp {
+		cfg.Accel.Sampling = true
+		cfg.Accel.SamplingParams = core.DefaultSampling()
+	}
+	if *waveform || *vcdPath != "" {
+		cfg.WaveformBucket = 10 * units.Microsecond
+	}
+	if *trace {
+		cfg.Trace = func(s string) { fmt.Println(s) }
+	}
+
+	if *exportSys {
+		fmt.Print(cfsmtext.Print(sys))
+		return
+	}
+	cs, err := core.New(sys, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *asmDump {
+		if prog := cs.SWProgram(); prog != nil {
+			fmt.Print(prog.Disassemble())
+		} else {
+			fmt.Fprintln(os.Stderr, "no software partition to disassemble")
+		}
+	}
+	if *vlogDir != "" {
+		for name, nl := range cs.HWNetlists() {
+			path := filepath.Join(*vlogDir, name+".v")
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := gate.WriteVerilog(f, nl); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			f.Close()
+			st := nl.Size()
+			fmt.Fprintf(os.Stderr, "wrote %s (%d gates, %d flops)\n", path, st.Gates, st.DFFs)
+		}
+	}
+	rep, err := cs.Run()
+	if err != nil {
+		fatal(err)
+	}
+	if *asJSON {
+		if err := writeJSON(os.Stdout, rep); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Print(rep)
+
+	if *breakdown {
+		fmt.Println("  per-transition energy:")
+		for _, m := range rep.Machines {
+			for _, tr := range m.Transitions {
+				fmt.Printf("    %-14s %-12s %8d reactions  %12v\n",
+					m.Name, tr.Name, tr.Reactions, tr.Energy)
+			}
+		}
+	}
+
+	if len(rep.EnvEvents) > 0 {
+		fmt.Println("  environment events:")
+		for _, e := range rep.EnvEvents {
+			fmt.Printf("    %12v  %s = %d\n", e.Time, e.Name, e.Value)
+		}
+	}
+	if *waveform && rep.Waveform != nil {
+		at, peak := rep.Waveform.Peak()
+		fmt.Printf("  peak power %v at %v\n", peak, at)
+	}
+	if *vcdPath != "" && rep.Waveform != nil {
+		if err := writeVCD(*vcdPath, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  power waveform written to %s\n", *vcdPath)
+	}
+	if *probEst {
+		fmt.Println("  probabilistic HW power (uniform input statistics):")
+		for name, nl := range cs.HWNetlists() {
+			est, err := gate.EstimateProbabilistic(nl, cfg.HWVdd, gate.UniformInputs(len(nl.Inputs)))
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("    %-14s %v avg (%v/cycle, %d fixpoint iters)\n",
+				name, est.Power(cfg.HWClock), est.EnergyPerCycle, est.Iterations)
+		}
+	}
+	if *cacheRep {
+		rows := cs.SWCacheReport()
+		if rows == nil {
+			fmt.Println("  (energy cache disabled; pass -ecache)")
+		} else {
+			fmt.Println("  energy cache snapshot (Fig 4c):")
+			fmt.Printf("    %-20s %8s %12s %12s %s\n", "path", "calls", "mean", "stddev", "cached")
+			for _, r := range rows {
+				fmt.Printf("    m%d/%016x %8d %12v %12v %v\n",
+					r.Key.Machine, uint64(r.Key.Path), r.Calls, r.Mean, r.StdDev, r.Cached)
+			}
+		}
+	}
+}
+
+func buildSystem(name string, packets, dma, perm int) (*core.System, core.Config, error) {
+	switch name {
+	case "tcpip":
+		p := systems.DefaultTCPIP()
+		if packets > 0 {
+			p.Packets = packets
+		}
+		if dma > 0 {
+			p.DMASize = dma
+		}
+		p.PriorityPerm = perm
+		sys, cfg := systems.TCPIP(p)
+		return sys, cfg, nil
+	case "prodcons":
+		p := systems.DefaultProdCons()
+		if packets > 0 {
+			p.Packets = packets
+		}
+		sys, cfg := systems.ProdCons(p)
+		if dma > 0 {
+			cfg.Bus.DMASize = dma
+		}
+		return sys, cfg, nil
+	case "automotive":
+		sys, cfg := systems.Automotive(systems.DefaultAutomotive())
+		if dma > 0 {
+			cfg.Bus.DMASize = dma
+		}
+		return sys, cfg, nil
+	}
+	return nil, core.Config{}, fmt.Errorf("unknown system %q (want tcpip, prodcons or automotive)", name)
+}
+
+// writeVCD exports the per-component power waveform as real-valued VCD
+// signals (in watts), viewable in GTKWave.
+func writeVCD(path string, rep *core.Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	w := vcd.NewWriter(f, rep.Waveform.Bucket)
+	names := rep.Waveform.Names()
+	sort.Strings(names)
+	vars := make(map[string]vcd.Var, len(names))
+	series := make(map[string][]units.Power, len(names))
+	maxLen := 0
+	for _, n := range names {
+		vars[n] = w.Real("power", n)
+		series[n] = rep.Waveform.Series(n)
+		if len(series[n]) > maxLen {
+			maxLen = len(series[n])
+		}
+	}
+	for i := 0; i < maxLen; i++ {
+		t := units.Time(i) * rep.Waveform.Bucket
+		for _, n := range names {
+			v := 0.0
+			if i < len(series[n]) {
+				v = float64(series[n][i])
+			}
+			w.SetReal(t, vars[n], v)
+		}
+	}
+	return w.Close()
+}
+
+// writeJSON emits a machine-readable summary of the report.
+func writeJSON(w io.Writer, rep *core.Report) error {
+	type transJSON struct {
+		Name      string  `json:"name"`
+		Reactions uint64  `json:"reactions"`
+		EnergyJ   float64 `json:"energy_j"`
+	}
+	type machineJSON struct {
+		Name        string      `json:"name"`
+		Mapping     string      `json:"mapping"`
+		Reactions   uint64      `json:"reactions"`
+		EnergyJ     float64     `json:"energy_j"`
+		WaitJ       float64     `json:"wait_j"`
+		Transitions []transJSON `json:"transitions,omitempty"`
+	}
+	out := struct {
+		System      string        `json:"system"`
+		Mode        string        `json:"mode"`
+		SimulatedNS int64         `json:"simulated_ns"`
+		WallNS      int64         `json:"wall_ns"`
+		TotalJ      float64       `json:"total_j"`
+		SWJ         float64       `json:"sw_j"`
+		HWJ         float64       `json:"hw_j"`
+		BusJ        float64       `json:"bus_j"`
+		CacheJ      float64       `json:"cache_j"`
+		RTOSJ       float64       `json:"rtos_j"`
+		ISSCalls    uint64        `json:"iss_calls"`
+		GateExecs   uint64        `json:"gate_execs"`
+		Machines    []machineJSON `json:"machines"`
+	}{
+		System:      rep.System,
+		Mode:        rep.Mode.String(),
+		SimulatedNS: int64(rep.SimulatedTime),
+		WallNS:      rep.Wall.Nanoseconds(),
+		TotalJ:      rep.Total.Joules(),
+		SWJ:         rep.SWEnergy.Joules(),
+		HWJ:         rep.HWEnergy.Joules(),
+		BusJ:        rep.BusEnergy.Joules(),
+		CacheJ:      rep.CacheEnergy.Joules(),
+		RTOSJ:       rep.RTOSEnergy.Joules(),
+		ISSCalls:    rep.ISSCalls,
+		GateExecs:   rep.GateExecs,
+	}
+	for _, m := range rep.Machines {
+		mj := machineJSON{
+			Name:      m.Name,
+			Mapping:   m.Mapping.String(),
+			Reactions: m.Reactions,
+			EnergyJ:   m.Energy().Joules(),
+			WaitJ:     m.WaitEnergy.Joules(),
+		}
+		for _, tr := range m.Transitions {
+			mj.Transitions = append(mj.Transitions, transJSON{
+				Name: tr.Name, Reactions: tr.Reactions, EnergyJ: tr.Energy.Joules(),
+			})
+		}
+		out.Machines = append(out.Machines, mj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "coest:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// Command explore runs the communication-architecture design-space
+// exploration of §5.3: an exhaustive sweep of bus-master priority
+// assignments × DMA block sizes for the TCP/IP subsystem, one power
+// co-estimation per point, rendered as the Fig 7 energy grid.
+//
+// Example:
+//
+//	explore -packets 3 -dma 2,4,8,16,32,64,128
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/explore"
+	"repro/internal/report"
+	"repro/internal/systems"
+)
+
+func main() {
+	var (
+		packets = flag.Int("packets", 3, "packets per co-estimation")
+		dmaList = flag.String("dma", "2,4,8,16,32,64,128", "comma-separated DMA sizes")
+		ecache  = flag.Bool("ecache", false, "accelerate each point with energy caching")
+		workers = flag.Int("j", runtime.NumCPU(), "parallel co-estimations")
+	)
+	flag.Parse()
+
+	var dmas []int
+	for _, s := range strings.Split(*dmaList, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "explore: bad DMA size %q\n", s)
+			os.Exit(1)
+		}
+		dmas = append(dmas, v)
+	}
+
+	p := systems.DefaultTCPIP()
+	p.Packets = *packets
+	var mutate explore.Mutator
+	if *ecache {
+		mutate = experiments.ECacheOn
+	}
+
+	start := time.Now()
+	points, err := explore.SweepTCPIPParallel(p, []int{0, 1, 2, 3, 4, 5}, dmas, mutate, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "explore:", err)
+		os.Exit(1)
+	}
+	wall := time.Since(start)
+
+	fmt.Printf("design space: 6 priority assignments x %d DMA sizes = %d points, explored in %v\n",
+		len(dmas), len(points), wall.Round(time.Millisecond))
+	rowLabels := make([]string, 6)
+	colLabels := make([]string, len(dmas))
+	for j, d := range dmas {
+		colLabels[j] = fmt.Sprintf("dma%d", d)
+	}
+	vals := make([][]float64, 6)
+	idx := 0
+	for i := 0; i < 6; i++ {
+		rowLabels[i] = systems.PriorityPermName(i)
+		vals[i] = make([]float64, len(dmas))
+		for j := range dmas {
+			vals[i][j] = float64(points[idx].Energy) / 1e-6
+			idx++
+		}
+	}
+	report.Grid(os.Stdout, rowLabels, colLabels, vals, "uJ")
+
+	min := explore.Min(points)
+	fmt.Printf("minimum energy %v at priority %s, DMA %d\n", min.Energy, min.PermName(), min.DMASize)
+}

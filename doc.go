@@ -1,0 +1,29 @@
+// Package repro is a from-scratch Go reproduction of "Efficient Power
+// Co-Estimation Techniques for System-on-Chip Design" (Lajolo, Raghunathan,
+// Dey, Lavagno — DATE 2000).
+//
+// The library implements the paper's power co-estimation framework — a
+// discrete-event simulation master that concurrently and synchronously
+// drives per-component power estimators — together with every substrate the
+// paper built on: a POLIS-style CFSM behavioral model, software synthesis to
+// a real SPARC-like ISA executed by a cycle-level instruction-set simulator
+// with a Tiwari-style instruction power model, hardware synthesis to
+// gate-level netlists simulated with toggle-count power estimation, a
+// transaction-level shared-bus/arbiter/DMA power model, an instruction-cache
+// simulator, and an RTOS model. On top sit the paper's three acceleration
+// techniques: energy & delay caching, software power macro-modeling, and
+// statistical sampling / K-memory sequence compaction.
+//
+// Start with README.md for orientation, DESIGN.md for the architecture and
+// substitution inventory, and EXPERIMENTS.md for the paper-vs-measured
+// record of every table and figure. The public entry points live in
+// internal/core (the co-estimation master), internal/systems (the three
+// case studies) and internal/experiments (the evaluation harness); the
+// executables under cmd/ and the runnable examples under examples/ show the
+// intended usage.
+//
+// This file also anchors the root package for the repository-level
+// benchmark harness in bench_test.go:
+//
+//	go test -bench=. -benchmem
+package repro

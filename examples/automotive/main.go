@@ -1,0 +1,68 @@
+// Automotive dashboard example: a drive scenario through the belt-alarm,
+// speedometer, odometer, fuel-gauge and display controller, with a power
+// waveform and peak analysis (the §5.3 "peaks correlate with handshakes"
+// observation).
+//
+//	go run ./examples/automotive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/systems"
+	"repro/internal/units"
+)
+
+func main() {
+	p := systems.DefaultAutomotive()
+	sys, cfg := systems.Automotive(p)
+	cfg.WaveformBucket = 50 * units.Microsecond
+
+	cosim, err := core.New(sys, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := cosim.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(rep)
+
+	fmt.Println("\ndrive log:")
+	for _, e := range rep.EnvEvents {
+		switch e.Name {
+		case "ALARM":
+			state := "OFF"
+			if e.Value != 0 {
+				state = "ON"
+			}
+			fmt.Printf("  %10v  seat-belt alarm %s\n", e.Time, state)
+		}
+	}
+	frames := 0
+	for _, e := range rep.EnvEvents {
+		if e.Name == "FRAME" {
+			frames++
+		}
+	}
+	fmt.Printf("  display refreshed %d times\n", frames)
+
+	if rep.Waveform != nil {
+		at, peak := rep.Waveform.Peak()
+		fmt.Printf("\npeak system power %v at t=%v\n", peak, at)
+		fmt.Println("per-component average power:")
+		for _, name := range rep.Waveform.Names() {
+			series := rep.Waveform.Series(name)
+			var sum float64
+			for _, s := range series {
+				sum += float64(s)
+			}
+			if len(series) > 0 {
+				fmt.Printf("  %-12s %v\n", name, units.Power(sum/float64(len(series))))
+			}
+		}
+	}
+}

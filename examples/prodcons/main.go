@@ -1,0 +1,30 @@
+// Producer/timer/consumer example — the paper's Fig 1 motivation: run the
+// same system through separate per-component estimation and through
+// co-estimation, and show how the timing-sensitive consumer is
+// under-estimated by the separate flow.
+//
+//	go run ./examples/prodcons
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	res, err := experiments.Fig1(os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("why: the consumer's loop count is the number of timer ticks")
+	fmt.Println("between packets. Separate estimation captures its input trace")
+	fmt.Println("from an untimed behavioral simulation, where the producer's")
+	fmt.Println("computation takes zero time - so almost no ticks accumulate")
+	fmt.Println("and the consumer looks nearly idle. Co-estimation spaces the")
+	fmt.Println("packets by the real ISS-reported computation time.")
+	fmt.Printf("\nseparate/co-est consumer ratio: %.2fx under-estimated\n",
+		float64(res.CoConsumer)/float64(res.SepConsumer))
+}

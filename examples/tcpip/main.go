@@ -1,0 +1,59 @@
+// TCP/IP network-interface example: estimate the checksum subsystem of the
+// paper's Fig 5 across DMA sizes, with and without acceleration, and print
+// an exploration summary.
+//
+//	go run ./examples/tcpip
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/ecache"
+	"repro/internal/systems"
+)
+
+func main() {
+	fmt.Println("TCP/IP NIC checksum subsystem: DMA-size exploration")
+	fmt.Printf("%6s  %12s  %12s  %10s  %10s  %8s\n",
+		"DMA", "total", "bus", "grants", "sim time", "ecache")
+
+	for _, dma := range []int{2, 4, 8, 16, 32, 64} {
+		p := systems.DefaultTCPIP()
+		p.Packets = 6
+		p.DMASize = dma
+
+		sys, cfg := systems.TCPIP(p)
+		cfg.Accel.ECache = true
+		cfg.Accel.ECacheParams = ecache.DefaultParams()
+
+		cosim, err := core.New(sys, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := cosim.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6d  %12v  %12v  %10d  %10v  %7.0f%%\n",
+			dma, rep.Total, rep.BusEnergy, rep.BusStats.Grants,
+			rep.SimulatedTime, rep.SWECache.HitRate()*100)
+	}
+
+	// Show the per-process breakdown for one configuration.
+	p := systems.DefaultTCPIP()
+	p.Packets = 6
+	p.DMASize = 16
+	sys, cfg := systems.TCPIP(p)
+	cosim, err := core.New(sys, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := cosim.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(rep)
+}

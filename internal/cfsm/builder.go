@@ -1,0 +1,181 @@
+package cfsm
+
+import "fmt"
+
+// Builder constructs a CFSM specification by name. All name lookups are
+// validated at Build time so that specification typos fail fast.
+type Builder struct {
+	c    *CFSM
+	errs []string
+}
+
+// NewBuilder starts a machine with the given name. The first state declared
+// is the initial state.
+func NewBuilder(name string) *Builder {
+	return &Builder{c: &CFSM{Name: name}}
+}
+
+func (b *Builder) errf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Sprintf(format, args...))
+}
+
+// State declares a state and returns its index.
+func (b *Builder) State(name string) int {
+	if indexOf(b.c.StateNames, name) >= 0 {
+		b.errf("duplicate state %q", name)
+	}
+	b.c.StateNames = append(b.c.StateNames, name)
+	return len(b.c.StateNames) - 1
+}
+
+// Input declares an input event port and returns its index.
+func (b *Builder) Input(name string) int {
+	if indexOf(b.c.InputNames, name) >= 0 {
+		b.errf("duplicate input %q", name)
+	}
+	b.c.InputNames = append(b.c.InputNames, name)
+	return len(b.c.InputNames) - 1
+}
+
+// Output declares an output event port and returns its index.
+func (b *Builder) Output(name string) int {
+	if indexOf(b.c.OutputNames, name) >= 0 {
+		b.errf("duplicate output %q", name)
+	}
+	b.c.OutputNames = append(b.c.OutputNames, name)
+	return len(b.c.OutputNames) - 1
+}
+
+// Var declares a variable with an initial value and returns its index.
+func (b *Builder) Var(name string, init Value) int {
+	if indexOf(b.c.VarNames, name) >= 0 {
+		b.errf("duplicate variable %q", name)
+	}
+	b.c.VarNames = append(b.c.VarNames, name)
+	b.c.VarInit = append(b.c.VarInit, init)
+	return len(b.c.VarNames) - 1
+}
+
+// V returns a variable-reference expression.
+func (b *Builder) V(v int) *Expr {
+	if v < 0 || v >= len(b.c.VarNames) {
+		b.errf("bad variable index %d", v)
+	}
+	return &Expr{kind: varExpr, ref: v, name: b.nameOr(b.c.VarNames, v)}
+}
+
+// EvVal returns an expression for the most recent value seen on input port p
+// (persisting across reactions, like a POLIS event value buffer).
+func (b *Builder) EvVal(p int) *Expr {
+	if p < 0 || p >= len(b.c.InputNames) {
+		b.errf("bad input index %d", p)
+	}
+	return &Expr{kind: eventValExpr, ref: p, name: b.nameOr(b.c.InputNames, p)}
+}
+
+// Present returns an expression that is 1 while input port p holds a pending
+// event.
+func (b *Builder) Present(p int) *Expr {
+	if p < 0 || p >= len(b.c.InputNames) {
+		b.errf("bad input index %d", p)
+	}
+	return &Expr{kind: presentExpr, ref: p, name: b.nameOr(b.c.InputNames, p)}
+}
+
+func (b *Builder) nameOr(ss []string, i int) string {
+	if i >= 0 && i < len(ss) {
+		return ss[i]
+	}
+	return "?"
+}
+
+// Set returns an assignment statement var <- e.
+func Set(v int, e *Expr) Stmt { return &AssignStmt{Var: v, E: e} }
+
+// Emit returns an event-emission statement on port p carrying e (nil = 0).
+func Emit(p int, e *Expr) Stmt { return &EmitStmt{Port: p, E: e} }
+
+// If returns a two-way branch statement.
+func If(cond *Expr, then, els []Stmt) Stmt { return &IfStmt{Cond: cond, Then: then, Else: els} }
+
+// Repeat returns a bounded loop statement.
+func Repeat(count *Expr, body ...Stmt) Stmt { return &RepeatStmt{Count: count, Body: body} }
+
+// MemRead returns a shared-memory load statement var <- mem[addr].
+func MemRead(v int, addr *Expr) Stmt { return &MemReadStmt{Var: v, Addr: addr} }
+
+// MemWrite returns a shared-memory store statement mem[addr] <- val.
+func MemWrite(addr, val *Expr) Stmt { return &MemWriteStmt{Addr: addr, Val: val} }
+
+// Block groups statements, for readability at call sites.
+func Block(ss ...Stmt) []Stmt { return ss }
+
+// TransitionSpec is the fluent handle returned by On.
+type TransitionSpec struct {
+	b  *Builder
+	tr *Transition
+}
+
+// On begins a transition out of state from, triggered by the conjunction of
+// the given input ports (none = always enabled when the machine is poked).
+func (b *Builder) On(from int, trigger ...int) *TransitionSpec {
+	tr := &Transition{From: from, To: from, Trigger: trigger}
+	if from < 0 || from >= len(b.c.StateNames) {
+		b.errf("transition from bad state %d", from)
+	}
+	for _, p := range trigger {
+		if p < 0 || p >= len(b.c.InputNames) {
+			b.errf("transition trigger on bad input %d", p)
+		}
+	}
+	b.c.Transitions = append(b.c.Transitions, tr)
+	return &TransitionSpec{b: b, tr: tr}
+}
+
+// Named labels the transition for reports and disassembly.
+func (t *TransitionSpec) Named(name string) *TransitionSpec {
+	t.tr.Name = name
+	return t
+}
+
+// When adds a guard expression over variables.
+func (t *TransitionSpec) When(guard *Expr) *TransitionSpec {
+	t.tr.Guard = guard
+	return t
+}
+
+// Do sets the action program.
+func (t *TransitionSpec) Do(stmts ...Stmt) *TransitionSpec {
+	t.tr.Action = stmts
+	return t
+}
+
+// Goto sets the destination state (default: self-loop).
+func (t *TransitionSpec) Goto(state int) *TransitionSpec {
+	if state < 0 || state >= len(t.b.c.StateNames) {
+		t.b.errf("transition to bad state %d", state)
+	}
+	t.tr.To = state
+	return t
+}
+
+// Build validates and returns the machine, reset to its initial state.
+func (b *Builder) Build() (*CFSM, error) {
+	if len(b.c.StateNames) == 0 {
+		b.errf("machine %q has no states", b.c.Name)
+	}
+	if len(b.errs) > 0 {
+		return nil, fmt.Errorf("cfsm %q: %s", b.c.Name, b.errs[0])
+	}
+	b.c.Reset()
+	return b.c, nil
+}
+
+// MustBuild is Build, panicking on specification errors.
+func (b *Builder) MustBuild() *CFSM {
+	c, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,521 @@
+package cfsm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// counterMachine builds a machine that counts INC events and emits OVF with
+// the count when the count passes a limit.
+func counterMachine(t *testing.T, limit Value) *CFSM {
+	if t != nil {
+		t.Helper()
+	}
+	b := NewBuilder("counter")
+	sRun := b.State("run")
+	inInc := b.Input("INC")
+	outOvf := b.Output("OVF")
+	vCnt := b.Var("CNT", 0)
+	b.On(sRun, inInc).Named("inc").Do(
+		Set(vCnt, Add(b.V(vCnt), Const(1))),
+		If(Ge(b.V(vCnt), Const(limit)),
+			Block(
+				Emit(outOvf, b.V(vCnt)),
+				Set(vCnt, Const(0)),
+			),
+			nil,
+		),
+	)
+	return b.MustBuild()
+}
+
+func TestCounterReacts(t *testing.T) {
+	c := counterMachine(t, 3)
+	env := NullEnv{}
+	inc := c.InputIndex("INC")
+	var emitted []Value
+	for i := 0; i < 7; i++ {
+		c.Post(inc, 1)
+		r, ok := c.React(env)
+		if !ok {
+			t.Fatalf("reaction %d did not fire", i)
+		}
+		for _, e := range r.Emits {
+			emitted = append(emitted, e.Value)
+		}
+	}
+	// Overflow at counts 3 and 6 (reset to 0 after each).
+	if len(emitted) != 2 || emitted[0] != 3 || emitted[1] != 3 {
+		t.Fatalf("emitted %v, want [3 3]", emitted)
+	}
+	if got := c.VarValue(c.VarIndex("CNT")); got != 1 {
+		t.Errorf("CNT = %d, want 1", got)
+	}
+}
+
+func TestNoReactionWithoutTrigger(t *testing.T) {
+	c := counterMachine(t, 3)
+	if _, ok := c.React(NullEnv{}); ok {
+		t.Fatal("machine reacted with no pending events")
+	}
+	if c.Enabled() != -1 {
+		t.Fatal("Enabled() reported a transition with no pending events")
+	}
+}
+
+func TestTriggerConsumedOnReaction(t *testing.T) {
+	c := counterMachine(t, 100)
+	inc := c.InputIndex("INC")
+	c.Post(inc, 1)
+	if !c.Pending(inc) {
+		t.Fatal("posted event not pending")
+	}
+	c.React(NullEnv{})
+	if c.Pending(inc) {
+		t.Fatal("trigger event not consumed by reaction")
+	}
+	if _, ok := c.React(NullEnv{}); ok {
+		t.Fatal("second reaction fired on a consumed event")
+	}
+}
+
+func TestPathKeysDistinguishBranches(t *testing.T) {
+	c := counterMachine(t, 3)
+	inc := c.InputIndex("INC")
+	keys := make(map[PathKey]int)
+	for i := 0; i < 6; i++ {
+		c.Post(inc, 1)
+		r, _ := c.React(NullEnv{})
+		keys[r.Path]++
+	}
+	// Two distinct paths: not-overflow (4 times) and overflow (2 times).
+	if len(keys) != 2 {
+		t.Fatalf("got %d distinct paths, want 2: %v", len(keys), keys)
+	}
+	var counts []int
+	for _, n := range keys {
+		counts = append(counts, n)
+	}
+	if !(counts[0] == 4 && counts[1] == 2 || counts[0] == 2 && counts[1] == 4) {
+		t.Fatalf("path counts %v, want {4,2}", counts)
+	}
+}
+
+func TestPathKeysDistinguishLoopTripCounts(t *testing.T) {
+	b := NewBuilder("looper")
+	s := b.State("s")
+	in := b.Input("GO")
+	v := b.Var("ACC", 0)
+	b.On(s, in).Do(
+		Repeat(b.EvVal(in), Set(v, Add(b.V(v), Const(1)))),
+	)
+	c := b.MustBuild()
+	in = c.InputIndex("GO")
+
+	seen := make(map[PathKey]bool)
+	for _, n := range []Value{1, 2, 3, 2} {
+		c.Post(in, n)
+		r, _ := c.React(NullEnv{})
+		seen[r.Path] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("got %d distinct paths for trip counts {1,2,3,2}, want 3", len(seen))
+	}
+	if got := c.VarValue(0); got != 8 {
+		t.Errorf("ACC = %d, want 8", got)
+	}
+}
+
+func TestMacroOpTrace(t *testing.T) {
+	c := counterMachine(t, 3)
+	inc := c.InputIndex("INC")
+	c.Post(inc, 1)
+	r, _ := c.React(NullEnv{})
+	// Expected: ADETECT, AADD, AVV (cnt=cnt+1), AGE, TIVARF (1>=3 false), ARET
+	want := []OpKind{ADETECT, AADD, AVV, AGE, TIVARF, ARET}
+	if len(r.Ops) != len(want) {
+		t.Fatalf("trace %v, want %v", r.Ops, want)
+	}
+	for i := range want {
+		if r.Ops[i] != want[i] {
+			t.Fatalf("trace %v, want %v", r.Ops, want)
+		}
+	}
+
+	c.Post(inc, 1)
+	c.Post(inc, 1)
+	// Only one pending event (single-place buffer), so one reaction.
+	r, _ = c.React(NullEnv{})
+	if r == nil {
+		t.Fatal("no reaction")
+	}
+	if _, ok := c.React(NullEnv{}); ok {
+		t.Fatal("single-place event buffer delivered two events")
+	}
+}
+
+func TestEmitTracesAEMIT(t *testing.T) {
+	c := counterMachine(t, 1)
+	inc := c.InputIndex("INC")
+	c.Post(inc, 1)
+	r, _ := c.React(NullEnv{})
+	found := false
+	for _, op := range r.Ops {
+		if op == AEMIT {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("overflow path trace %v missing AEMIT", r.Ops)
+	}
+}
+
+func TestGuardSelectsTransition(t *testing.T) {
+	b := NewBuilder("guarded")
+	s := b.State("s")
+	in := b.Input("EV")
+	out := b.Output("BIG")
+	out2 := b.Output("SMALL")
+	v := b.Var("X", 0)
+	b.On(s, in).When(Ge(b.EvVal(in), Const(10))).Named("big").Do(
+		Emit(out, b.EvVal(in)), Set(v, Const(1)))
+	b.On(s, in).Named("small").Do(
+		Emit(out2, b.EvVal(in)), Set(v, Const(2)))
+	c := b.MustBuild()
+	in = c.InputIndex("EV")
+
+	c.Post(in, 20)
+	r, _ := c.React(NullEnv{})
+	if r.TransIdx != 0 {
+		t.Fatalf("value 20 fired transition %d, want 0 (big)", r.TransIdx)
+	}
+	c.Post(in, 5)
+	r, _ = c.React(NullEnv{})
+	if r.TransIdx != 1 {
+		t.Fatalf("value 5 fired transition %d, want 1 (small)", r.TransIdx)
+	}
+}
+
+func TestStateTransitions(t *testing.T) {
+	b := NewBuilder("toggler")
+	sA := b.State("A")
+	sB := b.State("B")
+	in := b.Input("T")
+	b.On(sA, in).Goto(sB)
+	b.On(sB, in).Goto(sA)
+	c := b.MustBuild()
+	in = c.InputIndex("T")
+
+	if c.State() != sA {
+		t.Fatal("initial state not first declared state")
+	}
+	c.Post(in, 0)
+	c.React(NullEnv{})
+	if c.State() != sB {
+		t.Fatalf("state = %d, want B", c.State())
+	}
+	c.Post(in, 0)
+	c.React(NullEnv{})
+	if c.State() != sA {
+		t.Fatalf("state = %d, want A", c.State())
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := counterMachine(t, 3)
+	inc := c.InputIndex("INC")
+	c.Post(inc, 1)
+	c.React(NullEnv{})
+	c.Post(inc, 1)
+	c.Reset()
+	if c.VarValue(0) != 0 {
+		t.Error("Reset did not restore variable init values")
+	}
+	if c.Pending(inc) {
+		t.Error("Reset did not clear pending events")
+	}
+	if c.State() != 0 {
+		t.Error("Reset did not restore initial state")
+	}
+}
+
+type fakeMem map[uint32]Value
+
+func (m fakeMem) MemRead(a uint32) Value     { return m[a] }
+func (m fakeMem) MemWrite(a uint32, v Value) { m[a] = v }
+
+func TestMemAccessTrace(t *testing.T) {
+	b := NewBuilder("memuser")
+	s := b.State("s")
+	in := b.Input("GO")
+	v := b.Var("TMP", 0)
+	b.On(s, in).Do(
+		MemRead(v, Const(100)),
+		MemWrite(Const(200), Add(b.V(v), Const(1))),
+	)
+	c := b.MustBuild()
+	mem := fakeMem{100: 41}
+	c.Post(0, 0)
+	r, _ := c.React(mem)
+	if mem[200] != 42 {
+		t.Fatalf("mem[200] = %d, want 42", mem[200])
+	}
+	if len(r.MemOps) != 2 {
+		t.Fatalf("MemOps = %v, want 2 entries", r.MemOps)
+	}
+	if r.MemOps[0].Write || r.MemOps[0].Addr != 100 || r.MemOps[0].Data != 41 {
+		t.Errorf("read access = %+v", r.MemOps[0])
+	}
+	if !r.MemOps[1].Write || r.MemOps[1].Addr != 200 || r.MemOps[1].Data != 42 {
+		t.Errorf("write access = %+v", r.MemOps[1])
+	}
+}
+
+func TestExprFunctions(t *testing.T) {
+	cases := []struct {
+		op      OpKind
+		a, b, c Value
+		want    Value
+	}{
+		{AADD, 3, 4, 0, 7},
+		{ASUB, 3, 4, 0, -1},
+		{AMUL, 3, 4, 0, 12},
+		{ADIV, 12, 4, 0, 3},
+		{ADIV, 12, 0, 0, 0}, // divide-by-zero saturates
+		{AMOD, 13, 4, 0, 1},
+		{AMOD, 13, 0, 0, 13}, // mod-by-zero yields a (matches generated code)
+		{ANEG, 5, 0, 0, -5},
+		{AABS, -5, 0, 0, 5},
+		{AABS, 5, 0, 0, 5},
+		{AMIN, 3, 4, 0, 3},
+		{AMAX, 3, 4, 0, 4},
+		{AAND, 0b1100, 0b1010, 0, 0b1000},
+		{AOR, 0b1100, 0b1010, 0, 0b1110},
+		{AXOR, 0b1100, 0b1010, 0, 0b0110},
+		{ANOT, 0, 0, 0, -1},
+		{ASHL, 1, 4, 0, 16},
+		{ASHR, -16, 2, 0, -4},
+		{AEQ, 3, 3, 0, 1},
+		{AEQ, 3, 4, 0, 0},
+		{ANE, 3, 4, 0, 1},
+		{ALT, 3, 4, 0, 1},
+		{ALE, 4, 4, 0, 1},
+		{AGT, 5, 4, 0, 1},
+		{AGE, 4, 4, 0, 1},
+		{ALAND, 1, 0, 0, 0},
+		{ALAND, 2, 3, 0, 1},
+		{ALOR, 0, 3, 0, 1},
+		{ALOR, 0, 0, 0, 0},
+		{ALNOT, 0, 0, 0, 1},
+		{ALNOT, 7, 0, 0, 0},
+		{AMUX, 1, 10, 20, 10},
+		{AMUX, 0, 10, 20, 20},
+	}
+	for _, cse := range cases {
+		if got := applyFn(cse.op, cse.a, cse.b, cse.c); got != cse.want {
+			t.Errorf("%v(%d,%d,%d) = %d, want %d", cse.op, cse.a, cse.b, cse.c, got, cse.want)
+		}
+	}
+}
+
+func TestFnArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong arity must panic")
+		}
+	}()
+	Fn(AADD, Const(1))
+}
+
+func TestFnNonFunctionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-function op must panic")
+		}
+	}()
+	Fn(AEMIT, Const(1))
+}
+
+func TestBuilderRejectsDuplicates(t *testing.T) {
+	b := NewBuilder("dup")
+	b.State("s")
+	b.State("s")
+	if _, err := b.Build(); err == nil {
+		t.Error("duplicate state must fail Build")
+	}
+}
+
+func TestBuilderRejectsNoStates(t *testing.T) {
+	if _, err := NewBuilder("empty").Build(); err == nil {
+		t.Error("machine with no states must fail Build")
+	}
+}
+
+func TestBuilderRejectsBadGoto(t *testing.T) {
+	b := NewBuilder("bad")
+	s := b.State("s")
+	b.On(s).Goto(99)
+	if _, err := b.Build(); err == nil {
+		t.Error("Goto to undeclared state must fail Build")
+	}
+}
+
+func TestOpNamesRoundTrip(t *testing.T) {
+	for _, op := range AllOps() {
+		got, ok := ParseOp(op.String())
+		if !ok || got != op {
+			t.Errorf("ParseOp(%q) = %v,%v", op.String(), got, ok)
+		}
+	}
+	if _, ok := ParseOp("BOGUS"); ok {
+		t.Error("ParseOp accepted a bogus mnemonic")
+	}
+	if len(AllOps()) != int(NumOps) {
+		t.Errorf("AllOps() has %d entries, want %d", len(AllOps()), NumOps)
+	}
+}
+
+// Property: reactions are deterministic — the same machine, reset and fed
+// the same event sequence, produces identical path keys and traces.
+func TestPropertyDeterministicReactions(t *testing.T) {
+	f := func(vals []uint8) bool {
+		run := func() []PathKey {
+			c := counterMachine(nil, 4)
+			inc := c.InputIndex("INC")
+			var keys []PathKey
+			for _, v := range vals {
+				c.Post(inc, Value(v))
+				if r, ok := c.React(NullEnv{}); ok {
+					keys = append(keys, r.Path)
+				}
+			}
+			return keys
+		}
+		a, b := run(), run()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the macro-op trace always starts with ADETECT (for triggered
+// transitions) and ends with ARET.
+func TestPropertyTraceBookends(t *testing.T) {
+	c := counterMachine(t, 2)
+	inc := c.InputIndex("INC")
+	for i := 0; i < 50; i++ {
+		c.Post(inc, 1)
+		r, ok := c.React(NullEnv{})
+		if !ok {
+			t.Fatal("no reaction")
+		}
+		if r.Ops[0] != ADETECT {
+			t.Fatalf("trace starts with %v, want ADETECT", r.Ops[0])
+		}
+		if r.Ops[len(r.Ops)-1] != ARET {
+			t.Fatalf("trace ends with %v, want ARET", r.Ops[len(r.Ops)-1])
+		}
+	}
+}
+
+func TestNetworkWiring(t *testing.T) {
+	n := NewNet()
+	a := counterMachine(t, 2)
+	b2 := counterMachine(t, 2)
+	b2.Name = "counter2"
+	ia := n.Add(a)
+	ib := n.Add(b2)
+	n.ConnectByName("counter", "OVF", "counter2", "INC")
+	n.EnvInputByName("TICK", "counter", "INC")
+	n.EnvOutput("DONE", ib, 0)
+
+	dests := n.Fanout(ia, 0)
+	if len(dests) != 1 || dests[0].Machine != ib || dests[0].Port != 0 {
+		t.Fatalf("fanout = %v", dests)
+	}
+	env := n.EnvDest("TICK")
+	if len(env) != 1 || env[0].Machine != ia {
+		t.Fatalf("env dest = %v", env)
+	}
+	names := n.EnvNames(ib, 0)
+	if len(names) != 1 || names[0] != "DONE" {
+		t.Fatalf("env names = %v", names)
+	}
+	if n.MachineIndex("counter2") != ib {
+		t.Error("MachineIndex lookup failed")
+	}
+	if n.MachineIndex("nope") != -1 {
+		t.Error("MachineIndex must return -1 for unknown names")
+	}
+}
+
+func TestNetworkBadConnectPanics(t *testing.T) {
+	n := NewNet()
+	n.Add(counterMachine(t, 2))
+	defer func() {
+		if recover() == nil {
+			t.Error("bad port connect must panic")
+		}
+	}()
+	n.Connect(0, 5, 0, 0)
+}
+
+func TestNetworkReset(t *testing.T) {
+	n := NewNet()
+	c := counterMachine(t, 10)
+	n.Add(c)
+	c.Post(0, 1)
+	c.React(NullEnv{})
+	n.Reset()
+	if c.VarValue(0) != 0 {
+		t.Error("network Reset did not reset machines")
+	}
+}
+
+func TestInspectAPI(t *testing.T) {
+	b := NewBuilder("m")
+	b.State("s")
+	in := b.Input("I")
+	v := b.Var("X", 7)
+	e := Add(b.V(v), Const(3))
+	if e.Kind() != FuncKind || e.Op() != AADD {
+		t.Fatal("func node misclassified")
+	}
+	ops := e.Operands()
+	if len(ops) != 2 {
+		t.Fatalf("operands = %d, want 2", len(ops))
+	}
+	if ops[0].Kind() != VarKind || ops[0].Ref() != v || ops[0].RefName() != "X" {
+		t.Error("var operand misclassified")
+	}
+	if ops[1].Kind() != ConstKind || ops[1].ConstVal() != 3 {
+		t.Error("const operand misclassified")
+	}
+	ev := b.EvVal(in)
+	if ev.Kind() != EventValKind || ev.Ref() != in {
+		t.Error("event value misclassified")
+	}
+	pr := b.Present(in)
+	if pr.Kind() != PresentKind {
+		t.Error("present misclassified")
+	}
+	mux := Fn(AMUX, Const(1), Const(2), Const(3))
+	if len(mux.Operands()) != 3 {
+		t.Error("3-operand node truncated")
+	}
+	if got := mux.CountOps(); got != 1 {
+		t.Errorf("CountOps = %d, want 1", got)
+	}
+	if got := Add(mux, Const(1)).CountOps(); got != 2 {
+		t.Errorf("CountOps = %d, want 2", got)
+	}
+}

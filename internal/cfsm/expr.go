@@ -1,0 +1,189 @@
+package cfsm
+
+import "fmt"
+
+// Value is the CFSM data type: a 32-bit signed integer, matching the POLIS
+// software library's integer-valued events and variables.
+type Value int32
+
+// Expr is an expression over CFSM variables, input-event values and
+// constants, built from the macro-operation function library.
+type Expr struct {
+	kind exprKind
+	op   OpKind // for funcExpr
+	a, b *Expr  // operands (b nil for unary)
+	c    *Expr  // third operand for AMUX
+	v    Value  // for constExpr
+	ref  int    // variable index or input-port index
+	name string // for diagnostics
+}
+
+type exprKind uint8
+
+const (
+	constExpr exprKind = iota
+	varExpr
+	eventValExpr // latest value seen on an input port
+	presentExpr  // 1 if the input port has a pending event, else 0
+	funcExpr
+)
+
+// Const returns a constant expression.
+func Const(v Value) *Expr { return &Expr{kind: constExpr, v: v} }
+
+// opArity[k] is the operand count of function op k; 0 marks non-function ops.
+var opArity = map[OpKind]int{
+	AADD: 2, ASUB: 2, AMUL: 2, ADIV: 2, AMOD: 2,
+	ANEG: 1, AABS: 1, AMIN: 2, AMAX: 2,
+	AAND: 2, AOR: 2, AXOR: 2, ANOT: 1, ASHL: 2, ASHR: 2,
+	AEQ: 2, ANE: 2, ALT: 2, ALE: 2, AGT: 2, AGE: 2,
+	ALAND: 2, ALOR: 2, ALNOT: 1, AMUX: 3,
+}
+
+// Fn builds a function-application expression. It panics if op is not a
+// function in the library or the operand count is wrong — specification bugs
+// should fail at model-construction time, not mid-simulation.
+func Fn(op OpKind, args ...*Expr) *Expr {
+	n, ok := opArity[op]
+	if !ok {
+		panic(fmt.Sprintf("cfsm: %v is not an expression function", op))
+	}
+	if len(args) != n {
+		panic(fmt.Sprintf("cfsm: %v wants %d operands, got %d", op, n, len(args)))
+	}
+	e := &Expr{kind: funcExpr, op: op, a: args[0]}
+	if n >= 2 {
+		e.b = args[1]
+	}
+	if n == 3 {
+		e.c = args[2]
+	}
+	return e
+}
+
+// Convenience constructors for the common binary functions.
+func Add(a, b *Expr) *Expr { return Fn(AADD, a, b) }
+func Sub(a, b *Expr) *Expr { return Fn(ASUB, a, b) }
+func Mul(a, b *Expr) *Expr { return Fn(AMUL, a, b) }
+func Eq(a, b *Expr) *Expr  { return Fn(AEQ, a, b) }
+func Ne(a, b *Expr) *Expr  { return Fn(ANE, a, b) }
+func Lt(a, b *Expr) *Expr  { return Fn(ALT, a, b) }
+func Le(a, b *Expr) *Expr  { return Fn(ALE, a, b) }
+func Gt(a, b *Expr) *Expr  { return Fn(AGT, a, b) }
+func Ge(a, b *Expr) *Expr  { return Fn(AGE, a, b) }
+func And(a, b *Expr) *Expr { return Fn(AAND, a, b) }
+func Or(a, b *Expr) *Expr  { return Fn(AOR, a, b) }
+func Xor(a, b *Expr) *Expr { return Fn(AXOR, a, b) }
+
+// eval evaluates the expression in the given execution context, appending
+// each applied function to the macro-op trace.
+func (e *Expr) eval(x *execCtx) Value {
+	switch e.kind {
+	case constExpr:
+		return e.v
+	case varExpr:
+		return x.vars[e.ref]
+	case eventValExpr:
+		return x.c.inputs[e.ref].val
+	case presentExpr:
+		if x.c.inputs[e.ref].present {
+			return 1
+		}
+		return 0
+	case funcExpr:
+		a := e.a.eval(x)
+		var b, c Value
+		if e.b != nil {
+			b = e.b.eval(x)
+		}
+		if e.c != nil {
+			c = e.c.eval(x)
+		}
+		x.trace(e.op)
+		return applyFn(e.op, a, b, c)
+	}
+	panic("cfsm: corrupt expression")
+}
+
+func applyFn(op OpKind, a, b, c Value) Value {
+	switch op {
+	case AADD:
+		return a + b
+	case ASUB:
+		return a - b
+	case AMUL:
+		return a * b
+	case ADIV:
+		if b == 0 {
+			return 0 // POLIS semantics: silent saturation beats a sim crash
+		}
+		return a / b
+	case AMOD:
+		if b == 0 {
+			// mod-by-zero yields a, matching the generated SPARC code
+			// (a - (a/b)*b with the divide trap returning quotient 0).
+			return a
+		}
+		return a % b
+	case ANEG:
+		return -a
+	case AABS:
+		if a < 0 {
+			return -a
+		}
+		return a
+	case AMIN:
+		if a < b {
+			return a
+		}
+		return b
+	case AMAX:
+		if a > b {
+			return a
+		}
+		return b
+	case AAND:
+		return a & b
+	case AOR:
+		return a | b
+	case AXOR:
+		return a ^ b
+	case ANOT:
+		return ^a
+	case ASHL:
+		return a << (uint32(b) & 31)
+	case ASHR:
+		return a >> (uint32(b) & 31)
+	case AEQ:
+		return boolVal(a == b)
+	case ANE:
+		return boolVal(a != b)
+	case ALT:
+		return boolVal(a < b)
+	case ALE:
+		return boolVal(a <= b)
+	case AGT:
+		return boolVal(a > b)
+	case AGE:
+		return boolVal(a >= b)
+	case ALAND:
+		return boolVal(a != 0 && b != 0)
+	case ALOR:
+		return boolVal(a != 0 || b != 0)
+	case ALNOT:
+		return boolVal(a == 0)
+	case AMUX:
+		if a != 0 {
+			return b
+		}
+		return c
+	}
+	panic(fmt.Sprintf("cfsm: %v is not an expression function", op))
+}
+
+func boolVal(b bool) Value {
+	if b {
+		return 1
+	}
+	return 0
+}

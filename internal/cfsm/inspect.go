@@ -1,0 +1,77 @@
+package cfsm
+
+// This file is the read-only inspection API used by the software and
+// hardware synthesizers (internal/swsyn, internal/hwsyn) to walk action
+// programs and expression trees without reaching into package internals.
+
+// ExprKind classifies an expression node.
+type ExprKind uint8
+
+const (
+	// ConstKind is a literal constant.
+	ConstKind ExprKind = iota
+	// VarKind reads a CFSM variable.
+	VarKind
+	// EventValKind reads the latched value of an input port.
+	EventValKind
+	// PresentKind tests whether an input port holds a pending event.
+	PresentKind
+	// FuncKind applies a macro-operation function.
+	FuncKind
+)
+
+// Kind returns the node's classification.
+func (e *Expr) Kind() ExprKind {
+	switch e.kind {
+	case constExpr:
+		return ConstKind
+	case varExpr:
+		return VarKind
+	case eventValExpr:
+		return EventValKind
+	case presentExpr:
+		return PresentKind
+	default:
+		return FuncKind
+	}
+}
+
+// Op returns the function op of a FuncKind node.
+func (e *Expr) Op() OpKind { return e.op }
+
+// Operands returns the operand expressions of a FuncKind node, in order.
+func (e *Expr) Operands() []*Expr {
+	switch {
+	case e.kind != funcExpr:
+		return nil
+	case e.c != nil:
+		return []*Expr{e.a, e.b, e.c}
+	case e.b != nil:
+		return []*Expr{e.a, e.b}
+	default:
+		return []*Expr{e.a}
+	}
+}
+
+// ConstVal returns the literal value of a ConstKind node.
+func (e *Expr) ConstVal() Value { return e.v }
+
+// Ref returns the variable index (VarKind) or input-port index
+// (EventValKind/PresentKind).
+func (e *Expr) Ref() int { return e.ref }
+
+// RefName returns the human-readable name captured when the node was built.
+func (e *Expr) RefName() string { return e.name }
+
+// CountOps returns a static upper bound on the number of macro-operations an
+// expression evaluation emits (every function node emits exactly one op).
+func (e *Expr) CountOps() int {
+	if e == nil {
+		return 0
+	}
+	n := 0
+	if e.kind == funcExpr {
+		n = 1 + e.a.CountOps() + e.b.CountOps() + e.c.CountOps()
+	}
+	return n
+}

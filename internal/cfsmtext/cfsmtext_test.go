@@ -1,0 +1,295 @@
+package cfsmtext
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cfsm"
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+const counterSrc = `
+# a software counter feeding a hardware alarm
+machine counter {
+    input  PULSE;
+    output ALERT;
+    var    N = 0;
+    state  run;
+
+    on run PULSE {
+        N := N + 1;
+        if (N >= 10) {
+            emit ALERT(N);
+            N := 0;
+        };
+    };
+}
+
+machine alarm {
+    input  ALERT;
+    output LED;
+    var    WORST = 0;
+    state  run;
+
+    on run ALERT {
+        WORST := max(WORST, $ALERT);
+        emit LED(WORST);
+    };
+}
+
+network {
+    map counter sw priority 1;
+    map alarm   hw priority 2;
+    connect counter.ALERT -> alarm.ALERT;
+    env input  PULSE -> counter.PULSE;
+    env output alarm.LED as LED;
+}
+`
+
+func TestParseCounterSystem(t *testing.T) {
+	spec, err := Parse("counter-demo", counterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := spec.System
+	if len(sys.Net.Machines) != 2 {
+		t.Fatalf("machines = %d", len(sys.Net.Machines))
+	}
+	if sys.Procs["counter"].Mapping != core.SW || sys.Procs["alarm"].Mapping != core.HW {
+		t.Fatalf("partition: %+v", sys.Procs)
+	}
+	if sys.Procs["counter"].Priority != 1 {
+		t.Fatalf("priority: %+v", sys.Procs["counter"])
+	}
+	// Behavioral sanity: 10 pulses produce exactly one alert.
+	cm := sys.Net.Machines[sys.Net.MachineIndex("counter")]
+	emits := 0
+	for i := 0; i < 10; i++ {
+		cm.Post(0, 1)
+		r, ok := cm.React(cfsm.NullEnv{})
+		if !ok {
+			t.Fatal("no reaction")
+		}
+		emits += len(r.Emits)
+	}
+	if emits != 1 {
+		t.Fatalf("alerts = %d, want 1", emits)
+	}
+}
+
+func TestParsedSystemCoEstimates(t *testing.T) {
+	spec, err := Parse("counter-demo", counterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := spec.System
+	sys.Periodic = []core.PeriodicStimulus{
+		{Input: "PULSE", Period: 5 * units.Microsecond, Count: 40},
+	}
+	cfg := core.DefaultConfig()
+	cfg.MaxSimTime = 300 * units.Microsecond
+	cs, err := core.New(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cs.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	leds := 0
+	for _, e := range rep.EnvEvents {
+		if e.Name == "LED" {
+			leds++
+		}
+	}
+	if leds != 4 {
+		t.Fatalf("LED events = %d, want 4 (40 pulses / 10)", leds)
+	}
+	if rep.SWEnergy <= 0 || rep.HWEnergy <= 0 {
+		t.Fatalf("missing energies: %s", rep)
+	}
+}
+
+func TestExpressionSemantics(t *testing.T) {
+	src := `
+machine m {
+    input GO;
+    output R;
+    var A = 6, B = 3, OUT = 0;
+    state s;
+    on s GO {
+        OUT := (A + B * 2) << 1;          # precedence: 6+6=12, <<1 = 24
+        OUT := OUT + (A > B) + (A == 6);  # 24 + 1 + 1
+        OUT := mux(A >= B, OUT, 0 - 1);
+        OUT := OUT % 7;                   # 26 % 7 = 5
+        OUT := ~OUT & 0xFF;               # ~5 & 0xFF = 0xFA
+        OUT := abs(0 - OUT) + min(A, B) + max(A, B);  # 250+3+6
+        if (!(A < B) && (A | B) == 7) { emit R(OUT); };
+    };
+}
+network { map m sw; env input GO -> m.GO; env output m.R as R; }
+`
+	spec, err := Parse("expr", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := spec.System.Net.Machines[0]
+	m.Post(0, 0)
+	r, ok := m.React(cfsm.NullEnv{})
+	if !ok {
+		t.Fatal("no reaction")
+	}
+	if got := m.VarValue(m.VarIndex("OUT")); got != 259 {
+		t.Fatalf("OUT = %d, want 259", got)
+	}
+	if len(r.Emits) != 1 || r.Emits[0].Value != 259 {
+		t.Fatalf("emits = %v", r.Emits)
+	}
+}
+
+func TestMemoryAndGuardsAndStates(t *testing.T) {
+	src := `
+machine m {
+    input GO, RESET;
+    output DONE;
+    var A = 0, I = 0, T = 0;
+    state idle, busy;
+
+    on idle GO [$GO > 0] {
+        A := 0;
+        I := 0;
+        repeat ($GO) {
+            T := mem[64 + I];
+            A := A + T;
+            I := I + 1;
+        }
+        mem[100] := A;
+        emit DONE(A);
+    } -> busy;
+
+    on idle GO { emit DONE(0); };
+    on busy RESET {} -> idle;
+}
+network { map m sw; env input GO -> m.GO; env input RESET -> m.RESET; env output m.DONE as DONE; }
+`
+	spec, err := Parse("memguard", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := spec.System.Net.Machines[0]
+	shm := map[uint32]cfsm.Value{64: 10, 65: 20, 66: 30}
+	env := mapEnv(shm)
+
+	m.Post(m.InputIndex("GO"), 3)
+	r, _ := m.React(env)
+	if r.TransIdx != 0 {
+		t.Fatalf("guarded transition not taken: %d", r.TransIdx)
+	}
+	if shm[100] != 60 {
+		t.Fatalf("mem[100] = %d, want 60", shm[100])
+	}
+	if m.State() != m.StateIndex("busy") {
+		t.Fatal("state change missing")
+	}
+	m.Post(m.InputIndex("RESET"), 0)
+	m.React(env)
+	if m.State() != m.StateIndex("idle") {
+		t.Fatal("reset did not return to idle")
+	}
+	// Guard false path: zero-valued GO takes the fallback.
+	m.Post(m.InputIndex("GO"), 0)
+	r, _ = m.React(env)
+	if r.TransIdx != 1 {
+		t.Fatalf("fallback transition not taken: %d", r.TransIdx)
+	}
+}
+
+type mapEnv map[uint32]cfsm.Value
+
+func (m mapEnv) MemRead(a uint32) cfsm.Value     { return m[a] }
+func (m mapEnv) MemWrite(a uint32, v cfsm.Value) { m[a] = v }
+
+func TestPresenceOperator(t *testing.T) {
+	src := `
+machine m {
+    input A, B;
+    output R;
+    var X = 0;
+    state s;
+    on s A { X := ?B; emit R(X); };
+}
+network { map m sw; env input A -> m.A; env input B -> m.B; env output m.R as R; }
+`
+	spec, err := Parse("pres", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := spec.System.Net.Machines[0]
+	m.Post(0, 1)
+	r, _ := m.React(cfsm.NullEnv{})
+	if r.Emits[0].Value != 0 {
+		t.Fatal("?B should be 0 when B absent")
+	}
+	m.Post(0, 1)
+	m.Post(1, 9)
+	r, _ = m.React(cfsm.NullEnv{})
+	if r.Emits[0].Value != 1 {
+		t.Fatal("?B should be 1 when B pending")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []struct{ name, src, want string }{
+		{"unknown-top", "garbage", "expected 'machine'"},
+		{"unknown-state", "machine m { input I; state s; on t I {}; }", "unknown state"},
+		{"unknown-input", "machine m { input I; state s; on s J {}; }", "unknown input"},
+		{"unknown-var", "machine m { input I; state s; on s I { Q := 1; }; }", "unknown variable"},
+		{"unknown-output", "machine m { input I; state s; on s I { emit X; }; }", "unknown output"},
+		{"bad-map", counterSrc + "network { map nosuch sw; }", "unknown machine"},
+		{"bad-number", "machine m { var V = 99999999999999999999; state s; }", "bad number"},
+		{"bad-char", "machine m @ {}", "unexpected character"},
+		{"missing-semi", "machine m { input I; state s; on s I { emit } }", "expected"},
+		{"bad-mapping", counterSrc + "network { map counter firmware; }", "must be sw or hw"},
+	}
+	for _, c := range bad {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.name, c.src)
+			if err == nil {
+				t.Fatalf("accepted bad source")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `
+# hash comment
+machine m { // slash comment
+    input I; state s;
+    on s I {}; # trailing
+}
+network { map m sw; env input GO -> m.I; }
+`
+	if _, err := Parse("comments", src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHexAndNegativeInits(t *testing.T) {
+	src := `
+machine m { input I; var A = 0xFF, B = -5; state s; on s I {}; }
+network { map m sw; env input GO -> m.I; }
+`
+	spec, err := Parse("nums", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := spec.System.Net.Machines[0]
+	if m.VarValue(0) != 255 || m.VarValue(1) != -5 {
+		t.Fatalf("inits = %d, %d", m.VarValue(0), m.VarValue(1))
+	}
+}

@@ -1,0 +1,123 @@
+package cfsmtext
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+// Every shipped .cfsm example must parse and co-estimate successfully.
+func TestShippedExamplesRun(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "dsl")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".cfsm") {
+			continue
+		}
+		found++
+		t.Run(e.Name(), func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec, err := Parse(strings.TrimSuffix(e.Name(), ".cfsm"), string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := core.DefaultConfig()
+			cfg.MaxSimTime = 20 * units.Millisecond
+			cs, err := core.New(spec.System, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := cs.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Total <= 0 {
+				t.Fatal("zero energy")
+			}
+		})
+	}
+	if found < 2 {
+		t.Fatalf("expected at least two shipped .cfsm examples, found %d", found)
+	}
+}
+
+func TestStimulusSyntax(t *testing.T) {
+	src := `
+machine m { input A; output R; var X = 0; state s; on s A { X := X + 1; emit R(X); }; }
+network {
+    map m sw;
+    env input A -> m.A;
+    env output m.R as R;
+    stimulus A at 10us = 7;
+    stimulus A every 100us count 3;
+}
+`
+	spec, err := Parse("stim", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.System.Stimuli) != 1 || spec.System.Stimuli[0].At != 10*units.Microsecond ||
+		spec.System.Stimuli[0].Value != 7 {
+		t.Fatalf("stimuli = %+v", spec.System.Stimuli)
+	}
+	if len(spec.System.Periodic) != 1 || spec.System.Periodic[0].Period != 100*units.Microsecond ||
+		spec.System.Periodic[0].Count != 3 {
+		t.Fatalf("periodic = %+v", spec.System.Periodic)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.MaxSimTime = units.Millisecond
+	cs, err := core.New(spec.System, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cs.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 one-shot + 3 periodic = 4 reactions, 4 emissions.
+	if got := len(rep.EnvEvents); got != 4 {
+		t.Fatalf("env events = %d, want 4", got)
+	}
+}
+
+func TestElevatorScenario(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("..", "..", "examples", "dsl", "elevator.cfsm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := Parse("elevator", string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.MaxSimTime = 5 * units.Millisecond
+	cs, err := core.New(spec.System, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cs.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := 0
+	for _, e := range rep.EnvEvents {
+		if e.Name == "SERVED" {
+			served++
+		}
+	}
+	if served != 3 {
+		t.Fatalf("SERVED = %d, want 3 calls served\n%s", served, rep)
+	}
+}

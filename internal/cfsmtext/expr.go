@@ -1,0 +1,181 @@
+package cfsmtext
+
+import "repro/internal/cfsm"
+
+// Expression grammar, lowest precedence first:
+//
+//	expr    := or
+//	or      := and   ( "||" and )*
+//	and     := bitor ( "&&" bitor )*
+//	bitor   := bitxor ( "|" bitxor )*
+//	bitxor  := bitand ( "^" bitand )*
+//	bitand  := eq    ( "&" eq )*
+//	eq      := rel   ( ("==" | "!=") rel )*
+//	rel     := shift ( ("<" | "<=" | ">" | ">=") shift )*
+//	shift   := add   ( ("<<" | ">>") add )*
+//	add     := mul   ( ("+" | "-") mul )*
+//	mul     := unary ( ("*" | "/" | "%") unary )*
+//	unary   := ("-" | "~" | "!") unary | primary
+//	primary := number | var | $PORT | ?PORT | "(" expr ")"
+//	         | abs(e) | min(a,b) | max(a,b) | mux(c,a,b)
+func (p *parser) expr(mc *machineCtx) (*cfsm.Expr, error) {
+	return p.binary(mc, 0)
+}
+
+// binOp levels, lowest precedence first. Each level lists operator texts and
+// the macro-op they map to.
+var binLevels = []map[string]cfsm.OpKind{
+	{"||": cfsm.ALOR},
+	{"&&": cfsm.ALAND},
+	{"|": cfsm.AOR},
+	{"^": cfsm.AXOR},
+	{"&": cfsm.AAND},
+	{"==": cfsm.AEQ, "!=": cfsm.ANE},
+	{"<": cfsm.ALT, "<=": cfsm.ALE, ">": cfsm.AGT, ">=": cfsm.AGE},
+	{"<<": cfsm.ASHL, ">>": cfsm.ASHR},
+	{"+": cfsm.AADD, "-": cfsm.ASUB},
+	{"*": cfsm.AMUL, "/": cfsm.ADIV, "%": cfsm.AMOD},
+}
+
+func (p *parser) binary(mc *machineCtx, level int) (*cfsm.Expr, error) {
+	if level >= len(binLevels) {
+		return p.unary(mc)
+	}
+	lhs, err := p.binary(mc, level+1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if p.cur().kind != tokPunct {
+			return lhs, nil
+		}
+		op, ok := binLevels[level][p.cur().text]
+		if !ok {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.binary(mc, level+1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = cfsm.Fn(op, lhs, rhs)
+	}
+}
+
+func (p *parser) unary(mc *machineCtx) (*cfsm.Expr, error) {
+	switch {
+	case p.accept("-"):
+		e, err := p.unary(mc)
+		if err != nil {
+			return nil, err
+		}
+		return cfsm.Fn(cfsm.ANEG, e), nil
+	case p.accept("~"):
+		e, err := p.unary(mc)
+		if err != nil {
+			return nil, err
+		}
+		return cfsm.Fn(cfsm.ANOT, e), nil
+	case p.accept("!"):
+		e, err := p.unary(mc)
+		if err != nil {
+			return nil, err
+		}
+		return cfsm.Fn(cfsm.ALNOT, e), nil
+	}
+	return p.primary(mc)
+}
+
+func (p *parser) primary(mc *machineCtx) (*cfsm.Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		return cfsm.Const(cfsm.Value(t.val)), nil
+
+	case tokEvVal:
+		p.next()
+		pi, ok := mc.inputs[t.text]
+		if !ok {
+			return nil, p.errf("unknown input %q", t.text)
+		}
+		return mc.b.EvVal(pi), nil
+
+	case tokPres:
+		p.next()
+		pi, ok := mc.inputs[t.text]
+		if !ok {
+			return nil, p.errf("unknown input %q", t.text)
+		}
+		return mc.b.Present(pi), nil
+
+	case tokIdent:
+		switch t.text {
+		case "abs":
+			args, err := p.callArgs(mc, 1)
+			if err != nil {
+				return nil, err
+			}
+			return cfsm.Fn(cfsm.AABS, args[0]), nil
+		case "min":
+			args, err := p.callArgs(mc, 2)
+			if err != nil {
+				return nil, err
+			}
+			return cfsm.Fn(cfsm.AMIN, args[0], args[1]), nil
+		case "max":
+			args, err := p.callArgs(mc, 2)
+			if err != nil {
+				return nil, err
+			}
+			return cfsm.Fn(cfsm.AMAX, args[0], args[1]), nil
+		case "mux":
+			args, err := p.callArgs(mc, 3)
+			if err != nil {
+				return nil, err
+			}
+			return cfsm.Fn(cfsm.AMUX, args[0], args[1], args[2]), nil
+		}
+		p.next()
+		vi, ok := mc.vars[t.text]
+		if !ok {
+			return nil, p.errf("unknown variable %q", t.text)
+		}
+		return mc.b.V(vi), nil
+
+	case tokPunct:
+		if t.text == "(" {
+			p.next()
+			e, err := p.expr(mc)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errf("expected an expression, got %v", t)
+}
+
+func (p *parser) callArgs(mc *machineCtx, n int) ([]*cfsm.Expr, error) {
+	p.next() // function name
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var args []*cfsm.Expr
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		a, err := p.expr(mc)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+	}
+	return args, p.expect(")")
+}

@@ -1,0 +1,171 @@
+// Package cfsmtext is the textual front-end for CFSM system specifications:
+// a small language in the spirit of the behavioral entry formats of the
+// POLIS flow, covering machines (states, typed ports, variables, guarded
+// transitions with an imperative action syntax), the network wiring, the
+// HW/SW partition and the environment. cmd/coest loads .cfsm files through
+// this package, so systems can be described and co-estimated without
+// writing Go.
+//
+// Grammar sketch (see Parse for the full details):
+//
+//	machine consumer {
+//	    input  END_COMP, TIME;
+//	    output PKT_DONE;
+//	    var    PREV = 0, LAST = 0, ACC = 0;
+//	    state  run;
+//
+//	    on run END_COMP {
+//	        n := LAST - PREV;
+//	        repeat (n) { ACC := (ACC + 3) & 0xFFF; }
+//	        if (ACC > 100) { emit PKT_DONE(ACC); } else { ACC := 0; }
+//	        PREV := LAST;
+//	    } -> run;
+//
+//	    on run TIME { LAST := $TIME; }
+//	}
+//
+//	network {
+//	    map producer sw priority 1;
+//	    map consumer hw priority 2;
+//	    connect producer.END_COMP -> consumer.END_COMP;
+//	    env input  TICK -> timer.TICK;
+//	    env output consumer.PKT_DONE as DONE;
+//	}
+package cfsmtext
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokPunct // single/multi-char punctuation and operators
+	tokEvVal // $IDENT
+	tokPres  // ?IDENT
+)
+
+type token struct {
+	kind tokKind
+	text string
+	val  int64
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokNumber:
+		return fmt.Sprintf("number %d", t.val)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+// multi-char operators, longest first.
+var operators = []string{
+	"->", ":=", "==", "!=", "<=", ">=", "<<", ">>", "&&", "||",
+	"{", "}", "(", ")", "[", "]", ";", ",", ".",
+	"+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '$' || c == '?':
+			kind := tokEvVal
+			if c == '?' {
+				kind = tokPres
+			}
+			l.pos++
+			id := l.ident()
+			if id == "" {
+				return nil, fmt.Errorf("line %d: %q must be followed by a port name", l.line, string(c))
+			}
+			l.emit(token{kind: kind, text: id})
+		case isIdentStart(rune(c)):
+			l.emit(token{kind: tokIdent, text: l.ident()})
+		case c >= '0' && c <= '9':
+			start := l.pos
+			for l.pos < len(l.src) && isNumChar(l.src[l.pos]) {
+				l.pos++
+			}
+			text := l.src[start:l.pos]
+			v, err := strconv.ParseInt(text, 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad number %q", l.line, text)
+			}
+			l.emit(token{kind: tokNumber, text: text, val: v})
+		default:
+			matched := false
+			for _, op := range operators {
+				if strings.HasPrefix(l.src[l.pos:], op) {
+					l.emit(token{kind: tokPunct, text: op})
+					l.pos += len(op)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("line %d: unexpected character %q", l.line, string(c))
+			}
+		}
+	}
+	l.emit(token{kind: tokEOF})
+	return l.toks, nil
+}
+
+func (l *lexer) emit(t token) {
+	t.line = l.line
+	l.toks = append(l.toks, t)
+}
+
+func (l *lexer) ident() string {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentChar(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	return l.src[start:l.pos]
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentChar(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+func isNumChar(c byte) bool {
+	return c >= '0' && c <= '9' || c == 'x' || c == 'X' ||
+		c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}

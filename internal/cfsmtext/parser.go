@@ -1,0 +1,611 @@
+package cfsmtext
+
+import (
+	"fmt"
+
+	"repro/internal/cfsm"
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+// Spec is a parsed system description: the machine network plus the
+// partition/priority map and environment bindings, ready for core.New.
+type Spec struct {
+	System *core.System
+}
+
+// Parse compiles a .cfsm source into a system specification.
+func Parse(name, src string) (*Spec, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	spec, err := p.file(name)
+	if err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) accept(text string) bool {
+	if p.cur().kind == tokPunct && p.cur().text == text ||
+		p.cur().kind == tokIdent && p.cur().text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return p.errf("expected %q, got %v", text, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	if p.cur().kind != tokIdent {
+		return "", p.errf("expected identifier, got %v", p.cur())
+	}
+	return p.next().text, nil
+}
+
+// machineCtx carries per-machine symbol tables while parsing a body.
+type machineCtx struct {
+	b      *cfsm.Builder
+	states map[string]int
+	inputs map[string]int
+	output map[string]int
+	vars   map[string]int
+}
+
+func (p *parser) file(name string) (*Spec, error) {
+	net := cfsm.NewNet()
+	sys := &core.System{Name: name, Net: net, Procs: map[string]core.ProcessConfig{}}
+	machines := map[string]*machineCtx{}
+
+	for p.cur().kind != tokEOF {
+		switch {
+		case p.accept("machine"):
+			mc, m, err := p.machine()
+			if err != nil {
+				return nil, err
+			}
+			net.Add(m)
+			machines[m.Name] = mc
+			// Default partition: software, priority = declaration order.
+			sys.Procs[m.Name] = core.ProcessConfig{Mapping: core.SW, Priority: len(sys.Procs) + 1}
+		case p.accept("network"):
+			if err := p.network(sys, machines); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf("expected 'machine' or 'network', got %v", p.cur())
+		}
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	return &Spec{System: sys}, nil
+}
+
+func (p *parser) machine() (*machineCtx, *cfsm.CFSM, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, nil, err
+	}
+	mc := &machineCtx{
+		b:      cfsm.NewBuilder(name),
+		states: map[string]int{},
+		inputs: map[string]int{},
+		output: map[string]int{},
+		vars:   map[string]int{},
+	}
+	for !p.accept("}") {
+		switch {
+		case p.accept("input"):
+			if err := p.nameList(func(n string) { mc.inputs[n] = mc.b.Input(n) }); err != nil {
+				return nil, nil, err
+			}
+		case p.accept("output"):
+			if err := p.nameList(func(n string) { mc.output[n] = mc.b.Output(n) }); err != nil {
+				return nil, nil, err
+			}
+		case p.accept("state"):
+			if err := p.nameList(func(n string) { mc.states[n] = mc.b.State(n) }); err != nil {
+				return nil, nil, err
+			}
+		case p.accept("var"):
+			if err := p.varList(mc); err != nil {
+				return nil, nil, err
+			}
+		case p.accept("on"):
+			if err := p.transition(mc); err != nil {
+				return nil, nil, err
+			}
+		default:
+			return nil, nil, p.errf("expected a machine section, got %v", p.cur())
+		}
+	}
+	m, err := mc.b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return mc, m, nil
+}
+
+func (p *parser) nameList(add func(string)) error {
+	for {
+		n, err := p.ident()
+		if err != nil {
+			return err
+		}
+		add(n)
+		if p.accept(",") {
+			continue
+		}
+		return p.expect(";")
+	}
+}
+
+func (p *parser) varList(mc *machineCtx) error {
+	for {
+		n, err := p.ident()
+		if err != nil {
+			return err
+		}
+		init := cfsm.Value(0)
+		if p.accept("=") {
+			v, err := p.signedNumber()
+			if err != nil {
+				return err
+			}
+			init = cfsm.Value(v)
+		}
+		mc.vars[n] = mc.b.Var(n, init)
+		if p.accept(",") {
+			continue
+		}
+		return p.expect(";")
+	}
+}
+
+func (p *parser) signedNumber() (int64, error) {
+	neg := p.accept("-")
+	if p.cur().kind != tokNumber {
+		return 0, p.errf("expected number, got %v", p.cur())
+	}
+	v := p.next().val
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+// transition := "on" state trigger ("," trigger)* [ "[" expr "]" ] block [ "->" state ] ";"
+func (p *parser) transition(mc *machineCtx) error {
+	stateName, err := p.ident()
+	if err != nil {
+		return err
+	}
+	from, ok := mc.states[stateName]
+	if !ok {
+		return p.errf("unknown state %q", stateName)
+	}
+	var triggers []int
+	for {
+		tn, err := p.ident()
+		if err != nil {
+			return err
+		}
+		ti, ok := mc.inputs[tn]
+		if !ok {
+			return p.errf("unknown input %q", tn)
+		}
+		triggers = append(triggers, ti)
+		if !p.accept(",") {
+			break
+		}
+	}
+	spec := mc.b.On(from, triggers...)
+	if p.accept("[") {
+		g, err := p.expr(mc)
+		if err != nil {
+			return err
+		}
+		if err := p.expect("]"); err != nil {
+			return err
+		}
+		spec.When(g)
+	}
+	body, err := p.blockStmts(mc)
+	if err != nil {
+		return err
+	}
+	spec.Do(body...)
+	if p.accept("->") {
+		toName, err := p.ident()
+		if err != nil {
+			return err
+		}
+		to, ok := mc.states[toName]
+		if !ok {
+			return p.errf("unknown state %q", toName)
+		}
+		spec.Goto(to)
+	}
+	return p.expect(";")
+}
+
+func (p *parser) blockStmts(mc *machineCtx) ([]cfsm.Stmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var out []cfsm.Stmt
+	for !p.accept("}") {
+		s, err := p.stmt(mc)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (p *parser) stmt(mc *machineCtx) (cfsm.Stmt, error) {
+	switch {
+	case p.accept("if"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr(mc)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.blockStmts(mc)
+		if err != nil {
+			return nil, err
+		}
+		var els []cfsm.Stmt
+		if p.accept("else") {
+			els, err = p.blockStmts(mc)
+			if err != nil {
+				return nil, err
+			}
+		}
+		p.accept(";") // optional trailing semicolon after a block
+		return cfsm.If(cond, then, els), nil
+
+	case p.accept("repeat"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		count, err := p.expr(mc)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.blockStmts(mc)
+		if err != nil {
+			return nil, err
+		}
+		p.accept(";") // optional trailing semicolon after a block
+		return cfsm.Repeat(count, body...), nil
+
+	case p.accept("emit"):
+		port, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		pi, ok := mc.output[port]
+		if !ok {
+			return nil, p.errf("unknown output %q", port)
+		}
+		var val *cfsm.Expr
+		if p.accept("(") {
+			val, err = p.expr(mc)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return cfsm.Emit(pi, val), nil
+
+	case p.accept("mem"):
+		// mem[expr] := expr ;
+		if err := p.expect("["); err != nil {
+			return nil, err
+		}
+		addr, err := p.expr(mc)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(":="); err != nil {
+			return nil, err
+		}
+		val, err := p.expr(mc)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return cfsm.MemWrite(addr, val), nil
+
+	default:
+		// ident := expr ;   (with mem[...] allowed on the RHS)
+		name, err := p.ident()
+		if err != nil {
+			return nil, p.errf("expected a statement, got %v", p.cur())
+		}
+		vi, ok := mc.vars[name]
+		if !ok {
+			return nil, p.errf("unknown variable %q", name)
+		}
+		if err := p.expect(":="); err != nil {
+			return nil, err
+		}
+		// Special form: v := mem[expr];
+		if p.accept("mem") {
+			if err := p.expect("["); err != nil {
+				return nil, err
+			}
+			addr, err := p.expr(mc)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			return cfsm.MemRead(vi, addr), nil
+		}
+		e, err := p.expr(mc)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return cfsm.Set(vi, e), nil
+	}
+}
+
+func (p *parser) network(sys *core.System, machines map[string]*machineCtx) error {
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	for !p.accept("}") {
+		switch {
+		case p.accept("map"):
+			name, err := p.ident()
+			if err != nil {
+				return err
+			}
+			if _, ok := machines[name]; !ok {
+				return p.errf("unknown machine %q", name)
+			}
+			pc := sys.Procs[name]
+			impl, err := p.ident()
+			if err != nil {
+				return err
+			}
+			switch impl {
+			case "sw":
+				pc.Mapping = core.SW
+			case "hw":
+				pc.Mapping = core.HW
+			default:
+				return p.errf("mapping must be sw or hw, got %q", impl)
+			}
+			if p.accept("priority") {
+				v, err := p.signedNumber()
+				if err != nil {
+					return err
+				}
+				pc.Priority = int(v)
+			}
+			sys.Procs[name] = pc
+			if err := p.expect(";"); err != nil {
+				return err
+			}
+
+		case p.accept("connect"):
+			srcM, srcP, err := p.dottedName()
+			if err != nil {
+				return err
+			}
+			if err := p.expect("->"); err != nil {
+				return err
+			}
+			dstM, dstP, err := p.dottedName()
+			if err != nil {
+				return err
+			}
+			if sys.Net.MachineIndex(srcM) < 0 || sys.Net.MachineIndex(dstM) < 0 {
+				return p.errf("unknown machine in connect %s.%s -> %s.%s", srcM, srcP, dstM, dstP)
+			}
+			src := sys.Net.Machines[sys.Net.MachineIndex(srcM)]
+			dst := sys.Net.Machines[sys.Net.MachineIndex(dstM)]
+			if src.OutputIndex(srcP) < 0 || dst.InputIndex(dstP) < 0 {
+				return p.errf("unknown port in connect %s.%s -> %s.%s", srcM, srcP, dstM, dstP)
+			}
+			sys.Net.ConnectByName(srcM, srcP, dstM, dstP)
+			if err := p.expect(";"); err != nil {
+				return err
+			}
+
+		case p.accept("stimulus"):
+			// stimulus NAME at 10us = 3;
+			// stimulus NAME every 100us count 40;
+			name, err := p.ident()
+			if err != nil {
+				return err
+			}
+			switch {
+			case p.accept("at"):
+				at, err := p.timeValue()
+				if err != nil {
+					return err
+				}
+				var v int64
+				if p.accept("=") {
+					v, err = p.signedNumber()
+					if err != nil {
+						return err
+					}
+				}
+				sys.Stimuli = append(sys.Stimuli, core.Stimulus{
+					At: at, Input: name, Value: cfsm.Value(v),
+				})
+			case p.accept("every"):
+				period, err := p.timeValue()
+				if err != nil {
+					return err
+				}
+				count := int64(0)
+				if p.accept("count") {
+					count, err = p.signedNumber()
+					if err != nil {
+						return err
+					}
+				}
+				sys.Periodic = append(sys.Periodic, core.PeriodicStimulus{
+					Input: name, Period: period, Count: int(count),
+				})
+			default:
+				return p.errf("expected 'at' or 'every' after stimulus name")
+			}
+			if err := p.expect(";"); err != nil {
+				return err
+			}
+
+		case p.accept("env"):
+			switch {
+			case p.accept("input"):
+				name, err := p.ident()
+				if err != nil {
+					return err
+				}
+				if err := p.expect("->"); err != nil {
+					return err
+				}
+				dstM, dstP, err := p.dottedName()
+				if err != nil {
+					return err
+				}
+				if sys.Net.MachineIndex(dstM) < 0 {
+					return p.errf("unknown machine %q", dstM)
+				}
+				dst := sys.Net.Machines[sys.Net.MachineIndex(dstM)]
+				if dst.InputIndex(dstP) < 0 {
+					return p.errf("machine %q has no input %q", dstM, dstP)
+				}
+				sys.Net.EnvInputByName(name, dstM, dstP)
+			case p.accept("output"):
+				srcM, srcP, err := p.dottedName()
+				if err != nil {
+					return err
+				}
+				if err := p.expect("as"); err != nil {
+					return err
+				}
+				name, err := p.ident()
+				if err != nil {
+					return err
+				}
+				mi := sys.Net.MachineIndex(srcM)
+				if mi < 0 {
+					return p.errf("unknown machine %q", srcM)
+				}
+				oi := sys.Net.Machines[mi].OutputIndex(srcP)
+				if oi < 0 {
+					return p.errf("machine %q has no output %q", srcM, srcP)
+				}
+				sys.Net.EnvOutput(name, mi, oi)
+			default:
+				return p.errf("expected 'input' or 'output' after 'env'")
+			}
+			if err := p.expect(";"); err != nil {
+				return err
+			}
+
+		default:
+			return p.errf("expected a network section, got %v", p.cur())
+		}
+	}
+	return nil
+}
+
+// timeValue parses "<number><unit>" or "<number> <unit>" with unit one of
+// ns, us, ms, s. The lexer splits "10us" into a number and an identifier.
+func (p *parser) timeValue() (units.Time, error) {
+	v, err := p.signedNumber()
+	if err != nil {
+		return 0, err
+	}
+	unit, err := p.ident()
+	if err != nil {
+		return 0, err
+	}
+	var scale units.Time
+	switch unit {
+	case "ns":
+		scale = units.Nanosecond
+	case "us":
+		scale = units.Microsecond
+	case "ms":
+		scale = units.Millisecond
+	case "s":
+		scale = units.Second
+	default:
+		return 0, p.errf("unknown time unit %q (want ns/us/ms/s)", unit)
+	}
+	return units.Time(v) * scale, nil
+}
+
+func (p *parser) dottedName() (string, string, error) {
+	a, err := p.ident()
+	if err != nil {
+		return "", "", err
+	}
+	if err := p.expect("."); err != nil {
+		return "", "", err
+	}
+	b, err := p.ident()
+	if err != nil {
+		return "", "", err
+	}
+	return a, b, nil
+}

@@ -1,0 +1,80 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/systems"
+)
+
+func TestPerTransitionBreakdown(t *testing.T) {
+	rep := runTCPIP(t, nil)
+	ic := rep.Machine("ip_check")
+	if ic == nil {
+		t.Fatal("missing ip_check")
+	}
+	if len(ic.Transitions) != 2 {
+		t.Fatalf("ip_check transitions = %d, want prepare+verify", len(ic.Transitions))
+	}
+	names := map[string]core.TransitionReport{}
+	var sum float64
+	for _, tr := range ic.Transitions {
+		names[tr.Name] = tr
+		sum += float64(tr.Energy)
+	}
+	if names["prepare"].Reactions != 3 || names["verify"].Reactions != 3 {
+		t.Fatalf("transition counts: %+v", names)
+	}
+	// Per-transition energies sum to the machine's compute energy.
+	if d := sum - float64(ic.ComputeEnergy); d > 1e-12 || d < -1e-12 {
+		t.Fatalf("breakdown sum %g != compute %g", sum, float64(ic.ComputeEnergy))
+	}
+}
+
+func TestBreakdownInSeparateMode(t *testing.T) {
+	p := systems.DefaultTCPIP()
+	sys, cfg := systems.TCPIP(p)
+	cfg.Mode = core.Separate
+	cs, err := core.New(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cs.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The separate baseline still processes all packets functionally.
+	if got := countEnv(rep, "PKT_OK"); got != 3 {
+		t.Fatalf("separate mode PKT_OK = %d, want 3", got)
+	}
+	cp := rep.Machine("create_pack")
+	if cp == nil || len(cp.Transitions) == 0 || cp.Transitions[0].Energy <= 0 {
+		t.Fatal("separate mode missing per-transition energy")
+	}
+	// The separate estimate differs from co-estimation (it misses the
+	// timing interactions) but must be the same order of magnitude.
+	co := runTCPIP(t, nil)
+	ratio := float64(rep.Total) / float64(co.Total)
+	if ratio < 0.3 || ratio > 3 {
+		t.Fatalf("separate/co ratio %.2f implausible", ratio)
+	}
+}
+
+func TestSWProgramAccessor(t *testing.T) {
+	p := systems.DefaultTCPIP()
+	sys, cfg := systems.TCPIP(p)
+	cs, err := core.New(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := cs.SWProgram()
+	if prog == nil || len(prog.Insts) == 0 {
+		t.Fatal("no SW program")
+	}
+	if _, ok := prog.AddrOf("rt_emit"); !ok {
+		t.Fatal("runtime symbol missing")
+	}
+	if len(cs.HWNetlists()) != 1 {
+		t.Fatalf("HW netlists = %d, want 1 (checksum)", len(cs.HWNetlists()))
+	}
+}

@@ -1,0 +1,384 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/bus"
+	"repro/internal/cachesim"
+	"repro/internal/cfsm"
+	"repro/internal/ecache"
+	"repro/internal/gate"
+	"repro/internal/hwsyn"
+	"repro/internal/iss"
+	"repro/internal/rtos"
+	"repro/internal/sim"
+	"repro/internal/sparc"
+	"repro/internal/stats"
+	"repro/internal/swsyn"
+	"repro/internal/units"
+)
+
+// ObservedEvent is one event that crossed the system boundary to the
+// environment during simulation.
+type ObservedEvent struct {
+	Name  string
+	Time  units.Time
+	Value cfsm.Value
+}
+
+// hwExec is the per-HW-machine execution state.
+type hwExec struct {
+	driver  *hwsyn.Driver
+	busy    bool
+	pending int
+	stale   bool // registers out of sync (a cached skip happened)
+}
+
+// sampleState is the per-path reaction-sampling record (§4.3).
+type sampleState struct {
+	seen        uint64
+	sinceSample uint64
+	cycles      stats.Running
+	energy      stats.Running
+}
+
+// recorded is one reaction captured for the separate-estimation baseline.
+type recorded struct {
+	machine int
+	r       *cfsm.Reaction
+	preVars []cfsm.Value
+}
+
+// CoSim is one configured co-estimation run.
+type CoSim struct {
+	cfg Config
+	sys *System
+
+	kernel *sim.Kernel
+	shared *SharedMemory
+	bus    *bus.Bus
+	icache *cachesim.Cache
+	sched  *rtos.Scheduler
+	cpu    *iss.CPU
+	image  *swsyn.Compiled
+
+	procs  []ProcessConfig // by machine index
+	swIdx  map[int]int     // machine index -> image machine index
+	hw     map[int]*hwExec
+	swSync map[int]bool // machine index -> ISS vars stale
+
+	swCache *ecache.Cache
+	hwCache *ecache.Cache
+	samples map[ecache.Key]*sampleState
+
+	wave *Waveform
+
+	machineEnergy   []units.Energy
+	machineWait     []units.Energy
+	machineCycles   []uint64
+	machineReact    []uint64
+	machineEstCalls []uint64
+	transEnergy     [][]units.Energy // [machine][transition]
+	transCount      [][]uint64
+	cacheEnergy     units.Energy
+	rtosEnergy      units.Energy
+
+	issCalls  uint64
+	gateExecs uint64
+
+	envOut []ObservedEvent
+	trace  []recorded // Separate mode only
+
+	sepBusEnergy units.Energy
+	sepBusStats  bus.Stats
+
+	err error
+}
+
+// New builds a co-simulation for the system under the given configuration:
+// the software partition is synthesized and compiled into one SPARC image,
+// every hardware process is synthesized to a gate netlist, and the bus,
+// cache, RTOS and estimator stack are instantiated (Fig 2(a), the
+// compilation flow).
+func New(sys *System, cfg Config) (*CoSim, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	cs := &CoSim{
+		cfg:     cfg,
+		sys:     sys,
+		kernel:  sim.NewKernel(),
+		shared:  NewSharedMemory(),
+		swIdx:   make(map[int]int),
+		hw:      make(map[int]*hwExec),
+		swSync:  make(map[int]bool),
+		samples: make(map[ecache.Key]*sampleState),
+	}
+	n := len(sys.Net.Machines)
+	cs.procs = make([]ProcessConfig, n)
+	cs.machineEnergy = make([]units.Energy, n)
+	cs.machineWait = make([]units.Energy, n)
+	cs.machineCycles = make([]uint64, n)
+	cs.machineReact = make([]uint64, n)
+	cs.machineEstCalls = make([]uint64, n)
+	cs.transEnergy = make([][]units.Energy, n)
+	cs.transCount = make([][]uint64, n)
+	for mi, m := range sys.Net.Machines {
+		cs.transEnergy[mi] = make([]units.Energy, len(m.Transitions))
+		cs.transCount[mi] = make([]uint64, len(m.Transitions))
+	}
+
+	if cfg.WaveformBucket > 0 {
+		cs.wave = NewWaveform(cfg.WaveformBucket)
+	}
+
+	// Partition.
+	var swMachines []*cfsm.CFSM
+	for mi, m := range sys.Net.Machines {
+		pc, ok := sys.Procs[m.Name]
+		if !ok {
+			return nil, fmt.Errorf("core: no partition for %q", m.Name)
+		}
+		cs.procs[mi] = pc
+		if pc.Mapping == SW {
+			cs.swIdx[mi] = len(swMachines)
+			swMachines = append(swMachines, m)
+		}
+	}
+
+	// Software synthesis + ISS.
+	if len(swMachines) > 0 {
+		img, err := swsyn.Compile(swMachines)
+		if err != nil {
+			return nil, err
+		}
+		cs.image = img
+		mem := iss.NewMem()
+		cs.cpu = iss.New(cfg.Timing, cfg.Power, mem)
+		cs.cpu.Reset(swsyn.StackTop)
+		cs.cpu.LoadProgram(img.Prog)
+		img.InitMemory(mem)
+	}
+
+	// Hardware synthesis + gate simulators.
+	for mi, m := range sys.Net.Machines {
+		if cs.procs[mi].Mapping != HW {
+			continue
+		}
+		mod, err := hwsyn.Synthesize(m, hwsyn.Config{Width: cfg.HWWidth})
+		if err != nil {
+			return nil, err
+		}
+		drv, err := hwsyn.NewDriver(mod, cfg.HWVdd)
+		if err != nil {
+			return nil, err
+		}
+		cs.hw[mi] = &hwExec{driver: drv}
+	}
+
+	// Integration architecture.
+	busCfg := cfg.Bus
+	if busCfg.Priority == nil {
+		busCfg.Priority = map[int]int{}
+	}
+	for mi := range sys.Net.Machines {
+		if _, set := busCfg.Priority[mi]; !set {
+			busCfg.Priority[mi] = cs.procs[mi].Priority
+		}
+	}
+	b, err := bus.New(cs.kernel, busCfg)
+	if err != nil {
+		return nil, err
+	}
+	cs.bus = b
+	if cfg.Accel.BusCompaction || cfg.KeepBusTrace {
+		b.KeepTrace(true)
+	}
+
+	if cfg.ICache {
+		c, err := cachesim.New(cfg.ICacheCfg)
+		if err != nil {
+			return nil, err
+		}
+		cs.icache = c
+	}
+
+	rcfg := cfg.RTOS
+	if cfg.Mode == Separate {
+		rcfg.DispatchCycles = 0 // untimed behavioral simulation
+	}
+	cs.sched = rtos.New(cs.kernel, rcfg)
+
+	if cfg.Accel.ECache {
+		cs.swCache = ecache.New(cfg.Accel.ECacheParams)
+		cs.hwCache = ecache.New(cfg.Accel.ECacheParams)
+	} else if cfg.Accel.Macromodel {
+		// Macro-modeling raises both partitions to pre-characterized cost
+		// tables (§4.1: "the approach in the case of hardware is quite
+		// similar"): each HW path is characterized by its first gate-level
+		// execution and costed by table lookup afterwards.
+		cs.hwCache = ecache.New(ecache.Params{
+			ThreshCalls:    1,
+			ThreshVariance: math.Inf(1),
+		})
+	}
+
+	// Shared memory image.
+	for a, v := range sys.SharedInit {
+		cs.shared.Poke(a, v)
+	}
+	sys.Net.Reset()
+	return cs, nil
+}
+
+// Kernel exposes the simulation master's clock (tests and reports).
+func (cs *CoSim) Kernel() *sim.Kernel { return cs.kernel }
+
+// Shared exposes the behavioral shared memory.
+func (cs *CoSim) Shared() *SharedMemory { return cs.shared }
+
+// BusTrace returns the recorded grant trace (enable with KeepBusTrace).
+func (cs *CoSim) BusTrace() []bus.Grant { return cs.bus.Trace() }
+
+// SWProgram returns the synthesized SPARC program image of the software
+// partition (nil when there are no software processes), for disassembly and
+// inspection.
+func (cs *CoSim) SWProgram() *sparc.Program {
+	if cs.image == nil {
+		return nil
+	}
+	return cs.image.Prog
+}
+
+// HWNetlists returns the synthesized gate-level netlist of every hardware
+// process, by machine name (for inspection or Verilog export).
+func (cs *CoSim) HWNetlists() map[string]*gate.Netlist {
+	out := make(map[string]*gate.Netlist, len(cs.hw))
+	for mi, ex := range cs.hw {
+		out[cs.sys.Net.Machines[mi].Name] = ex.driver.Mod.N
+	}
+	return out
+}
+
+// scheduleStimuli installs all environment events.
+func (cs *CoSim) scheduleStimuli() {
+	for _, st := range cs.sys.Stimuli {
+		st := st
+		cs.kernel.At(st.At, func() {
+			if st.Do != nil {
+				st.Do(cs.shared)
+			}
+			cs.deliverEnv(st.Input, st.Value)
+		})
+	}
+	for _, p := range cs.sys.Periodic {
+		p := p
+		var stop func()
+		stop = cs.kernel.Ticker(p.Period, func(n uint64) {
+			if p.Count > 0 && n >= uint64(p.Count) {
+				stop()
+				return
+			}
+			cs.deliverEnv(p.Input, cfsm.Value(n))
+		})
+	}
+}
+
+func (cs *CoSim) deliverEnv(name string, v cfsm.Value) {
+	dests := cs.sys.Net.EnvDest(name)
+	if len(dests) == 0 {
+		cs.fail(fmt.Errorf("core: stimulus %q has no destination", name))
+		return
+	}
+	for _, d := range dests {
+		cs.sys.Net.Machines[d.Machine].Post(d.Port, v)
+		cs.activate(d.Machine)
+	}
+}
+
+func (cs *CoSim) fail(err error) {
+	if cs.err == nil {
+		cs.err = err
+		cs.kernel.Stop()
+	}
+}
+
+func (cs *CoSim) tracef(format string, args ...any) {
+	if cs.cfg.Trace != nil {
+		cs.cfg.Trace(fmt.Sprintf("%12v  ", cs.kernel.Now()) + fmt.Sprintf(format, args...))
+	}
+}
+
+// activate pokes a machine: SW machines go through the RTOS, HW machines
+// start (or queue on) their engine.
+func (cs *CoSim) activate(mi int) {
+	if cs.procs[mi].Mapping == SW {
+		cs.activateSW(mi)
+		return
+	}
+	cs.activateHW(mi)
+}
+
+// deliver routes a reaction's emissions to their destinations after the
+// event propagation delay, and records environment outputs.
+func (cs *CoSim) deliver(srcMachine int, r *cfsm.Reaction) {
+	now := cs.kernel.Now()
+	src := cs.sys.Net.Machines[srcMachine]
+	for _, em := range r.Emits {
+		cs.tracef("emit  %s.%s = %d", src.Name, src.OutputNames[em.Port], em.Value)
+		for _, name := range cs.sys.Net.EnvNames(srcMachine, em.Port) {
+			cs.envOut = append(cs.envOut, ObservedEvent{Name: name, Time: now, Value: em.Value})
+		}
+		for _, d := range cs.sys.Net.Fanout(srcMachine, em.Port) {
+			d, v := d, em.Value
+			cs.kernel.After(cs.cfg.EventDelay, func() {
+				cs.sys.Net.Machines[d.Machine].Post(d.Port, v)
+				cs.activate(d.Machine)
+			})
+		}
+	}
+}
+
+// busGroup is one coalesced run of a reaction's memory accesses.
+type busGroup struct {
+	addr  uint32 // word address
+	data  []uint32
+	write bool
+}
+
+func groupMemOps(ops []cfsm.MemAccess) []busGroup {
+	var out []busGroup
+	for _, op := range ops {
+		n := len(out)
+		if n > 0 && out[n-1].write == op.Write &&
+			op.Addr == out[n-1].addr+uint32(len(out[n-1].data)) {
+			out[n-1].data = append(out[n-1].data, uint32(op.Data))
+			continue
+		}
+		out = append(out, busGroup{addr: op.Addr, data: []uint32{uint32(op.Data)}, write: op.Write})
+	}
+	return out
+}
+
+// Run executes the co-estimation and returns the report.
+func (cs *CoSim) Run() (*Report, error) {
+	start := time.Now()
+	cs.scheduleStimuli()
+	cs.kernel.RunUntil(cs.cfg.MaxSimTime)
+	if cs.err != nil {
+		return nil, cs.err
+	}
+	cs.finishSampling()
+	if cs.cfg.Mode == Separate {
+		if err := cs.separateEstimate(); err != nil {
+			return nil, err
+		}
+	}
+	return cs.report(time.Since(start)), nil
+}

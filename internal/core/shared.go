@@ -1,0 +1,120 @@
+package core
+
+import (
+	"repro/internal/cfsm"
+	"repro/internal/units"
+)
+
+// SharedMemory is the behavioral model of the shared on-chip memory: a
+// word-addressed store all machines see through cfsm.Env. Timing and energy
+// of the accesses are accounted separately by the bus model from each
+// reaction's MemOps trace.
+type SharedMemory struct {
+	words  map[uint32]cfsm.Value
+	reads  uint64
+	writes uint64
+}
+
+// NewSharedMemory returns an empty memory (all words zero).
+func NewSharedMemory() *SharedMemory {
+	return &SharedMemory{words: make(map[uint32]cfsm.Value)}
+}
+
+// MemRead implements cfsm.Env.
+func (m *SharedMemory) MemRead(addr uint32) cfsm.Value {
+	m.reads++
+	return m.words[addr]
+}
+
+// MemWrite implements cfsm.Env.
+func (m *SharedMemory) MemWrite(addr uint32, v cfsm.Value) {
+	m.writes++
+	m.words[addr] = v
+}
+
+// Peek reads without counting (test/setup access).
+func (m *SharedMemory) Peek(addr uint32) cfsm.Value { return m.words[addr] }
+
+// Poke writes without counting (environment/setup access).
+func (m *SharedMemory) Poke(addr uint32, v cfsm.Value) { m.words[addr] = v }
+
+// Accesses returns the behavioral read/write counts.
+func (m *SharedMemory) Accesses() (reads, writes uint64) { return m.reads, m.writes }
+
+// Waveform is a time-bucketed per-component power recorder: the "energy and
+// power waveforms for the various parts of the system" the master displays
+// (paper §3), and the peak-power analysis of §5.3.
+type Waveform struct {
+	Bucket units.Time
+	series map[string][]float64 // joules per bucket
+}
+
+// NewWaveform returns a recorder with the given resolution.
+func NewWaveform(bucket units.Time) *Waveform {
+	return &Waveform{Bucket: bucket, series: make(map[string][]float64)}
+}
+
+// Add charges energy e to component name at time t.
+func (w *Waveform) Add(name string, t units.Time, e units.Energy) {
+	if w == nil || w.Bucket <= 0 {
+		return
+	}
+	i := int(t / w.Bucket)
+	s := w.series[name]
+	for len(s) <= i {
+		s = append(s, 0)
+	}
+	s[i] += float64(e)
+	w.series[name] = s
+}
+
+// Series returns the per-bucket average power of a component.
+func (w *Waveform) Series(name string) []units.Power {
+	if w == nil {
+		return nil
+	}
+	s := w.series[name]
+	out := make([]units.Power, len(s))
+	for i, e := range s {
+		out[i] = units.Energy(e).Over(w.Bucket)
+	}
+	return out
+}
+
+// Names returns the recorded component names.
+func (w *Waveform) Names() []string {
+	if w == nil {
+		return nil
+	}
+	names := make([]string, 0, len(w.series))
+	for n := range w.series {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Peak returns the time and value of the highest total-power bucket.
+func (w *Waveform) Peak() (units.Time, units.Power) {
+	if w == nil {
+		return 0, 0
+	}
+	var total []float64
+	for _, s := range w.series {
+		for i, e := range s {
+			for len(total) <= i {
+				total = append(total, 0)
+			}
+			total[i] += e
+		}
+	}
+	best, bestI := 0.0, -1
+	for i, e := range total {
+		if e > best {
+			best, bestI = e, i
+		}
+	}
+	if bestI < 0 {
+		return 0, 0
+	}
+	return units.Time(bestI) * w.Bucket, units.Energy(best).Over(w.Bucket)
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"repro/internal/bus"
+	"repro/internal/cfsm"
+	"repro/internal/ecache"
+	"repro/internal/rtos"
+	"repro/internal/units"
+)
+
+// activateSW routes a software machine's pending events through the RTOS:
+// the behavioral reaction executes at dispatch time (so shared-processor
+// serialization is honored), the estimator stack produces its cost, the CPU
+// is held through the reaction's bus transfers (programmed I/O), and the
+// emissions are delivered when the transfers complete.
+func (cs *CoSim) activateSW(mi int) {
+	m := cs.sys.Net.Machines[mi]
+	var r *cfsm.Reaction
+	var busLeft int // outstanding bus groups of this reaction
+	var cpuDone bool
+	var cpuEnd units.Time
+	var finish func()
+	job := &rtos.Job{
+		ID:       mi,
+		Priority: cs.procs[mi].Priority,
+		Hold:     true,
+		Service: func() units.Time {
+			r = nil
+			if m.Enabled() < 0 {
+				return 0 // events were consumed by an earlier dispatch
+			}
+			preVars := m.VarSnapshot()
+			rr, ok := m.React(cs.shared)
+			if !ok {
+				return 0
+			}
+			r = rr
+			cs.machineReact[mi]++
+			cs.tracef("react %s t%d (%s) path %x", m.Name, rr.TransIdx,
+				m.Transitions[rr.TransIdx].Name, rr.Path)
+			if m.Enabled() >= 0 {
+				// Other pending events can fire further transitions.
+				cs.activateSW(mi)
+			}
+
+			if cs.cfg.Mode == Separate {
+				cs.trace = append(cs.trace, recorded{machine: mi, r: rr, preVars: preVars})
+				finish = func() {
+					cs.deliver(mi, rr)
+					cs.sched.Release()
+				}
+				return 0
+			}
+
+			cycles, energy := cs.estimateSW(mi, rr, preVars)
+
+			// Fast instruction-cache simulation, fed by the master from the
+			// statically reconstructed path trace (never from the ISS).
+			if cs.icache != nil {
+				before := cs.icache.Stats()
+				mc := cs.image.Machines[cs.swIdx[mi]]
+				ranges, err := mc.FetchTrace(rr)
+				if err != nil {
+					cs.fail(err)
+					return 0
+				}
+				for _, rg := range ranges {
+					cs.icache.AccessRange(rg.Start, rg.End)
+				}
+				d := cs.icache.Stats()
+				cycles += d.Cycles - before.Cycles
+				ce := d.Energy - before.Energy
+				cs.cacheEnergy += ce
+				cs.wave.Add("icache", cs.kernel.Now(), ce)
+			}
+
+			cs.machineCycles[mi] += cycles
+			cs.machineEnergy[mi] += energy
+			cs.transEnergy[mi][rr.TransIdx] += energy
+			cs.transCount[mi][rr.TransIdx]++
+			cs.wave.Add(m.Name, cs.kernel.Now(), energy)
+
+			// Issue the reaction's bus transfers now: loads and stores
+			// interleave with the computation, so they contend with other
+			// masters in real time. The reaction completes when both the
+			// CPU phase and the last transfer finish.
+			cpuDur := units.Time(cycles) * cs.cfg.Timing.Clock.Period()
+			finish = func() {
+				if wait := cs.kernel.Now() - cpuEnd; wait > 0 {
+					// The CPU stalls on its outstanding transfers.
+					we := units.Energy(float64(cs.cfg.CPUIdle) * wait.Seconds())
+					cs.machineWait[mi] += we
+					cs.wave.Add(m.Name, cs.kernel.Now(), we)
+				}
+				cs.deliver(mi, rr)
+				cs.sched.Release()
+			}
+			groups := groupMemOps(rr.MemOps)
+			busLeft = len(groups)
+			for _, g := range groups {
+				cs.bus.Submit(&bus.Request{
+					Master: mi, Addr: g.addr * 4, Data: g.data, Write: g.write,
+					Done: func() {
+						busLeft--
+						if busLeft == 0 && cpuDone {
+							finish()
+						}
+					},
+				})
+			}
+			return cpuDur
+		},
+		Done: func() {
+			if r == nil {
+				cs.sched.Release()
+				return
+			}
+			cpuDone = true
+			cpuEnd = cs.kernel.Now()
+			if busLeft == 0 {
+				finish()
+			}
+		},
+	}
+	cs.sched.Post(job)
+}
+
+// estimateSW is the software estimator stack of Fig 2(b): energy cache, then
+// macro-model or sampling, then the ISS itself.
+func (cs *CoSim) estimateSW(mi int, r *cfsm.Reaction, preVars []cfsm.Value) (uint64, units.Energy) {
+	key := ecache.Key{Machine: mi, Path: r.Path}
+
+	if cs.cfg.Accel.Macromodel {
+		cycles, energy := cs.cfg.Accel.MacromodelTable.CostOfReaction(r)
+		cs.swSync[mi] = true // the ISS image is not being updated
+		return cycles, energy
+	}
+
+	if cs.swCache != nil {
+		if e, cyc, ok := cs.swCache.Lookup(key); ok {
+			cs.swSync[mi] = true
+			return cyc, e
+		}
+	}
+
+	if cs.cfg.Accel.Sampling {
+		st := cs.samples[key]
+		if st == nil {
+			st = &sampleState{}
+			cs.samples[key] = st
+		}
+		st.seen++
+		if st.seen > cs.cfg.Accel.SamplingParams.Warmup {
+			st.sinceSample++
+			if st.sinceSample < cs.cfg.Accel.SamplingParams.Ratio {
+				// Skip the ISS: delay from the path's running mean; energy
+				// is covered by the next sample's scale factor.
+				cs.swSync[mi] = true
+				return uint64(st.cycles.Mean() + 0.5), 0
+			}
+		}
+		cyc, e := cs.runISS(mi, r, preVars)
+		st.cycles.Add(float64(cyc))
+		st.energy.Add(float64(e))
+		scale := uint64(1)
+		if st.sinceSample > 0 {
+			scale = st.sinceSample
+			st.sinceSample = 0
+		}
+		if cs.swCache != nil {
+			cs.swCache.Update(key, e, cyc)
+		}
+		return cyc, units.Energy(float64(e) * float64(scale))
+	}
+
+	cyc, e := cs.runISS(mi, r, preVars)
+	if cs.swCache != nil {
+		cs.swCache.Update(key, e, cyc)
+	}
+	return cyc, e
+}
+
+// runISS replays the reaction on the generated code: bind inputs, run to the
+// return breakpoint, collect cycles and energy (Fig 2(b)'s "input vectors,
+// state, commands" / "cycles, power" exchange).
+func (cs *CoSim) runISS(mi int, r *cfsm.Reaction, preVars []cfsm.Value) (uint64, units.Energy) {
+	mc := cs.image.Machines[cs.swIdx[mi]]
+	if cs.swSync[mi] {
+		mc.SyncVars(cs.cpu.Mem, preVars)
+		cs.swSync[mi] = false
+	}
+	mc.BindReaction(cs.cpu.Mem, r)
+	_, st, err := cs.cpu.Call(mc.Entries[r.TransIdx])
+	if err != nil {
+		cs.fail(err)
+		return 0, 0
+	}
+	mc.ReadOutbox(cs.cpu.Mem) // drain; behavioral emissions drive delivery
+	cs.issCalls++
+	cs.machineEstCalls[mi]++
+	if cs.cfg.PathEnergy != nil {
+		cs.cfg.PathEnergy(mi, r.Path, st.Energy)
+	}
+	return st.Cycles, st.Energy
+}
+
+// finishSampling settles the energy of reactions that were skipped after the
+// last dispatched sample of their path.
+func (cs *CoSim) finishSampling() {
+	if !cs.cfg.Accel.Sampling {
+		return
+	}
+	now := cs.kernel.Now()
+	for key, st := range cs.samples {
+		if st.sinceSample > 0 && st.energy.N() > 0 {
+			e := units.Energy(st.energy.Mean() * float64(st.sinceSample))
+			cs.machineEnergy[key.Machine] += e
+			cs.wave.Add(cs.sys.Net.Machines[key.Machine].Name, now, e)
+			st.sinceSample = 0
+		}
+	}
+}

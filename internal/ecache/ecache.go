@@ -1,0 +1,149 @@
+// Package ecache implements the energy and delay caching acceleration of
+// §4.2 of the paper: a dynamically built lookup table keyed by execution
+// path, holding the running mean and variance of the energy and delay the
+// lower-level simulator (ISS or gate-level) reported for that path. Once a
+// path has been simulated at least thresh_iss_calls times and its energy
+// variance is below thresh_variance, the cached means are used and the
+// simulator is skipped.
+package ecache
+
+import (
+	"sort"
+
+	"repro/internal/cfsm"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// Params are the two user-specified knobs of Fig 4(c), controlling the
+// aggressiveness of caching and hence the accuracy/efficiency tradeoff.
+type Params struct {
+	// ThreshVariance is the maximum relative spread (coefficient of
+	// variation of energy) for a path to be served from the cache. Zero
+	// admits only paths that have shown bit-identical energies.
+	ThreshVariance float64
+	// ThreshCalls is the minimum number of simulator invocations of a path
+	// before its cached value may be used.
+	ThreshCalls uint64
+}
+
+// DefaultParams matches the paper's conservative setting: require a few
+// observations and near-zero spread.
+func DefaultParams() Params {
+	return Params{ThreshVariance: 0.02, ThreshCalls: 2}
+}
+
+// Key identifies one cached path: the machine and its path key.
+type Key struct {
+	Machine int
+	Path    cfsm.PathKey
+}
+
+// Entry is the per-path record.
+type Entry struct {
+	Energy stats.Running // joules per execution
+	Cycles stats.Running // estimator-reported cycles per execution
+}
+
+// Ready reports whether the entry satisfies the thresholds.
+func (e *Entry) Ready(p Params) bool {
+	return e.Energy.N() >= p.ThreshCalls && e.Energy.CoefVar() <= p.ThreshVariance
+}
+
+// Stats summarizes cache effectiveness.
+type Stats struct {
+	Lookups uint64
+	Hits    uint64 // served from cache: simulator skipped
+	Entries int
+}
+
+// HitRate returns hits/lookups.
+func (s Stats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups)
+}
+
+// Cache is one energy/delay cache instance (typically one per estimator).
+type Cache struct {
+	params  Params
+	entries map[Key]*Entry
+	lookups uint64
+	hits    uint64
+}
+
+// New returns an empty cache.
+func New(p Params) *Cache {
+	return &Cache{params: p, entries: make(map[Key]*Entry)}
+}
+
+// Params returns the configured thresholds.
+func (c *Cache) Params() Params { return c.params }
+
+// Lookup consults the cache for a path. On a hit it returns the mean energy
+// and mean cycle count and true; the caller skips the simulator. On a miss
+// the caller must simulate and then call Update.
+func (c *Cache) Lookup(k Key) (units.Energy, uint64, bool) {
+	c.lookups++
+	e := c.entries[k]
+	if e == nil || !e.Ready(c.params) {
+		return 0, 0, false
+	}
+	c.hits++
+	return units.Energy(e.Energy.Mean()), uint64(e.Cycles.Mean() + 0.5), true
+}
+
+// Update folds a fresh simulator observation into the path's entry.
+func (c *Cache) Update(k Key, energy units.Energy, cycles uint64) {
+	e := c.entries[k]
+	if e == nil {
+		e = &Entry{}
+		c.entries[k] = e
+	}
+	e.Energy.Add(float64(energy))
+	e.Cycles.Add(float64(cycles))
+}
+
+// Entry exposes a path's record (nil if never observed) for reporting —
+// e.g. the per-path energy spreads behind Fig 4(b).
+func (c *Cache) Entry(k Key) *Entry { return c.entries[k] }
+
+// Stats returns cache effectiveness counters.
+func (c *Cache) Stats() Stats {
+	return Stats{Lookups: c.lookups, Hits: c.hits, Entries: len(c.entries)}
+}
+
+// PathReport is one row of the per-path summary.
+type PathReport struct {
+	Key    Key
+	Calls  uint64
+	Mean   units.Energy
+	StdDev units.Energy
+	Cached bool
+}
+
+// Report returns per-path rows sorted by descending call count — the
+// "snapshot of the energy cache" of Fig 4(c).
+func (c *Cache) Report() []PathReport {
+	rows := make([]PathReport, 0, len(c.entries))
+	for k, e := range c.entries {
+		rows = append(rows, PathReport{
+			Key:    k,
+			Calls:  e.Energy.N(),
+			Mean:   units.Energy(e.Energy.Mean()),
+			StdDev: units.Energy(e.Energy.StdDev()),
+			Cached: e.Ready(c.params),
+		})
+	}
+	sort.Slice(rows, func(a, b int) bool {
+		if rows[a].Calls != rows[b].Calls {
+			return rows[a].Calls > rows[b].Calls
+		}
+		if rows[a].Key.Machine != rows[b].Key.Machine {
+			return rows[a].Key.Machine < rows[b].Key.Machine
+		}
+		return rows[a].Key.Path < rows[b].Key.Path
+	})
+	return rows
+}

@@ -1,0 +1,137 @@
+package ecache
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestMissUntilThresholds(t *testing.T) {
+	c := New(Params{ThreshVariance: 0.05, ThreshCalls: 3})
+	k := Key{Machine: 1, Path: 42}
+	for i := 0; i < 3; i++ {
+		if _, _, ok := c.Lookup(k); ok {
+			t.Fatalf("hit before %d observations", i)
+		}
+		c.Update(k, 100*units.Nanojoule, 50)
+	}
+	e, cyc, ok := c.Lookup(k)
+	if !ok {
+		t.Fatal("no hit after threshold observations with zero variance")
+	}
+	if e != 100*units.Nanojoule || cyc != 50 {
+		t.Fatalf("cached = %v, %d", e, cyc)
+	}
+}
+
+func TestHighVarianceNeverCached(t *testing.T) {
+	c := New(Params{ThreshVariance: 0.05, ThreshCalls: 2})
+	k := Key{Path: 7}
+	// Alternating energies: coefficient of variation ~ 0.33.
+	vals := []units.Energy{100, 200, 100, 200, 100, 200}
+	for _, v := range vals {
+		if _, _, ok := c.Lookup(k); ok {
+			t.Fatal("high-variance path served from cache")
+		}
+		c.Update(k, v*units.Nanojoule, 10)
+	}
+}
+
+func TestLowVarianceCachedMean(t *testing.T) {
+	c := New(Params{ThreshVariance: 0.05, ThreshCalls: 2})
+	k := Key{Path: 9}
+	c.Update(k, 100*units.Nanojoule, 10)
+	c.Update(k, 102*units.Nanojoule, 12)
+	e, cyc, ok := c.Lookup(k)
+	if !ok {
+		t.Fatal("low-variance path not cached")
+	}
+	if e != 101*units.Nanojoule {
+		t.Fatalf("mean = %v", e)
+	}
+	if cyc != 11 {
+		t.Fatalf("mean cycles = %d", cyc)
+	}
+}
+
+func TestDistinctKeysIndependent(t *testing.T) {
+	c := New(Params{ThreshCalls: 1})
+	c.Update(Key{Machine: 0, Path: 1}, 10*units.Nanojoule, 1)
+	if _, _, ok := c.Lookup(Key{Machine: 1, Path: 1}); ok {
+		t.Fatal("cross-machine cache hit")
+	}
+	if _, _, ok := c.Lookup(Key{Machine: 0, Path: 2}); ok {
+		t.Fatal("cross-path cache hit")
+	}
+	if _, _, ok := c.Lookup(Key{Machine: 0, Path: 1}); !ok {
+		t.Fatal("legitimate hit missed")
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := New(Params{ThreshCalls: 1})
+	k := Key{Path: 5}
+	c.Lookup(k) // miss
+	c.Update(k, units.Nanojoule, 1)
+	c.Lookup(k) // hit
+	c.Lookup(k) // hit
+	st := c.Stats()
+	if st.Lookups != 3 || st.Hits != 2 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.HitRate() < 0.66 || st.HitRate() > 0.67 {
+		t.Fatalf("hit rate = %g", st.HitRate())
+	}
+	if (Stats{}).HitRate() != 0 {
+		t.Fatal("empty hit rate should be 0")
+	}
+}
+
+func TestReportOrderedByCalls(t *testing.T) {
+	c := New(DefaultParams())
+	hot := Key{Path: 1}
+	cold := Key{Path: 2}
+	for i := 0; i < 5; i++ {
+		c.Update(hot, 10*units.Nanojoule, 1)
+	}
+	c.Update(cold, 99*units.Nanojoule, 1)
+	rows := c.Report()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Key != hot || rows[0].Calls != 5 {
+		t.Fatalf("rows[0] = %+v", rows[0])
+	}
+	if !rows[0].Cached {
+		t.Fatal("hot zero-variance path should be cache-ready")
+	}
+	if rows[1].Cached {
+		t.Fatal("single-observation path should not be cache-ready")
+	}
+}
+
+func TestEntryAccess(t *testing.T) {
+	c := New(DefaultParams())
+	if c.Entry(Key{Path: 1}) != nil {
+		t.Fatal("phantom entry")
+	}
+	c.Update(Key{Path: 1}, units.Nanojoule, 3)
+	e := c.Entry(Key{Path: 1})
+	if e == nil || e.Cycles.Mean() != 3 {
+		t.Fatal("entry not recorded")
+	}
+}
+
+func TestZeroThresholdVarianceExactOnly(t *testing.T) {
+	c := New(Params{ThreshVariance: 0, ThreshCalls: 2})
+	k := Key{Path: 3}
+	c.Update(k, 100*units.Nanojoule, 10)
+	c.Update(k, 100*units.Nanojoule, 10)
+	if _, _, ok := c.Lookup(k); !ok {
+		t.Fatal("identical observations must hit at zero threshold")
+	}
+	c.Update(k, 100.001*units.Nanojoule, 10)
+	if _, _, ok := c.Lookup(k); ok {
+		t.Fatal("any spread must miss at zero threshold")
+	}
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/systems"
+	"repro/internal/units"
+)
+
+// PartitionPoint is one HW/SW mapping of the prodcons system and its
+// co-estimated cost — the coarse-grained exploration the paper's
+// introduction motivates ("HW/SW partitioning, component selection") and
+// §5.2 mentions ranking ("by attempting to rank several different HW/SW
+// partitions").
+type PartitionPoint struct {
+	Producer core.Mapping
+	Consumer core.Mapping
+
+	Total    units.Energy
+	SW       units.Energy
+	HW       units.Energy
+	Makespan units.Time
+}
+
+// Label names the mapping, e.g. "producer=sw/consumer=hw".
+func (p PartitionPoint) Label() string {
+	return fmt.Sprintf("producer=%v/consumer=%v", p.Producer, p.Consumer)
+}
+
+// PartitionResult is the full 2x2 partition sweep.
+type PartitionResult struct {
+	Points []PartitionPoint
+	Min    PartitionPoint
+}
+
+// Partition co-estimates every HW/SW mapping of the prodcons producer and
+// consumer (the timer stays in hardware) and ranks them by energy. Both
+// processes use only synthesizable macro-operations, so each can map either
+// way — the tool's job is to tell the designer which combination wins.
+func Partition(w io.Writer) (*PartitionResult, error) {
+	res := &PartitionResult{}
+	for _, prodMap := range []core.Mapping{core.SW, core.HW} {
+		for _, consMap := range []core.Mapping{core.SW, core.HW} {
+			p := systems.DefaultProdCons()
+			sys, cfg := systems.ProdCons(p)
+			sys.Procs["producer"] = core.ProcessConfig{Mapping: prodMap, Priority: 1}
+			sys.Procs["consumer"] = core.ProcessConfig{Mapping: consMap, Priority: 3}
+			cs, err := core.New(sys, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: partition %v/%v: %w", prodMap, consMap, err)
+			}
+			rep, err := cs.Run()
+			if err != nil {
+				return nil, fmt.Errorf("experiments: partition %v/%v: %w", prodMap, consMap, err)
+			}
+			res.Points = append(res.Points, PartitionPoint{
+				Producer: prodMap,
+				Consumer: consMap,
+				Total:    rep.Total,
+				SW:       rep.SWEnergy,
+				HW:       rep.HWEnergy,
+				Makespan: rep.SimulatedTime,
+			})
+		}
+	}
+	res.Min = res.Points[0]
+	for _, pt := range res.Points[1:] {
+		if pt.Total < res.Min.Total {
+			res.Min = pt
+		}
+	}
+
+	fmt.Fprintln(w, "HW/SW partition exploration (prodcons, 8 packets)")
+	t := report.NewTable("partition", "total", "sw", "hw", "makespan")
+	for _, pt := range res.Points {
+		t.Row(pt.Label(), pt.Total.String(), pt.SW.String(), pt.HW.String(), pt.Makespan.String())
+	}
+	t.Render(w)
+	fmt.Fprintf(w, "  best: %s at %v\n\n", res.Min.Label(), res.Min.Total)
+	return res, nil
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestPartitionSweep(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := Partition(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("points = %d, want 4", len(res.Points))
+	}
+	// Every mapping must have been estimated.
+	seen := map[string]bool{}
+	for _, pt := range res.Points {
+		if pt.Total <= 0 {
+			t.Fatalf("%s has no energy", pt.Label())
+		}
+		seen[pt.Label()] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("duplicate mappings: %v", seen)
+	}
+	// ASIC implementations dissipate far less than software on this
+	// workload: the all-HW mapping must win, the all-SW must lose.
+	if res.Min.Producer != core.HW || res.Min.Consumer != core.HW {
+		t.Fatalf("best partition = %s, want all-HW", res.Min.Label())
+	}
+	var worst PartitionPoint
+	for _, pt := range res.Points {
+		if pt.Total > worst.Total {
+			worst = pt
+		}
+	}
+	if worst.Producer != core.SW || worst.Consumer != core.SW {
+		t.Fatalf("worst partition = %s, want all-SW", worst.Label())
+	}
+	// Consistency: a mapping with no SW processes reports zero SW energy.
+	for _, pt := range res.Points {
+		if pt.Producer == core.HW && pt.Consumer == core.HW && pt.SW != 0 {
+			t.Fatalf("all-HW mapping reports SW energy %v", pt.SW)
+		}
+	}
+	if !strings.Contains(buf.String(), "best:") {
+		t.Fatal("missing rendered table")
+	}
+}

@@ -1,0 +1,250 @@
+// Package explore drives the iterative design-space exploration of §5.3 of
+// the paper — exhaustive sweeps over communication-architecture parameters
+// (bus-master priority assignments × DMA block sizes) with one power
+// co-estimation per point — and the accuracy/efficiency comparisons behind
+// Tables 1-2 and Fig 6 (base framework vs accelerated framework over the
+// same sweep).
+package explore
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/systems"
+	"repro/internal/units"
+)
+
+// Point is one design-space configuration and its estimate.
+type Point struct {
+	Perm    int
+	DMASize int
+
+	Energy    units.Energy
+	SWEnergy  units.Energy
+	HWEnergy  units.Energy
+	BusEnergy units.Energy
+	SimTime   units.Time
+	Wall      time.Duration
+}
+
+// PermName names the point's priority assignment.
+func (p Point) PermName() string { return systems.PriorityPermName(p.Perm) }
+
+// Mutator adjusts the run configuration (e.g. enables an acceleration).
+type Mutator func(*core.Config)
+
+// runPoint executes one TCP/IP co-estimation.
+func runPoint(params systems.TCPIPParams, mutate Mutator) (*core.Report, error) {
+	sys, cfg := systems.TCPIP(params)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	cs, err := core.New(sys, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return cs.Run()
+}
+
+// SweepTCPIP explores perms × dmaSizes for the TCP/IP subsystem — the Fig 7
+// grid. mutate (optional) applies to every point.
+func SweepTCPIP(params systems.TCPIPParams, perms, dmaSizes []int, mutate Mutator) ([]Point, error) {
+	var out []Point
+	for _, perm := range perms {
+		for _, dma := range dmaSizes {
+			p := params
+			p.PriorityPerm = perm
+			p.DMASize = dma
+			rep, err := runPoint(p, mutate)
+			if err != nil {
+				return nil, fmt.Errorf("explore: perm %d dma %d: %w", perm, dma, err)
+			}
+			out = append(out, Point{
+				Perm:     perm,
+				DMASize:  dma,
+				Energy:   rep.Total,
+				SWEnergy: rep.SWEnergy, HWEnergy: rep.HWEnergy, BusEnergy: rep.BusEnergy,
+				SimTime: rep.SimulatedTime,
+				Wall:    rep.Wall,
+			})
+		}
+	}
+	return out, nil
+}
+
+// SweepTCPIPParallel is SweepTCPIP with the points distributed over the
+// given number of worker goroutines. Every co-estimation is an independent
+// deterministic simulation, so the result is identical to the sequential
+// sweep (points are returned in the same perm-major order); only wall time
+// changes. Workers <= 1 falls back to the sequential sweep.
+func SweepTCPIPParallel(params systems.TCPIPParams, perms, dmaSizes []int, mutate Mutator, workers int) ([]Point, error) {
+	if workers <= 1 {
+		return SweepTCPIP(params, perms, dmaSizes, mutate)
+	}
+	type job struct {
+		idx  int
+		perm int
+		dma  int
+	}
+	var jobs []job
+	for _, perm := range perms {
+		for _, dma := range dmaSizes {
+			jobs = append(jobs, job{idx: len(jobs), perm: perm, dma: dma})
+		}
+	}
+	out := make([]Point, len(jobs))
+	errs := make([]error, len(jobs))
+	ch := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				p := params
+				p.PriorityPerm = j.perm
+				p.DMASize = j.dma
+				rep, err := runPoint(p, mutate)
+				if err != nil {
+					errs[j.idx] = fmt.Errorf("explore: perm %d dma %d: %w", j.perm, j.dma, err)
+					continue
+				}
+				out[j.idx] = Point{
+					Perm:     j.perm,
+					DMASize:  j.dma,
+					Energy:   rep.Total,
+					SWEnergy: rep.SWEnergy, HWEnergy: rep.HWEnergy, BusEnergy: rep.BusEnergy,
+					SimTime: rep.SimulatedTime,
+					Wall:    rep.Wall,
+				}
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Min returns the minimum-energy point.
+func Min(points []Point) Point {
+	best := points[0]
+	for _, p := range points[1:] {
+		if p.Energy < best.Energy {
+			best = p
+		}
+	}
+	return best
+}
+
+// AccuracyRow compares the base framework against an accelerated one for a
+// single DMA size — one row of Table 1 / Table 2.
+type AccuracyRow struct {
+	DMASize     int
+	OrigEnergy  units.Energy
+	OrigWall    time.Duration
+	AccelEnergy units.Energy
+	AccelWall   time.Duration
+
+	OrigISSCalls  uint64
+	AccelISSCalls uint64
+}
+
+// Speedup is the paper's CPU-time ratio (orig / accelerated).
+func (r AccuracyRow) Speedup() float64 {
+	if r.AccelWall <= 0 {
+		return 0
+	}
+	return float64(r.OrigWall) / float64(r.AccelWall)
+}
+
+// ErrorPct is the absolute percentage energy error of the accelerated run.
+func (r AccuracyRow) ErrorPct() float64 {
+	if r.OrigEnergy == 0 {
+		return 0
+	}
+	d := float64(r.AccelEnergy-r.OrigEnergy) / float64(r.OrigEnergy) * 100
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// CompareAccel runs the base framework and an accelerated variant over the
+// DMA-size sweep (repeats > 1 re-runs each measurement and keeps the best
+// wall time, damping scheduler noise).
+func CompareAccel(params systems.TCPIPParams, dmaSizes []int, accel Mutator, repeats int) ([]AccuracyRow, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	var rows []AccuracyRow
+	for _, dma := range dmaSizes {
+		p := params
+		p.DMASize = dma
+		row := AccuracyRow{DMASize: dma}
+		for i := 0; i < repeats; i++ {
+			rep, err := runPoint(p, nil)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 || rep.Wall < row.OrigWall {
+				row.OrigWall = rep.Wall
+			}
+			row.OrigEnergy = rep.Total
+			row.OrigISSCalls = rep.ISSCalls
+		}
+		for i := 0; i < repeats; i++ {
+			rep, err := runPoint(p, accel)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 || rep.Wall < row.AccelWall {
+				row.AccelWall = rep.Wall
+			}
+			row.AccelEnergy = rep.Total
+			row.AccelISSCalls = rep.ISSCalls
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RelativeAccuracy evaluates the Fig 6 criterion over comparison rows: the
+// Pearson correlation of accelerated vs base energies, and whether the
+// ranking of configurations is preserved ("tracking fidelity"). Pairs whose
+// base energies differ by less than 1% are ties — no estimator can be asked
+// to order configurations the base framework itself barely separates.
+func RelativeAccuracy(rows []AccuracyRow) (corr float64, rankingPreserved bool) {
+	var xs, ys []float64
+	for _, r := range rows {
+		xs = append(xs, float64(r.OrigEnergy))
+		ys = append(ys, float64(r.AccelEnergy))
+	}
+	const tol = 0.01
+	rank := true
+	for i := 0; i < len(xs) && rank; i++ {
+		for j := i + 1; j < len(xs); j++ {
+			dx := xs[i] - xs[j]
+			mean := (xs[i] + xs[j]) / 2
+			if mean == 0 || dx/mean < tol && dx/mean > -tol {
+				continue // tie
+			}
+			dy := ys[i] - ys[j]
+			if (dx > 0) != (dy > 0) {
+				rank = false
+				break
+			}
+		}
+	}
+	return stats.Pearson(xs, ys), rank
+}

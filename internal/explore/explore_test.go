@@ -1,0 +1,158 @@
+package explore
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ecache"
+	"repro/internal/systems"
+)
+
+func quickParams() systems.TCPIPParams {
+	p := systems.DefaultTCPIP()
+	p.Packets = 3
+	return p
+}
+
+func TestSweepGrid(t *testing.T) {
+	pts, err := SweepTCPIP(quickParams(), []int{0, 3}, []int{2, 64}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points = %d, want 4", len(pts))
+	}
+	// Order: perm-major, DMA-minor.
+	want := []struct{ perm, dma int }{{0, 2}, {0, 64}, {3, 2}, {3, 64}}
+	for i, w := range want {
+		if pts[i].Perm != w.perm || pts[i].DMASize != w.dma {
+			t.Fatalf("point %d = perm %d dma %d", i, pts[i].Perm, pts[i].DMASize)
+		}
+		if pts[i].Energy <= 0 || pts[i].SimTime <= 0 {
+			t.Fatalf("point %d empty", i)
+		}
+	}
+	if pts[0].PermName() == pts[2].PermName() {
+		t.Fatal("perm names must differ")
+	}
+}
+
+func TestMin(t *testing.T) {
+	pts := []Point{{Energy: 5}, {Energy: 2, DMASize: 64}, {Energy: 9}}
+	if m := Min(pts); m.DMASize != 64 {
+		t.Fatalf("min = %+v", m)
+	}
+}
+
+func TestCompareAccelRows(t *testing.T) {
+	rows, err := CompareAccel(quickParams(), []int{2, 64}, func(cfg *core.Config) {
+		cfg.Accel.ECache = true
+		cfg.Accel.ECacheParams = ecache.DefaultParams()
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.OrigEnergy <= 0 || r.AccelEnergy <= 0 {
+			t.Fatalf("row %d missing energies", r.DMASize)
+		}
+		if r.OrigWall <= 0 || r.AccelWall <= 0 {
+			t.Fatalf("row %d missing wall times", r.DMASize)
+		}
+		if r.Speedup() <= 0 {
+			t.Fatalf("row %d zero speedup", r.DMASize)
+		}
+	}
+}
+
+func TestAccuracyRowMath(t *testing.T) {
+	r := AccuracyRow{OrigEnergy: 100, AccelEnergy: 124, OrigWall: 100, AccelWall: 10}
+	if r.Speedup() != 10 {
+		t.Fatalf("speedup = %g", r.Speedup())
+	}
+	if e := r.ErrorPct(); e < 23.9 || e > 24.1 {
+		t.Fatalf("error = %g", e)
+	}
+	under := AccuracyRow{OrigEnergy: 100, AccelEnergy: 80}
+	if e := under.ErrorPct(); e != 20 {
+		t.Fatalf("abs error = %g", e)
+	}
+	if (AccuracyRow{}).Speedup() != 0 {
+		t.Fatal("zero wall must give zero speedup")
+	}
+	if (AccuracyRow{}).ErrorPct() != 0 {
+		t.Fatal("zero energy must give zero error")
+	}
+}
+
+func TestRelativeAccuracy(t *testing.T) {
+	rows := []AccuracyRow{
+		{OrigEnergy: 100, AccelEnergy: 130},
+		{OrigEnergy: 90, AccelEnergy: 117},
+		{OrigEnergy: 80, AccelEnergy: 104},
+	}
+	corr, rank := RelativeAccuracy(rows)
+	if corr < 0.999 {
+		t.Fatalf("proportional rows correlation = %g", corr)
+	}
+	if !rank {
+		t.Fatal("proportional rows must preserve ranking")
+	}
+	bad := []AccuracyRow{
+		{OrigEnergy: 100, AccelEnergy: 80},
+		{OrigEnergy: 90, AccelEnergy: 117},
+	}
+	if _, rank := RelativeAccuracy(bad); rank {
+		t.Fatal("inverted rows must not preserve ranking")
+	}
+}
+
+func TestParallelSweepMatchesSequential(t *testing.T) {
+	p := quickParams()
+	seq, err := SweepTCPIP(p, []int{0, 5}, []int{2, 64}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SweepTCPIPParallel(p, []int{0, 5}, []int{2, 64}, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(seq) {
+		t.Fatalf("lengths differ: %d vs %d", len(par), len(seq))
+	}
+	for i := range seq {
+		if par[i].Perm != seq[i].Perm || par[i].DMASize != seq[i].DMASize {
+			t.Fatalf("point %d order differs", i)
+		}
+		if par[i].Energy != seq[i].Energy || par[i].SimTime != seq[i].SimTime {
+			t.Fatalf("point %d results differ: %v vs %v", i, par[i].Energy, seq[i].Energy)
+		}
+	}
+}
+
+func TestParallelSweepSingleWorkerFallback(t *testing.T) {
+	p := quickParams()
+	pts, err := SweepTCPIPParallel(p, []int{0}, []int{4}, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 || pts[0].Energy <= 0 {
+		t.Fatalf("points = %+v", pts)
+	}
+}
+
+func TestRelativeAccuracyTieTolerance(t *testing.T) {
+	// Two configs within 1% are a tie: an inverted ordering there must not
+	// break ranking preservation.
+	rows := []AccuracyRow{
+		{OrigEnergy: 100.0, AccelEnergy: 130},
+		{OrigEnergy: 100.5, AccelEnergy: 129}, // 0.5% away: tie
+		{OrigEnergy: 120.0, AccelEnergy: 150},
+	}
+	if _, rank := RelativeAccuracy(rows); !rank {
+		t.Fatal("sub-tolerance inversion must count as a tie")
+	}
+}

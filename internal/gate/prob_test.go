@@ -1,0 +1,150 @@
+package gate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestProbBasicGates(t *testing.T) {
+	n := NewNetlist("p")
+	a := n.Input("a")
+	b := n.Input("b")
+	and := n.And2(a, b)
+	or := n.Or2(a, b)
+	xor := n.Xor2(a, b)
+	inv := n.Inv(a)
+	est, err := EstimateProbabilistic(n, 3.3, []ProbInput{
+		{P1: 0.5, Density: 0.5}, {P1: 0.25, Density: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := est.P1[and]; !almost(got, 0.125, 1e-12) {
+		t.Errorf("P(and) = %g, want 0.125", got)
+	}
+	if got := est.P1[or]; !almost(got, 1-0.5*0.75, 1e-12) {
+		t.Errorf("P(or) = %g", got)
+	}
+	if got := est.P1[xor]; !almost(got, 0.5*0.75+0.5*0.25, 1e-12) {
+		t.Errorf("P(xor) = %g", got)
+	}
+	if got := est.P1[inv]; !almost(got, 0.5, 1e-12) {
+		t.Errorf("P(not) = %g", got)
+	}
+	// AND density: d_a*P(b) + d_b*P(a) = 0.5*0.25 + 0.5*0.5
+	if got := est.Density[and]; !almost(got, 0.375, 1e-12) {
+		t.Errorf("D(and) = %g, want 0.375", got)
+	}
+	if est.EnergyPerCycle <= 0 {
+		t.Error("no energy estimate")
+	}
+}
+
+func TestProbConstNets(t *testing.T) {
+	n := NewNetlist("c")
+	z := n.Const(false)
+	o := n.Const(true)
+	n.Input("a")
+	est, err := EstimateProbabilistic(n, 3.3, UniformInputs(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.P1[z] != 0 || est.Density[z] != 0 {
+		t.Error("const0 stats wrong")
+	}
+	if est.P1[o] != 1 || est.Density[o] != 0 {
+		t.Error("const1 stats wrong")
+	}
+}
+
+func TestProbSequentialFixpoint(t *testing.T) {
+	// A toggle flop: q' = ~q. The initial guess P=0.5 is already the
+	// fixpoint, so it must be stable.
+	n := NewNetlist("tff")
+	d := n.Net("d")
+	q := n.Flop(d, false, "q")
+	n.GateInto(Not, d, q)
+	est, err := EstimateProbabilistic(n, 3.3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(est.P1[q], 0.5, 1e-6) {
+		t.Errorf("P(q) = %g, want 0.5", est.P1[q])
+	}
+
+	// A decaying flop: q' = q AND a with P(a)=0.8; the probability must
+	// iterate down to the fixpoint 0, taking several sweeps.
+	n2 := NewNetlist("decay")
+	a := n2.Input("a")
+	d2 := n2.Net("d")
+	q2 := n2.Flop(d2, true, "q")
+	n2.GateInto(And, d2, q2, a)
+	est2, err := EstimateProbabilistic(n2, 3.3, []ProbInput{{P1: 0.8, Density: 0.3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est2.P1[q2] > 1e-6 {
+		t.Errorf("P(q) = %g, want ~0", est2.P1[q2])
+	}
+	if est2.Iterations < 5 {
+		t.Errorf("decay fixpoint converged suspiciously fast: %d iters", est2.Iterations)
+	}
+}
+
+func TestProbInputCountValidation(t *testing.T) {
+	n := NewNetlist("v")
+	n.Input("a")
+	if _, err := EstimateProbabilistic(n, 3.3, nil); err == nil {
+		t.Fatal("wrong input count must error")
+	}
+}
+
+// The probabilistic estimate must agree with long random-vector simulation
+// within a modest factor on a realistic datapath (independence assumptions
+// lose accuracy on reconvergent fanout, but the estimate should be in the
+// right ballpark — that is its role in the paper's framework).
+func TestProbMatchesSimulationOnAdder(t *testing.T) {
+	n := NewNetlist("adder")
+	a := n.InputWord("a", 8)
+	b := n.InputWord("b", 8)
+	sum, _ := n.AddWord(a, b)
+	reg := n.RegWord(sum, n.Const(true), 0, "r")
+	_ = reg
+
+	s, err := NewSim(n, 3.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	in := make(InputVector, len(n.Inputs))
+	const cycles = 4000
+	for i := 0; i < cycles; i++ {
+		s.SetWord(in, a, uint64(rng.Intn(256)))
+		s.SetWord(in, b, uint64(rng.Intn(256)))
+		s.Cycle(in)
+	}
+	simPerCycle := float64(s.Energy()) / cycles
+
+	est, err := EstimateProbabilistic(n, 3.3, UniformInputs(len(n.Inputs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(est.EnergyPerCycle) / simPerCycle
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Fatalf("probabilistic/simulated ratio %.2f out of [0.4, 2.5]", ratio)
+	}
+	t.Logf("probabilistic %.3g J/cycle vs simulated %.3g J/cycle (ratio %.2f, %d fixpoint iters)",
+		float64(est.EnergyPerCycle), simPerCycle, ratio, est.Iterations)
+}
+
+func TestProbPower(t *testing.T) {
+	est := &ProbEstimate{EnergyPerCycle: units.Nanojoule}
+	if got := est.Power(25e6); !almost(float64(got), 0.025, 1e-12) {
+		t.Fatalf("1nJ at 25MHz = %v, want 25mW", got)
+	}
+}
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }

@@ -1,0 +1,94 @@
+package gate
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteVerilogStructure(t *testing.T) {
+	n := NewNetlist("my block")
+	a := n.Input("a")
+	b := n.Input("b")
+	x := n.Xor2(a, b)
+	q := n.Flop(x, true, "q")
+	out := n.And2(q, a)
+	n.MarkOutput(out)
+
+	var buf bytes.Buffer
+	if err := WriteVerilog(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	v := buf.String()
+	for _, want := range []string{
+		"module my_block (",
+		"input wire clk",
+		"input wire a_n0",
+		"output wire",
+		"xor g0(",
+		"and g1(",
+		"always @(posedge clk)",
+		"q_n3 <= ",
+		"q_n3 = 1'b1;", // init value
+		"endmodule",
+	} {
+		if !strings.Contains(v, want) {
+			t.Fatalf("verilog missing %q:\n%s", want, v)
+		}
+	}
+}
+
+func TestWriteVerilogConstAndNot(t *testing.T) {
+	n := NewNetlist("c")
+	z := n.Const(false)
+	o := n.Const(true)
+	a := n.Input("a")
+	inv := n.Inv(a)
+	buf := n.NewGate(Buf, a)
+	n.MarkOutput(inv)
+	n.MarkOutput(buf)
+	_ = z
+	_ = o
+
+	var sb bytes.Buffer
+	if err := WriteVerilog(&sb, n); err != nil {
+		t.Fatal(err)
+	}
+	v := sb.String()
+	if !strings.Contains(v, "= 1'b0;") {
+		t.Fatalf("const0 missing:\n%s", v)
+	}
+	if !strings.Contains(v, "not g") || !strings.Contains(v, "buf g") {
+		t.Fatalf("not/buf missing:\n%s", v)
+	}
+}
+
+func TestWriteVerilogIdentifiersUnique(t *testing.T) {
+	// Two nets with the same name must get distinct identifiers.
+	n := NewNetlist("dup")
+	a := n.Input("x")
+	b := n.Input("x")
+	n.MarkOutput(n.And2(a, b))
+	var buf bytes.Buffer
+	if err := WriteVerilog(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "x_n0") || !strings.Contains(buf.String(), "x_n1") {
+		t.Fatalf("duplicate names not disambiguated:\n%s", buf.String())
+	}
+}
+
+func TestSanitizeID(t *testing.T) {
+	cases := map[string]string{
+		"ok_name":  "ok_name",
+		"has sp":   "has_sp",
+		"1leading": "m_1leading",
+		"":         "m_",
+		"a[3]":     "a_3_",
+	}
+	for in, want := range cases {
+		if got := sanitizeID(in); got != want {
+			t.Errorf("sanitizeID(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

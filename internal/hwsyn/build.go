@@ -1,0 +1,387 @@
+package hwsyn
+
+import (
+	"fmt"
+
+	"repro/internal/cfsm"
+	"repro/internal/gate"
+)
+
+// build constructs the netlist for the flattened micro-program.
+func (sy *synth) build() error {
+	m := sy.mod
+	W := m.Width
+	n := gate.NewNetlist(m.M.Name)
+	m.N = n
+
+	// Primary inputs.
+	m.Go = n.Input("go")
+	selBits := widthFor(len(m.M.Transitions))
+	m.TransSel = n.InputWord("tsel", selBits)
+	for _, name := range m.M.InputNames {
+		m.InVals = append(m.InVals, n.InputWord("in_"+name, W))
+		m.InPresent = append(m.InPresent, n.Input("pr_"+name))
+	}
+	m.MemRData = n.InputWord("mem_rdata", W)
+	m.MemAck = n.Input("mem_ack")
+
+	// Micro-PC register.
+	pcBits := widthFor(len(m.steps))
+	upcD := make(gate.Word, pcBits)
+	for i := range upcD {
+		upcD[i] = n.Net(fmt.Sprintf("upc_d[%d]", i))
+	}
+	m.Upc = make(gate.Word, pcBits)
+	for i := range m.Upc {
+		m.Upc[i] = n.Flop(upcD[i], false, fmt.Sprintf("upc[%d]", i))
+	}
+
+	// One-hot step enables.
+	en := make([]gate.NetID, len(m.steps))
+	for i := range m.steps {
+		en[i] = n.EqWord(m.Upc, n.ConstWord(uint64(i), pcBits))
+	}
+
+	// Variable registers. D/WE nets are built after expressions exist, so
+	// allocate placeholder D nets now.
+	varD := make([]gate.Word, len(m.M.VarNames))
+	for vi, name := range m.M.VarNames {
+		d := make(gate.Word, W)
+		for b := range d {
+			d[b] = n.Net(fmt.Sprintf("var_%s_d[%d]", name, b))
+		}
+		varD[vi] = d
+		q := make(gate.Word, W)
+		for b := range d {
+			q[b] = n.Flop(d[b], uint64(uint32(m.M.VarInit[vi]))>>uint(b)&1 == 1,
+				fmt.Sprintf("var_%s[%d]", name, b))
+		}
+		m.VarRegs = append(m.VarRegs, q)
+	}
+
+	// Loop counter registers.
+	ctrD := make([]gate.Word, sy.maxLoops)
+	ctrQ := make([]gate.Word, sy.maxLoops)
+	for c := 0; c < sy.maxLoops; c++ {
+		d := make(gate.Word, W)
+		q := make(gate.Word, W)
+		for b := 0; b < W; b++ {
+			d[b] = n.Net(fmt.Sprintf("ctr%d_d[%d]", c, b))
+			q[b] = n.Flop(d[b], false, fmt.Sprintf("ctr%d[%d]", c, b))
+		}
+		ctrD[c] = d
+		ctrQ[c] = q
+	}
+	sy.ctrQ = ctrQ
+
+	// Evaluate every step's datapath and collect control contributions.
+	zeroPC := n.ConstWord(0, pcBits)
+	nextPC := zeroPC // accumulated: OR of (en_i & target_i)
+	orWordInto := func(acc gate.Word, enb gate.NetID, val gate.Word) gate.Word {
+		out := make(gate.Word, len(acc))
+		for b := range acc {
+			out[b] = n.Or2(acc[b], n.And2(enb, val[b]))
+		}
+		return out
+	}
+
+	type writeSrc struct {
+		en  gate.NetID
+		val gate.Word
+	}
+	varWrites := make([][]writeSrc, len(m.M.VarNames))
+	ctrWrites := make([][]writeSrc, sy.maxLoops)
+	outWrites := make([][]writeSrc, len(m.M.OutputNames))
+	outPulse := make([]gate.NetID, len(m.M.OutputNames))
+	for p := range outPulse {
+		outPulse[p] = n.Const(false)
+	}
+	memReq := n.Const(false)
+	memWr := n.Const(false)
+	memAddr := n.ConstWord(0, W)
+	memWData := n.ConstWord(0, W)
+	done := n.Const(false)
+
+	stepTarget := func(i int) gate.Word { return n.ConstWord(uint64(i), pcBits) }
+
+	for i, st := range m.steps {
+		enb := en[i]
+		switch st.kind {
+		case stepIdle:
+			// next = go ? entry(tsel) : 0
+			entry := n.ConstWord(0, pcBits)
+			for ti, es := range m.entries {
+				hit := n.EqWord(m.TransSel, n.ConstWord(uint64(ti), selBits))
+				entry = orWordInto(entry, hit, stepTarget(es))
+			}
+			tgt := n.MuxWord(m.Go, entry, zeroPC)
+			nextPC = orWordInto(nextPC, enb, tgt)
+
+		case stepAssign:
+			val := sy.expr(st.expr)
+			varWrites[st.vr] = append(varWrites[st.vr], writeSrc{enb, val})
+			nextPC = orWordInto(nextPC, enb, stepTarget(st.next))
+
+		case stepEmit:
+			val := sy.expr(st.expr)
+			outPulse[st.port] = n.Or2(outPulse[st.port], enb)
+			outWrites[st.port] = append(outWrites[st.port], writeSrc{enb, val})
+			nextPC = orWordInto(nextPC, enb, stepTarget(st.next))
+
+		case stepBranch:
+			cond := sy.boolOf(st.expr)
+			tgt := n.MuxWord(cond, stepTarget(st.tT), stepTarget(st.tF))
+			nextPC = orWordInto(nextPC, enb, tgt)
+
+		case stepLoopInit:
+			val := sy.expr(st.expr)
+			ctrWrites[st.ctr] = append(ctrWrites[st.ctr], writeSrc{enb, val})
+			nextPC = orWordInto(nextPC, enb, stepTarget(st.next))
+
+		case stepLoopTest:
+			// counter > 0 (signed): !sign & !iszero
+			q := ctrQ[st.ctr]
+			pos := n.And2(n.Inv(q[W-1]), n.Inv(n.IsZero(q)))
+			tgt := n.MuxWord(pos, stepTarget(st.tT), stepTarget(st.tF))
+			nextPC = orWordInto(nextPC, enb, tgt)
+
+		case stepLoopDec:
+			q := ctrQ[st.ctr]
+			dec, _ := n.SubWord(q, n.ConstWord(1, W))
+			ctrWrites[st.ctr] = append(ctrWrites[st.ctr], writeSrc{enb, dec})
+			nextPC = orWordInto(nextPC, enb, stepTarget(st.tT))
+
+		case stepMemRead:
+			addr := sy.expr(st.expr)
+			memReq = n.Or2(memReq, enb)
+			memAddr = orWordInto(memAddr, enb, addr)
+			ld := n.And2(enb, m.MemAck)
+			varWrites[st.vr] = append(varWrites[st.vr], writeSrc{ld, m.MemRData})
+			tgt := n.MuxWord(m.MemAck, stepTarget(st.next), stepTarget(i))
+			nextPC = orWordInto(nextPC, enb, tgt)
+
+		case stepMemWrite:
+			addr := sy.expr(st.expr)
+			data := sy.expr(st.val)
+			memReq = n.Or2(memReq, enb)
+			memWr = n.Or2(memWr, enb)
+			memAddr = orWordInto(memAddr, enb, addr)
+			memWData = orWordInto(memWData, enb, data)
+			tgt := n.MuxWord(m.MemAck, stepTarget(st.next), stepTarget(i))
+			nextPC = orWordInto(nextPC, enb, tgt)
+
+		case stepDone:
+			done = n.Or2(done, enb)
+			// next = 0 (idle): contributes nothing to the OR.
+		}
+		if sy.err != nil {
+			return sy.err
+		}
+	}
+
+	// Wire micro-PC D inputs.
+	for b := range upcD {
+		n.GateInto(gate.Buf, upcD[b], nextPC[b])
+	}
+
+	// Wire variable registers: D = write value when enabled, else hold Q.
+	wireReg := func(d gate.Word, q gate.Word, writes []writeSrc) {
+		cur := q
+		for _, w := range writes {
+			cur = n.MuxWord(w.en, w.val, cur)
+		}
+		for b := range d {
+			n.GateInto(gate.Buf, d[b], cur[b])
+		}
+	}
+	for vi := range varD {
+		wireReg(varD[vi], m.VarRegs[vi], varWrites[vi])
+	}
+	for c := range ctrD {
+		wireReg(ctrD[c], ctrQ[c], ctrWrites[c])
+	}
+
+	// Output ports: combinational pulse + value mux.
+	for p := range m.M.OutputNames {
+		m.OutPresent = append(m.OutPresent, outPulse[p])
+		val := n.ConstWord(0, W)
+		for _, w := range outWrites[p] {
+			val = orWordInto(val, w.en, w.val)
+		}
+		m.OutVals = append(m.OutVals, val)
+		n.MarkOutput(outPulse[p])
+		for _, b := range val {
+			n.MarkOutput(b)
+		}
+	}
+	m.MemReq = memReq
+	m.MemWr = memWr
+	m.MemAddr = memAddr
+	m.MemWData = memWData
+	m.Done = done
+	n.MarkOutput(memReq)
+	n.MarkOutput(done)
+
+	return sy.err
+}
+
+func widthFor(n int) int {
+	w := 1
+	for 1<<uint(w) < n {
+		w++
+	}
+	return w
+}
+
+// boolOf evaluates e and reduces it to a single "nonzero" bit.
+func (sy *synth) boolOf(e *cfsm.Expr) gate.NetID {
+	n := sy.mod.N
+	w := sy.expr(e)
+	return n.Inv(n.IsZero(w))
+}
+
+// expr builds the combinational datapath for e and returns its W-bit value.
+func (sy *synth) expr(e *cfsm.Expr) gate.Word {
+	m := sy.mod
+	n := m.N
+	W := m.Width
+	switch e.Kind() {
+	case cfsm.ConstKind:
+		return n.ConstWord(uint64(uint32(e.ConstVal()))&(1<<uint(W)-1), W)
+	case cfsm.VarKind:
+		return m.VarRegs[e.Ref()]
+	case cfsm.EventValKind:
+		return m.InVals[e.Ref()]
+	case cfsm.PresentKind:
+		w := n.ConstWord(0, W)
+		out := make(gate.Word, W)
+		copy(out, w)
+		out[0] = m.InPresent[e.Ref()]
+		return out
+	case cfsm.FuncKind:
+		return sy.fnGates(e)
+	}
+	sy.fail("unsupported expression kind")
+	return n.ConstWord(0, W)
+}
+
+func (sy *synth) fnGates(e *cfsm.Expr) gate.Word {
+	m := sy.mod
+	n := m.N
+	W := m.Width
+	ops := e.Operands()
+	boolWord := func(b gate.NetID) gate.Word {
+		out := make(gate.Word, W)
+		z := n.Const(false)
+		for i := range out {
+			out[i] = z
+		}
+		out[0] = b
+		return out
+	}
+	// Signed a < b on W bits.
+	ltBit := func(a, b gate.Word) gate.NetID {
+		diff, _ := n.SubWord(a, b)
+		sa, sb, dm := a[W-1], b[W-1], diff[W-1]
+		sameSign := n.NewGate(gate.Xnor, sa, sb)
+		return n.Or2(n.And2(sa, n.Inv(sb)), n.And2(sameSign, dm))
+	}
+	nzBit := func(a gate.Word) gate.NetID { return n.Inv(n.IsZero(a)) }
+
+	switch e.Op() {
+	case cfsm.AADD:
+		a, b := sy.expr(ops[0]), sy.expr(ops[1])
+		sum, _ := n.AddWord(a, b)
+		return sum
+	case cfsm.ASUB:
+		a, b := sy.expr(ops[0]), sy.expr(ops[1])
+		d, _ := n.SubWord(a, b)
+		return d
+	case cfsm.ANEG:
+		a := sy.expr(ops[0])
+		d, _ := n.SubWord(n.ConstWord(0, W), a)
+		return d
+	case cfsm.AABS:
+		a := sy.expr(ops[0])
+		neg, _ := n.SubWord(n.ConstWord(0, W), a)
+		return n.MuxWord(a[W-1], neg, a)
+	case cfsm.AAND:
+		return n.AndWord(sy.expr(ops[0]), sy.expr(ops[1]))
+	case cfsm.AOR:
+		a, b := sy.expr(ops[0]), sy.expr(ops[1])
+		out := make(gate.Word, W)
+		for i := range out {
+			out[i] = n.Or2(a[i], b[i])
+		}
+		return out
+	case cfsm.AXOR:
+		return n.XorWord(sy.expr(ops[0]), sy.expr(ops[1]))
+	case cfsm.ANOT:
+		a := sy.expr(ops[0])
+		out := make(gate.Word, W)
+		for i := range out {
+			out[i] = n.Inv(a[i])
+		}
+		return out
+	case cfsm.ASHL, cfsm.ASHR:
+		if ops[1].Kind() != cfsm.ConstKind {
+			sy.fail("%v by a non-constant amount is not synthesizable", e.Op())
+			return n.ConstWord(0, W)
+		}
+		a := sy.expr(ops[0])
+		k := int(uint32(ops[1].ConstVal()) & 31)
+		out := make(gate.Word, W)
+		if e.Op() == cfsm.ASHL {
+			z := n.Const(false)
+			for i := range out {
+				if i-k >= 0 {
+					out[i] = a[i-k]
+				} else {
+					out[i] = z
+				}
+			}
+		} else { // arithmetic right shift: sign fill
+			for i := range out {
+				if i+k < W {
+					out[i] = a[i+k]
+				} else {
+					out[i] = a[W-1]
+				}
+			}
+		}
+		return out
+	case cfsm.AEQ:
+		return boolWord(n.EqWord(sy.expr(ops[0]), sy.expr(ops[1])))
+	case cfsm.ANE:
+		return boolWord(n.Inv(n.EqWord(sy.expr(ops[0]), sy.expr(ops[1]))))
+	case cfsm.ALT:
+		return boolWord(ltBit(sy.expr(ops[0]), sy.expr(ops[1])))
+	case cfsm.AGT:
+		return boolWord(ltBit(sy.expr(ops[1]), sy.expr(ops[0])))
+	case cfsm.AGE:
+		return boolWord(n.Inv(ltBit(sy.expr(ops[0]), sy.expr(ops[1]))))
+	case cfsm.ALE:
+		return boolWord(n.Inv(ltBit(sy.expr(ops[1]), sy.expr(ops[0]))))
+	case cfsm.ALAND:
+		return boolWord(n.And2(nzBit(sy.expr(ops[0])), nzBit(sy.expr(ops[1]))))
+	case cfsm.ALOR:
+		return boolWord(n.Or2(nzBit(sy.expr(ops[0])), nzBit(sy.expr(ops[1]))))
+	case cfsm.ALNOT:
+		return boolWord(n.IsZero(sy.expr(ops[0])))
+	case cfsm.AMIN:
+		a, b := sy.expr(ops[0]), sy.expr(ops[1])
+		return n.MuxWord(ltBit(a, b), a, b)
+	case cfsm.AMAX:
+		a, b := sy.expr(ops[0]), sy.expr(ops[1])
+		return n.MuxWord(ltBit(b, a), a, b)
+	case cfsm.AMUX:
+		s, a, b := sy.expr(ops[0]), sy.expr(ops[1]), sy.expr(ops[2])
+		return n.MuxWord(nzBit(s), a, b)
+	case cfsm.AMUL, cfsm.ADIV, cfsm.AMOD:
+		sy.fail("%v is not synthesizable to gates here; map this machine to SW", e.Op())
+		return n.ConstWord(0, W)
+	default:
+		sy.fail("unsupported function op %v", e.Op())
+		return n.ConstWord(0, W)
+	}
+}

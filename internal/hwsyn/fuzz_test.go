@@ -1,0 +1,36 @@
+package hwsyn
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cfsm"
+	"repro/internal/cfsmtest"
+)
+
+// Differential fuzz: random HW-safe machines executed on the synthesized
+// gate-level engine must agree with the behavioral model (variables and
+// emissions, modulo the datapath mask — the generator keeps all values
+// within 14 bits so a 16-bit datapath never truncates).
+func TestFuzzSynthesizedMachines(t *testing.T) {
+	const machines = 15
+	const inputsPer = 15
+	for seed := int64(100); seed < 100+machines; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			p := cfsmtest.DefaultParams()
+			p.HWSafe = true
+			m := cfsmtest.Machine(fmt.Sprintf("hwfuzz%d", seed), p, rng)
+			d := hw(t, m)
+			shm := sharedMem{}
+			for a := uint32(0); a < 256; a++ {
+				shm[a] = cfsm.Value(rng.Intn(cfsmtest.Mask + 1))
+			}
+			for i := 0; i < inputsPer; i++ {
+				replay(t, d, shm, map[int]cfsm.Value{0: cfsm.Value(rng.Intn(cfsmtest.Mask + 1))})
+			}
+		})
+	}
+}

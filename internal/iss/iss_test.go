@@ -1,0 +1,568 @@
+package iss
+
+import (
+	"testing"
+
+	"repro/internal/sparc"
+)
+
+func newCPU() *CPU {
+	return New(SPARCliteTiming(), SPARCliteModel(), NewMem())
+}
+
+func TestMemByteWordRoundTrip(t *testing.T) {
+	m := NewMem()
+	m.Write32(0x1000, 0xDEADBEEF)
+	if got := m.Read32(0x1000); got != 0xDEADBEEF {
+		t.Fatalf("Read32 = %#x", got)
+	}
+	// Big-endian byte order.
+	if m.Read8(0x1000) != 0xDE || m.Read8(0x1003) != 0xEF {
+		t.Fatal("memory is not big-endian")
+	}
+	m.Write16(0x2000, 0xCAFE)
+	if m.Read16(0x2000) != 0xCAFE {
+		t.Fatal("halfword round trip failed")
+	}
+	if m.Read8(0x2000) != 0xCA {
+		t.Fatal("halfword not big-endian")
+	}
+	// Unwritten memory reads as zero.
+	if m.Read32(0x999000) != 0 {
+		t.Fatal("unwritten memory not zero")
+	}
+	// Cross-page word access.
+	m.Write32(0x1FFE, 0x11223344)
+	if m.Read32(0x1FFE) != 0x11223344 {
+		t.Fatal("cross-page word access failed")
+	}
+}
+
+func TestMemBytesHelpers(t *testing.T) {
+	m := NewMem()
+	m.WriteBytes(0x40, []byte{1, 2, 3, 4, 5})
+	got := m.ReadBytes(0x40, 5)
+	for i, b := range []byte{1, 2, 3, 4, 5} {
+		if got[i] != b {
+			t.Fatalf("ReadBytes = %v", got)
+		}
+	}
+}
+
+// run assembles the body, calls "entry", and returns (%o0, stats).
+func run(t *testing.T, build func(a *sparc.Asm)) (uint32, RunStats) {
+	t.Helper()
+	a := sparc.NewAsm(0x1000)
+	a.Label("entry")
+	build(a)
+	p, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newCPU()
+	c.LoadProgram(p)
+	ret, st, err := c.Call(p.Symbols["entry"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ret, st
+}
+
+func TestLeafArithmetic(t *testing.T) {
+	ret, st := run(t, func(a *sparc.Asm) {
+		a.Movi(sparc.O0, 20)
+		a.Movi(sparc.O1, 22)
+		a.Op3(sparc.ADD, sparc.O0, sparc.O0, sparc.O1)
+		a.Retl()
+		a.Nop()
+	})
+	if ret != 42 {
+		t.Fatalf("ret = %d, want 42", ret)
+	}
+	if st.Insts != 5 {
+		t.Fatalf("insts = %d, want 5", st.Insts)
+	}
+}
+
+func TestLoopAndConditionals(t *testing.T) {
+	// sum 1..10 = 55
+	ret, _ := run(t, func(a *sparc.Asm) {
+		a.Movi(sparc.O0, 0)  // sum
+		a.Movi(sparc.O1, 10) // i
+		a.Label("loop")
+		a.Op3(sparc.ADD, sparc.O0, sparc.O0, sparc.O1)
+		a.Op3i(sparc.SUBCC, sparc.O1, sparc.O1, 1)
+		a.Branch(sparc.BNE, "loop", false)
+		a.Nop()
+		a.Retl()
+		a.Nop()
+	})
+	if ret != 55 {
+		t.Fatalf("sum = %d, want 55", ret)
+	}
+}
+
+func TestSignedBranches(t *testing.T) {
+	// return (a < b) ? 1 : 0 with a=-5, b=3 (signed compare)
+	ret, _ := run(t, func(a *sparc.Asm) {
+		a.Movi(sparc.O0, -5)
+		a.Movi(sparc.O1, 3)
+		a.Op3(sparc.SUBCC, sparc.G0, sparc.O0, sparc.O1)
+		a.Branch(sparc.BL, "yes", false)
+		a.Nop()
+		a.Movi(sparc.O0, 0)
+		a.Retl()
+		a.Nop()
+		a.Label("yes")
+		a.Movi(sparc.O0, 1)
+		a.Retl()
+		a.Nop()
+	})
+	if ret != 1 {
+		t.Fatalf("(-5 < 3) = %d, want 1", ret)
+	}
+}
+
+func TestUnsignedBranches(t *testing.T) {
+	// 0xFFFFFFFF > 1 unsigned
+	ret, _ := run(t, func(a *sparc.Asm) {
+		a.Movi(sparc.O0, -1) // 0xFFFFFFFF
+		a.Movi(sparc.O1, 1)
+		a.Op3(sparc.SUBCC, sparc.G0, sparc.O0, sparc.O1)
+		a.Branch(sparc.BGU, "yes", false)
+		a.Nop()
+		a.Movi(sparc.O0, 0)
+		a.Retl()
+		a.Nop()
+		a.Label("yes")
+		a.Movi(sparc.O0, 1)
+		a.Retl()
+		a.Nop()
+	})
+	if ret != 1 {
+		t.Fatalf("(0xFFFFFFFF >u 1) = %d, want 1", ret)
+	}
+}
+
+func TestDelaySlotExecutes(t *testing.T) {
+	// The instruction in the delay slot of a taken branch must execute.
+	ret, _ := run(t, func(a *sparc.Asm) {
+		a.Movi(sparc.O0, 0)
+		a.Branch(sparc.BA, "end", false)
+		a.Movi(sparc.O0, 7) // delay slot: executes
+		a.Movi(sparc.O0, 99)
+		a.Label("end")
+		a.Retl()
+		a.Nop()
+	})
+	if ret != 7 {
+		t.Fatalf("delay slot result = %d, want 7", ret)
+	}
+}
+
+func TestAnnulledSlotSkipped(t *testing.T) {
+	// Untaken conditional with annul bit: delay slot must NOT execute.
+	ret, _ := run(t, func(a *sparc.Asm) {
+		a.Movi(sparc.O0, 1)
+		a.Op3i(sparc.SUBCC, sparc.G0, sparc.G0, 0) // Z=1
+		a.Branch(sparc.BNE, "nope", true)          // untaken, annul
+		a.Movi(sparc.O0, 99)                       // must be squashed
+		a.Retl()
+		a.Nop()
+		a.Label("nope")
+		a.Movi(sparc.O0, 50)
+		a.Retl()
+		a.Nop()
+	})
+	if ret != 1 {
+		t.Fatalf("annulled slot leaked: ret = %d, want 1", ret)
+	}
+}
+
+func TestBaAnnulSkipsSlot(t *testing.T) {
+	ret, _ := run(t, func(a *sparc.Asm) {
+		a.Movi(sparc.O0, 1)
+		a.Branch(sparc.BA, "end", true) // ba,a: slot annulled
+		a.Movi(sparc.O0, 99)            // must be squashed
+		a.Label("end")
+		a.Retl()
+		a.Nop()
+	})
+	if ret != 1 {
+		t.Fatalf("ba,a slot leaked: ret = %d, want 1", ret)
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	ret, _ := run(t, func(a *sparc.Asm) {
+		a.Set32(sparc.O1, 0x8000)
+		a.Movi(sparc.O0, 1234)
+		a.Store(sparc.ST, sparc.O0, sparc.O1, 0)
+		a.Movi(sparc.O0, 0)
+		a.Load(sparc.LD, sparc.O0, sparc.O1, 0)
+		a.Retl()
+		a.Nop()
+	})
+	if ret != 1234 {
+		t.Fatalf("ld/st round trip = %d", ret)
+	}
+}
+
+func TestByteHalfAccess(t *testing.T) {
+	ret, _ := run(t, func(a *sparc.Asm) {
+		a.Set32(sparc.O1, 0x8000)
+		a.Set32(sparc.O0, 0xA1B2C3D4)
+		a.Store(sparc.ST, sparc.O0, sparc.O1, 0)
+		a.Load(sparc.LDUB, sparc.O2, sparc.O1, 0) // big-endian MSB = 0xA1
+		a.Load(sparc.LDUH, sparc.O3, sparc.O1, 2) // low half = 0xC3D4
+		a.Op3(sparc.SLL, sparc.O2, sparc.O2, sparc.G0)
+		a.Op3i(sparc.SLL, sparc.O2, sparc.O2, 16)
+		a.Op3(sparc.OR, sparc.O0, sparc.O2, sparc.O3)
+		a.Retl()
+		a.Nop()
+	})
+	if ret != 0xA1C3D4 {
+		t.Fatalf("byte/half = %#x, want 0xA1C3D4", ret)
+	}
+}
+
+func TestMisalignedAccessErrors(t *testing.T) {
+	a := sparc.NewAsm(0x1000)
+	a.Label("entry")
+	a.Movi(sparc.O1, 2)
+	a.Load(sparc.LD, sparc.O0, sparc.O1, 0)
+	a.Retl()
+	a.Nop()
+	p := a.MustAssemble()
+	c := newCPU()
+	c.LoadProgram(p)
+	if _, _, err := c.Call(0x1000); err == nil {
+		t.Fatal("misaligned word load must error")
+	}
+}
+
+func TestCallAndRegisterWindows(t *testing.T) {
+	// Recursive fib(10) = 55 exercises save/restore and the window stack.
+	a := sparc.NewAsm(0x1000)
+	a.Label("entry")
+	a.Save(-96) // non-leaf: preserve %o7 across the call
+	a.Movi(sparc.O0, 10)
+	a.Call("fib")
+	a.Nop()
+	a.Mov(sparc.I0, sparc.O0)
+	a.Ret()
+	a.Restore()
+
+	a.Label("fib")
+	a.Save(-96)
+	a.Op3i(sparc.SUBCC, sparc.G0, sparc.I0, 2)
+	a.Branch(sparc.BL, "base", false) // n < 2 -> return n
+	a.Nop()
+	a.Op3i(sparc.SUB, sparc.O0, sparc.I0, 1)
+	a.Call("fib")
+	a.Nop()
+	a.Mov(sparc.L0, sparc.O0)
+	a.Op3i(sparc.SUB, sparc.O0, sparc.I0, 2)
+	a.Call("fib")
+	a.Nop()
+	a.Op3(sparc.ADD, sparc.I0, sparc.L0, sparc.O0)
+	a.Ret()
+	a.Restore()
+	a.Label("base")
+	a.Mov(sparc.I0, sparc.I0)
+	a.Ret()
+	a.Restore()
+
+	p := a.MustAssemble()
+	c := newCPU()
+	c.LoadProgram(p)
+	ret, st, err := c.Call(0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != 55 {
+		t.Fatalf("fib(10) = %d, want 55", ret)
+	}
+	// Depth of fib(10) recursion exceeds 7 live windows: traps must occur.
+	if st.Traps == 0 {
+		t.Error("deep recursion should cause window spill traps")
+	}
+	if st.Cycles <= st.Insts {
+		t.Error("cycles must exceed instructions with stalls present")
+	}
+}
+
+func TestWindowTrapsShallowCallsNone(t *testing.T) {
+	a := sparc.NewAsm(0x1000)
+	a.Label("entry")
+	a.Mov(sparc.G1, sparc.O7) // preserve return address in a global
+	a.Call("f")
+	a.Nop() // f's restore leaves the result in %o0
+	a.Jmpl(sparc.G0, sparc.G1, 8)
+	a.Nop()
+	a.Label("f")
+	a.Save(-96)
+	a.Movi(sparc.I0, 9)
+	a.Ret()
+	a.Restore()
+	p := a.MustAssemble()
+	c := newCPU()
+	c.LoadProgram(p)
+	ret, st, err := c.Call(0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != 9 {
+		t.Fatalf("ret = %d", ret)
+	}
+	if st.Traps != 0 {
+		t.Errorf("shallow call nesting trapped %d times", st.Traps)
+	}
+}
+
+func TestLoadUseInterlockCharged(t *testing.T) {
+	// ld then immediately use -> one extra stall vs ld, nop, use.
+	_, fast := run(t, func(a *sparc.Asm) {
+		a.Set32(sparc.O1, 0x8000)
+		a.Load(sparc.LD, sparc.O0, sparc.O1, 0)
+		a.Nop()
+		a.Op3i(sparc.ADD, sparc.O0, sparc.O0, 1)
+		a.Retl()
+		a.Nop()
+	})
+	_, slow := run(t, func(a *sparc.Asm) {
+		a.Set32(sparc.O1, 0x8000)
+		a.Load(sparc.LD, sparc.O0, sparc.O1, 0)
+		a.Op3i(sparc.ADD, sparc.O0, sparc.O0, 1)
+		a.Nop()
+		a.Retl()
+		a.Nop()
+	})
+	if slow.Cycles != fast.Cycles+1 {
+		t.Fatalf("load-use stall not charged: fast=%d slow=%d", fast.Cycles, slow.Cycles)
+	}
+	if slow.Stalls != fast.Stalls+1 {
+		t.Fatalf("stall counter: fast=%d slow=%d", fast.Stalls, slow.Stalls)
+	}
+}
+
+func TestMulDivAndTrapOnDivZero(t *testing.T) {
+	ret, _ := run(t, func(a *sparc.Asm) {
+		a.Movi(sparc.O0, 6)
+		a.Movi(sparc.O1, 7)
+		a.Op3(sparc.SMUL, sparc.O0, sparc.O0, sparc.O1)
+		a.Movi(sparc.O1, 2)
+		a.Op3(sparc.UDIV, sparc.O0, sparc.O0, sparc.O1)
+		a.Retl()
+		a.Nop()
+	})
+	if ret != 21 {
+		t.Fatalf("6*7/2 = %d, want 21", ret)
+	}
+	ret, st := run(t, func(a *sparc.Asm) {
+		a.Movi(sparc.O0, 5)
+		a.Op3(sparc.UDIV, sparc.O0, sparc.O0, sparc.G0)
+		a.Retl()
+		a.Nop()
+	})
+	if ret != 0 || st.Traps != 1 {
+		t.Fatalf("div by zero: ret=%d traps=%d", ret, st.Traps)
+	}
+}
+
+func TestMultiCycleTiming(t *testing.T) {
+	_, mul := run(t, func(a *sparc.Asm) {
+		a.Op3(sparc.SMUL, sparc.O0, sparc.O0, sparc.O1)
+		a.Retl()
+		a.Nop()
+	})
+	_, add := run(t, func(a *sparc.Asm) {
+		a.Op3(sparc.ADD, sparc.O0, sparc.O0, sparc.O1)
+		a.Retl()
+		a.Nop()
+	})
+	tm := SPARCliteTiming()
+	if mul.Cycles-add.Cycles != tm.MulCycles-1 {
+		t.Fatalf("mul timing: mul=%d add=%d", mul.Cycles, add.Cycles)
+	}
+}
+
+func TestEnergyDataIndependence(t *testing.T) {
+	// Under the SPARClite model, the same code with different data values
+	// must dissipate identical energy (paper §5.2: this is why caching has
+	// zero error on this target).
+	runWith := func(v int32) RunStats {
+		a := sparc.NewAsm(0x1000)
+		a.Label("entry")
+		a.Movi(sparc.O0, v)
+		a.Op3(sparc.XOR, sparc.O0, sparc.O0, sparc.O1)
+		a.Op3i(sparc.ADD, sparc.O0, sparc.O0, 3)
+		a.Retl()
+		a.Nop()
+		p := a.MustAssemble()
+		c := newCPU()
+		c.LoadProgram(p)
+		_, st, err := c.Call(0x1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	a, b := runWith(0), runWith(0x7FF)
+	if a.Energy != b.Energy {
+		t.Fatalf("SPARClite model is data dependent: %v vs %v", a.Energy, b.Energy)
+	}
+
+	// Under the DSP model the same two runs must differ.
+	runDSP := func(v int32) RunStats {
+		asm := sparc.NewAsm(0x1000)
+		asm.Label("entry")
+		asm.Movi(sparc.O0, v)
+		asm.Retl()
+		asm.Nop()
+		p := asm.MustAssemble()
+		c := New(SPARCliteTiming(), DSPModel(), NewMem())
+		c.LoadProgram(p)
+		_, st, err := c.Call(0x1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	if runDSP(0).Energy == runDSP(0x7FF).Energy {
+		t.Fatal("DSP model did not react to data values")
+	}
+}
+
+func TestInterInstructionOverhead(t *testing.T) {
+	// alternating classes must cost more energy than a same-class run.
+	_, same := run(t, func(a *sparc.Asm) {
+		for i := 0; i < 8; i++ {
+			a.Op3(sparc.ADD, sparc.O0, sparc.O0, sparc.O1)
+		}
+		a.Retl()
+		a.Nop()
+	})
+	_, alt := run(t, func(a *sparc.Asm) {
+		for i := 0; i < 4; i++ {
+			a.Op3(sparc.ADD, sparc.O0, sparc.O0, sparc.O1)
+			a.Op3i(sparc.SLL, sparc.O2, sparc.O2, 1)
+		}
+		a.Retl()
+		a.Nop()
+	})
+	// Same instruction count; the shift class costs slightly more base and
+	// the alternation adds overhead each switch.
+	if alt.Energy <= same.Energy {
+		t.Fatalf("class alternation should cost more: same=%v alt=%v", same.Energy, alt.Energy)
+	}
+}
+
+func TestFetchHookSeesAllFetches(t *testing.T) {
+	a := sparc.NewAsm(0x1000)
+	a.Label("entry")
+	a.Movi(sparc.O0, 1)
+	a.Movi(sparc.O1, 2)
+	a.Retl()
+	a.Nop()
+	p := a.MustAssemble()
+	c := newCPU()
+	c.LoadProgram(p)
+	var trace []uint32
+	c.FetchHook = func(addr uint32) { trace = append(trace, addr) }
+	if _, _, err := c.Call(0x1000); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint32{0x1000, 0x1004, 0x1008, 0x100C}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %x, want %x", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %x, want %x", trace, want)
+		}
+	}
+}
+
+func TestRunawayGuard(t *testing.T) {
+	a := sparc.NewAsm(0x1000)
+	a.Label("entry")
+	a.Label("spin")
+	a.Branch(sparc.BA, "spin", false)
+	a.Nop()
+	p := a.MustAssemble()
+	c := newCPU()
+	c.LoadProgram(p)
+	c.MaxInsts = 1000
+	if _, _, err := c.Call(0x1000); err == nil {
+		t.Fatal("infinite loop must trip the runaway guard")
+	}
+}
+
+func TestFetchOutsideProgramErrors(t *testing.T) {
+	c := newCPU()
+	a := sparc.NewAsm(0x1000)
+	a.Label("entry")
+	a.Emit(sparc.Inst{Op: sparc.JMPL, Rd: sparc.G0, Rs1: sparc.G0, Imm: 0x500, UseImm: true})
+	a.Nop()
+	c.LoadProgram(a.MustAssemble())
+	if _, _, err := c.Call(0x1000); err == nil {
+		t.Fatal("jump outside the program must error")
+	}
+}
+
+func TestG0Hardwired(t *testing.T) {
+	ret, _ := run(t, func(a *sparc.Asm) {
+		a.Movi(sparc.G0, 77) // write to %g0 is discarded
+		a.Mov(sparc.O0, sparc.G0)
+		a.Retl()
+		a.Nop()
+	})
+	if ret != 0 {
+		t.Fatalf("%%g0 = %d, want 0", ret)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	c := newCPU()
+	a := sparc.NewAsm(0x1000)
+	a.Label("entry")
+	a.Movi(sparc.O0, 1)
+	a.Retl()
+	a.Nop()
+	c.LoadProgram(a.MustAssemble())
+	// The first call starts from reset inter-instruction state; compare the
+	// second and third calls, which both start in steady state.
+	_, st0, _ := c.Call(0x1000)
+	_, st1, _ := c.Call(0x1000)
+	_, st2, _ := c.Call(0x1000)
+	if st1 != st2 {
+		t.Fatalf("identical calls reported different stats: %+v vs %+v", st1, st2)
+	}
+	total := c.Stats()
+	if total.Insts != st0.Insts*3 {
+		t.Fatalf("cumulative insts %d, want %d", total.Insts, st0.Insts*3)
+	}
+	if c.InstCount(sparc.OR) == 0 {
+		t.Error("per-opcode counter not incremented")
+	}
+	sum := st0.Add(st1).Add(st2)
+	if sum.Insts != total.Insts || sum.Energy != total.Energy {
+		t.Error("RunStats.Add broken")
+	}
+}
+
+func TestRunStatsTime(t *testing.T) {
+	tm := SPARCliteTiming() // 50 MHz -> 20ns
+	st := RunStats{Cycles: 100}
+	if got := st.Time(tm); got != 2000 {
+		t.Fatalf("100 cycles at 50MHz = %v ns, want 2000", got)
+	}
+}
+
+func TestTooManyArgs(t *testing.T) {
+	c := newCPU()
+	if _, _, err := c.Call(0, 1, 2, 3, 4, 5, 6, 7); err == nil {
+		t.Fatal("7 args must error")
+	}
+}

@@ -1,0 +1,110 @@
+// Package iss implements the instruction-set simulator for the reduced
+// SPARC target — the stand-in for SPARCsim in the paper's framework. It
+// executes real encoded programs instruction by instruction with a pipeline
+// timing model (load-use interlocks, delayed-branch flushes, register-window
+// spill traps) and a Tiwari-style instruction-level power model (per-class
+// base energy plus inter-instruction circuit-state overhead).
+//
+// As in the paper, the ISS assumes 100% cache hits; instruction-cache
+// behavior is modeled separately (internal/cachesim) from traces generated
+// by the simulation master.
+package iss
+
+import "fmt"
+
+const pageBits = 12
+const pageSize = 1 << pageBits
+
+// Mem is a sparse byte-addressable big-endian memory (SPARC is big-endian).
+type Mem struct {
+	pages map[uint32]*[pageSize]byte
+}
+
+// NewMem returns an empty memory; all bytes read as zero.
+func NewMem() *Mem {
+	return &Mem{pages: make(map[uint32]*[pageSize]byte)}
+}
+
+func (m *Mem) page(addr uint32, create bool) *[pageSize]byte {
+	key := addr >> pageBits
+	p := m.pages[key]
+	if p == nil && create {
+		p = new([pageSize]byte)
+		m.pages[key] = p
+	}
+	return p
+}
+
+// Read8 returns the byte at addr.
+func (m *Mem) Read8(addr uint32) uint8 {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&(pageSize-1)]
+}
+
+// Write8 stores a byte at addr.
+func (m *Mem) Write8(addr uint32, v uint8) {
+	m.page(addr, true)[addr&(pageSize-1)] = v
+}
+
+// Read16 returns the big-endian halfword at addr (must be 2-aligned).
+func (m *Mem) Read16(addr uint32) uint16 {
+	return uint16(m.Read8(addr))<<8 | uint16(m.Read8(addr+1))
+}
+
+// Write16 stores a big-endian halfword at addr.
+func (m *Mem) Write16(addr uint32, v uint16) {
+	m.Write8(addr, uint8(v>>8))
+	m.Write8(addr+1, uint8(v))
+}
+
+// Read32 returns the big-endian word at addr (must be 4-aligned).
+func (m *Mem) Read32(addr uint32) uint32 {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	o := addr & (pageSize - 1)
+	if o+4 <= pageSize {
+		return uint32(p[o])<<24 | uint32(p[o+1])<<16 | uint32(p[o+2])<<8 | uint32(p[o+3])
+	}
+	return uint32(m.Read8(addr))<<24 | uint32(m.Read8(addr+1))<<16 |
+		uint32(m.Read8(addr+2))<<8 | uint32(m.Read8(addr+3))
+}
+
+// Write32 stores a big-endian word at addr.
+func (m *Mem) Write32(addr uint32, v uint32) {
+	p := m.page(addr, true)
+	o := addr & (pageSize - 1)
+	if o+4 <= pageSize {
+		p[o], p[o+1], p[o+2], p[o+3] = uint8(v>>24), uint8(v>>16), uint8(v>>8), uint8(v)
+		return
+	}
+	m.Write8(addr, uint8(v>>24))
+	m.Write8(addr+1, uint8(v>>16))
+	m.Write8(addr+2, uint8(v>>8))
+	m.Write8(addr+3, uint8(v))
+}
+
+// WriteBytes copies a byte slice into memory at addr.
+func (m *Mem) WriteBytes(addr uint32, b []byte) {
+	for i, v := range b {
+		m.Write8(addr+uint32(i), v)
+	}
+}
+
+// ReadBytes copies n bytes starting at addr.
+func (m *Mem) ReadBytes(addr uint32, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = m.Read8(addr + uint32(i))
+	}
+	return b
+}
+
+// String summarizes the populated footprint.
+func (m *Mem) String() string {
+	return fmt.Sprintf("mem{%d pages, %d bytes touched}", len(m.pages), len(m.pages)*pageSize)
+}

@@ -1,0 +1,145 @@
+// Package paramfile reads and writes POLIS-style macro-operation parameter
+// files — the artifact the software macro-modeling characterization flow
+// produces (Fig 3 of the paper):
+//
+//	.unit_time cycle
+//	.unit_size byte
+//	.unit_energy nJ
+//	.time AVV 5
+//	.size AVV 7
+//	.energy AVV 110
+//
+// Keys are macro-operation mnemonics; values are in the declared units.
+package paramfile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// File is a parsed parameter file.
+type File struct {
+	UnitTime   string
+	UnitSize   string
+	UnitEnergy string
+	Time       map[string]float64
+	Size       map[string]float64
+	Energy     map[string]float64
+}
+
+// New returns an empty file with the conventional units.
+func New() *File {
+	return &File{
+		UnitTime:   "cycle",
+		UnitSize:   "byte",
+		UnitEnergy: "nJ",
+		Time:       make(map[string]float64),
+		Size:       make(map[string]float64),
+		Energy:     make(map[string]float64),
+	}
+}
+
+// Set records all three metrics for one macro-operation.
+func (f *File) Set(op string, time, size, energy float64) {
+	f.Time[op] = time
+	f.Size[op] = size
+	f.Energy[op] = energy
+}
+
+// Ops returns the mnemonics present in any table, sorted.
+func (f *File) Ops() []string {
+	set := map[string]bool{}
+	for k := range f.Time {
+		set[k] = true
+	}
+	for k := range f.Size {
+		set[k] = true
+	}
+	for k := range f.Energy {
+		set[k] = true
+	}
+	ops := make([]string, 0, len(set))
+	for k := range set {
+		ops = append(ops, k)
+	}
+	sort.Strings(ops)
+	return ops
+}
+
+// Parse reads a parameter file.
+func Parse(r io.Reader) (*File, error) {
+	f := New()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		key := fields[0]
+		switch key {
+		case ".unit_time", ".unit_size", ".unit_energy":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("paramfile: line %d: %s wants one value", lineNo, key)
+			}
+			switch key {
+			case ".unit_time":
+				f.UnitTime = fields[1]
+			case ".unit_size":
+				f.UnitSize = fields[1]
+			case ".unit_energy":
+				f.UnitEnergy = fields[1]
+			}
+		case ".time", ".size", ".energy":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("paramfile: line %d: %s wants OP VALUE", lineNo, key)
+			}
+			v, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("paramfile: line %d: bad value %q", lineNo, fields[2])
+			}
+			switch key {
+			case ".time":
+				f.Time[fields[1]] = v
+			case ".size":
+				f.Size[fields[1]] = v
+			case ".energy":
+				f.Energy[fields[1]] = v
+			}
+		default:
+			return nil, fmt.Errorf("paramfile: line %d: unknown directive %q", lineNo, key)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Write emits the file in the canonical deterministic layout.
+func (f *File) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, ".unit_time %s\n", f.UnitTime)
+	fmt.Fprintf(bw, ".unit_size %s\n", f.UnitSize)
+	fmt.Fprintf(bw, ".unit_energy %s\n", f.UnitEnergy)
+	writeTable := func(directive string, m map[string]float64) {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(bw, "%s %s %s\n", directive, k, strconv.FormatFloat(m[k], 'g', -1, 64))
+		}
+	}
+	writeTable(".time", f.Time)
+	writeTable(".size", f.Size)
+	writeTable(".energy", f.Energy)
+	return bw.Flush()
+}

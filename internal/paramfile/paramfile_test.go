@@ -1,0 +1,99 @@
+package paramfile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sample = `
+.unit_time cycle
+.unit_size byte
+.unit_energy nJ
+# comment line
+.time AVV 5
+.time TIVART 11
+.time AEMIT 12
+.size AVV 7
+.size AEMIT 8
+.energy AVV 110
+.energy AEMIT 680
+`
+
+func TestParseSample(t *testing.T) {
+	f, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.UnitTime != "cycle" || f.UnitSize != "byte" || f.UnitEnergy != "nJ" {
+		t.Fatalf("units = %s/%s/%s", f.UnitTime, f.UnitSize, f.UnitEnergy)
+	}
+	if f.Time["AVV"] != 5 || f.Time["AEMIT"] != 12 {
+		t.Fatalf("time table %v", f.Time)
+	}
+	if f.Energy["AEMIT"] != 680 {
+		t.Fatalf("energy table %v", f.Energy)
+	}
+	ops := f.Ops()
+	if len(ops) != 3 || ops[0] != "AEMIT" {
+		t.Fatalf("Ops() = %v", ops)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	f := New()
+	f.Set("AVV", 5, 7, 110)
+	f.Set("AEMIT", 12, 8, 680.5)
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"AVV", "AEMIT"} {
+		if g.Time[k] != f.Time[k] || g.Size[k] != f.Size[k] || g.Energy[k] != f.Energy[k] {
+			t.Fatalf("round trip mismatch for %s", k)
+		}
+	}
+}
+
+func TestWriteDeterministic(t *testing.T) {
+	f := New()
+	f.Set("B", 1, 1, 1)
+	f.Set("A", 2, 2, 2)
+	var b1, b2 bytes.Buffer
+	f.Write(&b1)
+	f.Write(&b2)
+	if b1.String() != b2.String() {
+		t.Fatal("nondeterministic output")
+	}
+	if !strings.Contains(b1.String(), ".time A 2\n.time B 1") {
+		t.Fatalf("not sorted:\n%s", b1.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		".time AVV",          // missing value
+		".time AVV abc",      // non-numeric
+		".unit_time",         // missing unit
+		".bogus directive x", // unknown
+	}
+	for _, s := range bad {
+		if _, err := Parse(strings.NewReader(s)); err == nil {
+			t.Errorf("accepted %q", s)
+		}
+	}
+}
+
+func TestBlankAndComments(t *testing.T) {
+	f, err := Parse(strings.NewReader("\n\n# only comments\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Ops()) != 0 {
+		t.Fatal("phantom ops")
+	}
+}

@@ -1,0 +1,156 @@
+// Package report renders the experiment harness's tables and text figures:
+// fixed-width tables with numeric alignment, ASCII scatter plots (Fig 6) and
+// grid heat-tables (Fig 7).
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple fixed-width text table builder.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable starts a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// Row appends a row; values are rendered with %v.
+func (t *Table) Row(cells ...any) *Table {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+	return t
+}
+
+func trimFloat(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) {
+	width := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		width[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(width) {
+				parts[i] = fmt.Sprintf("%*s", width[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+// Scatter renders an ASCII x/y scatter plot with the identity diagonal as a
+// reference (the Fig 6 relative-accuracy plot). Points are marked '*', the
+// diagonal '.'.
+func Scatter(w io.Writer, xs, ys []float64, labels []string, width, height int) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		fmt.Fprintln(w, "  (no data)")
+		return
+	}
+	lo, hi := xs[0], xs[0]
+	for i := range xs {
+		lo = math.Min(lo, math.Min(xs[i], ys[i]))
+		hi = math.Max(hi, math.Max(xs[i], ys[i]))
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	span := hi - lo
+	lo -= span * 0.05
+	hi += span * 0.05
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	put := func(x, y float64, ch byte) (int, int) {
+		c := int((x - lo) / (hi - lo) * float64(width-1))
+		r := height - 1 - int((y-lo)/(hi-lo)*float64(height-1))
+		if c >= 0 && c < width && r >= 0 && r < height {
+			grid[r][c] = ch
+		}
+		return r, c
+	}
+	for i := 0; i < width; i++ {
+		v := lo + (hi-lo)*float64(i)/float64(width-1)
+		put(v, v, '.')
+	}
+	for i := range xs {
+		r, c := put(xs[i], ys[i], '*')
+		if labels != nil && i < len(labels) {
+			lbl := labels[i]
+			for j := 0; j < len(lbl) && c+2+j < width; j++ {
+				if grid[r][c+2+j] == ' ' {
+					grid[r][c+2+j] = lbl[j]
+				}
+			}
+		}
+	}
+	fmt.Fprintf(w, "  y: accelerated estimate, x: base estimate, '.': y=x  [%.4g .. %.4g]\n", lo, hi)
+	for _, row := range grid {
+		fmt.Fprintln(w, "  |"+string(row))
+	}
+	fmt.Fprintln(w, "  +"+strings.Repeat("-", width))
+}
+
+// Grid renders a value grid (rows × cols) with row/col labels — the textual
+// form of the Fig 7 energy surface.
+func Grid(w io.Writer, rowLabels, colLabels []string, vals [][]float64, unit string) {
+	t := NewTable(append([]string{""}, colLabels...)...)
+	for i, rl := range rowLabels {
+		cells := make([]any, 0, len(colLabels)+1)
+		cells = append(cells, rl)
+		for j := range colLabels {
+			cells = append(cells, trimFloat(vals[i][j]))
+		}
+		t.Row(cells...)
+	}
+	t.Render(w)
+	if unit != "" {
+		fmt.Fprintf(w, "  (values in %s)\n", unit)
+	}
+}

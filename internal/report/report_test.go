@@ -1,0 +1,85 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	NewTable("name", "value").
+		Row("a", 1).
+		Row("longer", 123.5).
+		Render(&buf)
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[1], "---") {
+		t.Fatalf("bad header:\n%s", out)
+	}
+	// All lines equal width (fixed columns).
+	for i := 1; i < len(lines); i++ {
+		if len(lines[i]) != len(lines[0]) {
+			t.Fatalf("ragged table:\n%s", out)
+		}
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:      "3",
+		123.45: "123.5",
+		0.125:  "0.125",
+	}
+	for v, want := range cases {
+		if got := trimFloat(v); got != want {
+			t.Errorf("trimFloat(%g) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestScatterMarksPointsAndDiagonal(t *testing.T) {
+	var buf bytes.Buffer
+	Scatter(&buf, []float64{1, 2, 3}, []float64{1.1, 2.2, 3.0}, []string{"a", "b", "c"}, 40, 10)
+	out := buf.String()
+	if !strings.Contains(out, "*") {
+		t.Fatal("no points plotted")
+	}
+	if !strings.Contains(out, ".") {
+		t.Fatal("no diagonal")
+	}
+	if !strings.Contains(out, "a") {
+		t.Fatal("no labels")
+	}
+}
+
+func TestScatterEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	Scatter(&buf, nil, nil, nil, 10, 5)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Fatal("empty scatter must say so")
+	}
+}
+
+func TestScatterDegenerate(t *testing.T) {
+	var buf bytes.Buffer
+	Scatter(&buf, []float64{5, 5}, []float64{5, 5}, nil, 20, 5)
+	if !strings.Contains(buf.String(), "*") {
+		t.Fatal("degenerate scatter must still plot")
+	}
+}
+
+func TestGrid(t *testing.T) {
+	var buf bytes.Buffer
+	Grid(&buf, []string{"r1", "r2"}, []string{"c1", "c2"},
+		[][]float64{{1, 2}, {3, 4}}, "uJ")
+	out := buf.String()
+	for _, want := range []string{"r1", "c2", "4", "(values in uJ)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("grid missing %q:\n%s", want, out)
+		}
+	}
+}

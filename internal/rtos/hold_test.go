@@ -1,0 +1,121 @@
+package rtos
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func TestHoldKeepsProcessorAllocated(t *testing.T) {
+	k := sim.NewKernel()
+	s := New(k, Config{Policy: FIFO, DispatchCycles: 0, Clock: 1e9})
+	var order []string
+
+	// Job A holds the processor past its CPU phase; job B must not
+	// dispatch until Release.
+	var release bool
+	s.Post(&Job{ID: 1, Hold: true,
+		Service: func() units.Time { return 10 },
+		Done: func() {
+			order = append(order, "A-cpu-done")
+			// Post-CPU phase (e.g. a bus transfer) ends at t=50.
+			k.At(50, func() {
+				order = append(order, "A-release")
+				release = true
+				s.Release()
+			})
+		}})
+	s.Post(&Job{ID: 2,
+		Service: func() units.Time {
+			if !release {
+				t.Error("job B dispatched while job A was holding")
+			}
+			order = append(order, "B-service")
+			return 5
+		}})
+	k.Run()
+	want := []string{"A-cpu-done", "A-release", "B-service"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestReleaseWithoutHoldPanics(t *testing.T) {
+	k := sim.NewKernel()
+	s := New(k, DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release without a holding job must panic")
+		}
+	}()
+	s.Release()
+}
+
+func TestHoldJobDoneTimestamp(t *testing.T) {
+	k := sim.NewKernel()
+	s := New(k, Config{Policy: FIFO, DispatchCycles: 10, Clock: 100e6}) // 100ns overhead
+	var doneAt units.Time = -1
+	s.Post(&Job{Hold: true,
+		Service: func() units.Time { return 40 },
+		Done: func() {
+			doneAt = k.Now()
+			s.Release()
+		}})
+	k.Run()
+	if doneAt != 140 {
+		t.Fatalf("Done at %v, want 140 (100 overhead + 40 service)", doneAt)
+	}
+}
+
+func TestHoldChain(t *testing.T) {
+	// Several held jobs in sequence must serialize correctly.
+	k := sim.NewKernel()
+	s := New(k, Config{Policy: FIFO, DispatchCycles: 0, Clock: 1e9})
+	var ends []units.Time
+	for i := 0; i < 3; i++ {
+		s.Post(&Job{Hold: true,
+			Service: func() units.Time { return 10 },
+			Done: func() {
+				k.After(20, func() {
+					ends = append(ends, k.Now())
+					s.Release()
+				})
+			}})
+	}
+	k.Run()
+	want := []units.Time{30, 60, 90}
+	if len(ends) != 3 {
+		t.Fatalf("ends = %v", ends)
+	}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+	if s.Busy() {
+		t.Fatal("scheduler should be idle after the chain drains")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if FIFO.String() != "fifo" || PriorityPolicy.String() != "priority" {
+		t.Fatal("policy names")
+	}
+}
+
+func TestZeroClockDefaults(t *testing.T) {
+	k := sim.NewKernel()
+	s := New(k, Config{Policy: FIFO, DispatchCycles: 50}) // zero clock
+	done := false
+	s.Post(&Job{Service: func() units.Time { return 1 }, Done: func() { done = true }})
+	k.Run()
+	if !done {
+		t.Fatal("scheduler with defaulted clock never completed")
+	}
+}

@@ -1,0 +1,147 @@
+package rtos
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	k := sim.NewKernel()
+	s := New(k, Config{Policy: FIFO, DispatchCycles: 0, Clock: 1e9})
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		s.Post(&Job{ID: i, Priority: 3 - i, Service: func() units.Time { return 10 },
+			Done: func() { order = append(order, i) }})
+	}
+	k.Run()
+	for i, id := range order {
+		if id != i {
+			t.Fatalf("FIFO order = %v", order)
+		}
+	}
+}
+
+func TestPriorityOrder(t *testing.T) {
+	k := sim.NewKernel()
+	s := New(k, Config{Policy: PriorityPolicy, DispatchCycles: 0, Clock: 1e9})
+	var order []int
+	// The first job is dispatched immediately (bus empty); the rest queue
+	// and are served by priority.
+	s.Post(&Job{ID: 0, Priority: 5, Service: func() units.Time { return 10 },
+		Done: func() { order = append(order, 0) }})
+	for _, spec := range []struct{ id, prio int }{{1, 2}, {2, 1}, {3, 3}} {
+		spec := spec
+		s.Post(&Job{ID: spec.id, Priority: spec.prio, Service: func() units.Time { return 10 },
+			Done: func() { order = append(order, spec.id) }})
+	}
+	k.Run()
+	want := []int{0, 2, 1, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("priority order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSerialization(t *testing.T) {
+	k := sim.NewKernel()
+	s := New(k, Config{Policy: FIFO, DispatchCycles: 0, Clock: 1e9})
+	var ends []units.Time
+	for i := 0; i < 3; i++ {
+		s.Post(&Job{Service: func() units.Time { return 100 },
+			Done: func() { ends = append(ends, k.Now()) }})
+	}
+	k.Run()
+	want := []units.Time{100, 200, 300}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+}
+
+func TestDispatchOverhead(t *testing.T) {
+	k := sim.NewKernel()
+	// 10 cycles at 100 MHz = 100ns per dispatch.
+	s := New(k, Config{Policy: FIFO, DispatchCycles: 10, Clock: 100e6})
+	var end units.Time
+	s.Post(&Job{Service: func() units.Time { return 50 }, Done: func() { end = k.Now() }})
+	k.Run()
+	if end != 150 {
+		t.Fatalf("end = %v, want 150 (100 overhead + 50 service)", end)
+	}
+	st := s.Stats()
+	if st.OverheadCycles != 10 || st.OverheadTime != 100 || st.BusyTime != 50 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestServiceComputedAtDispatchTime(t *testing.T) {
+	k := sim.NewKernel()
+	s := New(k, Config{Policy: FIFO, DispatchCycles: 0, Clock: 1e9})
+	var dispatchTimes []units.Time
+	for i := 0; i < 2; i++ {
+		s.Post(&Job{Service: func() units.Time {
+			dispatchTimes = append(dispatchTimes, k.Now())
+			return 40
+		}})
+	}
+	k.Run()
+	if dispatchTimes[0] != 0 || dispatchTimes[1] != 40 {
+		t.Fatalf("dispatch times = %v, want [0 40]", dispatchTimes)
+	}
+}
+
+func TestQueueStats(t *testing.T) {
+	k := sim.NewKernel()
+	s := New(k, Config{Policy: FIFO, DispatchCycles: 0, Clock: 1e9})
+	for i := 0; i < 4; i++ {
+		s.Post(&Job{Service: func() units.Time { return 10 }})
+	}
+	if !s.Busy() {
+		t.Fatal("scheduler should be busy")
+	}
+	if s.QueueLen() != 3 {
+		t.Fatalf("queue = %d, want 3", s.QueueLen())
+	}
+	k.Run()
+	st := s.Stats()
+	// The first job dispatched immediately, so at most 3 were ever queued.
+	if st.Dispatches != 4 || st.MaxQueueLen != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if s.Busy() || s.QueueLen() != 0 {
+		t.Fatal("scheduler should drain")
+	}
+}
+
+func TestNegativeServiceClamped(t *testing.T) {
+	k := sim.NewKernel()
+	s := New(k, Config{Policy: FIFO, DispatchCycles: 0, Clock: 1e9})
+	done := false
+	s.Post(&Job{Service: func() units.Time { return -5 }, Done: func() { done = true }})
+	k.Run()
+	if !done {
+		t.Fatal("job with negative service never completed")
+	}
+}
+
+func TestLatePostAfterDrain(t *testing.T) {
+	k := sim.NewKernel()
+	s := New(k, Config{Policy: FIFO, DispatchCycles: 0, Clock: 1e9})
+	var ends []units.Time
+	s.Post(&Job{Service: func() units.Time { return 10 }, Done: func() { ends = append(ends, k.Now()) }})
+	k.Run()
+	k.After(100, func() {
+		s.Post(&Job{Service: func() units.Time { return 10 }, Done: func() { ends = append(ends, k.Now()) }})
+	})
+	k.Run()
+	// After(100) is relative to the drain time (10), so the second job is
+	// posted at 110 and completes at 120.
+	if len(ends) != 2 || ends[1] != 120 {
+		t.Fatalf("ends = %v, want second at 120", ends)
+	}
+}

@@ -1,0 +1,198 @@
+// Package sim implements the deterministic discrete-event simulation kernel
+// that plays the role of the PTOLEMY simulation master in the paper: it owns
+// global simulated time, orders all component activity, and is the single
+// point from which the lower-level power estimators (ISS, gate-level
+// simulator, bus model, cache simulator) are invoked and synchronized.
+//
+// Determinism contract: events scheduled for the same instant fire in
+// (priority, insertion-order) sequence, so repeated runs of the same system
+// produce bit-identical traces and energy reports.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Handle identifies a scheduled event and allows cancellation.
+type Handle struct {
+	ev *event
+}
+
+// Cancel withdraws the event if it has not fired yet.
+// Cancelling an already-fired or already-cancelled event is a no-op.
+func (h Handle) Cancel() {
+	if h.ev != nil {
+		h.ev.fn = nil
+	}
+}
+
+// Pending reports whether the event is still waiting to fire.
+func (h Handle) Pending() bool { return h.ev != nil && h.ev.fn != nil }
+
+type event struct {
+	at   units.Time
+	prio int
+	seq  uint64
+	fn   func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	if q[i].prio != q[j].prio {
+		return q[i].prio < q[j].prio
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Kernel is a discrete-event scheduler. The zero value is not ready for use;
+// call NewKernel.
+type Kernel struct {
+	now     units.Time
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	fired   uint64
+}
+
+// NewKernel returns an empty kernel at time zero.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() units.Time { return k.now }
+
+// Fired returns the number of events executed so far (a cheap progress and
+// workload metric used by the experiment harness).
+func (k *Kernel) Fired() uint64 { return k.fired }
+
+// Pending returns the number of events currently scheduled (including
+// cancelled-but-unreaped entries).
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// At schedules fn to run at absolute time t with priority 0.
+// Scheduling in the past panics: it is always a model bug.
+func (k *Kernel) At(t units.Time, fn func()) Handle {
+	return k.AtPrio(t, 0, fn)
+}
+
+// AtPrio schedules fn at absolute time t with the given priority.
+// Lower priority values fire first among same-time events.
+func (k *Kernel) AtPrio(t units.Time, prio int, fn func()) Handle {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, k.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	ev := &event{at: t, prio: prio, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, ev)
+	return Handle{ev: ev}
+}
+
+// After schedules fn to run d from now. Negative delays panic.
+func (k *Kernel) After(d units.Time, fn func()) Handle {
+	return k.AtPrio(k.now+d, 0, fn)
+}
+
+// AfterPrio schedules fn to run d from now with the given priority.
+func (k *Kernel) AfterPrio(d units.Time, prio int, fn func()) Handle {
+	return k.AtPrio(k.now+d, prio, fn)
+}
+
+// Stop makes the current Run return once the in-flight event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Step fires the next pending event, if any, advancing time to it.
+// It reports whether an event fired.
+func (k *Kernel) Step() bool {
+	for len(k.queue) > 0 {
+		ev := heap.Pop(&k.queue).(*event)
+		if ev.fn == nil { // cancelled
+			continue
+		}
+		k.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+		k.fired++
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains or Stop is called.
+func (k *Kernel) Run() {
+	k.RunUntil(units.Forever)
+}
+
+// RunUntil fires events with timestamps <= deadline, then sets the clock to
+// the deadline (if the simulation got that far) and returns. It also returns
+// early if the queue drains or Stop is called; in the drained case the clock
+// stays at the last event time.
+func (k *Kernel) RunUntil(deadline units.Time) {
+	k.stopped = false
+	for !k.stopped {
+		ev := k.peek()
+		if ev == nil {
+			return
+		}
+		if ev.at > deadline {
+			k.now = deadline
+			return
+		}
+		k.Step()
+	}
+}
+
+func (k *Kernel) peek() *event {
+	for len(k.queue) > 0 {
+		if k.queue[0].fn != nil {
+			return k.queue[0]
+		}
+		heap.Pop(&k.queue) // reap cancelled head
+	}
+	return nil
+}
+
+// Ticker invokes fn every period until the returned stop function is called.
+// The first tick fires one full period from now. fn receives the tick index,
+// starting at 0.
+func (k *Kernel) Ticker(period units.Time, fn func(n uint64)) (stop func()) {
+	if period <= 0 {
+		panic("sim: non-positive ticker period")
+	}
+	stopped := false
+	var n uint64
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		i := n
+		n++
+		k.After(period, tick)
+		fn(i)
+	}
+	k.After(period, tick)
+	return func() { stopped = true }
+}

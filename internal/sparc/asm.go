@@ -1,0 +1,241 @@
+package sparc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Program is an assembled code image. Instruction i lives at Base + 4*i.
+type Program struct {
+	Base    uint32
+	Words   []uint32
+	Insts   []Inst
+	Symbols map[string]uint32
+}
+
+// Size returns the code size in bytes.
+func (p *Program) Size() uint32 { return uint32(len(p.Words)) * 4 }
+
+// End returns the first address past the code image.
+func (p *Program) End() uint32 { return p.Base + p.Size() }
+
+// AddrOf returns the address of a defined symbol.
+func (p *Program) AddrOf(sym string) (uint32, bool) {
+	a, ok := p.Symbols[sym]
+	return a, ok
+}
+
+// InstAt returns the decoded instruction at address a.
+func (p *Program) InstAt(a uint32) (Inst, bool) {
+	if a < p.Base || a >= p.End() || a%4 != 0 {
+		return Inst{}, false
+	}
+	return p.Insts[(a-p.Base)/4], true
+}
+
+// Disassemble renders the whole program with addresses and symbols.
+func (p *Program) Disassemble() string {
+	bySym := make(map[uint32][]string)
+	for s, a := range p.Symbols {
+		bySym[a] = append(bySym[a], s)
+	}
+	for _, ss := range bySym {
+		sort.Strings(ss)
+	}
+	var b strings.Builder
+	for i, inst := range p.Insts {
+		addr := p.Base + uint32(i)*4
+		for _, s := range bySym[addr] {
+			fmt.Fprintf(&b, "%s:\n", s)
+		}
+		fmt.Fprintf(&b, "  %08x:  %08x  %v\n", addr, p.Words[i], inst)
+	}
+	return b.String()
+}
+
+type fixup struct {
+	index int    // instruction index to patch
+	label string // target symbol
+	call  bool   // CALL (disp30) vs branch (disp22)
+}
+
+// Asm is a two-pass assembler: emit instructions and labels in order, then
+// Assemble resolves label displacements.
+type Asm struct {
+	base   uint32
+	insts  []Inst
+	labels map[string]int // word index
+	fixups []fixup
+	errs   []string
+}
+
+// NewAsm starts an empty code unit based at the given address.
+func NewAsm(base uint32) *Asm {
+	if base%4 != 0 {
+		panic("sparc: code base must be word aligned")
+	}
+	return &Asm{base: base, labels: make(map[string]int)}
+}
+
+func (a *Asm) errf(format string, args ...any) {
+	a.errs = append(a.errs, fmt.Sprintf(format, args...))
+}
+
+// Here returns the address of the next instruction to be emitted.
+func (a *Asm) Here() uint32 { return a.base + uint32(len(a.insts))*4 }
+
+// Label defines a symbol at the current position.
+func (a *Asm) Label(name string) {
+	if _, dup := a.labels[name]; dup {
+		a.errf("duplicate label %q", name)
+		return
+	}
+	a.labels[name] = len(a.insts)
+}
+
+// Emit appends a raw instruction.
+func (a *Asm) Emit(i Inst) { a.insts = append(a.insts, i) }
+
+// Op3 emits a three-register format-3 instruction rd = rs1 op rs2.
+func (a *Asm) Op3(op Op, rd, rs1, rs2 Reg) {
+	a.Emit(Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Op3i emits an immediate format-3 instruction rd = rs1 op simm13.
+func (a *Asm) Op3i(op Op, rd, rs1 Reg, imm int32) {
+	if !fits13(imm) {
+		a.errf("simm13 %d out of range for %v", imm, op)
+	}
+	a.Emit(Inst{Op: op, Rd: rd, Rs1: rs1, Imm: imm, UseImm: true})
+}
+
+// Mov emits rd = rs (or rd, %g0, rs).
+func (a *Asm) Mov(rd, rs Reg) { a.Op3(OR, rd, G0, rs) }
+
+// Movi emits rd = simm13.
+func (a *Asm) Movi(rd Reg, imm int32) { a.Op3i(OR, rd, G0, imm) }
+
+// Load emits a load of the given width: rd = mem[rs1 + imm].
+func (a *Asm) Load(op Op, rd, rs1 Reg, imm int32) {
+	if !IsLoad(op) {
+		a.errf("%v is not a load", op)
+	}
+	a.Op3i(op, rd, rs1, imm)
+}
+
+// LoadR emits a register-indexed load: rd = mem[rs1 + rs2].
+func (a *Asm) LoadR(op Op, rd, rs1, rs2 Reg) {
+	if !IsLoad(op) {
+		a.errf("%v is not a load", op)
+	}
+	a.Op3(op, rd, rs1, rs2)
+}
+
+// Store emits a store of the given width: mem[rs1 + imm] = rd.
+func (a *Asm) Store(op Op, rd, rs1 Reg, imm int32) {
+	if !IsStore(op) {
+		a.errf("%v is not a store", op)
+	}
+	a.Op3i(op, rd, rs1, imm)
+}
+
+// StoreR emits a register-indexed store: mem[rs1 + rs2] = rd.
+func (a *Asm) StoreR(op Op, rd, rs1, rs2 Reg) {
+	if !IsStore(op) {
+		a.errf("%v is not a store", op)
+	}
+	a.Op3(op, rd, rs1, rs2)
+}
+
+// SetHi emits sethi %hi(v), rd (loads the top 22 bits of v).
+func (a *Asm) SetHi(rd Reg, v uint32) {
+	a.Emit(Inst{Op: SETHI, Rd: rd, Imm: int32(v >> 10)})
+}
+
+// Set32 loads an arbitrary 32-bit constant with the canonical sethi+or pair
+// (always two instructions so code layout stays static).
+func (a *Asm) Set32(rd Reg, v uint32) {
+	a.SetHi(rd, v)
+	a.Op3i(OR, rd, rd, int32(v&0x3FF))
+}
+
+// Branch emits a delayed branch to a label. The caller must fill the delay
+// slot (typically with Nop).
+func (a *Asm) Branch(op Op, label string, annul bool) {
+	if !IsBranch(op) {
+		a.errf("%v is not a branch", op)
+	}
+	a.fixups = append(a.fixups, fixup{index: len(a.insts), label: label})
+	a.Emit(Inst{Op: op, Annul: annul})
+}
+
+// Call emits a call to a label (return address in %o7, delayed).
+func (a *Asm) Call(label string) {
+	a.fixups = append(a.fixups, fixup{index: len(a.insts), label: label, call: true})
+	a.Emit(Inst{Op: CALL})
+}
+
+// Jmpl emits jmpl rs1+imm, rd.
+func (a *Asm) Jmpl(rd, rs1 Reg, imm int32) { a.Op3i(JMPL, rd, rs1, imm) }
+
+// Retl emits the leaf-routine return: jmpl %o7+8, %g0.
+func (a *Asm) Retl() { a.Jmpl(G0, O7, 8) }
+
+// Ret emits the full return: jmpl %i7+8, %g0 (pairs with Restore).
+func (a *Asm) Ret() { a.Jmpl(G0, I7, 8) }
+
+// Save emits save %sp, imm, %sp (new register window + stack frame).
+func (a *Asm) Save(frame int32) { a.Op3i(SAVE, SP, SP, frame) }
+
+// Restore emits restore %g0, %g0, %g0.
+func (a *Asm) Restore() { a.Op3(RESTORE, G0, G0, G0) }
+
+// Nop emits the canonical nop.
+func (a *Asm) Nop() { a.Emit(Nop()) }
+
+// Assemble resolves all fixups and encodes the program.
+func (a *Asm) Assemble() (*Program, error) {
+	for _, f := range a.fixups {
+		target, ok := a.labels[f.label]
+		if !ok {
+			a.errf("undefined label %q", f.label)
+			continue
+		}
+		disp := int32(target - f.index) // word displacement from the site
+		if f.call {
+			if !fits30(disp) {
+				a.errf("call to %q out of range", f.label)
+			}
+		} else if !fits22(disp) {
+			a.errf("branch to %q out of range", f.label)
+		}
+		a.insts[f.index].Imm = disp
+	}
+	if len(a.errs) > 0 {
+		return nil, fmt.Errorf("sparc asm: %s", a.errs[0])
+	}
+	words := make([]uint32, len(a.insts))
+	for i, inst := range a.insts {
+		w, err := Encode(inst)
+		if err != nil {
+			return nil, fmt.Errorf("sparc asm: inst %d (%v): %w", i, inst, err)
+		}
+		words[i] = w
+	}
+	syms := make(map[string]uint32, len(a.labels))
+	for s, i := range a.labels {
+		syms[s] = a.base + uint32(i)*4
+	}
+	return &Program{Base: a.base, Words: words, Insts: a.insts, Symbols: syms}, nil
+}
+
+// MustAssemble is Assemble, panicking on error (for generated code whose
+// validity is the generator's invariant).
+func (a *Asm) MustAssemble() *Program {
+	p, err := a.Assemble()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

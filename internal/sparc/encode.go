@@ -1,0 +1,171 @@
+package sparc
+
+import "fmt"
+
+// SPARC-V8 style binary formats:
+//
+//	format 1 (op=01): CALL        | 01 | disp30                          |
+//	format 2 (op=00): SETHI       | 00 | rd(5) | 100 | imm22             |
+//	                  Bicc        | 00 | a(1) cond(4) | 010 | disp22     |
+//	format 3 (op=10): arithmetic  | 10 | rd(5) | op3(6) | rs1(5) | i(1) | (asi=0, rs2) or simm13 |
+//	         (op=11): memory      | 11 | rd(5) | op3(6) | rs1(5) | i(1) | (asi=0, rs2) or simm13 |
+
+// op3 codes for format-3 arithmetic (op=10).
+var arithOp3 = map[Op]uint32{
+	ADD: 0x00, AND: 0x01, OR: 0x02, XOR: 0x03, SUB: 0x04,
+	ADDCC: 0x10, ANDCC: 0x11, ORCC: 0x12, XORCC: 0x13, SUBCC: 0x14,
+	UMUL: 0x0A, SMUL: 0x0B, UDIV: 0x0E, SDIV: 0x0F,
+	SLL: 0x25, SRL: 0x26, SRA: 0x27,
+	JMPL: 0x38, SAVE: 0x3C, RESTORE: 0x3D,
+}
+
+// op3 codes for format-3 memory (op=11).
+var memOp3 = map[Op]uint32{
+	LD: 0x00, LDUB: 0x01, LDUH: 0x02,
+	ST: 0x04, STB: 0x05, STH: 0x06,
+}
+
+// Bicc condition codes.
+var branchCond = map[Op]uint32{
+	BN: 0, BE: 1, BLE: 2, BL: 3, BLEU: 4, BCS: 5, BNEG: 6,
+	BA: 8, BNE: 9, BG: 10, BGE: 11, BGU: 12, BCC: 13, BPOS: 14,
+}
+
+var arithOp3Rev = reverse(arithOp3)
+var memOp3Rev = reverse(memOp3)
+var branchCondRev = reverse(branchCond)
+
+func reverse(m map[Op]uint32) map[uint32]Op {
+	r := make(map[uint32]Op, len(m))
+	for op, code := range m {
+		r[code] = op
+	}
+	return r
+}
+
+func fits13(v int32) bool { return v >= -4096 && v <= 4095 }
+func fits22(v int32) bool { return v >= -(1<<21) && v < 1<<21 }
+func fits30(v int32) bool { return v >= -(1<<29) && v < 1<<29 }
+
+// Encode returns the 32-bit machine word for i.
+func Encode(i Inst) (uint32, error) {
+	switch {
+	case i.Op == CALL:
+		if !fits30(i.Imm) {
+			return 0, fmt.Errorf("sparc: call displacement %d out of range", i.Imm)
+		}
+		return 1<<30 | uint32(i.Imm)&0x3FFFFFFF, nil
+
+	case i.Op == SETHI:
+		if i.Imm < 0 || i.Imm >= 1<<22 {
+			return 0, fmt.Errorf("sparc: sethi immediate %d out of range", i.Imm)
+		}
+		return uint32(i.Rd)<<25 | 4<<22 | uint32(i.Imm), nil
+
+	case IsBranch(i.Op):
+		cond, ok := branchCond[i.Op]
+		if !ok {
+			return 0, fmt.Errorf("sparc: unencodable branch %v", i.Op)
+		}
+		if !fits22(i.Imm) {
+			return 0, fmt.Errorf("sparc: branch displacement %d out of range", i.Imm)
+		}
+		w := cond<<25 | 2<<22 | uint32(i.Imm)&0x3FFFFF
+		if i.Annul {
+			w |= 1 << 29
+		}
+		return w, nil
+
+	default:
+		var base uint32
+		op3, ok := arithOp3[i.Op]
+		if ok {
+			base = 2 << 30
+		} else if op3, ok = memOp3[i.Op]; ok {
+			base = 3 << 30
+		} else {
+			return 0, fmt.Errorf("sparc: unencodable opcode %v", i.Op)
+		}
+		w := base | uint32(i.Rd)<<25 | op3<<19 | uint32(i.Rs1)<<14
+		if i.UseImm {
+			if !fits13(i.Imm) {
+				return 0, fmt.Errorf("sparc: simm13 %d out of range for %v", i.Imm, i.Op)
+			}
+			w |= 1<<13 | uint32(i.Imm)&0x1FFF
+		} else {
+			w |= uint32(i.Rs2)
+		}
+		return w, nil
+	}
+}
+
+// MustEncode is Encode, panicking on out-of-range operands (assembler bug).
+func MustEncode(i Inst) uint32 {
+	w, err := Encode(i)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+func signExtend(v uint32, bits uint) int32 {
+	shift := 32 - bits
+	return int32(v<<shift) >> shift
+}
+
+// Decode decodes one machine word.
+func Decode(w uint32) (Inst, error) {
+	switch w >> 30 {
+	case 1: // CALL
+		return Inst{Op: CALL, Imm: signExtend(w&0x3FFFFFFF, 30)}, nil
+
+	case 0: // SETHI / Bicc
+		op2 := (w >> 22) & 7
+		switch op2 {
+		case 4: // SETHI
+			return Inst{Op: SETHI, Rd: Reg(w >> 25 & 31), Imm: int32(w & 0x3FFFFF)}, nil
+		case 2: // Bicc
+			cond := (w >> 25) & 15
+			op, ok := branchCondRev[cond]
+			if !ok {
+				return Inst{}, fmt.Errorf("sparc: bad branch condition %d in %#08x", cond, w)
+			}
+			return Inst{
+				Op:    op,
+				Annul: w>>29&1 == 1,
+				Imm:   signExtend(w&0x3FFFFF, 22),
+			}, nil
+		default:
+			return Inst{}, fmt.Errorf("sparc: bad format-2 op2 %d in %#08x", op2, w)
+		}
+
+	case 2, 3: // format 3
+		op3 := (w >> 19) & 0x3F
+		var op Op
+		var ok bool
+		if w>>30 == 2 {
+			op, ok = arithOp3Rev[op3]
+		} else {
+			op, ok = memOp3Rev[op3]
+		}
+		if !ok {
+			return Inst{}, fmt.Errorf("sparc: bad op3 %#x in %#08x", op3, w)
+		}
+		i := Inst{
+			Op:  op,
+			Rd:  Reg(w >> 25 & 31),
+			Rs1: Reg(w >> 14 & 31),
+		}
+		if w>>13&1 == 1 {
+			i.UseImm = true
+			i.Imm = signExtend(w&0x1FFF, 13)
+		} else {
+			if (w>>5)&0xFF != 0 {
+				return Inst{}, fmt.Errorf("sparc: nonzero asi field in %#08x", w)
+			}
+			i.Rs2 = Reg(w & 31)
+		}
+		return i, nil
+	}
+	panic("unreachable")
+}

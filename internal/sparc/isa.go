@@ -1,0 +1,269 @@
+// Package sparc defines the reduced SPARC-V8-like instruction set that stands
+// in for the paper's SPARClite embedded target: 32-bit instructions in the
+// three classic formats (call / sethi-branch / arith-mem), register windows,
+// integer condition codes and delayed branches. It provides binary encode and
+// decode, a two-pass assembler, and a disassembler.
+//
+// The instruction-set simulator (internal/iss) executes this ISA with a
+// cycle and power model; the software synthesizer (internal/swsyn) emits it.
+package sparc
+
+import "fmt"
+
+// Reg is a register number 0..31 in the current window:
+// %g0-%g7 = 0-7, %o0-%o7 = 8-15, %l0-%l7 = 16-23, %i0-%i7 = 24-31.
+type Reg uint8
+
+// Conventional register names.
+const (
+	G0 Reg = iota
+	G1
+	G2
+	G3
+	G4
+	G5
+	G6
+	G7
+	O0
+	O1
+	O2
+	O3
+	O4
+	O5
+	SP // %o6
+	O7 // call return address
+	L0
+	L1
+	L2
+	L3
+	L4
+	L5
+	L6
+	L7
+	I0
+	I1
+	I2
+	I3
+	I4
+	I5
+	FP // %i6
+	I7 // callee's view of the return address
+)
+
+var regNames = [32]string{
+	"%g0", "%g1", "%g2", "%g3", "%g4", "%g5", "%g6", "%g7",
+	"%o0", "%o1", "%o2", "%o3", "%o4", "%o5", "%sp", "%o7",
+	"%l0", "%l1", "%l2", "%l3", "%l4", "%l5", "%l6", "%l7",
+	"%i0", "%i1", "%i2", "%i3", "%i4", "%i5", "%fp", "%i7",
+}
+
+func (r Reg) String() string {
+	if r < 32 {
+		return regNames[r]
+	}
+	return fmt.Sprintf("%%r%d?", uint8(r))
+}
+
+// Op is a mnemonic-level opcode.
+type Op uint8
+
+// The instruction set. Branches are all delayed with an optional annul bit.
+const (
+	ADD Op = iota
+	ADDCC
+	SUB
+	SUBCC
+	AND
+	ANDCC
+	OR
+	ORCC
+	XOR
+	XORCC
+	SLL
+	SRL
+	SRA
+	UMUL
+	SMUL
+	UDIV
+	SDIV
+	SETHI
+	LD   // load word
+	LDUB // load unsigned byte
+	LDUH // load unsigned halfword
+	ST   // store word
+	STB  // store byte
+	STH  // store halfword
+	BA   // branch always
+	BN   // branch never
+	BE
+	BNE
+	BG
+	BLE
+	BGE
+	BL
+	BGU
+	BLEU
+	BCC
+	BCS
+	BPOS
+	BNEG
+	CALL
+	JMPL
+	SAVE
+	RESTORE
+
+	NumOpcodes // sentinel
+)
+
+var opNames = [NumOpcodes]string{
+	ADD: "add", ADDCC: "addcc", SUB: "sub", SUBCC: "subcc",
+	AND: "and", ANDCC: "andcc", OR: "or", ORCC: "orcc",
+	XOR: "xor", XORCC: "xorcc",
+	SLL: "sll", SRL: "srl", SRA: "sra",
+	UMUL: "umul", SMUL: "smul", UDIV: "udiv", SDIV: "sdiv",
+	SETHI: "sethi",
+	LD:    "ld", LDUB: "ldub", LDUH: "lduh",
+	ST: "st", STB: "stb", STH: "sth",
+	BA: "ba", BN: "bn", BE: "be", BNE: "bne", BG: "bg", BLE: "ble",
+	BGE: "bge", BL: "bl", BGU: "bgu", BLEU: "bleu", BCC: "bcc",
+	BCS: "bcs", BPOS: "bpos", BNEG: "bneg",
+	CALL: "call", JMPL: "jmpl", SAVE: "save", RESTORE: "restore",
+}
+
+func (o Op) String() string {
+	if o < NumOpcodes {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op%d?", uint8(o))
+}
+
+// Class groups opcodes for the instruction-level power model: instructions
+// in the same class draw similar base current (Tiwari-style modeling).
+type Class uint8
+
+// Power-model instruction classes.
+const (
+	ClassALU Class = iota
+	ClassShift
+	ClassMul
+	ClassDiv
+	ClassLoad
+	ClassStore
+	ClassBranch
+	ClassCall
+	ClassWindow // SAVE/RESTORE
+	ClassSethi
+
+	NumClasses
+)
+
+var classNames = [NumClasses]string{
+	ClassALU: "alu", ClassShift: "shift", ClassMul: "mul", ClassDiv: "div",
+	ClassLoad: "load", ClassStore: "store", ClassBranch: "branch",
+	ClassCall: "call", ClassWindow: "window", ClassSethi: "sethi",
+}
+
+func (c Class) String() string {
+	if c < NumClasses {
+		return classNames[c]
+	}
+	return "class?"
+}
+
+// ClassOf returns the power-model class of op.
+func ClassOf(op Op) Class {
+	switch op {
+	case SLL, SRL, SRA:
+		return ClassShift
+	case UMUL, SMUL:
+		return ClassMul
+	case UDIV, SDIV:
+		return ClassDiv
+	case LD, LDUB, LDUH:
+		return ClassLoad
+	case ST, STB, STH:
+		return ClassStore
+	case BA, BN, BE, BNE, BG, BLE, BGE, BL, BGU, BLEU, BCC, BCS, BPOS, BNEG:
+		return ClassBranch
+	case CALL, JMPL:
+		return ClassCall
+	case SAVE, RESTORE:
+		return ClassWindow
+	case SETHI:
+		return ClassSethi
+	default:
+		return ClassALU
+	}
+}
+
+// IsBranch reports whether op is a conditional or unconditional branch
+// (delayed, with an optional annul bit). CALL and JMPL are not branches.
+func IsBranch(op Op) bool { return ClassOf(op) == ClassBranch }
+
+// IsLoad reports whether op reads data memory.
+func IsLoad(op Op) bool { return ClassOf(op) == ClassLoad }
+
+// IsStore reports whether op writes data memory.
+func IsStore(op Op) bool { return ClassOf(op) == ClassStore }
+
+// SetsCC reports whether op updates the integer condition codes.
+func SetsCC(op Op) bool {
+	switch op {
+	case ADDCC, SUBCC, ANDCC, ORCC, XORCC:
+		return true
+	}
+	return false
+}
+
+// Inst is one decoded instruction.
+//
+// Field usage by format:
+//   - arith/mem: Rd, Rs1 and (Rs2 or Imm as simm13 when UseImm)
+//   - SETHI:     Rd, Imm holds the 22-bit upper immediate (pre-shift)
+//   - branches:  Imm holds the word displacement (disp22), Annul the a-bit
+//   - CALL:      Imm holds the word displacement (disp30)
+//   - JMPL:      Rd, Rs1, Rs2/Imm as arith
+type Inst struct {
+	Op     Op
+	Rd     Reg
+	Rs1    Reg
+	Rs2    Reg
+	Imm    int32
+	UseImm bool
+	Annul  bool
+}
+
+func (i Inst) String() string {
+	switch {
+	case i.Op == SETHI:
+		return fmt.Sprintf("sethi %%hi(0x%x), %v", uint32(i.Imm)<<10, i.Rd)
+	case i.Op == CALL:
+		return fmt.Sprintf("call .%+d", i.Imm*4)
+	case IsBranch(i.Op):
+		a := ""
+		if i.Annul {
+			a = ",a"
+		}
+		return fmt.Sprintf("%v%s .%+d", i.Op, a, i.Imm*4)
+	case IsLoad(i.Op):
+		if i.UseImm {
+			return fmt.Sprintf("%v [%v%+d], %v", i.Op, i.Rs1, i.Imm, i.Rd)
+		}
+		return fmt.Sprintf("%v [%v+%v], %v", i.Op, i.Rs1, i.Rs2, i.Rd)
+	case IsStore(i.Op):
+		if i.UseImm {
+			return fmt.Sprintf("%v %v, [%v%+d]", i.Op, i.Rd, i.Rs1, i.Imm)
+		}
+		return fmt.Sprintf("%v %v, [%v+%v]", i.Op, i.Rd, i.Rs1, i.Rs2)
+	case i.UseImm:
+		return fmt.Sprintf("%v %v, %d, %v", i.Op, i.Rs1, i.Imm, i.Rd)
+	default:
+		return fmt.Sprintf("%v %v, %v, %v", i.Op, i.Rs1, i.Rs2, i.Rd)
+	}
+}
+
+// Nop returns the canonical NOP: sethi 0, %g0.
+func Nop() Inst { return Inst{Op: SETHI, Rd: G0, Imm: 0} }
+
+// IsNop reports whether i is the canonical NOP encoding.
+func (i Inst) IsNop() bool { return i.Op == SETHI && i.Rd == G0 && i.Imm == 0 }

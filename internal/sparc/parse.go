@@ -1,0 +1,416 @@
+package sparc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseAsm assembles a textual SPARC assembly listing into a Program based
+// at the given address. The dialect is the common subset of SPARC-V8 `as`
+// syntax this ISA supports:
+//
+//	entry:                      ! labels end with ':'
+//	    mov   5, %o0            ! pseudo-op for or %g0, 5, %o0
+//	    set   0x12345678, %g1   ! pseudo-op for sethi+or (always 2 words)
+//	    add   %o0, %o1, %o2
+//	    addcc %o2, -1, %o2
+//	    ld    [%o1 + 8], %o3
+//	    st    %o3, [%o1 + 12]
+//	    ldub  [%g2 + %g3], %o4
+//	    sethi %hi(0xDEAD0000), %g1
+//	    bne   entry             ! delayed; fill the slot yourself
+//	    nop
+//	    ba,a  done              ! annul bit via ",a"
+//	    call  subroutine
+//	    jmpl  %o7 + 8, %g0
+//	    retl                    ! jmpl %o7+8, %g0
+//	    ret                     ! jmpl %i7+8, %g0
+//	    save  %sp, -96, %sp
+//	    restore
+//	done:
+//	    nop
+//
+// Comments start with '!', '#' or "//" and run to end of line.
+func ParseAsm(src string, base uint32) (*Program, error) {
+	a := NewAsm(base)
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly followed by an instruction on the same line).
+		for {
+			if i := strings.Index(line, ":"); i >= 0 && isIdent(strings.TrimSpace(line[:i])) {
+				a.Label(strings.TrimSpace(line[:i]))
+				line = strings.TrimSpace(line[i+1:])
+				continue
+			}
+			break
+		}
+		if line == "" {
+			continue
+		}
+		if err := parseInst(a, line); err != nil {
+			return nil, fmt.Errorf("sparc: line %d: %w", lineNo+1, err)
+		}
+	}
+	return a.Assemble()
+}
+
+func stripComment(s string) string {
+	for _, sep := range []string{"!", "#", "//"} {
+		if i := strings.Index(s, sep); i >= 0 {
+			s = s[:i]
+		}
+	}
+	return s
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+var mnemonics = func() map[string]Op {
+	m := make(map[string]Op, NumOpcodes)
+	for op := Op(0); op < NumOpcodes; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+func parseInst(a *Asm, line string) error {
+	fields := strings.SplitN(line, " ", 2)
+	mn := strings.ToLower(fields[0])
+	rest := ""
+	if len(fields) == 2 {
+		rest = strings.TrimSpace(fields[1])
+	}
+	annul := false
+	if strings.HasSuffix(mn, ",a") {
+		annul = true
+		mn = strings.TrimSuffix(mn, ",a")
+	}
+
+	// Pseudo-ops first.
+	switch mn {
+	case "nop":
+		a.Nop()
+		return nil
+	case "retl":
+		a.Retl()
+		return nil
+	case "ret":
+		a.Ret()
+		return nil
+	case "mov":
+		ops, err := operands(rest, 2)
+		if err != nil {
+			return err
+		}
+		rd, err := parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		if r, err2 := parseReg(ops[0]); err2 == nil {
+			a.Mov(rd, r)
+			return nil
+		}
+		imm, err := parseImm(ops[0])
+		if err != nil {
+			return err
+		}
+		a.Op3i(OR, rd, G0, imm)
+		return nil
+	case "set":
+		ops, err := operands(rest, 2)
+		if err != nil {
+			return err
+		}
+		v, err := parseImm32(ops[0])
+		if err != nil {
+			return err
+		}
+		rd, err := parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		a.Set32(rd, uint32(v))
+		return nil
+	case "restore":
+		if rest == "" {
+			a.Restore()
+			return nil
+		}
+	case "cmp": // cmp %r, v  ->  subcc %r, v, %g0
+		ops, err := operands(rest, 2)
+		if err != nil {
+			return err
+		}
+		rs1, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		if r2, err2 := parseReg(ops[1]); err2 == nil {
+			a.Op3(SUBCC, G0, rs1, r2)
+			return nil
+		}
+		imm, err := parseImm(ops[1])
+		if err != nil {
+			return err
+		}
+		a.Op3i(SUBCC, G0, rs1, imm)
+		return nil
+	}
+
+	op, ok := mnemonics[mn]
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", mn)
+	}
+
+	switch {
+	case op == SETHI:
+		ops, err := operands(rest, 2)
+		if err != nil {
+			return err
+		}
+		hi := ops[0]
+		if strings.HasPrefix(hi, "%hi(") && strings.HasSuffix(hi, ")") {
+			v, err := parseImm32(hi[4 : len(hi)-1])
+			if err != nil {
+				return err
+			}
+			rd, err := parseReg(ops[1])
+			if err != nil {
+				return err
+			}
+			a.SetHi(rd, uint32(v))
+			return nil
+		}
+		v, err := parseImm32(hi)
+		if err != nil {
+			return err
+		}
+		rd, err := parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		a.Emit(Inst{Op: SETHI, Rd: rd, Imm: int32(v)})
+		return nil
+
+	case op == CALL:
+		if !isIdent(rest) {
+			return fmt.Errorf("call wants a label, got %q", rest)
+		}
+		a.Call(rest)
+		return nil
+
+	case IsBranch(op):
+		if !isIdent(rest) {
+			return fmt.Errorf("branch wants a label, got %q", rest)
+		}
+		a.Branch(op, rest, annul)
+		return nil
+
+	case IsLoad(op):
+		ops, err := operands(rest, 2)
+		if err != nil {
+			return err
+		}
+		rs1, rs2, imm, useImm, err := parseMem(ops[0])
+		if err != nil {
+			return err
+		}
+		rd, err := parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		if useImm {
+			a.Load(op, rd, rs1, imm)
+		} else {
+			a.LoadR(op, rd, rs1, rs2)
+		}
+		return nil
+
+	case IsStore(op):
+		ops, err := operands(rest, 2)
+		if err != nil {
+			return err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs1, rs2, imm, useImm, err := parseMem(ops[1])
+		if err != nil {
+			return err
+		}
+		if useImm {
+			a.Store(op, rd, rs1, imm)
+		} else {
+			a.StoreR(op, rd, rs1, rs2)
+		}
+		return nil
+
+	default: // three-operand format-3
+		ops, err := operands(rest, 3)
+		if err != nil {
+			return err
+		}
+		rs1, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		rd, err := parseReg(ops[2])
+		if err != nil {
+			return err
+		}
+		if r2, err2 := parseReg(ops[1]); err2 == nil {
+			a.Op3(op, rd, rs1, r2)
+			return nil
+		}
+		imm, err := parseImm(ops[1])
+		if err != nil {
+			return err
+		}
+		a.Op3i(op, rd, rs1, imm)
+		return nil
+	}
+}
+
+// operands splits "a, b, c" respecting [...] brackets.
+func operands(s string, want int) ([]string, error) {
+	var out []string
+	depth := 0
+	cur := strings.Builder{}
+	for _, r := range s {
+		switch {
+		case r == '[' || r == '(':
+			depth++
+			cur.WriteRune(r)
+		case r == ']' || r == ')':
+			depth--
+			cur.WriteRune(r)
+		case r == ',' && depth == 0:
+			out = append(out, strings.TrimSpace(cur.String()))
+			cur.Reset()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if t := strings.TrimSpace(cur.String()); t != "" {
+		out = append(out, t)
+	}
+	if len(out) != want {
+		return nil, fmt.Errorf("want %d operands, got %d in %q", want, len(out), s)
+	}
+	return out, nil
+}
+
+var regAliases = map[string]Reg{"%sp": SP, "%fp": FP}
+
+func parseReg(s string) (Reg, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if r, ok := regAliases[s]; ok {
+		return r, nil
+	}
+	if len(s) != 3 || s[0] != '%' {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n := int(s[2] - '0')
+	if n < 0 || n > 7 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	switch s[1] {
+	case 'g':
+		return Reg(n), nil
+	case 'o':
+		return Reg(8 + n), nil
+	case 'l':
+		return Reg(16 + n), nil
+	case 'i':
+		return Reg(24 + n), nil
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func parseImm(s string) (int32, error) {
+	v, err := parseImm32(s)
+	if err != nil {
+		return 0, err
+	}
+	if v < -4096 || v > 4095 {
+		return 0, fmt.Errorf("immediate %d out of simm13 range", v)
+	}
+	return int32(v), nil
+}
+
+func parseImm32(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		// Allow unsigned 32-bit hex like 0xDEADBEEF.
+		u, uerr := strconv.ParseUint(s, 0, 32)
+		if uerr != nil {
+			return 0, fmt.Errorf("bad immediate %q", s)
+		}
+		return int64(int32(u)), nil
+	}
+	if v < -(1<<31) || v > 1<<32-1 {
+		return 0, fmt.Errorf("immediate %q out of 32-bit range", s)
+	}
+	return v, nil
+}
+
+// parseMem parses "[%r]", "[%r + imm]", "[%r - imm]" or "[%r1 + %r2]".
+func parseMem(s string) (rs1, rs2 Reg, imm int32, useImm bool, err error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, 0, false, fmt.Errorf("bad memory operand %q", s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	neg := false
+	var lhs, rhs string
+	if i := strings.IndexAny(inner, "+-"); i >= 0 {
+		neg = inner[i] == '-'
+		lhs, rhs = strings.TrimSpace(inner[:i]), strings.TrimSpace(inner[i+1:])
+	} else {
+		lhs = inner
+	}
+	rs1, err = parseReg(lhs)
+	if err != nil {
+		return
+	}
+	if rhs == "" {
+		return rs1, 0, 0, true, nil
+	}
+	if r2, err2 := parseReg(rhs); err2 == nil {
+		if neg {
+			return 0, 0, 0, false, fmt.Errorf("cannot negate a register index in %q", s)
+		}
+		return rs1, r2, 0, false, nil
+	}
+	imm, err = parseImm(rhs)
+	if err != nil {
+		return
+	}
+	if neg {
+		imm = -imm
+	}
+	return rs1, 0, imm, true, nil
+}

@@ -1,0 +1,231 @@
+package sparc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseAsmBasicProgram(t *testing.T) {
+	src := `
+! sum the numbers 1..n (n in %o0)
+entry:
+    mov   0, %o1          ! acc
+loop:
+    add   %o1, %o0, %o1
+    subcc %o0, 1, %o0
+    bne   loop
+    nop
+    mov   %o1, %o0
+    retl
+    nop
+`
+	p, err := ParseAsm(src, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.AddrOf("entry"); !ok {
+		t.Fatal("missing entry label")
+	}
+	if addr, _ := p.AddrOf("loop"); addr != 0x1004 {
+		t.Fatalf("loop at %#x, want 0x1004", addr)
+	}
+	// Same program via the builder API must produce identical words.
+	a := NewAsm(0x1000)
+	a.Label("entry")
+	a.Movi(O1, 0)
+	a.Label("loop")
+	a.Op3(ADD, O1, O1, O0)
+	a.Op3i(SUBCC, O0, O0, 1)
+	a.Branch(BNE, "loop", false)
+	a.Nop()
+	a.Mov(O0, O1)
+	a.Retl()
+	a.Nop()
+	want := a.MustAssemble()
+	if len(p.Words) != len(want.Words) {
+		t.Fatalf("parsed %d words, want %d", len(p.Words), len(want.Words))
+	}
+	for i := range want.Words {
+		if p.Words[i] != want.Words[i] {
+			t.Fatalf("word %d: parsed %#08x (%v), want %#08x (%v)",
+				i, p.Words[i], p.Insts[i], want.Words[i], want.Insts[i])
+		}
+	}
+}
+
+func TestParseAsmMemoryOperands(t *testing.T) {
+	src := `
+f:
+    ld   [%o1 + 8], %o0
+    ld   [%o1 - 4], %o2
+    ld   [%o1], %o3
+    ldub [%g2 + %g3], %o4
+    st   %o0, [%sp + 64]
+    sth  %o0, [%fp - 2]
+    retl
+    nop
+`
+	p, err := ParseAsm(src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Inst{
+		{Op: LD, Rd: O0, Rs1: O1, Imm: 8, UseImm: true},
+		{Op: LD, Rd: O2, Rs1: O1, Imm: -4, UseImm: true},
+		{Op: LD, Rd: O3, Rs1: O1, Imm: 0, UseImm: true},
+		{Op: LDUB, Rd: O4, Rs1: G2, Rs2: G3},
+		{Op: ST, Rd: O0, Rs1: SP, Imm: 64, UseImm: true},
+		{Op: STH, Rd: O0, Rs1: FP, Imm: -2, UseImm: true},
+	}
+	for i, w := range want {
+		if p.Insts[i] != w {
+			t.Fatalf("inst %d = %v, want %v", i, p.Insts[i], w)
+		}
+	}
+}
+
+func TestParseAsmPseudoOps(t *testing.T) {
+	src := `
+f:  set 0xDEADBEEF, %g1
+    cmp %g1, 10
+    cmp %g1, %g2
+    save %sp, -96, %sp
+    ret
+    restore
+`
+	p, err := ParseAsm(src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// set expands to sethi+or.
+	if p.Insts[0].Op != SETHI || p.Insts[1].Op != OR {
+		t.Fatalf("set expansion: %v, %v", p.Insts[0], p.Insts[1])
+	}
+	if got := uint32(p.Insts[0].Imm)<<10 | uint32(p.Insts[1].Imm); got != 0xDEADBEEF {
+		t.Fatalf("set value %#x", got)
+	}
+	if p.Insts[2].Op != SUBCC || p.Insts[2].Rd != G0 || p.Insts[2].Imm != 10 {
+		t.Fatalf("cmp imm: %v", p.Insts[2])
+	}
+	if p.Insts[3].Op != SUBCC || p.Insts[3].Rs2 != G2 {
+		t.Fatalf("cmp reg: %v", p.Insts[3])
+	}
+	if p.Insts[4].Op != SAVE || p.Insts[4].Imm != -96 {
+		t.Fatalf("save: %v", p.Insts[4])
+	}
+	if p.Insts[5].Op != JMPL || p.Insts[5].Rs1 != I7 {
+		t.Fatalf("ret: %v", p.Insts[5])
+	}
+	if p.Insts[6].Op != RESTORE {
+		t.Fatalf("restore: %v", p.Insts[6])
+	}
+}
+
+func TestParseAsmAnnulledBranch(t *testing.T) {
+	src := "top:\n ba,a top\n nop\n"
+	p, err := ParseAsm(src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Op != BA || !p.Insts[0].Annul {
+		t.Fatalf("ba,a parsed as %v", p.Insts[0])
+	}
+}
+
+func TestParseAsmSethiHi(t *testing.T) {
+	p, err := ParseAsm("f: sethi %hi(0x12345400), %g1\n retl\n nop\n", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Op != SETHI || uint32(p.Insts[0].Imm) != 0x12345400>>10 {
+		t.Fatalf("sethi: %v", p.Insts[0])
+	}
+}
+
+func TestParseAsmCallAndComments(t *testing.T) {
+	src := `
+main:
+    call helper        // C++-style comment
+    nop                # hash comment
+    retl
+    nop
+helper:
+    retl               ! bang comment
+    nop
+`
+	p, err := ParseAsm(src, 0x2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Op != CALL || p.Insts[0].Imm != 4 {
+		t.Fatalf("call disp: %v", p.Insts[0])
+	}
+}
+
+func TestParseAsmLabelWithInstruction(t *testing.T) {
+	p, err := ParseAsm("f: mov 1, %o0\n retl\n nop\n", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Insts) != 3 {
+		t.Fatalf("insts = %d", len(p.Insts))
+	}
+}
+
+func TestParseAsmErrors(t *testing.T) {
+	bad := []string{
+		"f: bogus %o0, %o1, %o2\n",
+		"f: add %o0, %o1\n",          // missing operand
+		"f: add %o0, 99999, %o1\n",   // simm13 overflow
+		"f: ld %o0, %o1\n",           // load without brackets
+		"f: mov 1, %q9\n",            // bad register
+		"f: bne %o0\n",               // branch to non-label
+		"f: ld [%o1 - %o2], %o0\n",   // negated register index
+		"f: st %o0, [%o1 + 99999]\n", // mem offset overflow
+		"f: call 123\n",              // call to non-label
+	}
+	for _, src := range bad {
+		if _, err := ParseAsm(src, 0); err == nil {
+			t.Errorf("accepted %q", strings.TrimSpace(src))
+		}
+	}
+}
+
+// Property-style: a parsed program executes correctly on the ISS-facing
+// encoding (checked via the encoder round-trip that Assemble performs).
+func TestParseAsmEncodesEverything(t *testing.T) {
+	src := `
+f:
+    save %sp, -96, %sp
+    set 0x00400000, %l0
+    ld [%l0], %l1
+    smul %l1, %l1, %l2
+    udiv %l2, %l1, %l3
+    xorcc %l3, %l1, %g0
+    be,a out
+    nop
+    sll %l3, 2, %l3
+    sra %l3, 1, %l3
+    srl %l3, 1, %l3
+    and %l3, 0xff, %l3
+    or %l3, 1, %l3
+    sub %l3, 1, %l3
+    umul %l3, 3, %l3
+out:
+    ret
+    restore
+`
+	p, err := ParseAsm(src, 0x4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range p.Words {
+		got, err := Decode(w)
+		if err != nil {
+			t.Fatalf("word %d undecodable: %v", i, err)
+		}
+		if got != p.Insts[i] {
+			t.Fatalf("word %d: %v != %v", i, got, p.Insts[i])
+		}
+	}
+}

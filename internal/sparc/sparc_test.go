@@ -1,0 +1,331 @@
+package sparc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeKnownWords(t *testing.T) {
+	cases := []struct {
+		i    Inst
+		want uint32
+	}{
+		// add %g1, %g2, %g3 : op=10 rd=3 op3=0 rs1=1 i=0 rs2=2
+		{Inst{Op: ADD, Rd: G3, Rs1: G1, Rs2: G2}, 0x86004002},
+		// or %g0, 5, %o0 (mov 5, %o0)
+		{Inst{Op: OR, Rd: O0, Rs1: G0, Imm: 5, UseImm: true}, 0x90102005},
+		// sethi %hi(0), %g0 = nop
+		{Nop(), 0x01000000},
+		// ld [%o1 + 8], %o2
+		{Inst{Op: LD, Rd: O2, Rs1: O1, Imm: 8, UseImm: true}, 0xD4026008},
+		// ba,a .+8 (disp=2)
+		{Inst{Op: BA, Annul: true, Imm: 2}, 0x30800002},
+		// call .+0 (disp=0)
+		{Inst{Op: CALL, Imm: 0}, 0x40000000},
+	}
+	for _, c := range cases {
+		got, err := Encode(c.i)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", c.i, err)
+		}
+		if got != c.want {
+			t.Errorf("Encode(%v) = %#08x, want %#08x", c.i, got, c.want)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	bad := []uint32{
+		0x00000000,       // format 2, op2=0: invalid
+		2<<30 | 0x3F<<19, // arith op3=0x3F: unused
+		3<<30 | 0x3F<<19, // mem op3=0x3F: unused
+		2<<30 | 0x01<<5,  // and with nonzero asi bits
+	}
+	for _, w := range bad {
+		if _, err := Decode(w); err == nil {
+			t.Errorf("Decode(%#08x) accepted garbage", w)
+		}
+	}
+}
+
+func randInst(rng *rand.Rand) Inst {
+	ops := []Op{
+		ADD, ADDCC, SUB, SUBCC, AND, ANDCC, OR, ORCC, XOR, XORCC,
+		SLL, SRL, SRA, UMUL, SMUL, UDIV, SDIV, SETHI,
+		LD, LDUB, LDUH, ST, STB, STH,
+		BA, BN, BE, BNE, BG, BLE, BGE, BL, BGU, BLEU, BCC, BCS, BPOS, BNEG,
+		CALL, JMPL, SAVE, RESTORE,
+	}
+	op := ops[rng.Intn(len(ops))]
+	i := Inst{Op: op}
+	switch {
+	case op == SETHI:
+		i.Rd = Reg(rng.Intn(32))
+		i.Imm = rng.Int31n(1 << 22)
+	case op == CALL:
+		i.Imm = rng.Int31n(1<<30) - 1<<29
+	case IsBranch(op):
+		i.Annul = rng.Intn(2) == 1
+		i.Imm = rng.Int31n(1<<22) - 1<<21
+	default:
+		i.Rd = Reg(rng.Intn(32))
+		i.Rs1 = Reg(rng.Intn(32))
+		if rng.Intn(2) == 1 {
+			i.UseImm = true
+			i.Imm = rng.Int31n(8192) - 4096
+		} else {
+			i.Rs2 = Reg(rng.Intn(32))
+		}
+	}
+	return i
+}
+
+// Property: Decode(Encode(i)) == i for every well-formed instruction.
+func TestPropertyEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for k := 0; k < 64; k++ {
+			i := randInst(rng)
+			w, err := Encode(i)
+			if err != nil {
+				t.Logf("Encode(%v): %v", i, err)
+				return false
+			}
+			got, err := Decode(w)
+			if err != nil {
+				t.Logf("Decode(%#08x): %v", w, err)
+				return false
+			}
+			if got != i {
+				t.Logf("round trip %v -> %#08x -> %v", i, w, got)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeRangeChecks(t *testing.T) {
+	bad := []Inst{
+		{Op: ADD, Rd: G1, Rs1: G1, Imm: 5000, UseImm: true},  // simm13 overflow
+		{Op: ADD, Rd: G1, Rs1: G1, Imm: -5000, UseImm: true}, // simm13 underflow
+		{Op: SETHI, Rd: G1, Imm: 1 << 22},                    // imm22 overflow
+		{Op: SETHI, Rd: G1, Imm: -1},                         // negative sethi
+		{Op: BE, Imm: 1 << 21},                               // disp22 overflow
+	}
+	for _, i := range bad {
+		if _, err := Encode(i); err == nil {
+			t.Errorf("Encode(%v) accepted out-of-range operand", i)
+		}
+	}
+}
+
+func TestSignExtension(t *testing.T) {
+	i := Inst{Op: ADD, Rd: G1, Rs1: G2, Imm: -1, UseImm: true}
+	w := MustEncode(i)
+	got, err := Decode(w)
+	if err != nil || got.Imm != -1 {
+		t.Fatalf("simm13 -1 round trip: %v, err %v", got, err)
+	}
+	b := Inst{Op: BNE, Imm: -100}
+	got, err = Decode(MustEncode(b))
+	if err != nil || got.Imm != -100 {
+		t.Fatalf("disp22 -100 round trip: %v, err %v", got, err)
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	cases := map[Op]Class{
+		ADD: ClassALU, SUBCC: ClassALU, SLL: ClassShift, UMUL: ClassMul,
+		SDIV: ClassDiv, LD: ClassLoad, STB: ClassStore, BNE: ClassBranch,
+		CALL: ClassCall, JMPL: ClassCall, SAVE: ClassWindow, SETHI: ClassSethi,
+	}
+	for op, want := range cases {
+		if got := ClassOf(op); got != want {
+			t.Errorf("ClassOf(%v) = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !SetsCC(ADDCC) || SetsCC(ADD) {
+		t.Error("SetsCC wrong for ADD/ADDCC")
+	}
+	if !IsLoad(LDUB) || IsLoad(STB) {
+		t.Error("IsLoad wrong")
+	}
+	if !IsStore(STH) || IsStore(LDUH) {
+		t.Error("IsStore wrong")
+	}
+	if !IsBranch(BA) || IsBranch(CALL) {
+		t.Error("IsBranch wrong")
+	}
+	if !Nop().IsNop() {
+		t.Error("canonical nop not recognized")
+	}
+	if (Inst{Op: SETHI, Rd: G1, Imm: 0}).IsNop() {
+		t.Error("sethi to g1 misdetected as nop")
+	}
+}
+
+func TestAsmBranchDisplacement(t *testing.T) {
+	a := NewAsm(0x1000)
+	a.Label("top")
+	a.Op3i(SUBCC, G0, O0, 0) // 0x1000
+	a.Branch(BE, "done", false)
+	a.Nop()
+	a.Op3i(SUB, O0, O0, 1)
+	a.Branch(BA, "top", false)
+	a.Nop()
+	a.Label("done")
+	a.Retl()
+	a.Nop()
+	p, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// be "done": site index 1, target index 6 -> disp = +5
+	if p.Insts[1].Imm != 5 {
+		t.Errorf("be disp = %d, want 5", p.Insts[1].Imm)
+	}
+	// ba "top": site index 4, target 0 -> disp = -4
+	if p.Insts[4].Imm != -4 {
+		t.Errorf("ba disp = %d, want -4", p.Insts[4].Imm)
+	}
+	if addr, ok := p.AddrOf("done"); !ok || addr != 0x1000+6*4 {
+		t.Errorf("AddrOf(done) = %#x,%v", addr, ok)
+	}
+}
+
+func TestAsmUndefinedLabel(t *testing.T) {
+	a := NewAsm(0)
+	a.Branch(BA, "nowhere", false)
+	a.Nop()
+	if _, err := a.Assemble(); err == nil {
+		t.Error("undefined label must fail Assemble")
+	}
+}
+
+func TestAsmDuplicateLabel(t *testing.T) {
+	a := NewAsm(0)
+	a.Label("x")
+	a.Nop()
+	a.Label("x")
+	if _, err := a.Assemble(); err == nil {
+		t.Error("duplicate label must fail Assemble")
+	}
+}
+
+func TestAsmSet32(t *testing.T) {
+	a := NewAsm(0)
+	a.Set32(O0, 0xDEADBEEF)
+	a.Retl()
+	a.Nop()
+	p := a.MustAssemble()
+	if len(p.Insts) != 4 {
+		t.Fatalf("Set32 must always be 2 instructions, got program len %d", len(p.Insts))
+	}
+	// sethi imm is the top 22 bits, or imm the low 10.
+	if got := uint32(p.Insts[0].Imm)<<10 | uint32(p.Insts[1].Imm); got != 0xDEADBEEF {
+		t.Errorf("Set32 reconstructed %#x, want 0xDEADBEEF", got)
+	}
+}
+
+func TestAsmMisalignedBasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("misaligned base must panic")
+		}
+	}()
+	NewAsm(2)
+}
+
+func TestProgramInstAt(t *testing.T) {
+	a := NewAsm(0x100)
+	a.Movi(O0, 42)
+	a.Retl()
+	a.Nop()
+	p := a.MustAssemble()
+	if i, ok := p.InstAt(0x100); !ok || i.Imm != 42 {
+		t.Errorf("InstAt(0x100) = %v,%v", i, ok)
+	}
+	if _, ok := p.InstAt(0x0FC); ok {
+		t.Error("InstAt below base must fail")
+	}
+	if _, ok := p.InstAt(p.End()); ok {
+		t.Error("InstAt past end must fail")
+	}
+	if _, ok := p.InstAt(0x102); ok {
+		t.Error("misaligned InstAt must fail")
+	}
+	if p.Size() != 12 {
+		t.Errorf("Size = %d, want 12", p.Size())
+	}
+}
+
+func TestDisassembleContainsSymbols(t *testing.T) {
+	a := NewAsm(0)
+	a.Label("entry")
+	a.Movi(O0, 1)
+	a.Retl()
+	a.Nop()
+	p := a.MustAssemble()
+	d := p.Disassemble()
+	if !strings.Contains(d, "entry:") {
+		t.Errorf("disassembly missing symbol:\n%s", d)
+	}
+	if !strings.Contains(d, "or %g0, 1, %o0") {
+		t.Errorf("disassembly missing mov:\n%s", d)
+	}
+}
+
+func TestAsmRejectsWrongEmitters(t *testing.T) {
+	a := NewAsm(0)
+	a.Load(ADD, O0, O1, 0) // not a load
+	if _, err := a.Assemble(); err == nil {
+		t.Error("Load with non-load opcode must fail")
+	}
+	b := NewAsm(0)
+	b.Store(LD, O0, O1, 0)
+	if _, err := b.Assemble(); err == nil {
+		t.Error("Store with non-store opcode must fail")
+	}
+	c := NewAsm(0)
+	c.Branch(ADD, "x", false)
+	c.Label("x")
+	if _, err := c.Assemble(); err == nil {
+		t.Error("Branch with non-branch opcode must fail")
+	}
+}
+
+// Property: every instruction emitted by the assembler round-trips through
+// the encoder, i.e. Program.Words and Program.Insts agree.
+func TestPropertyAssembledWordsMatchInsts(t *testing.T) {
+	a := NewAsm(0x2000)
+	a.Label("f")
+	a.Save(-96)
+	a.Set32(L0, 0xCAFE0000)
+	a.Load(LD, L1, L0, 4)
+	a.Op3(ADD, L2, L1, L1)
+	a.Store(ST, L2, L0, 8)
+	a.Branch(BNE, "f", true)
+	a.Nop()
+	a.Restore()
+	a.Ret()
+	a.Nop()
+	p := a.MustAssemble()
+	for i, w := range p.Words {
+		got, err := Decode(w)
+		if err != nil {
+			t.Fatalf("word %d: %v", i, err)
+		}
+		if got != p.Insts[i] {
+			t.Fatalf("word %d: decode %v != inst %v", i, got, p.Insts[i])
+		}
+	}
+}

@@ -1,0 +1,434 @@
+package swsyn
+
+import (
+	"fmt"
+
+	"repro/internal/cfsm"
+	"repro/internal/sparc"
+)
+
+// Register conventions in generated reaction functions:
+//
+//	%g1-%g3  expression scratch (never live across nodes)
+//	%g4      shared-memory base
+//	%g5      variables base
+//	%g6      input event buffer base
+//	%g7      output event buffer base
+//	%l0-%l7  expression evaluation stack
+//	%i0-%i5  loop trip counters (one per nesting level)
+//	%o0/%o1  rt_emit arguments
+type codegen struct {
+	a       *sparc.Asm
+	mc      *MachineCode
+	machine int
+	trans   int
+
+	depth     int // expression stack depth
+	loopDepth int
+	labelSeq  int
+	err       error
+}
+
+func (g *codegen) fail(format string, args ...any) {
+	if g.err == nil {
+		g.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (g *codegen) label(kind string) string {
+	g.labelSeq++
+	return fmt.Sprintf("m%d_t%d_%s%d", g.machine, g.trans, kind, g.labelSeq)
+}
+
+func (g *codegen) push() sparc.Reg {
+	if g.depth >= 8 {
+		g.fail("expression too deep (evaluation stack > 8)")
+		return sparc.L7
+	}
+	r := sparc.L0 + sparc.Reg(g.depth)
+	g.depth++
+	return r
+}
+
+func (g *codegen) pop() sparc.Reg {
+	if g.depth == 0 {
+		g.fail("expression stack underflow")
+		return sparc.L0
+	}
+	g.depth--
+	return sparc.L0 + sparc.Reg(g.depth)
+}
+
+// transition generates one reaction function and returns its layout.
+func (g *codegen) transition(tr *cfsm.Transition) (*transLayout, error) {
+	a := g.a
+	lay := &transLayout{}
+	abort := g.label("abort")
+
+	a.Label(entryName(g.machine, g.trans))
+	preStart := a.Here()
+	a.Save(-96)
+	a.Set32(sparc.G4, SharedBase)
+	a.Set32(sparc.G5, g.mc.VarsBase)
+	a.Set32(sparc.G6, g.mc.InBase)
+	a.Set32(sparc.G7, g.mc.OutBase)
+
+	// Event detection (ADETECT): test each trigger port's presence flag.
+	// The master only dispatches enabled transitions, so the abort branch
+	// never fires, but the real synthesized code performs the test.
+	for _, p := range tr.Trigger {
+		a.Load(sparc.LD, sparc.G1, sparc.G6, int32(p)*8)
+		a.Op3(sparc.SUBCC, sparc.G0, sparc.G1, sparc.G0)
+		a.Branch(sparc.BE, abort, false)
+		a.Nop()
+	}
+
+	// Guard (TIVART when it passes).
+	if tr.Guard != nil {
+		lay.hasGuard = true
+		g.expr(tr.Guard)
+		r := g.pop()
+		a.Op3(sparc.SUBCC, sparc.G0, r, sparc.G0)
+		a.Branch(sparc.BE, abort, false)
+		a.Nop()
+	}
+	lay.pre = Range{preStart, a.Here()}
+
+	lay.body = g.block(tr.Action)
+
+	postStart := a.Here()
+	a.Label(abort)
+	a.Ret()
+	a.Restore()
+	lay.post = Range{postStart, a.Here()}
+
+	return lay, g.err
+}
+
+func (g *codegen) block(stmts []cfsm.Stmt) []stmtLayout {
+	var out []stmtLayout
+	for _, s := range stmts {
+		out = append(out, g.stmt(s))
+	}
+	return out
+}
+
+func (g *codegen) stmt(s cfsm.Stmt) stmtLayout {
+	a := g.a
+	switch s := s.(type) {
+	case *cfsm.AssignStmt:
+		start := a.Here()
+		g.expr(s.E)
+		r := g.pop()
+		a.Store(sparc.ST, r, sparc.G5, int32(s.Var)*4)
+		return straightL{Range{start, a.Here()}}
+
+	case *cfsm.EmitStmt:
+		start := a.Here()
+		if s.E != nil {
+			g.expr(s.E)
+			r := g.pop()
+			a.Mov(sparc.O1, r)
+		} else {
+			a.Movi(sparc.O1, 0)
+		}
+		a.Op3i(sparc.ADD, sparc.O0, sparc.G7, int32(s.Port)*8)
+		a.Call("rt_emit")
+		a.Nop()
+		return emitL{call: Range{start, a.Here()}}
+
+	case *cfsm.IfStmt:
+		lay := ifL{}
+		elseLbl := g.label("else")
+		endLbl := g.label("end")
+		condStart := a.Here()
+		g.expr(s.Cond)
+		r := g.pop()
+		a.Op3(sparc.SUBCC, sparc.G0, r, sparc.G0)
+		if len(s.Else) > 0 {
+			a.Branch(sparc.BE, elseLbl, false)
+		} else {
+			a.Branch(sparc.BE, endLbl, false)
+		}
+		a.Nop()
+		lay.cond = Range{condStart, a.Here()}
+		lay.thenB = g.block(s.Then)
+		if len(s.Else) > 0 {
+			jStart := a.Here()
+			a.Branch(sparc.BA, endLbl, false)
+			a.Nop()
+			lay.thenJump = Range{jStart, a.Here()}
+			a.Label(elseLbl)
+			lay.elseB = g.block(s.Else)
+		}
+		a.Label(endLbl)
+		return lay
+
+	case *cfsm.RepeatStmt:
+		lay := loopL{}
+		if g.loopDepth >= 6 {
+			g.fail("loops nested deeper than 6")
+		}
+		counter := sparc.I0 + sparc.Reg(g.loopDepth)
+		g.loopDepth++
+		hdrLbl := g.label("hdr")
+		endLbl := g.label("done")
+
+		initStart := a.Here()
+		g.expr(s.Count)
+		r := g.pop()
+		a.Mov(counter, r)
+		lay.init = Range{initStart, a.Here()}
+
+		hdrStart := a.Here()
+		a.Label(hdrLbl)
+		a.Op3(sparc.SUBCC, sparc.G0, counter, sparc.G0)
+		a.Branch(sparc.BLE, endLbl, false)
+		a.Nop()
+		lay.header = Range{hdrStart, a.Here()}
+
+		lay.body = g.block(s.Body)
+
+		latchStart := a.Here()
+		a.Op3i(sparc.SUB, counter, counter, 1)
+		a.Branch(sparc.BA, hdrLbl, false)
+		a.Nop()
+		lay.latch = Range{latchStart, a.Here()}
+		a.Label(endLbl)
+		g.loopDepth--
+		return lay
+
+	case *cfsm.MemReadStmt:
+		start := a.Here()
+		g.expr(s.Addr)
+		r := g.pop()
+		a.Op3i(sparc.SLL, r, r, 2)
+		a.LoadR(sparc.LD, sparc.G1, sparc.G4, r)
+		a.Store(sparc.ST, sparc.G1, sparc.G5, int32(s.Var)*4)
+		return straightL{Range{start, a.Here()}}
+
+	case *cfsm.MemWriteStmt:
+		start := a.Here()
+		g.expr(s.Addr)
+		ra := g.pop()
+		a.Op3i(sparc.SLL, ra, ra, 2)
+		a.Op3(sparc.ADD, ra, ra, sparc.G4)
+		g.depth++ // keep ra live on the stack while evaluating the value
+		g.expr(s.Val)
+		rv := g.pop()
+		g.depth-- // release ra
+		a.Store(sparc.ST, rv, ra, 0)
+		return straightL{Range{start, a.Here()}}
+
+	default:
+		g.fail("unsupported statement %T", s)
+		return straightL{}
+	}
+}
+
+// expr compiles e, leaving the result in a fresh evaluation-stack register.
+// All data-dependent operators are branchless so the code is straight-line.
+func (g *codegen) expr(e *cfsm.Expr) {
+	a := g.a
+	switch e.Kind() {
+	case cfsm.ConstKind:
+		r := g.push()
+		v := int32(e.ConstVal())
+		if v >= -4096 && v <= 4095 {
+			a.Movi(r, v)
+		} else {
+			a.Set32(r, uint32(v))
+		}
+
+	case cfsm.VarKind:
+		r := g.push()
+		a.Load(sparc.LD, r, sparc.G5, int32(e.Ref())*4)
+
+	case cfsm.EventValKind:
+		r := g.push()
+		a.Load(sparc.LD, r, sparc.G6, int32(e.Ref())*8+4)
+
+	case cfsm.PresentKind:
+		r := g.push()
+		a.Load(sparc.LD, r, sparc.G6, int32(e.Ref())*8)
+
+	case cfsm.FuncKind:
+		g.fn(e)
+
+	default:
+		g.fail("unsupported expression kind %v", e.Kind())
+		g.push()
+	}
+}
+
+func (g *codegen) fn(e *cfsm.Expr) {
+	a := g.a
+	ops := e.Operands()
+	for _, o := range ops {
+		g.expr(o)
+	}
+	switch e.Op() {
+	case cfsm.AADD, cfsm.ASUB, cfsm.AMUL, cfsm.ADIV, cfsm.AAND, cfsm.AOR,
+		cfsm.AXOR, cfsm.ASHL, cfsm.ASHR:
+		rb := g.pop()
+		ra := g.pop()
+		rd := g.push()
+		var op sparc.Op
+		switch e.Op() {
+		case cfsm.AADD:
+			op = sparc.ADD
+		case cfsm.ASUB:
+			op = sparc.SUB
+		case cfsm.AMUL:
+			op = sparc.SMUL
+		case cfsm.ADIV:
+			op = sparc.SDIV
+		case cfsm.AAND:
+			op = sparc.AND
+		case cfsm.AOR:
+			op = sparc.OR
+		case cfsm.AXOR:
+			op = sparc.XOR
+		case cfsm.ASHL:
+			op = sparc.SLL
+		case cfsm.ASHR:
+			op = sparc.SRA
+		}
+		a.Op3(op, rd, ra, rb)
+
+	case cfsm.AMOD:
+		rb := g.pop()
+		ra := g.pop()
+		rd := g.push()
+		// a - (a/b)*b; the divide-by-zero trap yields quotient 0, so
+		// mod-by-zero returns a, matching the behavioral semantics.
+		a.Op3(sparc.SDIV, sparc.G1, ra, rb)
+		a.Op3(sparc.SMUL, sparc.G1, sparc.G1, rb)
+		a.Op3(sparc.SUB, rd, ra, sparc.G1)
+
+	case cfsm.ANEG:
+		ra := g.pop()
+		rd := g.push()
+		a.Op3(sparc.SUB, rd, sparc.G0, ra)
+
+	case cfsm.AABS:
+		ra := g.pop()
+		rd := g.push()
+		a.Op3i(sparc.SRA, sparc.G1, ra, 31)
+		a.Op3(sparc.XOR, rd, ra, sparc.G1)
+		a.Op3(sparc.SUB, rd, rd, sparc.G1)
+
+	case cfsm.ANOT:
+		ra := g.pop()
+		rd := g.push()
+		a.Op3i(sparc.XOR, rd, ra, -1)
+
+	case cfsm.AEQ, cfsm.ANE:
+		rb := g.pop()
+		ra := g.pop()
+		rd := g.push()
+		g.neBit(rd, ra, rb)
+		if e.Op() == cfsm.AEQ {
+			a.Op3i(sparc.XOR, rd, rd, 1)
+		}
+
+	case cfsm.ALT, cfsm.AGT, cfsm.ALE, cfsm.AGE:
+		rb := g.pop()
+		ra := g.pop()
+		rd := g.push()
+		switch e.Op() {
+		case cfsm.ALT:
+			g.ltBit(rd, ra, rb)
+		case cfsm.AGT:
+			g.ltBit(rd, rb, ra)
+		case cfsm.AGE: // !(a<b)
+			g.ltBit(rd, ra, rb)
+			a.Op3i(sparc.XOR, rd, rd, 1)
+		case cfsm.ALE: // !(b<a)
+			g.ltBit(rd, rb, ra)
+			a.Op3i(sparc.XOR, rd, rd, 1)
+		}
+
+	case cfsm.ALAND:
+		rb := g.pop()
+		ra := g.pop()
+		rd := g.push()
+		g.boolBit(sparc.G1, ra)
+		g.boolBit(sparc.G2, rb)
+		a.Op3(sparc.AND, rd, sparc.G1, sparc.G2)
+
+	case cfsm.ALOR:
+		rb := g.pop()
+		ra := g.pop()
+		rd := g.push()
+		a.Op3(sparc.OR, sparc.G1, ra, rb)
+		g.boolBit(rd, sparc.G1)
+
+	case cfsm.ALNOT:
+		ra := g.pop()
+		rd := g.push()
+		g.boolBit(rd, ra)
+		a.Op3i(sparc.XOR, rd, rd, 1)
+
+	case cfsm.AMIN, cfsm.AMAX:
+		rb := g.pop()
+		ra := g.pop()
+		rd := g.push()
+		if e.Op() == cfsm.AMIN {
+			g.ltBit(sparc.G1, ra, rb) // lt ? a : b
+		} else {
+			g.ltBit(sparc.G1, rb, ra) // b<a ? a : b
+		}
+		a.Op3(sparc.SUB, sparc.G1, sparc.G0, sparc.G1) // mask
+		a.Op3(sparc.XOR, sparc.G2, ra, rb)
+		a.Op3(sparc.AND, sparc.G2, sparc.G2, sparc.G1)
+		a.Op3(sparc.XOR, rd, rb, sparc.G2)
+
+	case cfsm.AMUX:
+		rc := g.pop()
+		rb := g.pop()
+		ra := g.pop() // selector
+		rd := g.push()
+		g.boolBit(sparc.G1, ra)
+		a.Op3(sparc.SUB, sparc.G1, sparc.G0, sparc.G1)
+		a.Op3(sparc.XOR, sparc.G2, rb, rc)
+		a.Op3(sparc.AND, sparc.G2, sparc.G2, sparc.G1)
+		a.Op3(sparc.XOR, rd, rc, sparc.G2)
+
+	default:
+		g.fail("unsupported function op %v", e.Op())
+		for range ops {
+			g.pop()
+		}
+		g.push()
+	}
+}
+
+// boolBit sets rd = (ra != 0) ? 1 : 0, branchlessly, via (ra | -ra) >>u 31.
+// rd may alias ra; ra must not be %g3 (the internal scratch).
+func (g *codegen) boolBit(rd, ra sparc.Reg) {
+	a := g.a
+	a.Op3(sparc.SUB, sparc.G3, sparc.G0, ra)
+	a.Op3(sparc.OR, sparc.G3, ra, sparc.G3)
+	a.Op3i(sparc.SRL, rd, sparc.G3, 31)
+}
+
+// neBit sets rd = (ra != rb) ? 1 : 0.
+func (g *codegen) neBit(rd, ra, rb sparc.Reg) {
+	a := g.a
+	a.Op3(sparc.XOR, sparc.G2, ra, rb)
+	g.boolBit(rd, sparc.G2)
+}
+
+// ltBit sets rd = (ra < rb signed) ? 1 : 0 using the overflow-safe identity
+// lt = ((a-b) ^ ((a^b) & ((a-b)^a))) >>u 31. Scratch: g1..g3. rd must not
+// alias g1..g3 but may alias ra/rb.
+func (g *codegen) ltBit(rd, ra, rb sparc.Reg) {
+	a := g.a
+	a.Op3(sparc.SUB, sparc.G1, ra, rb) // d = a-b
+	a.Op3(sparc.XOR, sparc.G2, ra, rb) // x = a^b
+	a.Op3(sparc.XOR, sparc.G3, sparc.G1, ra)
+	a.Op3(sparc.AND, sparc.G2, sparc.G2, sparc.G3)
+	a.Op3(sparc.XOR, sparc.G1, sparc.G1, sparc.G2)
+	a.Op3i(sparc.SRL, rd, sparc.G1, 31)
+}

@@ -1,0 +1,228 @@
+package systems
+
+import (
+	"repro/internal/cfsm"
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+// Display buffer layout (word addresses in shared memory).
+const (
+	DispSpeed = 0x400
+	DispOdo   = 0x401
+	DispFuel  = 0x402
+)
+
+// AutoParams sizes the automotive (dashboard) controller.
+type AutoParams struct {
+	// Duration of the drive scenario.
+	Duration units.Time
+	// TickPeriod is the system timer tick (drives the belt-alarm timeout).
+	TickPeriod units.Time
+	// WheelPeriod is the wheel-pulse spacing (vehicle speed).
+	WheelPeriod units.Time
+	// BeltDelay is when the driver fastens the belt (0 = never: alarm).
+	BeltDelay units.Time
+	// AlarmTicks is the belt-alarm timeout in timer ticks.
+	AlarmTicks int
+}
+
+// DefaultAutomotive is a short drive where the driver is slow to buckle up.
+func DefaultAutomotive() AutoParams {
+	return AutoParams{
+		Duration:    3 * units.Millisecond,
+		TickPeriod:  100 * units.Microsecond,
+		WheelPeriod: 20 * units.Microsecond,
+		BeltDelay:   1200 * units.Microsecond,
+		AlarmTicks:  6,
+	}
+}
+
+// Automotive builds the dashboard controller: belt alarm (SW), odometer and
+// fuel gauge (SW), speedometer, alarm timer and display controller (HW).
+func Automotive(p AutoParams) (*core.System, core.Config) {
+	// belt_ctrl (SW): KEY_ON starts the timer; if the timeout expires before
+	// BELT_ON, sound the alarm; BELT_ON or KEY_OFF clears it.
+	bb := cfsm.NewBuilder("belt_ctrl")
+	bOff := bb.State("off")
+	bWait := bb.State("wait")
+	bAlarm := bb.State("alarm")
+	bBelted := bb.State("belted")
+	bKeyOn := bb.Input("KEY_ON")
+	bKeyOff := bb.Input("KEY_OFF")
+	bBelt := bb.Input("BELT_ON")
+	bExp := bb.Input("TMR_EXP")
+	bStart := bb.Output("TMR_START")
+	bAlarmOut := bb.Output("ALARM")
+	bb.On(bOff, bKeyOn).Named("start").Do(
+		cfsm.Emit(bStart, cfsm.Const(1)),
+	).Goto(bWait)
+	bb.On(bWait, bBelt).Named("belted").Goto(bBelted)
+	bb.On(bWait, bExp).Named("timeout").Do(
+		cfsm.Emit(bAlarmOut, cfsm.Const(1)),
+	).Goto(bAlarm)
+	bb.On(bAlarm, bBelt).Named("silence").Do(
+		cfsm.Emit(bAlarmOut, cfsm.Const(0)),
+	).Goto(bBelted)
+	bb.On(bAlarm, bKeyOff).Named("off-alarm").Do(
+		cfsm.Emit(bAlarmOut, cfsm.Const(0)),
+	).Goto(bOff)
+	bb.On(bBelted, bKeyOff).Named("off").Goto(bOff)
+	bb.On(bWait, bKeyOff).Named("off-wait").Goto(bOff)
+	beltCtrl := bb.MustBuild()
+
+	// alarm_timer (HW): armed by TMR_START, counts ticks, emits TMR_EXP.
+	tb := cfsm.NewBuilder("alarm_timer")
+	ts := tb.State("run")
+	tTick := tb.Input("TICK")
+	tArm := tb.Input("TMR_START")
+	tExp := tb.Output("TMR_EXP")
+	tCnt := tb.Var("CNT", 0)
+	tb.On(ts, tArm).Named("arm").Do(
+		cfsm.Set(tCnt, cfsm.Const(cfsm.Value(p.AlarmTicks))),
+	)
+	tb.On(ts, tTick).When(cfsm.Gt(tb.V(tCnt), cfsm.Const(0))).Named("count").Do(
+		cfsm.Set(tCnt, cfsm.Sub(tb.V(tCnt), cfsm.Const(1))),
+		cfsm.If(cfsm.Eq(tb.V(tCnt), cfsm.Const(0)),
+			cfsm.Block(cfsm.Emit(tExp, cfsm.Const(1))),
+			nil),
+	)
+	tb.On(ts, tTick).Named("idle") // consume ticks while disarmed
+	alarmTimer := tb.MustBuild()
+
+	// speedo (HW): counts wheel pulses; every SPEED_WIN ticks, latches the
+	// count as the speed, publishes it to the display buffer and odometer.
+	sb := cfsm.NewBuilder("speedo")
+	ss := sb.State("run")
+	sWheel := sb.Input("WHEEL")
+	sTick := sb.Input("TICK")
+	sOut := sb.Output("SPEED")
+	sPulses := sb.Var("PULSES", 0)
+	sWin := sb.Var("WIN", 0)
+	sb.On(ss, sWheel).Named("pulse").Do(
+		cfsm.Set(sPulses, cfsm.Add(sb.V(sPulses), cfsm.Const(1))),
+	)
+	sb.On(ss, sTick).Named("window").Do(
+		cfsm.Set(sWin, cfsm.Add(sb.V(sWin), cfsm.Const(1))),
+		cfsm.If(cfsm.Ge(sb.V(sWin), cfsm.Const(4)),
+			cfsm.Block(
+				cfsm.Set(sWin, cfsm.Const(0)),
+				cfsm.MemWrite(cfsm.Const(DispSpeed), sb.V(sPulses)),
+				cfsm.Emit(sOut, sb.V(sPulses)),
+				cfsm.Set(sPulses, cfsm.Const(0)),
+			),
+			nil),
+	)
+	speedo := sb.MustBuild()
+
+	// odometer (SW): integrates speed samples, publishes distance.
+	ob := cfsm.NewBuilder("odometer")
+	os := ob.State("run")
+	oIn := ob.Input("SPEED")
+	oOut := ob.Output("ODO")
+	oDist := ob.Var("DIST", 0)
+	ob.On(os, oIn).Named("integrate").Do(
+		cfsm.Set(oDist, cfsm.Add(ob.V(oDist), ob.EvVal(oIn))),
+		cfsm.MemWrite(cfsm.Const(DispOdo), cfsm.And(ob.V(oDist), cfsm.Const(0xFFFF))),
+		cfsm.Emit(oOut, cfsm.And(ob.V(oDist), cfsm.Const(0xFFFF))),
+	)
+	odometer := ob.MustBuild()
+
+	// fuel (SW): exponential moving average of the sensor samples.
+	fb := cfsm.NewBuilder("fuel")
+	fs := fb.State("run")
+	fIn := fb.Input("FUEL_SAMPLE")
+	fOut := fb.Output("FUEL_LVL")
+	fAvg := fb.Var("AVG", 128)
+	fb.On(fs, fIn).Named("filter").Do(
+		// avg = (3*avg + sample) / 4, in shifts and adds.
+		cfsm.Set(fAvg, cfsm.Fn(cfsm.ASHR,
+			cfsm.Add(cfsm.Add(fb.V(fAvg), cfsm.Mul(fb.V(fAvg), cfsm.Const(2))), fb.EvVal(fIn)),
+			cfsm.Const(2))),
+		cfsm.MemWrite(cfsm.Const(DispFuel), fb.V(fAvg)),
+		cfsm.Emit(fOut, fb.V(fAvg)),
+	)
+	fuel := fb.MustBuild()
+
+	// display (HW): on any gauge update, fetches the display buffer and
+	// computes a frame signature (stand-in for segment encoding).
+	db := cfsm.NewBuilder("display")
+	ds := db.State("run")
+	dSpeed := db.Input("SPEED")
+	dOdo := db.Input("ODO")
+	dFuel := db.Input("FUEL_LVL")
+	dFrame := db.Output("FRAME")
+	dA := db.Var("A", 0)
+	dB := db.Var("B", 0)
+	dC := db.Var("C", 0)
+	dSig := db.Var("SIG", 0)
+	refresh := func(trigger int) {
+		db.On(ds, trigger).Do(
+			cfsm.MemRead(dA, cfsm.Const(DispSpeed)),
+			cfsm.MemRead(dB, cfsm.Const(DispOdo)),
+			cfsm.MemRead(dC, cfsm.Const(DispFuel)),
+			cfsm.Set(dSig, cfsm.Xor(cfsm.Add(db.V(dA), db.V(dB)),
+				cfsm.Fn(cfsm.ASHL, db.V(dC), cfsm.Const(2)))),
+			cfsm.Emit(dFrame, cfsm.And(db.V(dSig), cfsm.Const(0xFFFF))),
+		)
+	}
+	refresh(dSpeed)
+	refresh(dOdo)
+	refresh(dFuel)
+	display := db.MustBuild()
+
+	net := cfsm.NewNet()
+	net.Add(beltCtrl)
+	net.Add(alarmTimer)
+	net.Add(speedo)
+	net.Add(odometer)
+	net.Add(fuel)
+	net.Add(display)
+	net.ConnectByName("belt_ctrl", "TMR_START", "alarm_timer", "TMR_START")
+	net.ConnectByName("alarm_timer", "TMR_EXP", "belt_ctrl", "TMR_EXP")
+	net.ConnectByName("speedo", "SPEED", "odometer", "SPEED")
+	net.ConnectByName("speedo", "SPEED", "display", "SPEED")
+	net.ConnectByName("odometer", "ODO", "display", "ODO")
+	net.ConnectByName("fuel", "FUEL_LVL", "display", "FUEL_LVL")
+	net.EnvInputByName("KEY_ON", "belt_ctrl", "KEY_ON")
+	net.EnvInputByName("KEY_OFF", "belt_ctrl", "KEY_OFF")
+	net.EnvInputByName("BELT_ON", "belt_ctrl", "BELT_ON")
+	net.EnvInputByName("TICK", "alarm_timer", "TICK")
+	net.EnvInputByName("TICK", "speedo", "TICK")
+	net.EnvInputByName("WHEEL", "speedo", "WHEEL")
+	net.EnvInputByName("FUEL_SAMPLE", "fuel", "FUEL_SAMPLE")
+	net.EnvOutput("ALARM", net.MachineIndex("belt_ctrl"), beltCtrl.OutputIndex("ALARM"))
+	net.EnvOutput("FRAME", net.MachineIndex("display"), display.OutputIndex("FRAME"))
+
+	sys := &core.System{
+		Name: "automotive",
+		Net:  net,
+		Procs: map[string]core.ProcessConfig{
+			"belt_ctrl":   {Mapping: core.SW, Priority: 1},
+			"odometer":    {Mapping: core.SW, Priority: 2},
+			"fuel":        {Mapping: core.SW, Priority: 3},
+			"alarm_timer": {Mapping: core.HW, Priority: 4},
+			"speedo":      {Mapping: core.HW, Priority: 5},
+			"display":     {Mapping: core.HW, Priority: 6},
+		},
+	}
+	sys.Periodic = append(sys.Periodic,
+		core.PeriodicStimulus{Input: "TICK", Period: p.TickPeriod},
+		core.PeriodicStimulus{Input: "WHEEL", Period: p.WheelPeriod},
+		core.PeriodicStimulus{Input: "FUEL_SAMPLE", Period: 7 * p.TickPeriod},
+	)
+	sys.Stimuli = append(sys.Stimuli,
+		core.Stimulus{At: 10 * units.Microsecond, Input: "KEY_ON", Value: 1},
+	)
+	if p.BeltDelay > 0 {
+		sys.Stimuli = append(sys.Stimuli,
+			core.Stimulus{At: p.BeltDelay, Input: "BELT_ON", Value: 1})
+	}
+	sys.Stimuli = append(sys.Stimuli,
+		core.Stimulus{At: p.Duration - 10*units.Microsecond, Input: "KEY_OFF", Value: 1})
+
+	cfg := core.DefaultConfig()
+	cfg.HWWidth = 16
+	cfg.MaxSimTime = p.Duration
+	return sys, cfg
+}

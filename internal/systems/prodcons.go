@@ -1,0 +1,161 @@
+// Package systems defines the paper's three case-study systems as CFSM
+// networks with HW/SW partitions and environments:
+//
+//   - ProdCons — the producer/timer/consumer motivation example of Fig 1,
+//     whose consumer workload depends on real time elapsed between packets;
+//   - TCPIP — the TCP/IP network-interface-card checksum subsystem of Fig 5
+//     (create_pack, packet queue, ip_check in SW; checksum in HW; shared
+//     memory behind the arbitrated bus);
+//   - Automotive — the dashboard/automotive controller mentioned in the
+//     abstract (belt alarm, speedometer, odometer, fuel gauge, display).
+package systems
+
+import (
+	"repro/internal/cfsm"
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+// ProdConsParams sizes the Fig 1 motivation example.
+type ProdConsParams struct {
+	// Packets is the number of packets the producer processes after the
+	// single START from the environment (the paper's "repeat NUM_PKTS
+	// times" loop).
+	Packets int
+	// Work scales the producer's checksum computation loop.
+	Work int
+	// TickPeriod is the HW timer resolution.
+	TickPeriod units.Time
+}
+
+// DefaultProdCons matches the narrative of §2.
+func DefaultProdCons() ProdConsParams {
+	return ProdConsParams{
+		Packets:    8,
+		Work:       48,
+		TickPeriod: 4 * units.Microsecond,
+	}
+}
+
+// ProdCons builds the Fig 1 system: SW producer, HW timer, HW consumer.
+func ProdCons(p ProdConsParams) (*core.System, core.Config) {
+	// producer (SW): one START arms the NUM_PKTS loop; each iteration is
+	// one reaction (compute a packet checksum, emit END_COMP, re-trigger
+	// itself). In co-estimation the iterations are spaced by the real
+	// computation time the ISS reports; in the timing-independent
+	// behavioral simulation they collapse to the same instant — the
+	// inter-dependence the paper's Fig 1 illustrates.
+	pb := cfsm.NewBuilder("producer")
+	ps := pb.State("run")
+	pStart := pb.Input("START")
+	pNextIn := pb.Input("NEXT")
+	pEnd := pb.Output("END_COMP")
+	pNextOut := pb.Output("CHAIN")
+	pRem := pb.Var("REMAINING", 0)
+	pAcc := pb.Var("ACC", 0)
+	pI := pb.Var("I", 0)
+	pb.On(ps, pStart).Named("arm").Do(
+		cfsm.Set(pRem, cfsm.Const(cfsm.Value(p.Packets))),
+		cfsm.Emit(pNextOut, nil),
+	)
+	pb.On(ps, pNextIn).When(cfsm.Gt(pb.V(pRem), cfsm.Const(0))).Named("compute").Do(
+		cfsm.Set(pAcc, cfsm.Const(0)),
+		cfsm.Set(pI, cfsm.Const(0)),
+		cfsm.Repeat(cfsm.Const(cfsm.Value(p.Work)),
+			cfsm.Set(pAcc, cfsm.Add(pb.V(pAcc), cfsm.Xor(pb.V(pI), cfsm.Const(0x5A)))),
+			cfsm.If(cfsm.Gt(pb.V(pAcc), cfsm.Const(0xFFFF)),
+				cfsm.Block(cfsm.Set(pAcc, cfsm.And(pb.V(pAcc), cfsm.Const(0xFFFF)))),
+				nil),
+			cfsm.Set(pI, cfsm.Add(pb.V(pI), cfsm.Const(1))),
+		),
+		cfsm.Set(pRem, cfsm.Sub(pb.V(pRem), cfsm.Const(1))),
+		cfsm.Emit(pEnd, pb.V(pAcc)),
+		cfsm.Emit(pNextOut, nil),
+	)
+	pb.On(ps, pNextIn).Named("drain") // loop finished: consume the chain event
+	producer := pb.MustBuild()
+
+	// timer (HW): counts ticks and broadcasts the current time.
+	tb := cfsm.NewBuilder("timer")
+	ts := tb.State("run")
+	tTick := tb.Input("TICK")
+	tOut := tb.Output("TIME")
+	tT := tb.Var("T", 0)
+	tb.On(ts, tTick).Named("tick").Do(
+		cfsm.Set(tT, cfsm.Add(tb.V(tT), cfsm.Const(1))),
+		cfsm.Emit(tOut, tb.V(tT)),
+	)
+	timer := tb.MustBuild()
+
+	// consumer (HW): latches TIME; on END_COMP runs a loop whose trip count
+	// is the elapsed ticks since the previous packet.
+	cb := cfsm.NewBuilder("consumer")
+	cst := cb.State("run")
+	cEnd := cb.Input("END_COMP")
+	cTime := cb.Input("TIME")
+	cDone := cb.Output("PKT_DONE")
+	cPrev := cb.Var("PREV_TIME", 0)
+	cLast := cb.Var("LAST_TIME", 0)
+	cNit := cb.Var("N_IT", 0)
+	cAcc := cb.Var("ACC", 0)
+	// Processing transition first so it wins when both events are pending.
+	cTmp := cb.Var("TMP", 0)
+	cTm2 := cb.Var("TMP2", 0)
+	cb.On(cst, cEnd).Named("process").Do(
+		cfsm.Set(cNit, cfsm.Sub(cb.V(cLast), cb.V(cPrev))),
+		cfsm.Repeat(cb.V(cNit),
+			cfsm.Set(cTmp, cfsm.Xor(cb.V(cAcc), cb.EvVal(cEnd))),
+			cfsm.Set(cTmp, cfsm.Add(cb.V(cTmp), cfsm.Fn(cfsm.ASHL, cb.V(cNit), cfsm.Const(2)))),
+			cfsm.Set(cTm2, cfsm.Fn(cfsm.AMAX, cb.V(cTmp), cb.V(cAcc))),
+			cfsm.Set(cTm2, cfsm.Add(cb.V(cTm2), cfsm.Fn(cfsm.ASHR, cb.V(cTmp), cfsm.Const(3)))),
+			cfsm.Set(cTmp, cfsm.Xor(cb.V(cTmp), cfsm.Fn(cfsm.AMIN, cb.V(cTm2), cfsm.Const(0x3FF)))),
+			cfsm.Set(cAcc, cfsm.And(cfsm.Add(cb.V(cAcc), cb.V(cTmp)), cfsm.Const(0xFFF))),
+			cfsm.If(cfsm.Gt(cb.V(cAcc), cfsm.Const(0x800)),
+				cfsm.Block(cfsm.Set(cAcc, cfsm.Sub(cb.V(cAcc), cfsm.Const(0x700)))),
+				nil),
+		),
+		cfsm.Set(cPrev, cb.V(cLast)),
+		cfsm.Emit(cDone, cb.V(cNit)),
+	)
+	cb.On(cst, cTime).Named("latch").Do(
+		cfsm.Set(cLast, cb.EvVal(cTime)),
+	)
+	consumer := cb.MustBuild()
+
+	net := cfsm.NewNet()
+	net.Add(producer)
+	net.Add(timer)
+	net.Add(consumer)
+	net.ConnectByName("producer", "END_COMP", "consumer", "END_COMP")
+	net.ConnectByName("producer", "CHAIN", "producer", "NEXT")
+	net.ConnectByName("timer", "TIME", "consumer", "TIME")
+	net.EnvInputByName("START", "producer", "START")
+	net.EnvInputByName("TICK", "timer", "TICK")
+	net.EnvOutput("PKT_DONE", net.MachineIndex("consumer"), consumer.OutputIndex("PKT_DONE"))
+
+	sys := &core.System{
+		Name: "prodcons",
+		Net:  net,
+		Procs: map[string]core.ProcessConfig{
+			"producer": {Mapping: core.SW, Priority: 1},
+			"timer":    {Mapping: core.HW, Priority: 2},
+			"consumer": {Mapping: core.HW, Priority: 3},
+		},
+	}
+	sys.Stimuli = append(sys.Stimuli, core.Stimulus{
+		At:    2 * units.Microsecond,
+		Input: "START",
+	})
+	sys.Periodic = append(sys.Periodic, core.PeriodicStimulus{
+		Input:  "TICK",
+		Period: p.TickPeriod,
+	})
+
+	cfg := core.DefaultConfig()
+	cfg.HWWidth = 16
+	// Bound the run with modest headroom over the producer's total compute,
+	// so idle timer ticks do not dominate the consumer's energy.
+	cfg.MaxSimTime = units.Time(p.Packets*p.Work*128)*cfg.Timing.Clock.Period() +
+		100*units.Microsecond
+	return sys, cfg
+}

@@ -1,0 +1,280 @@
+package systems
+
+import (
+	"testing"
+
+	"repro/internal/cfsm"
+	"repro/internal/core"
+	"repro/internal/hwsyn"
+	"repro/internal/swsyn"
+	"repro/internal/units"
+)
+
+// Every system must validate and synthesize cleanly in both partitions.
+func TestSystemsBuildAndSynthesize(t *testing.T) {
+	cases := []struct {
+		name string
+		sys  *core.System
+		cfg  core.Config
+	}{}
+	{
+		s, c := ProdCons(DefaultProdCons())
+		cases = append(cases, struct {
+			name string
+			sys  *core.System
+			cfg  core.Config
+		}{"prodcons", s, c})
+	}
+	{
+		s, c := TCPIP(DefaultTCPIP())
+		cases = append(cases, struct {
+			name string
+			sys  *core.System
+			cfg  core.Config
+		}{"tcpip", s, c})
+	}
+	{
+		s, c := Automotive(DefaultAutomotive())
+		cases = append(cases, struct {
+			name string
+			sys  *core.System
+			cfg  core.Config
+		}{"automotive", s, c})
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.sys.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			var swM []*cfsm.CFSM
+			for _, m := range c.sys.Net.Machines {
+				pc := c.sys.Procs[m.Name]
+				if pc.Mapping == core.SW {
+					swM = append(swM, m)
+				} else {
+					if _, err := hwsyn.Synthesize(m, hwsyn.Config{Width: c.cfg.HWWidth}); err != nil {
+						t.Fatalf("hwsyn %s: %v", m.Name, err)
+					}
+				}
+			}
+			if len(swM) > 0 {
+				if _, err := swsyn.Compile(swM); err != nil {
+					t.Fatalf("swsyn: %v", err)
+				}
+			}
+		})
+	}
+}
+
+func TestPacketGeneratorChecksum(t *testing.T) {
+	seed := uint32(7)
+	payload, sum := makePacket(&seed, 32)
+	if len(payload) != 32 {
+		t.Fatalf("payload len %d", len(payload))
+	}
+	// Recompute the ones-complement sum independently.
+	var acc uint32
+	for _, b := range payload {
+		acc += uint32(b)
+		if acc > 0xFFFF {
+			acc = (acc & 0xFFFF) + 1
+		}
+	}
+	if int32(acc) != sum {
+		t.Fatalf("checksum mismatch: %d vs %d", acc, sum)
+	}
+	// Deterministic for a given seed.
+	seed2 := uint32(7)
+	p2, s2 := makePacket(&seed2, 32)
+	if s2 != sum {
+		t.Fatal("nondeterministic generator")
+	}
+	for i := range p2 {
+		if p2[i] != payload[i] {
+			t.Fatal("nondeterministic payload")
+		}
+	}
+}
+
+func TestTCPIPBehavioralChecksumFlow(t *testing.T) {
+	// Pure behavioral run of the pipeline for one packet, without the
+	// co-simulation machinery: hand-deliver the events.
+	p := DefaultTCPIP()
+	p.PacketBytes = 8
+	sys, _ := TCPIP(p)
+	net := sys.Net
+	shm := shm{}
+
+	// NIC fills the staging buffer: header + 8 bytes.
+	payload := []cfsm.Value{1, 2, 3, 4, 5, 6, 7, 8}
+	var sum cfsm.Value
+	for i, b := range payload {
+		shm[NetBufBase+1+uint32(i)] = b
+		sum += b
+	}
+	shm[NetBufBase] = sum
+
+	cp := net.Machines[net.MachineIndex("create_pack")]
+	q := net.Machines[net.MachineIndex("packet_queue")]
+	ic := net.Machines[net.MachineIndex("ip_check")]
+	ck := net.Machines[net.MachineIndex("checksum")]
+
+	cp.Post(cp.InputIndex("PKT_IN"), 8)
+	r1, ok := cp.React(shm)
+	if !ok {
+		t.Fatal("create_pack did not react")
+	}
+	desc := r1.Emits[0].Value
+	if desc != 8 { // slot 0, len 8
+		t.Fatalf("descriptor = %d", desc)
+	}
+	if shm[PktBufBase] != sum {
+		t.Fatalf("header not copied: %d", shm[PktBufBase])
+	}
+
+	q.Post(q.InputIndex("PKT_RDY"), desc)
+	r2, _ := q.React(shm)
+	if len(r2.Emits) != 1 {
+		t.Fatalf("queue emits = %v", r2.Emits)
+	}
+
+	ic.Post(ic.InputIndex("NEXT_PKT"), r2.Emits[0].Value)
+	r3, _ := ic.React(shm)
+	if shm[PktBufBase] != 0 {
+		t.Fatal("ip_check did not zero the checksum field")
+	}
+	ck.Post(ck.InputIndex("CHK_REQ"), r3.Emits[0].Value)
+	r4, _ := ck.React(shm)
+	if r4.Emits[0].Value != sum {
+		t.Fatalf("hw checksum = %d, want %d", r4.Emits[0].Value, sum)
+	}
+
+	ic.Post(ic.InputIndex("CHK_RES"), r4.Emits[0].Value)
+	r5, _ := ic.React(shm)
+	okEmit := false
+	for _, e := range r5.Emits {
+		if e.Port == ic.OutputIndex("PKT_OK") {
+			okEmit = true
+		}
+		if e.Port == ic.OutputIndex("PKT_ERR") {
+			t.Fatal("good packet flagged as error")
+		}
+	}
+	if !okEmit {
+		t.Fatal("no PKT_OK emission")
+	}
+}
+
+type shm map[uint32]cfsm.Value
+
+func (m shm) MemRead(a uint32) cfsm.Value     { return m[a] }
+func (m shm) MemWrite(a uint32, v cfsm.Value) { m[a] = v }
+
+func TestTCPIPPriorityPermutations(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 6; i++ {
+		n := PriorityPermName(i)
+		if seen[n] {
+			t.Fatalf("duplicate perm name %s", n)
+		}
+		seen[n] = true
+	}
+	if PriorityPermName(6) != PriorityPermName(0) {
+		t.Fatal("perm index must wrap mod 6")
+	}
+}
+
+func TestTCPIPRejectsOversizePackets(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversize packet must panic")
+		}
+	}()
+	p := DefaultTCPIP()
+	p.PacketBytes = 63
+	TCPIP(p)
+}
+
+func TestProdConsTimerBehavior(t *testing.T) {
+	sys, _ := ProdCons(DefaultProdCons())
+	tm := sys.Net.Machines[sys.Net.MachineIndex("timer")]
+	for i := 0; i < 5; i++ {
+		tm.Post(0, 0)
+		r, ok := tm.React(cfsm.NullEnv{})
+		if !ok {
+			t.Fatal("timer did not tick")
+		}
+		if r.Emits[0].Value != cfsm.Value(i+1) {
+			t.Fatalf("tick %d emitted %d", i, r.Emits[0].Value)
+		}
+	}
+}
+
+func TestAutomotiveBeltAlarmStateMachine(t *testing.T) {
+	sys, _ := Automotive(DefaultAutomotive())
+	bc := sys.Net.Machines[sys.Net.MachineIndex("belt_ctrl")]
+	env := cfsm.NullEnv{}
+
+	post := func(name string) *cfsm.Reaction {
+		bc.Post(bc.InputIndex(name), 1)
+		r, _ := bc.React(env)
+		return r
+	}
+	if r := post("KEY_ON"); r == nil || len(r.Emits) != 1 {
+		t.Fatal("KEY_ON must start the timer")
+	}
+	// Timeout before belting: alarm.
+	r := post("TMR_EXP")
+	if r == nil || r.Emits[0].Value != 1 {
+		t.Fatal("timeout must raise the alarm")
+	}
+	// Belt on: alarm clears.
+	r = post("BELT_ON")
+	if r == nil || r.Emits[0].Value != 0 {
+		t.Fatal("belting must clear the alarm")
+	}
+	if r := post("KEY_OFF"); r == nil {
+		t.Fatal("KEY_OFF must return to off")
+	}
+	if bc.State() != bc.StateIndex("off") {
+		t.Fatalf("end state %d, want off", bc.State())
+	}
+}
+
+func TestAutomotiveNoAlarmWhenBeltedQuickly(t *testing.T) {
+	p := DefaultAutomotive()
+	p.BeltDelay = 150 * units.Microsecond // before the 6-tick timeout
+	sys, cfg := Automotive(p)
+	cs, err := core.New(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cs.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range rep.EnvEvents {
+		if e.Name == "ALARM" && e.Value == 1 {
+			t.Fatal("alarm fired despite prompt belting")
+		}
+	}
+}
+
+func TestAutomotiveOdometerAccumulates(t *testing.T) {
+	sys, cfg := Automotive(DefaultAutomotive())
+	cs, err := core.New(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Run(); err != nil {
+		t.Fatal(err)
+	}
+	odo := sys.Net.Machines[sys.Net.MachineIndex("odometer")]
+	if odo.VarValue(odo.VarIndex("DIST")) == 0 {
+		t.Fatal("odometer never accumulated distance")
+	}
+	// The display buffer holds published values.
+	if cs.Shared().Peek(DispSpeed) == 0 {
+		t.Fatal("speed never published to the display buffer")
+	}
+}

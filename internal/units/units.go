@@ -1,0 +1,133 @@
+// Package units defines the physical quantities shared by every estimator in
+// the co-estimation framework: simulated time, energy, power, voltage and
+// capacitance. Keeping them as distinct types prevents the classic
+// cycles-vs-nanoseconds and joules-vs-watts mixups at API boundaries.
+package units
+
+import "fmt"
+
+// Time is simulated time in nanoseconds. The discrete-event kernel, the bus
+// model and every component estimator agree on this base unit.
+type Time int64
+
+// Common time scales.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Forever is a sentinel meaning "no deadline".
+const Forever Time = 1<<63 - 1
+
+func (t Time) String() string {
+	switch {
+	case t == Forever:
+		return "forever"
+	case t >= Second:
+		return fmt.Sprintf("%.6gs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.6gms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.6gus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Energy is dissipated energy in joules.
+type Energy float64
+
+// Common energy scales.
+const (
+	Joule      Energy = 1
+	Millijoule Energy = 1e-3
+	Microjoule Energy = 1e-6
+	Nanojoule  Energy = 1e-9
+	Picojoule  Energy = 1e-12
+)
+
+func (e Energy) String() string {
+	switch {
+	case e == 0:
+		return "0J"
+	case e >= 1e-3 || e <= -1e-3:
+		return fmt.Sprintf("%.4gmJ", float64(e)/1e-3)
+	case e >= 1e-6 || e <= -1e-6:
+		return fmt.Sprintf("%.4guJ", float64(e)/1e-6)
+	case e >= 1e-9 || e <= -1e-9:
+		return fmt.Sprintf("%.4gnJ", float64(e)/1e-9)
+	default:
+		return fmt.Sprintf("%.4gpJ", float64(e)/1e-12)
+	}
+}
+
+// Joules returns e as a plain float64 in joules.
+func (e Energy) Joules() float64 { return float64(e) }
+
+// Nanojoules returns e expressed in nanojoules.
+func (e Energy) Nanojoules() float64 { return float64(e) / float64(Nanojoule) }
+
+// Power is instantaneous or average power in watts.
+type Power float64
+
+func (p Power) String() string {
+	switch {
+	case p == 0:
+		return "0W"
+	case p >= 1 || p <= -1:
+		return fmt.Sprintf("%.4gW", float64(p))
+	case p >= 1e-3 || p <= -1e-3:
+		return fmt.Sprintf("%.4gmW", float64(p)/1e-3)
+	case p >= 1e-6 || p <= -1e-6:
+		return fmt.Sprintf("%.4guW", float64(p)/1e-6)
+	default:
+		return fmt.Sprintf("%.4gnW", float64(p)/1e-9)
+	}
+}
+
+// Over returns the average power of dissipating e over duration d.
+// It returns 0 for non-positive durations.
+func (e Energy) Over(d Time) Power {
+	if d <= 0 {
+		return 0
+	}
+	return Power(float64(e) / d.Seconds())
+}
+
+// Voltage in volts.
+type Voltage float64
+
+// Capacitance in farads.
+type Capacitance float64
+
+// Common capacitance scales.
+const (
+	Farad      Capacitance = 1
+	Picofarad  Capacitance = 1e-12
+	Femtofarad Capacitance = 1e-15
+)
+
+// SwitchEnergy returns the energy of n output transitions of a node with
+// effective capacitance c at supply voltage vdd: n * 1/2 * C * Vdd^2.
+// This is the dynamic-power formula used by both the gate-level estimator
+// and the bus model (paper §3).
+func SwitchEnergy(c Capacitance, vdd Voltage, n uint64) Energy {
+	return Energy(0.5 * float64(c) * float64(vdd) * float64(vdd) * float64(n))
+}
+
+// Frequency in hertz, with the conversion the clocked models need.
+type Frequency float64
+
+// Period returns the clock period of f, rounded to the nearest nanosecond,
+// and panics on non-positive frequencies (a configuration error).
+func (f Frequency) Period() Time {
+	if f <= 0 {
+		panic(fmt.Sprintf("units: non-positive frequency %g", float64(f)))
+	}
+	return Time(float64(Second)/float64(f) + 0.5)
+}

@@ -1,0 +1,124 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{0, "0ns"},
+		{999, "999ns"},
+		{Microsecond, "1us"},
+		{1500 * Nanosecond, "1.5us"},
+		{Millisecond, "1ms"},
+		{2500 * Microsecond, "2.5ms"},
+		{Second, "1s"},
+		{Forever, "forever"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestTimeSeconds(t *testing.T) {
+	if got := (2 * Second).Seconds(); got != 2 {
+		t.Errorf("Seconds() = %g, want 2", got)
+	}
+	if got := (500 * Millisecond).Seconds(); got != 0.5 {
+		t.Errorf("Seconds() = %g, want 0.5", got)
+	}
+}
+
+func TestEnergyString(t *testing.T) {
+	cases := []struct {
+		e    Energy
+		want string
+	}{
+		{0, "0J"},
+		{2 * Millijoule, "2mJ"},
+		{3 * Microjoule, "3uJ"},
+		{110 * Nanojoule, "110nJ"},
+		{5 * Picojoule, "5pJ"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("Energy(%g).String() = %q, want %q", float64(c.e), got, c.want)
+		}
+	}
+}
+
+func TestPowerOver(t *testing.T) {
+	// 1 mJ over 1 ms is 1 W.
+	if got := Millijoule.Over(Millisecond); math.Abs(float64(got)-1) > 1e-12 {
+		t.Errorf("1mJ/1ms = %v, want 1W", got)
+	}
+	if got := Millijoule.Over(0); got != 0 {
+		t.Errorf("energy over zero time = %v, want 0", got)
+	}
+	if got := Millijoule.Over(-Second); got != 0 {
+		t.Errorf("energy over negative time = %v, want 0", got)
+	}
+}
+
+func TestSwitchEnergy(t *testing.T) {
+	// 1/2 * 10pF * (3.3V)^2 * 1 toggle = 54.45 pJ
+	got := SwitchEnergy(10*Picofarad, 3.3, 1)
+	want := Energy(0.5 * 10e-12 * 3.3 * 3.3)
+	if math.Abs(float64(got-want)) > 1e-24 {
+		t.Errorf("SwitchEnergy = %v, want %v", got, want)
+	}
+	if SwitchEnergy(10*Picofarad, 3.3, 0) != 0 {
+		t.Error("zero toggles must dissipate zero energy")
+	}
+}
+
+func TestSwitchEnergyLinearInToggles(t *testing.T) {
+	f := func(n uint16) bool {
+		one := SwitchEnergy(Picofarad, 2.5, 1)
+		many := SwitchEnergy(Picofarad, 2.5, uint64(n))
+		return math.Abs(float64(many)-float64(n)*float64(one)) < 1e-18
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrequencyPeriod(t *testing.T) {
+	if got := Frequency(50e6).Period(); got != 20 {
+		t.Errorf("50MHz period = %v, want 20ns", got)
+	}
+	if got := Frequency(1e9).Period(); got != 1 {
+		t.Errorf("1GHz period = %v, want 1ns", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive frequency must panic")
+		}
+	}()
+	Frequency(0).Period()
+}
+
+func TestPowerString(t *testing.T) {
+	cases := []struct {
+		p    Power
+		want string
+	}{
+		{0, "0W"},
+		{1.5, "1.5W"},
+		{0.002, "2mW"},
+		{3e-6, "3uW"},
+		{4e-9, "4nW"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("Power(%g).String() = %q, want %q", float64(c.p), got, c.want)
+		}
+	}
+}

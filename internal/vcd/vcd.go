@@ -1,0 +1,222 @@
+// Package vcd writes Value Change Dump files (IEEE 1364 §18), the standard
+// waveform interchange format EDA viewers consume. The co-estimation tool
+// uses it to export per-component power waveforms ("display energy and power
+// waveforms for the various parts of the system", paper §3) and gate-level
+// signal activity for inspection in GTKWave and friends.
+package vcd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+
+	"repro/internal/units"
+)
+
+// Var identifies a declared VCD variable.
+type Var struct {
+	id    string
+	width int
+	real  bool
+}
+
+// Writer builds a VCD file: declare variables, then emit time-ordered value
+// changes. Times must be non-decreasing.
+type Writer struct {
+	w       *bufio.Writer
+	scale   units.Time
+	vars    []declared
+	nextID  int
+	started bool
+	curTime int64
+	timeSet bool
+	err     error
+}
+
+type declared struct {
+	v       Var
+	name    string
+	scope   string
+	lastInt uint64
+	lastF   float64
+	hasLast bool
+}
+
+// NewWriter starts a VCD file with the given timescale (e.g. units.Nanosecond).
+func NewWriter(w io.Writer, timescale units.Time) *Writer {
+	if timescale <= 0 {
+		timescale = units.Nanosecond
+	}
+	return &Writer{w: bufio.NewWriter(w), scale: timescale}
+}
+
+func (w *Writer) ident(i int) string {
+	// Printable identifier characters per the spec: '!' (33) .. '~' (126).
+	const lo, hi = 33, 127
+	s := ""
+	for {
+		s = string(rune(lo+i%(hi-lo))) + s
+		i /= hi - lo
+		if i == 0 {
+			return s
+		}
+		i--
+	}
+}
+
+// Wire declares an integer variable of the given bit width in a scope.
+func (w *Writer) Wire(scope, name string, width int) Var {
+	v := Var{id: w.ident(w.nextID), width: width}
+	w.nextID++
+	w.vars = append(w.vars, declared{v: v, name: name, scope: scope})
+	return v
+}
+
+// Real declares a real-valued variable (e.g. a power trace) in a scope.
+func (w *Writer) Real(scope, name string) Var {
+	v := Var{id: w.ident(w.nextID), width: 64, real: true}
+	w.nextID++
+	w.vars = append(w.vars, declared{v: v, name: name, scope: scope})
+	return v
+}
+
+func (w *Writer) begin() {
+	if w.started || w.err != nil {
+		return
+	}
+	w.started = true
+	fmt.Fprintf(w.w, "$date\n  repro power co-estimation\n$end\n")
+	fmt.Fprintf(w.w, "$version\n  repro vcd writer\n$end\n")
+	fmt.Fprintf(w.w, "$timescale %s $end\n", timescaleString(w.scale))
+
+	// Group declarations by scope, deterministically.
+	scopes := map[string][]*declared{}
+	var names []string
+	for i := range w.vars {
+		d := &w.vars[i]
+		if _, ok := scopes[d.scope]; !ok {
+			names = append(names, d.scope)
+		}
+		scopes[d.scope] = append(scopes[d.scope], d)
+	}
+	sort.Strings(names)
+	for _, scope := range names {
+		fmt.Fprintf(w.w, "$scope module %s $end\n", sanitize(scope))
+		for _, d := range scopes[scope] {
+			kind := "wire"
+			if d.v.real {
+				kind = "real"
+			}
+			fmt.Fprintf(w.w, "$var %s %d %s %s $end\n", kind, d.v.width, d.v.id, sanitize(d.name))
+		}
+		fmt.Fprintf(w.w, "$upscope $end\n")
+	}
+	fmt.Fprintf(w.w, "$enddefinitions $end\n")
+}
+
+func sanitize(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == ' ' || c == '\n' || c == '\t' {
+			c = '_'
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return "_"
+	}
+	return string(out)
+}
+
+func timescaleString(t units.Time) string {
+	switch {
+	case t >= units.Millisecond:
+		return fmt.Sprintf("%d ms", int64(t/units.Millisecond))
+	case t >= units.Microsecond:
+		return fmt.Sprintf("%d us", int64(t/units.Microsecond))
+	default:
+		return fmt.Sprintf("%d ns", int64(t))
+	}
+}
+
+func (w *Writer) stamp(t units.Time) {
+	ticks := int64(t / w.scale)
+	if !w.timeSet || ticks != w.curTime {
+		if w.timeSet && ticks < w.curTime {
+			w.fail(fmt.Errorf("vcd: time went backwards (%d < %d)", ticks, w.curTime))
+			return
+		}
+		fmt.Fprintf(w.w, "#%d\n", ticks)
+		w.curTime = ticks
+		w.timeSet = true
+	}
+}
+
+func (w *Writer) fail(err error) {
+	if w.err == nil {
+		w.err = err
+	}
+}
+
+func (w *Writer) find(v Var) *declared {
+	for i := range w.vars {
+		if w.vars[i].v.id == v.id {
+			return &w.vars[i]
+		}
+	}
+	return nil
+}
+
+// Set emits an integer value change at time t (deduplicated).
+func (w *Writer) Set(t units.Time, v Var, value uint64) {
+	w.begin()
+	d := w.find(v)
+	if d == nil {
+		w.fail(fmt.Errorf("vcd: undeclared variable"))
+		return
+	}
+	if d.hasLast && d.lastInt == value {
+		return
+	}
+	w.stamp(t)
+	if v.width == 1 {
+		fmt.Fprintf(w.w, "%d%s\n", value&1, v.id)
+	} else {
+		fmt.Fprintf(w.w, "b%s %s\n", strconv.FormatUint(value, 2), v.id)
+	}
+	d.lastInt = value
+	d.hasLast = true
+}
+
+// SetReal emits a real value change at time t (deduplicated).
+func (w *Writer) SetReal(t units.Time, v Var, value float64) {
+	w.begin()
+	d := w.find(v)
+	if d == nil {
+		w.fail(fmt.Errorf("vcd: undeclared variable"))
+		return
+	}
+	if d.hasLast && d.lastF == value {
+		return
+	}
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		value = 0
+	}
+	w.stamp(t)
+	fmt.Fprintf(w.w, "r%g %s\n", value, v.id)
+	d.lastF = value
+	d.hasLast = true
+}
+
+// Close flushes the file and reports the first error encountered.
+func (w *Writer) Close() error {
+	w.begin()
+	if err := w.w.Flush(); err != nil && w.err == nil {
+		w.err = err
+	}
+	return w.err
+}

@@ -1,0 +1,113 @@
+package vcd
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestHeaderAndDeclarations(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, units.Nanosecond)
+	a := w.Wire("top", "clk", 1)
+	b := w.Wire("top", "bus", 8)
+	p := w.Real("power", "total")
+	w.Set(0, a, 1)
+	w.Set(0, b, 0xA5)
+	w.SetReal(0, p, 1.5e-3)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"$timescale 1 ns $end",
+		"$scope module top $end",
+		"$var wire 1 ",
+		"$var wire 8 ",
+		"$var real 64 ",
+		"$enddefinitions $end",
+		"#0",
+		"b10100101 ",
+		"r0.0015 ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestValueDeduplication(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, units.Nanosecond)
+	a := w.Wire("s", "x", 1)
+	w.Set(0, a, 1)
+	w.Set(10, a, 1) // unchanged: no emission
+	w.Set(20, a, 0)
+	w.Close()
+	out := buf.String()
+	if strings.Contains(out, "#10") {
+		t.Fatalf("dedup failed:\n%s", out)
+	}
+	if !strings.Contains(out, "#20") {
+		t.Fatalf("change at 20 missing:\n%s", out)
+	}
+}
+
+func TestTimeMonotonicity(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, units.Nanosecond)
+	a := w.Wire("s", "x", 1)
+	w.Set(100, a, 1)
+	w.Set(50, a, 0) // backwards
+	if err := w.Close(); err == nil {
+		t.Fatal("time reversal must be an error")
+	}
+}
+
+func TestTimescaleRounding(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, units.Microsecond)
+	a := w.Wire("s", "x", 1)
+	w.Set(2500*units.Nanosecond, a, 1)
+	w.Close()
+	if !strings.Contains(buf.String(), "#2\n") {
+		t.Fatalf("2.5us at 1us scale should stamp #2:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "$timescale 1 us $end") {
+		t.Fatal("bad timescale")
+	}
+}
+
+func TestIdentifiersUnique(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, units.Nanosecond)
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		v := w.Wire("s", "x", 1)
+		if seen[v.id] {
+			t.Fatalf("duplicate identifier %q at %d", v.id, i)
+		}
+		seen[v.id] = true
+	}
+}
+
+func TestNameSanitization(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, units.Nanosecond)
+	w.Wire("my scope", "a b", 1)
+	w.Close()
+	if !strings.Contains(buf.String(), "my_scope") || !strings.Contains(buf.String(), "a_b") {
+		t.Fatalf("names not sanitized:\n%s", buf.String())
+	}
+}
+
+func TestUndeclaredVar(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, units.Nanosecond)
+	w.Set(0, Var{id: "zz"}, 1)
+	if err := w.Close(); err == nil {
+		t.Fatal("undeclared variable must error")
+	}
+}
