@@ -1,6 +1,6 @@
 // Command coest runs one power co-estimation (or the separate-estimation
 // baseline) on a named case-study system and prints the energy report —
-// the command-line face of the paper's tool.
+// the command-line face of the paper's tool, built on pkg/coest.
 //
 // Examples:
 //
@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -19,17 +20,12 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
-	"repro/internal/cfsmtext"
-	"repro/internal/core"
-	"repro/internal/ecache"
 	"repro/internal/gate"
-	"repro/internal/iss"
-	"repro/internal/macromodel"
-	"repro/internal/paramfile"
-	"repro/internal/systems"
 	"repro/internal/units"
 	"repro/internal/vcd"
+	"repro/pkg/coest"
 )
 
 func main() {
@@ -58,95 +54,67 @@ func main() {
 	)
 	flag.Parse()
 
-	var sys *core.System
-	var cfg core.Config
-	var err error
-	if *file != "" {
-		src, rerr := os.ReadFile(*file)
-		if rerr != nil {
-			fatal(rerr)
-		}
-		spec, perr := cfsmtext.Parse(strings.TrimSuffix(filepath.Base(*file), ".cfsm"), string(src))
-		if perr != nil {
-			fatal(fmt.Errorf("%s: %w", *file, perr))
-		}
-		sys = spec.System
-		cfg = core.DefaultConfig()
-		cfg.MaxSimTime = 50 * units.Millisecond
-		if *dma > 0 {
-			cfg.Bus.DMASize = *dma
-		}
-	} else {
-		sys, cfg, err = buildSystem(*system, *packets, *dma, *perm)
-		if err != nil {
-			fatal(err)
-		}
+	sys, opts, err := assemble(*file, *system, *packets, *dma, *perm)
+	if err != nil {
+		fatal(err)
 	}
-	if *mode == "separate" {
-		cfg.Mode = core.Separate
-	} else if *mode != "co" {
+
+	switch *mode {
+	case "co":
+	case "separate":
+		opts = append(opts, coest.WithSeparateEstimation())
+	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
 	if *dsp {
-		cfg.Power = iss.DSPModel()
+		opts = append(opts, coest.WithDSPModel())
 	}
 	if *useCache {
-		cfg.Accel.ECache = true
-		cfg.Accel.ECacheParams = ecache.DefaultParams()
+		opts = append(opts, coest.WithEnergyCache())
 	}
 	if *paramFile != "" {
 		f, err := os.Open(*paramFile)
 		if err != nil {
 			fatal(err)
 		}
-		pf, err := paramfile.Parse(f)
+		pf, err := coest.ParseParamFile(f)
 		f.Close()
 		if err != nil {
 			fatal(err)
 		}
-		tbl, err := macromodel.FromParamFile(pf, cfg.Timing.Clock)
-		if err != nil {
-			fatal(err)
-		}
-		cfg.Accel.Macromodel = true
-		cfg.Accel.MacromodelTable = tbl
+		opts = append(opts, coest.WithMacroModelParams(pf))
 	} else if *useMacro {
 		fmt.Fprintln(os.Stderr, "characterizing macro-operation library...")
-		tbl, err := macromodel.Characterize(cfg.Timing, cfg.Power)
-		if err != nil {
-			fatal(err)
-		}
-		cfg.Accel.Macromodel = true
-		cfg.Accel.MacromodelTable = tbl
+		opts = append(opts, coest.WithMacroModel())
 	}
 	if *useSamp {
-		cfg.Accel.Sampling = true
-		cfg.Accel.SamplingParams = core.DefaultSampling()
+		opts = append(opts, coest.WithSampling())
 	}
 	if *waveform || *vcdPath != "" {
-		cfg.WaveformBucket = 10 * units.Microsecond
+		opts = append(opts, coest.WithWaveform(10*time.Microsecond))
 	}
 	if *trace {
-		cfg.Trace = func(s string) { fmt.Println(s) }
+		opts = append(opts, coest.WithTrace(func(s string) { fmt.Println(s) }))
 	}
 
 	if *exportSys {
-		fmt.Print(cfsmtext.Print(sys))
+		fmt.Print(coest.PrintCFSM(sys))
 		return
 	}
-	cs, err := core.New(sys, cfg)
+	c, err := coest.Compile(sys, opts...)
 	if err != nil {
 		fatal(err)
 	}
+	cfg := c.Config()
 	if *asmDump {
-		if prog := cs.SWProgram(); prog != nil {
+		if prog := c.SWProgram(); prog != nil {
 			fmt.Print(prog.Disassemble())
 		} else {
 			fmt.Fprintln(os.Stderr, "no software partition to disassemble")
 		}
 	}
 	if *vlogDir != "" {
-		for name, nl := range cs.HWNetlists() {
+		for name, nl := range c.HWNetlists() {
 			path := filepath.Join(*vlogDir, name+".v")
 			f, err := os.Create(path)
 			if err != nil {
@@ -161,7 +129,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wrote %s (%d gates, %d flops)\n", path, st.Gates, st.DFFs)
 		}
 	}
-	rep, err := cs.Run()
+	rep, err := c.Estimate(context.Background())
 	if err != nil {
 		fatal(err)
 	}
@@ -201,7 +169,7 @@ func main() {
 	}
 	if *probEst {
 		fmt.Println("  probabilistic HW power (uniform input statistics):")
-		for name, nl := range cs.HWNetlists() {
+		for name, nl := range c.HWNetlists() {
 			est, err := gate.EstimateProbabilistic(nl, cfg.HWVdd, gate.UniformInputs(len(nl.Inputs)))
 			if err != nil {
 				fatal(err)
@@ -211,7 +179,7 @@ func main() {
 		}
 	}
 	if *cacheRep {
-		rows := cs.SWCacheReport()
+		rows := c.SWCacheReport()
 		if rows == nil {
 			fmt.Println("  (energy cache disabled; pass -ecache)")
 		} else {
@@ -225,10 +193,29 @@ func main() {
 	}
 }
 
-func buildSystem(name string, packets, dma, perm int) (*core.System, core.Config, error) {
-	switch name {
+// assemble builds the system under estimation — from a .cfsm source file or
+// a named case study — together with the options its overrides imply.
+func assemble(file, system string, packets, dma, perm int) (*coest.System, []coest.Option, error) {
+	if file != "" {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, nil, err
+		}
+		sys, err := coest.ParseCFSM(strings.TrimSuffix(filepath.Base(file), ".cfsm"), string(src))
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", file, err)
+		}
+		opts := []coest.Option{coest.WithMaxSimTime(50 * time.Millisecond)}
+		if dma > 0 {
+			opts = append(opts, coest.WithDMASize(dma))
+		}
+		return sys, opts, nil
+	}
+
+	var opts []coest.Option
+	switch system {
 	case "tcpip":
-		p := systems.DefaultTCPIP()
+		p := coest.DefaultTCPIPParams()
 		if packets > 0 {
 			p.Packets = packets
 		}
@@ -236,31 +223,28 @@ func buildSystem(name string, packets, dma, perm int) (*core.System, core.Config
 			p.DMASize = dma
 		}
 		p.PriorityPerm = perm
-		sys, cfg := systems.TCPIP(p)
-		return sys, cfg, nil
+		return coest.TCPIP(p), opts, nil
 	case "prodcons":
-		p := systems.DefaultProdCons()
+		p := coest.DefaultProdConsParams()
 		if packets > 0 {
 			p.Packets = packets
 		}
-		sys, cfg := systems.ProdCons(p)
 		if dma > 0 {
-			cfg.Bus.DMASize = dma
+			opts = append(opts, coest.WithDMASize(dma))
 		}
-		return sys, cfg, nil
+		return coest.ProdCons(p), opts, nil
 	case "automotive":
-		sys, cfg := systems.Automotive(systems.DefaultAutomotive())
 		if dma > 0 {
-			cfg.Bus.DMASize = dma
+			opts = append(opts, coest.WithDMASize(dma))
 		}
-		return sys, cfg, nil
+		return coest.Automotive(coest.DefaultAutomotiveParams()), opts, nil
 	}
-	return nil, core.Config{}, fmt.Errorf("unknown system %q (want tcpip, prodcons or automotive)", name)
+	return nil, nil, fmt.Errorf("unknown system %q (want tcpip, prodcons or automotive)", system)
 }
 
 // writeVCD exports the per-component power waveform as real-valued VCD
 // signals (in watts), viewable in GTKWave.
-func writeVCD(path string, rep *core.Report) error {
+func writeVCD(path string, rep *coest.Report) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -294,7 +278,7 @@ func writeVCD(path string, rep *core.Report) error {
 }
 
 // writeJSON emits a machine-readable summary of the report.
-func writeJSON(w io.Writer, rep *core.Report) error {
+func writeJSON(w io.Writer, rep *coest.Report) error {
 	type transJSON struct {
 		Name      string  `json:"name"`
 		Reactions uint64  `json:"reactions"`

@@ -9,14 +9,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/explore"
 	"repro/internal/report"
@@ -29,6 +32,7 @@ func main() {
 		dmaList = flag.String("dma", "2,4,8,16,32,64,128", "comma-separated DMA sizes")
 		ecache  = flag.Bool("ecache", false, "accelerate each point with energy caching")
 		workers = flag.Int("j", runtime.NumCPU(), "parallel co-estimations")
+		verbose = flag.Bool("v", false, "print per-point progress metrics to stderr")
 	)
 	flag.Parse()
 
@@ -49,10 +53,18 @@ func main() {
 		mutate = experiments.ECacheOn
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	opts := engine.Options{Workers: *workers}
+	if *verbose {
+		opts.OnPoint = func(m engine.PointMetrics) { fmt.Fprintln(os.Stderr, "explore:", m) }
+	}
+
 	start := time.Now()
-	points, err := explore.SweepTCPIPParallel(p, []int{0, 1, 2, 3, 4, 5}, dmas, mutate, *workers)
+	points, err := explore.Sweep(ctx, p, []int{0, 1, 2, 3, 4, 5}, dmas, mutate, opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "explore:", err)
+		// The sweep error is already "explore: ..."-prefixed by the library.
+		fmt.Fprintf(os.Stderr, "%v (%d of %d points completed)\n", err, len(points), 6*len(dmas))
 		os.Exit(1)
 	}
 	wall := time.Since(start)

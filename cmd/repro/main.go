@@ -42,6 +42,7 @@ func main() {
 		packets   = flag.Int("packets", 0, "packets per Table 1/2 run")
 		repeats   = flag.Int("repeats", 0, "wall-time measurement repeats")
 		dmaList   = flag.String("dma", "", "comma-separated DMA sizes for Tables 1/2")
+		workers   = flag.Int("j", 0, "sweep worker pool size (0 = GOMAXPROCS; use 1 for quietest wall-time columns)")
 	)
 	flag.Parse()
 
@@ -52,6 +53,7 @@ func main() {
 	if *repeats > 0 {
 		p.Repeats = *repeats
 	}
+	p.Workers = *workers
 	if *dmaList != "" {
 		p.DMASizes = nil
 		for _, s := range strings.Split(*dmaList, ",") {

@@ -1,16 +1,19 @@
 // Quickstart: define a tiny two-process system (a software pulse counter
-// and a hardware alarm), partition it, and run power co-estimation.
+// and a hardware alarm), partition it, and run power co-estimation through
+// the public pkg/coest API.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repro/internal/cfsm"
-	"repro/internal/core"
 	"repro/internal/units"
+	"repro/pkg/coest"
 )
 
 func main() {
@@ -54,27 +57,22 @@ func main() {
 	net.EnvOutput("LED", net.MachineIndex("alarm"), alarm.OutputIndex("LED"))
 
 	// 3. Partition: counter on the embedded SPARC, alarm as an ASIC.
-	sys := &core.System{
+	sys := coest.New(&coest.Spec{
 		Name: "quickstart",
 		Net:  net,
-		Procs: map[string]core.ProcessConfig{
-			"counter": {Mapping: core.SW, Priority: 1},
-			"alarm":   {Mapping: core.HW, Priority: 2},
+		Procs: map[string]coest.ProcessConfig{
+			"counter": {Mapping: coest.SW, Priority: 1},
+			"alarm":   {Mapping: coest.HW, Priority: 2},
 		},
-		Periodic: []core.PeriodicStimulus{
+		Periodic: []coest.PeriodicStimulus{
 			{Input: "PULSE", Period: 5 * units.Microsecond, Count: 100},
 		},
-	}
+	})
 
 	// 4. Co-estimate: the DE master drives the ISS for the counter and the
 	// gate-level simulator for the synthesized alarm netlist.
-	cfg := core.DefaultConfig()
-	cfg.MaxSimTime = 600 * units.Microsecond
-	cosim, err := core.New(sys, cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	rep, err := cosim.Run()
+	rep, err := coest.Estimate(context.Background(), sys,
+		coest.WithMaxSimTime(600*time.Microsecond))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -150,6 +150,18 @@ func (m Mode) String() string {
 }
 
 // Config parameterizes one co-estimation run.
+//
+// Copy semantics: a Config is a value, but not every field is. Plain
+// assignment shares the Bus.Priority map, the model pointers (Timing,
+// Power, Accel.MacromodelTable) and the callbacks (Trace, PathEnergy), so
+// two runs started from the same copied Config can race on the map and
+// interleave on the callbacks. Sweep workers must therefore start from
+// Clone(), which deep-copies the mutable state; the model pointers are
+// treated as immutable after construction and stay shared (that sharing is
+// what lets one macro-model characterization serve a whole sweep).
+// Callbacks also stay shared — a callback installed on a sweep's base
+// Config is invoked concurrently from every worker and must be
+// goroutine-safe (or nil).
 type Config struct {
 	Mode Mode
 
@@ -180,6 +192,13 @@ type Config struct {
 
 	// MaxSimTime bounds the run (Forever by default).
 	MaxSimTime units.Time
+
+	// StrictDeadline makes hitting MaxSimTime with live events still
+	// scheduled an error (ErrSimTimeExceeded) instead of a normal
+	// truncation. Leave unset for systems that use MaxSimTime as their
+	// intended observation window (e.g. a periodic workload sampled for a
+	// fixed duration).
+	StrictDeadline bool
 
 	// WaveformBucket, if nonzero, enables power-waveform recording with the
 	// given time resolution.
@@ -218,6 +237,22 @@ func DefaultConfig() Config {
 		CPUIdle:    10 * units.Power(1e-3), // 10 mW stalled-CPU draw (clock-gated)
 		MaxSimTime: units.Forever,
 	}
+}
+
+// Clone returns a copy of the configuration that is safe to mutate and run
+// concurrently with the original: the Bus.Priority map is deep-copied, while
+// model pointers (immutable after construction) and callbacks (which must be
+// goroutine-safe, see the type comment) remain shared. The sweep engine
+// clones the base Config once per design point.
+func (c *Config) Clone() Config {
+	out := *c
+	if c.Bus.Priority != nil {
+		out.Bus.Priority = make(map[int]int, len(c.Bus.Priority))
+		for k, v := range c.Bus.Priority {
+			out.Bus.Priority[k] = v
+		}
+	}
+	return out
 }
 
 // Validate checks the configuration.

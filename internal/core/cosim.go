@@ -182,10 +182,13 @@ func New(sys *System, cfg Config) (*CoSim, error) {
 		cs.hw[mi] = &hwExec{driver: drv}
 	}
 
-	// Integration architecture.
+	// Integration architecture. The priority map is copied before defaults
+	// are filled in so New never mutates the caller's Config — sweep workers
+	// may share one base Config across concurrent points (see Config.Clone).
 	busCfg := cfg.Bus
-	if busCfg.Priority == nil {
-		busCfg.Priority = map[int]int{}
+	busCfg.Priority = make(map[int]int, len(sys.Net.Machines))
+	for mi, prio := range cfg.Bus.Priority {
+		busCfg.Priority[mi] = prio
 	}
 	for mi := range sys.Net.Machines {
 		if _, set := busCfg.Priority[mi]; !set {
@@ -373,6 +376,15 @@ func (cs *CoSim) Run() (*Report, error) {
 	cs.kernel.RunUntil(cs.cfg.MaxSimTime)
 	if cs.err != nil {
 		return nil, cs.err
+	}
+	if live := cs.kernel.LivePending(); live > 0 {
+		if cs.cfg.StrictDeadline {
+			return nil, fmt.Errorf("core: %d events still scheduled at %v: %w",
+				live, cs.kernel.Now(), ErrSimTimeExceeded)
+		}
+	} else if cs.sched.Holding() && cs.sched.QueueLen() > 0 {
+		return nil, fmt.Errorf("core: processor held with %d reactions queued at %v: %w",
+			cs.sched.QueueLen(), cs.kernel.Now(), ErrDeadlock)
 	}
 	cs.finishSampling()
 	if cs.cfg.Mode == Separate {

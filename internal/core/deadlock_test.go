@@ -1,0 +1,80 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cfsm"
+	"repro/internal/rtos"
+	"repro/internal/units"
+)
+
+// TestRunDetectsDeadlock drives the end-of-run deadlock check directly: a
+// held processor (a job whose release event will never fire) with reactions
+// still queued must surface ErrDeadlock, not a silent truncated report.
+func TestRunDetectsDeadlock(t *testing.T) {
+	b := cfsm.NewBuilder("m")
+	s0 := b.State("run")
+	in := b.Input("GO")
+	out := b.Output("DONE")
+	b.On(s0, in).Do(cfsm.Emit(out, cfsm.Const(1)))
+
+	net := cfsm.NewNet()
+	net.Add(b.MustBuild())
+	net.EnvInputByName("GO", "m", "GO")
+	net.EnvOutput("DONE", 0, 0)
+
+	sys := &System{
+		Name:  "deadlock",
+		Net:   net,
+		Procs: map[string]ProcessConfig{"m": {Mapping: SW}},
+	}
+	cs, err := New(sys, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A reaction that holds the CPU through a bus phase whose completion
+	// callback is lost: the scheduler ends up holding with work queued and
+	// no future event to release it.
+	cs.sched.Post(&rtos.Job{ID: 0, Hold: true,
+		Service: func() units.Time { return 10 * units.Microsecond }})
+	cs.sched.Post(&rtos.Job{ID: 0, Service: func() units.Time { return 0 }})
+
+	_, err = cs.Run()
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+}
+
+// TestRunCleanSystemNoDeadlock: the same system driven normally completes.
+func TestRunCleanSystemNoDeadlock(t *testing.T) {
+	b := cfsm.NewBuilder("m")
+	s0 := b.State("run")
+	in := b.Input("GO")
+	out := b.Output("DONE")
+	b.On(s0, in).Do(cfsm.Emit(out, cfsm.Const(1)))
+
+	net := cfsm.NewNet()
+	net.Add(b.MustBuild())
+	net.EnvInputByName("GO", "m", "GO")
+	net.EnvOutput("DONE", 0, 0)
+
+	sys := &System{
+		Name:    "clean",
+		Net:     net,
+		Procs:   map[string]ProcessConfig{"m": {Mapping: SW}},
+		Stimuli: []Stimulus{{Input: "GO", At: units.Microsecond, Value: 1}},
+	}
+	cs, err := New(sys, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cs.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total <= 0 {
+		t.Fatal("no energy estimated")
+	}
+}

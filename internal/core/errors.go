@@ -1,0 +1,19 @@
+package core
+
+import "errors"
+
+// Sentinel run-failure conditions, re-exported by pkg/coest. Callers match
+// them with errors.Is; the wrapped message carries the run specifics.
+var (
+	// ErrDeadlock is returned by Run when the discrete-event queue drains
+	// while the system can still make no further progress on work it has
+	// accepted — concretely, when a software job holds the shared processor
+	// past its CPU phase and the release event that would let the queued
+	// reactions dispatch can never fire.
+	ErrDeadlock = errors.New("coest: system deadlocked")
+
+	// ErrSimTimeExceeded is returned by Run when Config.StrictDeadline is
+	// set and the run was truncated by Config.MaxSimTime with live events
+	// still scheduled, instead of finishing naturally.
+	ErrSimTimeExceeded = errors.New("coest: simulated time limit exceeded")
+)

@@ -1,0 +1,208 @@
+// Package engine is the parallel sweep/estimation substrate for design-space
+// exploration: it runs many independent co-estimations over a bounded worker
+// pool and merges their results deterministically.
+//
+// Every co-estimation is a self-contained deterministic simulation, so a
+// sweep is embarrassingly parallel — the engine's job is to make the
+// parallel run indistinguishable from the serial one except for wall time:
+//
+//   - results are merged by point index, so the output ordering and contents
+//     are bit-identical to a serial loop regardless of worker count or
+//     goroutine scheduling;
+//   - a point failure cancels the remaining points and the lowest-index
+//     error is reported, matching the serial loop's first-error semantics;
+//   - context cancellation stops dispatching promptly and returns the
+//     completed points, still in index order;
+//   - expensive one-time setup (macro-model characterization) is shared
+//     across all points instead of being repeated per point;
+//   - a per-point metrics record feeds a progress callback so long sweeps
+//     are observable while they run.
+//
+// internal/explore, internal/experiments and the CLIs all sweep through this
+// package; pkg/coest exposes it publicly as coest.Sweep.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Options configures a pool run.
+type Options struct {
+	// Workers bounds the number of concurrent co-estimations. Zero or
+	// negative means runtime.GOMAXPROCS(0). The pool never runs more
+	// workers than there are points.
+	Workers int
+
+	// OnPoint, if set, receives one metrics record per finished point, in
+	// completion order (not index order). Calls are serialized by the
+	// engine, so the callback does not need its own locking; it must not
+	// block for long, since it is on the workers' critical path.
+	// Only RunReports populates estimator metrics; the generic Run fills
+	// index, wall time and error.
+	OnPoint func(PointMetrics)
+}
+
+func (o Options) workers(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Result pairs a completed point with its index in the sweep grid.
+type Result[T any] struct {
+	Index int
+	Value T
+}
+
+// Values flattens a complete result set (indices 0..n-1) into the bare
+// values. It must only be used on the success path, where Run guarantees
+// exactly one result per point in index order.
+func Values[T any](results []Result[T]) []T {
+	out := make([]T, len(results))
+	for i, r := range results {
+		out[i] = r.Value
+	}
+	return out
+}
+
+// Run executes point(ctx, i) for every i in [0, n) on a bounded worker pool
+// and returns the completed results sorted by index.
+//
+// On success the slice has exactly n entries (indices 0..n-1) whose contents
+// are independent of worker count. If a point fails, the remaining points
+// are cancelled and the lowest-index error observed is returned alongside
+// the points that did complete. If ctx is cancelled mid-sweep, dispatching
+// stops, in-flight points finish, and the completed (partial, index-ordered)
+// results are returned with the context's error.
+func Run[T any](ctx context.Context, n int, opts Options, point func(ctx context.Context, i int) (T, error)) ([]Result[T], error) {
+	if n <= 0 {
+		return nil, ctx.Err()
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	values := make([]T, n)
+	done := make([]bool, n)
+	errIdx := -1 // lowest failed index
+	var firstErr error
+	var mu sync.Mutex // guards errIdx/firstErr and OnPoint serialization
+
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	workers := opts.workers(n)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				start := time.Now()
+				v, err := point(runCtx, i)
+				mu.Lock()
+				if err != nil {
+					if errIdx < 0 || i < errIdx {
+						errIdx, firstErr = i, err
+					}
+					cancel() // stop dispatching the rest of the grid
+				} else {
+					values[i], done[i] = v, true
+				}
+				if opts.OnPoint != nil {
+					opts.OnPoint(PointMetrics{
+						Index: i, Total: n,
+						Wall: time.Since(start),
+						Err:  err,
+					})
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+dispatch:
+	for i := 0; i < n; i++ {
+		if runCtx.Err() != nil {
+			break
+		}
+		select {
+		case jobs <- i:
+		case <-runCtx.Done():
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	out := make([]Result[T], 0, n)
+	for i := 0; i < n; i++ {
+		if done[i] {
+			out = append(out, Result[T]{Index: i, Value: values[i]})
+		}
+	}
+	if firstErr != nil {
+		return out, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// RunReports is Run specialized to co-estimations: build(i) describes point
+// i, the engine constructs and runs it, and the full per-point estimator
+// metrics (ISS instructions, gate evaluations, energy-cache hits, bus-trace
+// compaction ratio) flow into the OnPoint hook.
+//
+// build(i) must return a fresh System on every call — simulations mutate the
+// CFSM network state, so points cannot share one System value. The returned
+// Config is cloned by the engine before use (see core.Config.Clone), so
+// builds may derive all points from one shared base Config.
+func RunReports(ctx context.Context, n int, opts Options, build func(i int) (*core.System, core.Config, error)) ([]Result[*core.Report], error) {
+	inner := opts
+	hook := opts.OnPoint
+	inner.OnPoint = nil // fired below with full metrics instead
+	var mu sync.Mutex
+	return Run(ctx, n, inner, func(_ context.Context, i int) (*core.Report, error) {
+		start := time.Now()
+		rep, err := runPoint(i, build)
+		if err != nil {
+			err = fmt.Errorf("point %d: %w", i, err)
+		}
+		if hook != nil {
+			m := PointMetrics{Index: i, Total: n, Wall: time.Since(start), Err: err}
+			if rep != nil {
+				m.fill(rep)
+			}
+			mu.Lock()
+			hook(m)
+			mu.Unlock()
+		}
+		return rep, err
+	})
+}
+
+func runPoint(i int, build func(i int) (*core.System, core.Config, error)) (*core.Report, error) {
+	sys, cfg, err := build(i)
+	if err != nil {
+		return nil, err
+	}
+	cfg = cfg.Clone()
+	cs, err := core.New(sys, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return cs.Run()
+}

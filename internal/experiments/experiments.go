@@ -7,12 +7,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"repro/internal/cfsm"
 	"repro/internal/core"
 	"repro/internal/ecache"
+	"repro/internal/engine"
 	"repro/internal/explore"
 	"repro/internal/iss"
 	"repro/internal/macromodel"
@@ -33,7 +35,14 @@ type Params struct {
 	Fig7DMASizes []int
 	// Repeats re-measures wall times to damp scheduler noise.
 	Repeats int
+	// Workers bounds the sweep engine's worker pool (0 = GOMAXPROCS).
+	// Energies are identical at any worker count; wall-time columns are
+	// quietest at Workers = 1.
+	Workers int
 }
+
+// opts returns the engine options the experiment sweeps run under.
+func (p Params) opts() engine.Options { return engine.Options{Workers: p.Workers} }
 
 // Default matches the paper's axes at a laptop-friendly workload size.
 func Default() Params {
@@ -133,9 +142,11 @@ func Fig1(w io.Writer) (*Fig1Result, error) {
 }
 
 // Fig3 runs the macro-operation characterization flow and renders the
-// resulting POLIS parameter file.
+// resulting POLIS parameter file. The characterization is memoized through
+// the sweep engine, so later macro-model sweeps in the same process reuse
+// this table instead of re-measuring.
 func Fig3(w io.Writer) (*macromodel.Table, error) {
-	tbl, err := macromodel.Characterize(iss.SPARCliteTiming(), iss.SPARCliteModel())
+	tbl, err := engine.SharedMacroTable(iss.SPARCliteTiming(), iss.SPARCliteModel())
 	if err != nil {
 		return nil, err
 	}
@@ -222,7 +233,7 @@ func renderTable(w io.Writer, title string, rows []explore.AccuracyRow, withErro
 // Table1 compares the base framework against energy caching over the DMA
 // sweep (paper Table 1: 8.6x-18.8x speedup, no energy error).
 func Table1(w io.Writer, p Params) (*TableResult, error) {
-	rows, err := explore.CompareAccel(p.tcpip(), p.DMASizes, ECacheOn, p.Repeats)
+	rows, err := explore.CompareAccelCtx(context.Background(), p.tcpip(), p.DMASizes, ECacheOn, p.Repeats, p.opts())
 	if err != nil {
 		return nil, err
 	}
@@ -233,7 +244,7 @@ func Table1(w io.Writer, p Params) (*TableResult, error) {
 // Table2 compares the base framework against macro-modeling (paper Table 2:
 // 18.9x-87.1x speedup, ~24% conservative energy error).
 func Table2(w io.Writer, p Params, tbl *macromodel.Table) (*TableResult, error) {
-	rows, err := explore.CompareAccel(p.tcpip(), p.DMASizes, MacromodelOn(tbl), p.Repeats)
+	rows, err := explore.CompareAccelCtx(context.Background(), p.tcpip(), p.DMASizes, MacromodelOn(tbl), p.Repeats, p.opts())
 	if err != nil {
 		return nil, err
 	}
@@ -348,7 +359,7 @@ type Fig6Result struct {
 // the paper's claim is ranking preservation and near-linearity.
 func Fig6(w io.Writer, p Params, tbl *macromodel.Table) (*Fig6Result, error) {
 	// Energy comparison only: no timing repeats needed.
-	rows, err := explore.CompareAccel(p.tcpip(), p.Fig7DMASizes, MacromodelOn(tbl), 1)
+	rows, err := explore.CompareAccelCtx(context.Background(), p.tcpip(), p.Fig7DMASizes, MacromodelOn(tbl), 1, p.opts())
 	if err != nil {
 		return nil, err
 	}
@@ -382,7 +393,7 @@ type Fig7Result struct {
 func Fig7(w io.Writer, p Params) (*Fig7Result, error) {
 	tp := systems.DefaultTCPIP()
 	tp.Packets = 3
-	points, err := explore.SweepTCPIP(tp, []int{0, 1, 2, 3, 4, 5}, p.Fig7DMASizes, nil)
+	points, err := explore.Sweep(context.Background(), tp, []int{0, 1, 2, 3, 4, 5}, p.Fig7DMASizes, nil, p.opts())
 	if err != nil {
 		return nil, err
 	}

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/report"
 	"repro/internal/systems"
 	"repro/internal/units"
@@ -37,34 +39,34 @@ type PartitionResult struct {
 }
 
 // Partition co-estimates every HW/SW mapping of the prodcons producer and
-// consumer (the timer stays in hardware) and ranks them by energy. Both
-// processes use only synthesizable macro-operations, so each can map either
-// way — the tool's job is to tell the designer which combination wins.
+// consumer (the timer stays in hardware) on the sweep engine and ranks them
+// by energy. Both processes use only synthesizable macro-operations, so each
+// can map either way — the tool's job is to tell the designer which
+// combination wins.
 func Partition(w io.Writer) (*PartitionResult, error) {
-	res := &PartitionResult{}
-	for _, prodMap := range []core.Mapping{core.SW, core.HW} {
-		for _, consMap := range []core.Mapping{core.SW, core.HW} {
+	mappings := []core.Mapping{core.SW, core.HW}
+	results, err := engine.RunReports(context.Background(), len(mappings)*len(mappings), engine.Options{},
+		func(i int) (*core.System, core.Config, error) {
 			p := systems.DefaultProdCons()
 			sys, cfg := systems.ProdCons(p)
-			sys.Procs["producer"] = core.ProcessConfig{Mapping: prodMap, Priority: 1}
-			sys.Procs["consumer"] = core.ProcessConfig{Mapping: consMap, Priority: 3}
-			cs, err := core.New(sys, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: partition %v/%v: %w", prodMap, consMap, err)
-			}
-			rep, err := cs.Run()
-			if err != nil {
-				return nil, fmt.Errorf("experiments: partition %v/%v: %w", prodMap, consMap, err)
-			}
-			res.Points = append(res.Points, PartitionPoint{
-				Producer: prodMap,
-				Consumer: consMap,
-				Total:    rep.Total,
-				SW:       rep.SWEnergy,
-				HW:       rep.HWEnergy,
-				Makespan: rep.SimulatedTime,
-			})
-		}
+			sys.Procs["producer"] = core.ProcessConfig{Mapping: mappings[i/2], Priority: 1}
+			sys.Procs["consumer"] = core.ProcessConfig{Mapping: mappings[i%2], Priority: 3}
+			return sys, cfg, nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: partition sweep: %w", err)
+	}
+	res := &PartitionResult{}
+	for _, r := range results {
+		rep := r.Value
+		res.Points = append(res.Points, PartitionPoint{
+			Producer: mappings[r.Index/2],
+			Consumer: mappings[r.Index%2],
+			Total:    rep.Total,
+			SW:       rep.SWEnergy,
+			HW:       rep.HWEnergy,
+			Makespan: rep.SimulatedTime,
+		})
 	}
 	res.Min = res.Points[0]
 	for _, pt := range res.Points[1:] {

@@ -7,11 +7,12 @@
 package explore
 
 import (
+	"context"
 	"fmt"
-	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/stats"
 	"repro/internal/systems"
 	"repro/internal/units"
@@ -49,91 +50,64 @@ func runPoint(params systems.TCPIPParams, mutate Mutator) (*core.Report, error) 
 	return cs.Run()
 }
 
-// SweepTCPIP explores perms × dmaSizes for the TCP/IP subsystem — the Fig 7
-// grid. mutate (optional) applies to every point.
-func SweepTCPIP(params systems.TCPIPParams, perms, dmaSizes []int, mutate Mutator) ([]Point, error) {
-	var out []Point
-	for _, perm := range perms {
-		for _, dma := range dmaSizes {
-			p := params
-			p.PriorityPerm = perm
-			p.DMASize = dma
-			rep, err := runPoint(p, mutate)
-			if err != nil {
-				return nil, fmt.Errorf("explore: perm %d dma %d: %w", perm, dma, err)
-			}
-			out = append(out, Point{
-				Perm:     perm,
-				DMASize:  dma,
-				Energy:   rep.Total,
-				SWEnergy: rep.SWEnergy, HWEnergy: rep.HWEnergy, BusEnergy: rep.BusEnergy,
-				SimTime: rep.SimulatedTime,
-				Wall:    rep.Wall,
-			})
+func pointFromReport(perm, dma int, rep *core.Report) Point {
+	return Point{
+		Perm:     perm,
+		DMASize:  dma,
+		Energy:   rep.Total,
+		SWEnergy: rep.SWEnergy, HWEnergy: rep.HWEnergy, BusEnergy: rep.BusEnergy,
+		SimTime: rep.SimulatedTime,
+		Wall:    rep.Wall,
+	}
+}
+
+// Sweep explores perms × dmaSizes for the TCP/IP subsystem — the Fig 7 grid
+// — on the parallel sweep engine. mutate (optional) applies to every point.
+// Points come back in perm-major order, bit-identical to a serial sweep
+// regardless of worker count; on cancellation the completed points are
+// returned, still ordered, together with the context's error.
+func Sweep(ctx context.Context, params systems.TCPIPParams, perms, dmaSizes []int, mutate Mutator, opts engine.Options) ([]Point, error) {
+	n := len(perms) * len(dmaSizes)
+	results, err := engine.RunReports(ctx, n, opts, func(i int) (*core.System, core.Config, error) {
+		p := params
+		p.PriorityPerm = perms[i/len(dmaSizes)]
+		p.DMASize = dmaSizes[i%len(dmaSizes)]
+		sys, cfg := systems.TCPIP(p)
+		if mutate != nil {
+			mutate(&cfg)
 		}
+		return sys, cfg, nil
+	})
+	out := make([]Point, 0, len(results))
+	for _, r := range results {
+		out = append(out, pointFromReport(perms[r.Index/len(dmaSizes)], dmaSizes[r.Index%len(dmaSizes)], r.Value))
+	}
+	if err != nil {
+		return out, fmt.Errorf("explore: %w", err)
 	}
 	return out, nil
 }
 
-// SweepTCPIPParallel is SweepTCPIP with the points distributed over the
-// given number of worker goroutines. Every co-estimation is an independent
-// deterministic simulation, so the result is identical to the sequential
-// sweep (points are returned in the same perm-major order); only wall time
-// changes. Workers <= 1 falls back to the sequential sweep.
+// SweepTCPIP is the serial-compatibility form of Sweep: one worker, no
+// cancellation.
+func SweepTCPIP(params systems.TCPIPParams, perms, dmaSizes []int, mutate Mutator) ([]Point, error) {
+	pts, err := Sweep(context.Background(), params, perms, dmaSizes, mutate, engine.Options{Workers: 1})
+	if err != nil {
+		return nil, err
+	}
+	return pts, nil
+}
+
+// SweepTCPIPParallel is Sweep with the points distributed over the given
+// number of worker goroutines (<= 0 means GOMAXPROCS). Every co-estimation
+// is an independent deterministic simulation, so the result is identical to
+// the sequential sweep; only wall time changes.
 func SweepTCPIPParallel(params systems.TCPIPParams, perms, dmaSizes []int, mutate Mutator, workers int) ([]Point, error) {
-	if workers <= 1 {
-		return SweepTCPIP(params, perms, dmaSizes, mutate)
+	pts, err := Sweep(context.Background(), params, perms, dmaSizes, mutate, engine.Options{Workers: workers})
+	if err != nil {
+		return nil, err
 	}
-	type job struct {
-		idx  int
-		perm int
-		dma  int
-	}
-	var jobs []job
-	for _, perm := range perms {
-		for _, dma := range dmaSizes {
-			jobs = append(jobs, job{idx: len(jobs), perm: perm, dma: dma})
-		}
-	}
-	out := make([]Point, len(jobs))
-	errs := make([]error, len(jobs))
-	ch := make(chan job)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range ch {
-				p := params
-				p.PriorityPerm = j.perm
-				p.DMASize = j.dma
-				rep, err := runPoint(p, mutate)
-				if err != nil {
-					errs[j.idx] = fmt.Errorf("explore: perm %d dma %d: %w", j.perm, j.dma, err)
-					continue
-				}
-				out[j.idx] = Point{
-					Perm:     j.perm,
-					DMASize:  j.dma,
-					Energy:   rep.Total,
-					SWEnergy: rep.SWEnergy, HWEnergy: rep.HWEnergy, BusEnergy: rep.BusEnergy,
-					SimTime: rep.SimulatedTime,
-					Wall:    rep.Wall,
-				}
-			}
-		}()
-	}
-	for _, j := range jobs {
-		ch <- j
-	}
-	close(ch)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return pts, nil
 }
 
 // Min returns the minimum-energy point.
@@ -182,41 +156,55 @@ func (r AccuracyRow) ErrorPct() float64 {
 
 // CompareAccel runs the base framework and an accelerated variant over the
 // DMA-size sweep (repeats > 1 re-runs each measurement and keeps the best
-// wall time, damping scheduler noise).
+// wall time, damping scheduler noise). Serial-compatibility form of
+// CompareAccelCtx.
 func CompareAccel(params systems.TCPIPParams, dmaSizes []int, accel Mutator, repeats int) ([]AccuracyRow, error) {
+	return CompareAccelCtx(context.Background(), params, dmaSizes, accel, repeats, engine.Options{Workers: 1})
+}
+
+// CompareAccelCtx distributes the comparison rows over the sweep engine's
+// worker pool: each row runs its base and accelerated measurements serially
+// (so the two wall times see the same machine load), while different DMA
+// sizes proceed concurrently. Energies are deterministic; wall times on a
+// busy pool carry more scheduler noise than a serial run, which repeats > 1
+// damps — pass Workers: 1 when the speedup columns must be as quiet as
+// possible.
+func CompareAccelCtx(ctx context.Context, params systems.TCPIPParams, dmaSizes []int, accel Mutator, repeats int, opts engine.Options) ([]AccuracyRow, error) {
 	if repeats < 1 {
 		repeats = 1
 	}
-	var rows []AccuracyRow
-	for _, dma := range dmaSizes {
+	results, err := engine.Run(ctx, len(dmaSizes), opts, func(_ context.Context, i int) (AccuracyRow, error) {
 		p := params
-		p.DMASize = dma
-		row := AccuracyRow{DMASize: dma}
-		for i := 0; i < repeats; i++ {
+		p.DMASize = dmaSizes[i]
+		row := AccuracyRow{DMASize: dmaSizes[i]}
+		for r := 0; r < repeats; r++ {
 			rep, err := runPoint(p, nil)
 			if err != nil {
-				return nil, err
+				return row, fmt.Errorf("dma %d: %w", p.DMASize, err)
 			}
-			if i == 0 || rep.Wall < row.OrigWall {
+			if r == 0 || rep.Wall < row.OrigWall {
 				row.OrigWall = rep.Wall
 			}
 			row.OrigEnergy = rep.Total
 			row.OrigISSCalls = rep.ISSCalls
 		}
-		for i := 0; i < repeats; i++ {
+		for r := 0; r < repeats; r++ {
 			rep, err := runPoint(p, accel)
 			if err != nil {
-				return nil, err
+				return row, fmt.Errorf("dma %d accelerated: %w", p.DMASize, err)
 			}
-			if i == 0 || rep.Wall < row.AccelWall {
+			if r == 0 || rep.Wall < row.AccelWall {
 				row.AccelWall = rep.Wall
 			}
 			row.AccelEnergy = rep.Total
 			row.AccelISSCalls = rep.ISSCalls
 		}
-		rows = append(rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("explore: %w", err)
 	}
-	return rows, nil
+	return engine.Values(results), nil
 }
 
 // RelativeAccuracy evaluates the Fig 6 criterion over comparison rows: the

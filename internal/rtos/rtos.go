@@ -97,6 +97,12 @@ func (s *Scheduler) QueueLen() int { return len(s.queue) }
 // Busy reports whether a reaction is currently executing.
 func (s *Scheduler) Busy() bool { return s.busy }
 
+// Holding reports whether a job is keeping the processor allocated past its
+// CPU phase (between its Done callback and Release). A scheduler that is
+// holding with jobs still queued when the event queue drains is deadlocked:
+// the release event will never fire.
+func (s *Scheduler) Holding() bool { return s.holding }
+
 // Post enqueues a job. If the processor is idle it dispatches immediately
 // (at the current simulation time).
 func (s *Scheduler) Post(j *Job) {

@@ -88,6 +88,20 @@ func (k *Kernel) Fired() uint64 { return k.fired }
 // cancelled-but-unreaped entries).
 func (k *Kernel) Pending() int { return len(k.queue) }
 
+// LivePending returns the number of scheduled events that have not been
+// cancelled — the work the simulation would still perform if resumed. A
+// nonzero value after RunUntil(deadline) means the run was truncated by the
+// deadline rather than finishing naturally.
+func (k *Kernel) LivePending() int {
+	n := 0
+	for _, ev := range k.queue {
+		if ev.fn != nil {
+			n++
+		}
+	}
+	return n
+}
+
 // At schedules fn to run at absolute time t with priority 0.
 // Scheduling in the past panics: it is always a model bug.
 func (k *Kernel) At(t units.Time, fn func()) Handle {

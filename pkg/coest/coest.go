@@ -1,0 +1,196 @@
+// Package coest is the public, importable face of the SoC power
+// co-estimation framework — the stable API over the internal engine that
+// the cmd/* binaries and embedding applications build on.
+//
+// The two entry points mirror how the paper's tool is used:
+//
+//   - Estimate runs one power co-estimation of a system and returns its
+//     energy report;
+//   - Sweep runs a whole design-space grid of independent co-estimations on
+//     a bounded parallel worker pool, with deterministic (serial-identical)
+//     results, per-point progress metrics, and context cancellation.
+//
+// Systems come from the case-study constructors (TCPIP, ProdCons,
+// Automotive), from a textual .cfsm source (ParseCFSM), or from a
+// hand-built CFSM network (New over a Spec — see examples/quickstart).
+// Run behavior is tuned with functional options:
+//
+//	rep, err := coest.Estimate(ctx, coest.TCPIP(coest.DefaultTCPIPParams()),
+//	    coest.WithDMASize(32),
+//	    coest.WithEnergyCache(),
+//	)
+//
+// Failures carry typed sentinels — errors.Is(err, coest.ErrDeadlock),
+// errors.Is(err, coest.ErrSimTimeExceeded) — so callers can react to the
+// condition instead of parsing message strings.
+package coest
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// Sentinel errors, matched with errors.Is.
+var (
+	// ErrDeadlock: the simulation's event queue drained while queued
+	// software reactions could never dispatch (the processor was held by a
+	// job whose release event will never fire).
+	ErrDeadlock = core.ErrDeadlock
+
+	// ErrSimTimeExceeded: a WithDeadline-bounded run was truncated with
+	// work still pending instead of finishing naturally.
+	ErrSimTimeExceeded = core.ErrSimTimeExceeded
+)
+
+// System is a co-estimation subject: a CFSM network with its HW/SW
+// partition and environment, plus the baseline run configuration the
+// options refine. Construct with TCPIP, ProdCons, Automotive, ParseCFSM or
+// New; the zero value is not usable.
+//
+// A System may be estimated repeatedly, but not concurrently — simulations
+// mutate the network state (each run starts with a reset). Sweep therefore
+// builds a fresh System per grid point.
+type System struct {
+	spec *core.System
+	cfg  core.Config
+}
+
+// Spec is the raw co-estimation subject — the CFSM network, the partition
+// assignment, and the environment stimuli. It is exposed so hand-built
+// systems (see examples/quickstart) can be assembled from this package and
+// the CFSM builder alone.
+type Spec = core.System
+
+// Re-exported system-assembly and report types.
+type (
+	ProcessConfig    = core.ProcessConfig
+	Stimulus         = core.Stimulus
+	PeriodicStimulus = core.PeriodicStimulus
+	Report           = core.Report
+	MachineReport    = core.MachineReport
+
+	// RunConfig is the full internal run configuration, reachable through
+	// the WithConfig escape hatch when no dedicated option exists.
+	RunConfig = core.Config
+)
+
+// Partition mappings for ProcessConfig.
+const (
+	SW = core.SW
+	HW = core.HW
+)
+
+// New wraps a hand-assembled Spec with the reference configuration
+// (50 MHz SPARClite, 25 MHz bus, 16-bit HW datapaths, 8 KB I-cache).
+func New(spec *Spec) *System {
+	return &System{spec: spec, cfg: core.DefaultConfig()}
+}
+
+// newSystem is the internal constructor for specs that carry a tailored
+// baseline configuration.
+func newSystem(spec *core.System, cfg core.Config) *System {
+	return &System{spec: spec, cfg: cfg}
+}
+
+// Spec returns the underlying CFSM network and environment.
+func (s *System) Spec() *Spec { return s.spec }
+
+// Estimate runs one power co-estimation and returns the energy report.
+// The context is honored at run granularity: a context that is already done
+// fails fast, but a started simulation runs to completion (single runs are
+// short; cancel a Sweep for point-level promptness).
+func Estimate(ctx context.Context, sys *System, opts ...Option) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c, err := Compile(sys, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return c.Estimate(ctx)
+}
+
+// PointMetrics is the per-point observability record delivered to the
+// WithProgress callback: wall time, ISS instructions retired, gate-level
+// evaluations, energy-cache hit rate and bus-trace compaction ratio.
+type PointMetrics = engine.PointMetrics
+
+func pointMetrics(i, total int, rep *Report, wall time.Duration, err error) PointMetrics {
+	m := PointMetrics{Index: i, Total: total, Wall: wall, Err: err, CompactionRatio: 1}
+	if rep != nil {
+		m.ISSInsts = rep.ISSInsts
+		m.GateEvals = rep.GateExecs
+		m.ECacheLookups = rep.SWECache.Lookups + rep.HWECache.Lookups
+		m.ECacheHits = rep.SWECache.Hits + rep.HWECache.Hits
+		if rep.BusCompaction != nil {
+			m.CompactionRatio = rep.BusCompaction.Stats.CompressionRatio()
+		}
+	}
+	return m
+}
+
+// Grid is a finite design space for Sweep. Build must return a fresh System
+// for point i on every call — points run concurrently and a System is not
+// safe for concurrent use.
+type Grid struct {
+	N     int
+	Build func(i int) (*System, error)
+}
+
+// PointResult pairs a completed grid point with its index.
+type PointResult struct {
+	Index  int
+	Report *Report
+}
+
+// Sweep estimates every point of the grid on a bounded parallel worker pool
+// (WithWorkers, default GOMAXPROCS).
+//
+// Results are merged by grid index and are bit-identical to a serial sweep
+// regardless of worker count. On success the slice has exactly grid.N
+// entries in index order. If ctx is cancelled mid-sweep, dispatching stops
+// promptly and the completed points are returned — still index-ordered —
+// together with the context's error. If a point fails, the rest of the grid
+// is cancelled and the lowest-index error is returned with the completed
+// points.
+//
+// Options apply to every point, on top of the point's own configuration.
+// One-time setup is shared: with WithMacroModel, the macro-operation
+// characterization runs once and every point reuses the table.
+func Sweep(ctx context.Context, grid Grid, opts ...Option) ([]PointResult, error) {
+	st := newSettings(nil)
+	for _, o := range opts {
+		o(st)
+	}
+	results, err := engine.RunReports(ctx, grid.N,
+		engine.Options{Workers: st.workers, OnPoint: st.onPoint},
+		func(i int) (*core.System, core.Config, error) {
+			sys, err := grid.Build(i)
+			if err != nil {
+				return nil, core.Config{}, err
+			}
+			cfg, _, err := sys.configured(opts)
+			if err != nil {
+				return nil, core.Config{}, err
+			}
+			return sys.spec, cfg, nil
+		})
+	out := make([]PointResult, 0, len(results))
+	for _, r := range results {
+		out = append(out, PointResult{Index: r.Index, Report: r.Value})
+	}
+	return out, err
+}
+
+// Reports flattens a fully successful Sweep result into the bare reports,
+// indexed by grid point.
+func Reports(results []PointResult) []*Report {
+	out := make([]*Report, len(results))
+	for i, r := range results {
+		out[i] = r.Report
+	}
+	return out
+}

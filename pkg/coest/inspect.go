@@ -1,0 +1,87 @@
+package coest
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ecache"
+	"repro/internal/gate"
+	"repro/internal/paramfile"
+	"repro/internal/sparc"
+)
+
+// Synthesis-artifact types, re-exported for inspection tooling.
+type (
+	// Program is the synthesized SPARC image of the software partition.
+	Program = sparc.Program
+	// Netlist is a synthesized gate-level netlist of a hardware process.
+	Netlist = gate.Netlist
+	// CachePathReport is one energy-cache path snapshot row (Fig 4c).
+	CachePathReport = ecache.PathReport
+	// ParamFile is a parsed POLIS-style macro-model parameter file (Fig 3).
+	ParamFile = paramfile.File
+)
+
+// ParseParamFile reads a macro-model parameter file (the Fig 3 artifact
+// written by the characterization flow). Feed it to WithMacroModelParams.
+func ParseParamFile(r io.Reader) (*ParamFile, error) { return paramfile.Parse(r) }
+
+// Compiled is a built-but-not-yet-run co-estimation: the system has been
+// partitioned and synthesized (software compiled to a SPARC image, hardware
+// to gate netlists), so the artifacts can be inspected before — or instead
+// of — running the estimation. Obtain one with Compile; it is single-use and
+// not safe for concurrent use.
+type Compiled struct {
+	cs  *core.CoSim
+	cfg core.Config
+	st  *settings
+	ran bool
+}
+
+// Compile builds the system under the resolved options without running it.
+func Compile(sys *System, opts ...Option) (*Compiled, error) {
+	cfg, st, err := sys.configured(opts)
+	if err != nil {
+		return nil, err
+	}
+	cs, err := core.New(sys.spec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{cs: cs, cfg: cfg, st: st}, nil
+}
+
+// Config returns the fully resolved run configuration (a private copy).
+func (c *Compiled) Config() RunConfig { return c.cfg.Clone() }
+
+// SWProgram returns the synthesized SPARC program image of the software
+// partition, or nil when no process maps to software.
+func (c *Compiled) SWProgram() *Program { return c.cs.SWProgram() }
+
+// HWNetlists returns the synthesized gate-level netlist of every hardware
+// process, keyed by machine name.
+func (c *Compiled) HWNetlists() map[string]*Netlist { return c.cs.HWNetlists() }
+
+// SWCacheReport returns the software energy-cache path snapshot after a run
+// (nil unless the energy cache was enabled).
+func (c *Compiled) SWCacheReport() []CachePathReport { return c.cs.SWCacheReport() }
+
+// Estimate runs the compiled co-estimation once and returns the report.
+func (c *Compiled) Estimate(ctx context.Context) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if c.ran {
+		return nil, fmt.Errorf("coest: Compiled is single-use; Compile again to re-estimate")
+	}
+	c.ran = true
+	start := time.Now()
+	rep, err := c.cs.Run()
+	if c.st.onPoint != nil {
+		c.st.onPoint(pointMetrics(0, 1, rep, time.Since(start), err))
+	}
+	return rep, err
+}

@@ -1,0 +1,252 @@
+package coest
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ecache"
+	"repro/internal/engine"
+	"repro/internal/iss"
+	"repro/internal/macromodel"
+	"repro/internal/units"
+)
+
+// Re-exported acceleration parameter types.
+type (
+	// ECacheParams tunes the §4.2 energy/delay cache aggressiveness.
+	ECacheParams = ecache.Params
+	// SamplingParams tunes the §4.3 reaction-level statistical sampling.
+	SamplingParams = core.SamplingParams
+	// MacroTable is a characterized software power macro-model (§4.1).
+	MacroTable = macromodel.Table
+)
+
+// settings is the resolved option set for one Estimate or Sweep call.
+type settings struct {
+	cfg     *core.Config // nil when only run-level fields are harvested
+	workers int
+	onPoint func(PointMetrics)
+	macro   bool // characterize-and-share a macro table at run time
+	err     error
+}
+
+func newSettings(cfg *core.Config) *settings { return &settings{cfg: cfg} }
+
+func (st *settings) config(mutate func(*core.Config)) {
+	if st.cfg != nil {
+		mutate(st.cfg)
+	}
+}
+
+func (st *settings) fail(err error) {
+	if st.err == nil {
+		st.err = err
+	}
+}
+
+// Option refines how a system is estimated. Options are applied in order;
+// later options win on conflict.
+type Option func(*settings)
+
+// configured resolves the option list against the system's baseline
+// configuration, yielding the per-run Config.
+func (s *System) configured(opts []Option) (core.Config, *settings, error) {
+	cfg := s.cfg.Clone()
+	st := newSettings(&cfg)
+	for _, o := range opts {
+		o(st)
+	}
+	if st.err != nil {
+		return core.Config{}, nil, fmt.Errorf("coest: %w", st.err)
+	}
+	if st.macro && cfg.Accel.MacromodelTable == nil {
+		tbl, err := engine.SharedMacroTable(cfg.Timing, cfg.Power)
+		if err != nil {
+			return core.Config{}, nil, fmt.Errorf("coest: macro-model characterization: %w", err)
+		}
+		cfg.Accel.Macromodel = true
+		cfg.Accel.MacromodelTable = tbl
+	}
+	return cfg, st, nil
+}
+
+// WithDMASize sets the bus DMA block size in words — the communication-
+// architecture axis of the paper's Tables 1-2 and Fig 7.
+func WithDMASize(words int) Option {
+	return func(st *settings) {
+		if words <= 0 {
+			st.fail(fmt.Errorf("DMA size %d must be positive", words))
+			return
+		}
+		st.config(func(c *core.Config) { c.Bus.DMASize = words })
+	}
+}
+
+// WithEnergyCache enables energy & delay caching (§4.2) with the default
+// per-path thresholds.
+func WithEnergyCache() Option { return WithEnergyCacheParams(ecache.DefaultParams()) }
+
+// WithEnergyCacheParams enables energy & delay caching with explicit
+// aggressiveness thresholds.
+func WithEnergyCacheParams(p ECacheParams) Option {
+	return func(st *settings) {
+		st.config(func(c *core.Config) {
+			c.Accel.ECache = true
+			c.Accel.ECacheParams = p
+		})
+	}
+}
+
+// WithMacroModel enables software power macro-modeling (§4.1). The
+// macro-operation library is characterized on the ISS the first time it is
+// needed and shared process-wide afterwards — a Sweep characterizes once,
+// not once per point.
+func WithMacroModel() Option {
+	return func(st *settings) { st.macro = true }
+}
+
+// WithMacroModelTable enables macro-modeling with a pre-characterized table
+// (e.g. loaded from a POLIS-style parameter file), skipping
+// characterization entirely.
+func WithMacroModelTable(tbl *MacroTable) Option {
+	return func(st *settings) {
+		if tbl == nil {
+			st.fail(fmt.Errorf("nil macro-model table"))
+			return
+		}
+		st.config(func(c *core.Config) {
+			c.Accel.Macromodel = true
+			c.Accel.MacromodelTable = tbl
+		})
+	}
+}
+
+// WithMacroModelParams enables macro-modeling from a parsed parameter file
+// (see ParseParamFile), building the cost table against the run's timing
+// model and skipping on-ISS characterization.
+func WithMacroModelParams(pf *ParamFile) Option {
+	return func(st *settings) {
+		if pf == nil {
+			st.fail(fmt.Errorf("nil parameter file"))
+			return
+		}
+		st.config(func(c *core.Config) {
+			tbl, err := macromodel.FromParamFile(pf, c.Timing.Clock)
+			if err != nil {
+				st.fail(err)
+				return
+			}
+			c.Accel.Macromodel = true
+			c.Accel.MacromodelTable = tbl
+		})
+	}
+}
+
+// WithSampling enables reaction-level statistical sampling (§4.3) with the
+// default warmup/ratio.
+func WithSampling() Option { return WithSamplingParams(core.DefaultSampling()) }
+
+// WithSamplingParams enables statistical sampling with an explicit
+// warmup/ratio.
+func WithSamplingParams(p SamplingParams) Option {
+	return func(st *settings) {
+		st.config(func(c *core.Config) {
+			c.Accel.Sampling = true
+			c.Accel.SamplingParams = p
+		})
+	}
+}
+
+// WithBusCompaction estimates bus energy from a K-memory-compacted grant
+// trace (§4.3 applied to the bus estimator): windows of k grants keep one
+// in ratio.
+func WithBusCompaction(k, ratio int) Option {
+	return func(st *settings) {
+		st.config(func(c *core.Config) {
+			c.Accel.BusCompaction = true
+			c.Accel.BusCompactionParams.K = k
+			c.Accel.BusCompactionParams.Ratio = ratio
+		})
+	}
+}
+
+// WithTrace streams one line per master-level event (reaction dispatches,
+// event deliveries, bus phases) to fn — the PTOLEMY-style source-level
+// visibility. In a Sweep the callback is invoked concurrently from every
+// worker and must be goroutine-safe.
+func WithTrace(fn func(string)) Option {
+	return func(st *settings) {
+		st.config(func(c *core.Config) { c.Trace = fn })
+	}
+}
+
+// WithSeparateEstimation switches the run to the §2 baseline: a
+// timing-independent behavioral simulation whose per-component traces are
+// estimated in isolation (the configuration the paper shows under-estimates
+// timing-sensitive components).
+func WithSeparateEstimation() Option {
+	return func(st *settings) {
+		st.config(func(c *core.Config) { c.Mode = core.Separate })
+	}
+}
+
+// WithDSPModel swaps in the data-dependent DSP-flavored instruction power
+// model, where instruction energy varies with operand values (the Fig 4
+// path-variance study).
+func WithDSPModel() Option {
+	return func(st *settings) {
+		st.config(func(c *core.Config) { c.Power = iss.DSPModel() })
+	}
+}
+
+// WithMaxSimTime bounds the simulated time. Hitting the bound is a normal
+// truncation (use WithDeadline to make it an error).
+func WithMaxSimTime(d time.Duration) Option {
+	return func(st *settings) {
+		st.config(func(c *core.Config) {
+			c.MaxSimTime = units.Time(d.Nanoseconds())
+			c.StrictDeadline = false
+		})
+	}
+}
+
+// WithDeadline bounds the simulated time and makes hitting the bound with
+// work still pending an error: the run fails with ErrSimTimeExceeded
+// instead of returning a silently truncated report.
+func WithDeadline(d time.Duration) Option {
+	return func(st *settings) {
+		st.config(func(c *core.Config) {
+			c.MaxSimTime = units.Time(d.Nanoseconds())
+			c.StrictDeadline = true
+		})
+	}
+}
+
+// WithWaveform enables power-waveform recording at the given time
+// resolution (simulated time per bucket).
+func WithWaveform(bucket time.Duration) Option {
+	return func(st *settings) {
+		st.config(func(c *core.Config) { c.WaveformBucket = units.Time(bucket.Nanoseconds()) })
+	}
+}
+
+// WithWorkers bounds Sweep's worker pool (0 or negative = GOMAXPROCS).
+// Estimate ignores it.
+func WithWorkers(n int) Option {
+	return func(st *settings) { st.workers = n }
+}
+
+// WithProgress receives one PointMetrics record per finished point, in
+// completion order. Calls are serialized; the callback must not block for
+// long.
+func WithProgress(fn func(PointMetrics)) Option {
+	return func(st *settings) { st.onPoint = fn }
+}
+
+// WithConfig is the escape hatch to the full internal run configuration,
+// for knobs without a dedicated option. It runs after the options before
+// it, in order with those after it.
+func WithConfig(mutate func(*RunConfig)) Option {
+	return func(st *settings) { st.config(mutate) }
+}
