@@ -16,12 +16,14 @@ import (
 
 	"repro/internal/iss"
 	"repro/internal/macromodel"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
-		out = flag.String("o", "", "output file (default stdout)")
-		dsp = flag.Bool("dsp", false, "use the data-dependent DSP-flavored power model")
+		out      = flag.String("o", "", "output file (default stdout)")
+		dsp      = flag.Bool("dsp", false, "use the data-dependent DSP-flavored power model")
+		manifest = flag.String("manifest", "", "write a JSON run manifest (config, versions, phase timings) to this path")
 	)
 	flag.Parse()
 
@@ -31,9 +33,31 @@ func main() {
 	}
 	timing := iss.SPARCliteTiming()
 
+	var man *telemetry.Manifest
+	if *manifest != "" {
+		man = telemetry.NewManifest("charlib", os.Args[1:], map[string]any{
+			"model": power.Name, "dsp": *dsp, "clock_hz": timing.Clock,
+		})
+	}
+
 	fmt.Fprintf(os.Stderr, "charlib: characterizing %d macro-operations on %s at %g MHz\n",
 		36, power.Name, float64(timing.Clock)/1e6)
+	var charDone func()
+	if man != nil {
+		charDone = man.Phase("characterize")
+	}
 	tbl, err := macromodel.Characterize(timing, power)
+	if charDone != nil {
+		charDone()
+	}
+	if man != nil {
+		if err != nil {
+			man.Error = err.Error()
+		}
+		if werr := man.WriteFile(*manifest); werr != nil {
+			fmt.Fprintln(os.Stderr, "charlib: manifest:", werr)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "charlib:", err)
 		os.Exit(1)

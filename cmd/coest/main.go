@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/gate"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 	"repro/internal/vcd"
 	"repro/pkg/coest"
@@ -44,6 +45,9 @@ func main() {
 		vcdPath   = flag.String("vcd", "", "write the per-component power waveform as a VCD file")
 		vlogDir   = flag.String("verilog", "", "export each HW block's synthesized netlist as Verilog into this directory")
 		trace     = flag.Bool("trace", false, "print the simulation master's event trace")
+		traceJSON = flag.String("trace-jsonl", "", "write the typed event stream as JSON lines to this path")
+		traceChr  = flag.String("trace-chrome", "", "write the event stream as a Chrome/Perfetto trace_event file (open in chrome://tracing or ui.perfetto.dev)")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/pprof/ on this address during the run (e.g. localhost:6060)")
 		cacheRep  = flag.Bool("cachereport", false, "print the energy-cache path snapshot (Fig 4c)")
 		breakdown = flag.Bool("breakdown", false, "print per-transition energy (functional/power correlation)")
 		asJSON    = flag.Bool("json", false, "emit the report as JSON")
@@ -95,6 +99,45 @@ func main() {
 	}
 	if *trace {
 		opts = append(opts, coest.WithTrace(func(s string) { fmt.Println(s) }))
+	}
+	var sinks []coest.TraceSink
+	var sinkFiles []*os.File
+	for _, spec := range []struct {
+		path string
+		mk   func(io.Writer) coest.TraceSink
+	}{
+		{*traceJSON, coest.NewJSONLTraceSink},
+		{*traceChr, coest.NewChromeTraceSink},
+	} {
+		if spec.path == "" {
+			continue
+		}
+		f, err := os.Create(spec.path)
+		if err != nil {
+			fatal(err)
+		}
+		sinkFiles = append(sinkFiles, f)
+		sinks = append(sinks, spec.mk(f))
+	}
+	if len(sinks) > 0 {
+		sink := coest.MultiTraceSink(sinks...)
+		opts = append(opts, coest.WithTraceSink(sink))
+		defer func() {
+			if err := sink.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "coest: trace sink:", err)
+			}
+			for _, f := range sinkFiles {
+				f.Close()
+			}
+		}()
+	}
+	if *debugAddr != "" {
+		addr, shutdown, err := telemetry.ServeDebug(*debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "coest: debug endpoint on http://%s/ (/metrics, /debug/pprof/)\n", addr)
 	}
 
 	if *exportSys {

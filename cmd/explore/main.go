@@ -24,17 +24,30 @@ import (
 	"repro/internal/explore"
 	"repro/internal/report"
 	"repro/internal/systems"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
-		packets = flag.Int("packets", 3, "packets per co-estimation")
-		dmaList = flag.String("dma", "2,4,8,16,32,64,128", "comma-separated DMA sizes")
-		ecache  = flag.Bool("ecache", false, "accelerate each point with energy caching")
-		workers = flag.Int("j", runtime.NumCPU(), "parallel co-estimations")
-		verbose = flag.Bool("v", false, "print per-point progress metrics to stderr")
+		packets   = flag.Int("packets", 3, "packets per co-estimation")
+		dmaList   = flag.String("dma", "2,4,8,16,32,64,128", "comma-separated DMA sizes")
+		ecache    = flag.Bool("ecache", false, "accelerate each point with energy caching")
+		workers   = flag.Int("j", runtime.NumCPU(), "parallel co-estimations")
+		verbose   = flag.Bool("v", false, "print per-point progress metrics to stderr")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/pprof/ on this address during the sweep (e.g. localhost:6060)")
+		manifest  = flag.String("manifest", "", "write a JSON run manifest (config, versions, phase timings) to this path")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		addr, shutdown, err := telemetry.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "explore: debug server: %v\n", err)
+			os.Exit(1)
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "explore: debug endpoint on http://%s/ (/metrics, /debug/pprof/)\n", addr)
+	}
 
 	var dmas []int
 	for _, s := range strings.Split(*dmaList, ",") {
@@ -55,13 +68,39 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	var summary engine.SweepSummary
 	opts := engine.Options{Workers: *workers}
-	if *verbose {
-		opts.OnPoint = func(m engine.PointMetrics) { fmt.Fprintln(os.Stderr, "explore:", m) }
+	opts.OnPoint = func(m engine.PointMetrics) {
+		summary.Observe(m)
+		if *verbose {
+			fmt.Fprintln(os.Stderr, "explore:", m)
+		}
+	}
+
+	var man *telemetry.Manifest
+	if *manifest != "" {
+		man = telemetry.NewManifest("explore", os.Args[1:], map[string]any{
+			"packets": *packets, "dma": dmas, "ecache": *ecache, "workers": *workers,
+		})
 	}
 
 	start := time.Now()
+	var sweepDone func()
+	if man != nil {
+		sweepDone = man.Phase("sweep")
+	}
 	points, err := explore.Sweep(ctx, p, []int{0, 1, 2, 3, 4, 5}, dmas, mutate, opts)
+	if sweepDone != nil {
+		sweepDone()
+	}
+	if man != nil {
+		if err != nil {
+			man.Error = err.Error()
+		}
+		if werr := man.WriteFile(*manifest); werr != nil {
+			fmt.Fprintf(os.Stderr, "explore: manifest: %v\n", werr)
+		}
+	}
 	if err != nil {
 		// The sweep error is already "explore: ..."-prefixed by the library.
 		fmt.Fprintf(os.Stderr, "%v (%d of %d points completed)\n", err, len(points), 6*len(dmas))
@@ -90,4 +129,5 @@ func main() {
 
 	min := explore.Min(points)
 	fmt.Printf("minimum energy %v at priority %s, DMA %d\n", min.Energy, min.PermName(), min.DMASize)
+	fmt.Print(summary.String())
 }

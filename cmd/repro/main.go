@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/macromodel"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -43,8 +44,18 @@ func main() {
 		repeats   = flag.Int("repeats", 0, "wall-time measurement repeats")
 		dmaList   = flag.String("dma", "", "comma-separated DMA sizes for Tables 1/2")
 		workers   = flag.Int("j", 0, "sweep worker pool size (0 = GOMAXPROCS; use 1 for quietest wall-time columns)")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/pprof/ on this address while experiments run (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		addr, shutdown, err := telemetry.ServeDebug(*debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "repro: debug endpoint on http://%s/ (/metrics, /debug/pprof/)\n", addr)
+	}
 
 	p := experiments.Default()
 	if *packets > 0 {

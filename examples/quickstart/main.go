@@ -6,9 +6,11 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"repro/internal/cfsm"
@@ -70,10 +72,30 @@ func main() {
 	})
 
 	// 4. Co-estimate: the DE master drives the ISS for the counter and the
-	// gate-level simulator for the synthesized alarm netlist.
-	rep, err := coest.Estimate(context.Background(), sys,
-		coest.WithMaxSimTime(600*time.Microsecond))
+	// gate-level simulator for the synthesized alarm netlist. The typed
+	// event stream goes to a JSONL trace file, and a SweepSummary collects
+	// the run's wall-time and work totals.
+	tf, err := os.Create("quickstart-trace.jsonl")
 	if err != nil {
+		log.Fatal(err)
+	}
+	bw := bufio.NewWriter(tf)
+	sink := coest.NewJSONLTraceSink(bw)
+	var sum coest.SweepSummary
+	rep, err := coest.Estimate(context.Background(), sys,
+		coest.WithMaxSimTime(600*time.Microsecond),
+		coest.WithTraceSink(sink),
+		coest.WithTelemetry(&sum))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if err := tf.Close(); err != nil {
 		log.Fatal(err)
 	}
 
@@ -82,6 +104,8 @@ func main() {
 	for _, e := range rep.EnvEvents[:min(3, len(rep.EnvEvents))] {
 		fmt.Printf("  %v LED=%d\n", e.Time, e.Value)
 	}
+	fmt.Printf("\ntyped event trace written to quickstart-trace.jsonl\n")
+	fmt.Print(sum.String())
 }
 
 func min(a, b int) int {

@@ -15,7 +15,14 @@ import (
 	"math/bits"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/units"
+)
+
+// Process-wide bus metrics (aggregated across all instances).
+var (
+	mGrants = telemetry.Default.Counter("coest_bus_grants_total", "bus arbitrations performed")
+	mWords  = telemetry.Default.Counter("coest_bus_words_total", "data words transferred over the bus")
 )
 
 // Config parameterizes the integration architecture.
@@ -133,6 +140,7 @@ type Bus struct {
 	perMaster map[int]*Stats
 	trace     []Grant
 	keepTrace bool
+	trc       *telemetry.Tracer
 }
 
 // New returns a bus attached to the kernel.
@@ -168,6 +176,10 @@ func (b *Bus) MasterStats(master int) Stats {
 
 // KeepTrace enables grant-trace capture.
 func (b *Bus) KeepTrace(on bool) { b.keepTrace = on }
+
+// SetTracer attaches the typed event stream: every grant is emitted as a
+// KindBusTransaction event. A nil tracer (the default) costs nothing.
+func (b *Bus) SetTracer(trc *telemetry.Tracer) { b.trc = trc }
 
 // Trace returns the captured grant trace.
 func (b *Bus) Trace() []Grant { return b.trace }
@@ -258,12 +270,20 @@ func (b *Bus) arbitrate() {
 	ms.CtrlToggles += ctrlTog
 	ms.Energy += energy
 
+	mGrants.Inc()
+	mWords.Add(uint64(words))
 	if b.keepTrace {
 		b.trace = append(b.trace, Grant{
 			Master: r.Master, Addr: blockAddr, Words: words, Write: r.Write,
 			Start: start, End: end, Energy: energy,
 		})
 	}
+	b.trc.Emit(telemetry.Event{
+		Time: start, Kind: telemetry.KindBusTransaction,
+		Component: "bus", Machine: r.Master,
+		Addr: blockAddr, Words: words, Write: r.Write,
+		Dur: end - start, Energy: energy,
+	})
 
 	r.remaining -= words
 	r.offset += words

@@ -11,6 +11,15 @@ package compact
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/telemetry"
+)
+
+// Process-wide compaction metrics (aggregated across every compactor).
+var (
+	mWindows    = telemetry.Default.Counter("coest_compact_windows_total", "K-memory windows compacted")
+	mItems      = telemetry.Default.Counter("coest_compact_items_total", "items buffered for compaction")
+	mDispatched = telemetry.Default.Counter("coest_compact_dispatched_total", "representative items dispatched to the estimator")
 )
 
 // Params configures the dynamic compactor.
@@ -228,6 +237,9 @@ func (c *Compactor) flush() Window {
 	c.buf = c.buf[:0]
 	c.windows++
 	c.dispatched += uint64(len(w.Selected))
+	mWindows.Inc()
+	mItems.Add(uint64(w.Total))
+	mDispatched.Add(uint64(len(w.Selected)))
 	return w
 }
 

@@ -24,6 +24,7 @@ import (
 	"repro/internal/iss"
 	"repro/internal/macromodel"
 	"repro/internal/rtos"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -153,7 +154,7 @@ func (m Mode) String() string {
 //
 // Copy semantics: a Config is a value, but not every field is. Plain
 // assignment shares the Bus.Priority map, the model pointers (Timing,
-// Power, Accel.MacromodelTable) and the callbacks (Trace, PathEnergy), so
+// Power, Accel.MacromodelTable) and the callbacks (Sink, Trace, PathEnergy), so
 // two runs started from the same copied Config can race on the map and
 // interleave on the callbacks. Sweep workers must therefore start from
 // Clone(), which deep-copies the mutable state; the model pointers are
@@ -204,9 +205,19 @@ type Config struct {
 	// given time resolution.
 	WaveformBucket units.Time
 
-	// Trace, if set, receives one line per master-level event (reaction
-	// dispatches, event deliveries, bus phases) — the source-level
-	// visibility the PTOLEMY master provides in the paper's tool.
+	// Sink, if set, receives the typed simulation event stream (reaction
+	// dispatches, estimator invocations, cache hits, bus grants, ...) —
+	// the source-level visibility the PTOLEMY master provides in the
+	// paper's tool, as structured telemetry.Event values. The run does not
+	// close the sink; its owner does. When both Sink and Trace are set the
+	// stream fans out to both.
+	Sink telemetry.Sink
+
+	// Trace, if set, receives one rendered line per master-level event.
+	//
+	// Deprecated: Trace is the legacy stringly callback, kept as a thin
+	// adapter over the typed event stream (each Event is rendered with
+	// Event.String). New code should consume Sink instead.
 	Trace func(string)
 
 	// KeepBusTrace retains the per-grant bus trace for inspection

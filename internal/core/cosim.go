@@ -17,7 +17,16 @@ import (
 	"repro/internal/sparc"
 	"repro/internal/stats"
 	"repro/internal/swsyn"
+	"repro/internal/telemetry"
 	"repro/internal/units"
+)
+
+// Master-level metrics on the process-wide registry (sweeps aggregate
+// across concurrent points; counters are atomic).
+var (
+	mRuns        = telemetry.Default.Counter("coest_runs_total", "co-estimation runs started")
+	mReactions   = telemetry.Default.Counter("coest_reactions_total", "CFSM reactions dispatched")
+	mTruncations = telemetry.Default.Counter("coest_deadline_truncations_total", "runs truncated at MaxSimTime with events still scheduled")
 )
 
 // ObservedEvent is one event that crossed the system boundary to the
@@ -88,6 +97,10 @@ type CoSim struct {
 	issCalls  uint64
 	gateExecs uint64
 
+	// trc is the typed event stream; nil (the no-op tracer) when neither
+	// Config.Sink nor the legacy Config.Trace callback is set.
+	trc *telemetry.Tracer
+
 	envOut []ObservedEvent
 	trace  []recorded // Separate mode only
 
@@ -120,6 +133,12 @@ func New(sys *System, cfg Config) (*CoSim, error) {
 		swSync:  make(map[int]bool),
 		samples: make(map[ecache.Key]*sampleState),
 	}
+	// The legacy Trace callback rides the typed stream as a text sink.
+	sink := cfg.Sink
+	if cfg.Trace != nil {
+		sink = telemetry.Multi(sink, telemetry.NewTextSink(cfg.Trace))
+	}
+	cs.trc = telemetry.NewTracer(sink)
 	n := len(sys.Net.Machines)
 	cs.procs = make([]ProcessConfig, n)
 	cs.machineEnergy = make([]units.Energy, n)
@@ -200,6 +219,7 @@ func New(sys *System, cfg Config) (*CoSim, error) {
 		return nil, err
 	}
 	cs.bus = b
+	b.SetTracer(cs.trc)
 	if cfg.Accel.BusCompaction || cfg.KeepBusTrace {
 		b.KeepTrace(true)
 	}
@@ -312,10 +332,33 @@ func (cs *CoSim) fail(err error) {
 	}
 }
 
-func (cs *CoSim) tracef(format string, args ...any) {
-	if cs.cfg.Trace != nil {
-		cs.cfg.Trace(fmt.Sprintf("%12v  ", cs.kernel.Now()) + fmt.Sprintf(format, args...))
+// emitReaction announces a dispatched reaction on the event stream.
+func (cs *CoSim) emitReaction(mi int, r *cfsm.Reaction, cycles uint64, energy units.Energy, dur units.Time) {
+	m := cs.sys.Net.Machines[mi]
+	cs.trc.Emit(telemetry.Event{
+		Time:       cs.kernel.Now(),
+		Kind:       telemetry.KindReactionDispatched,
+		Component:  m.Name,
+		Machine:    mi,
+		Transition: r.TransIdx,
+		Name:       m.Transitions[r.TransIdx].Name,
+		Path:       uint64(r.Path),
+		Cycles:     cycles,
+		Energy:     energy,
+		Dur:        dur,
+	})
+}
+
+// emitECache reports an energy-cache lookup outcome on the event stream.
+func (cs *CoSim) emitECache(mi int, r *cfsm.Reaction, hit bool) {
+	kind := telemetry.KindECacheMiss
+	if hit {
+		kind = telemetry.KindECacheHit
 	}
+	cs.trc.Emit(telemetry.Event{
+		Time: cs.kernel.Now(), Kind: kind,
+		Component: cs.sys.Net.Machines[mi].Name, Machine: mi, Path: uint64(r.Path),
+	})
 }
 
 // activate pokes a machine: SW machines go through the RTOS, HW machines
@@ -334,7 +377,11 @@ func (cs *CoSim) deliver(srcMachine int, r *cfsm.Reaction) {
 	now := cs.kernel.Now()
 	src := cs.sys.Net.Machines[srcMachine]
 	for _, em := range r.Emits {
-		cs.tracef("emit  %s.%s = %d", src.Name, src.OutputNames[em.Port], em.Value)
+		cs.trc.Emit(telemetry.Event{
+			Time: now, Kind: telemetry.KindEventEmitted,
+			Component: src.Name, Machine: srcMachine,
+			Name: src.OutputNames[em.Port], Value: int64(em.Value),
+		})
 		for _, name := range cs.sys.Net.EnvNames(srcMachine, em.Port) {
 			cs.envOut = append(cs.envOut, ObservedEvent{Name: name, Time: now, Value: em.Value})
 		}
@@ -372,6 +419,7 @@ func groupMemOps(ops []cfsm.MemAccess) []busGroup {
 // Run executes the co-estimation and returns the report.
 func (cs *CoSim) Run() (*Report, error) {
 	start := time.Now()
+	mRuns.Inc()
 	cs.scheduleStimuli()
 	cs.kernel.RunUntil(cs.cfg.MaxSimTime)
 	if cs.err != nil {
@@ -382,6 +430,11 @@ func (cs *CoSim) Run() (*Report, error) {
 			return nil, fmt.Errorf("core: %d events still scheduled at %v: %w",
 				live, cs.kernel.Now(), ErrSimTimeExceeded)
 		}
+		mTruncations.Inc()
+		cs.trc.Emit(telemetry.Event{
+			Time: cs.kernel.Now(), Kind: telemetry.KindDeadlineWarning,
+			Component: "master", Machine: -1, Value: int64(live),
+		})
 	} else if cs.sched.Holding() && cs.sched.QueueLen() > 0 {
 		return nil, fmt.Errorf("core: processor held with %d reactions queued at %v: %w",
 			cs.sched.QueueLen(), cs.kernel.Now(), ErrDeadlock)

@@ -5,6 +5,7 @@ import (
 	"repro/internal/cfsm"
 	"repro/internal/ecache"
 	"repro/internal/hwsyn"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -30,8 +31,8 @@ func (cs *CoSim) startHW(mi int, ex *hwExec) {
 		return
 	}
 	cs.machineReact[mi]++
-	cs.tracef("react %s t%d (%s) path %x", m.Name, r.TransIdx,
-		m.Transitions[r.TransIdx].Name, r.Path)
+	mReactions.Inc()
+	cs.emitReaction(mi, r, 0, 0, 0)
 
 	if cs.cfg.Mode == Separate {
 		cs.trace = append(cs.trace, recorded{machine: mi, r: r, preVars: preVars})
@@ -50,7 +51,9 @@ func (cs *CoSim) startHW(mi int, ex *hwExec) {
 	// measurements; the bus transactions themselves still occur (the
 	// integration architecture is part of the system, not the estimator).
 	if cs.hwCache != nil {
-		if e, cyc, ok := cs.hwCache.Lookup(key); ok {
+		e, cyc, ok := cs.hwCache.Lookup(key)
+		cs.emitECache(mi, r, ok)
+		if ok {
 			ex.stale = true
 			cs.finishHW(mi, ex, r, cyc, e)
 			return
@@ -100,6 +103,11 @@ func (cs *CoSim) pumpHW(mi int, ex *hwExec, r *cfsm.Reaction, run *hwRun, key ec
 	if !needMem {
 		cs.kernel.After(elapsed, func() {
 			st := run.exec.Stats()
+			cs.trc.Emit(telemetry.Event{
+				Time: cs.kernel.Now(), Kind: telemetry.KindGateEval,
+				Component: cs.sys.Net.Machines[mi].Name, Machine: mi,
+				Path: uint64(r.Path), Cycles: st.Cycles, Energy: st.Energy,
+			})
 			if cs.hwCache != nil {
 				// Cache the stall-free cycle count: the cached replay
 				// re-runs the bus transfers in DE time, so wait time must

@@ -10,6 +10,7 @@ import (
 	"repro/internal/compact"
 	"repro/internal/ecache"
 	"repro/internal/rtos"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -219,6 +220,12 @@ func (cs *CoSim) compactBusTrace() *BusCompactionReport {
 			e += float64(it.Payload.(units.Energy))
 		}
 		compacted += e * w.Scale
+		cs.trc.Emit(telemetry.Event{
+			Time: cs.kernel.Now(), Kind: telemetry.KindCompactionDispatch,
+			Component: "bus", Machine: -1,
+			Words: len(w.Selected), Value: int64(w.Total),
+			Energy: units.Energy(e * w.Scale),
+		})
 	}
 	for _, g := range cs.bus.Trace() {
 		sym := uint64(g.Master)<<17 | uint64(g.Words)<<1

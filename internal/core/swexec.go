@@ -5,6 +5,7 @@ import (
 	"repro/internal/cfsm"
 	"repro/internal/ecache"
 	"repro/internal/rtos"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -36,14 +37,14 @@ func (cs *CoSim) activateSW(mi int) {
 			}
 			r = rr
 			cs.machineReact[mi]++
-			cs.tracef("react %s t%d (%s) path %x", m.Name, rr.TransIdx,
-				m.Transitions[rr.TransIdx].Name, rr.Path)
+			mReactions.Inc()
 			if m.Enabled() >= 0 {
 				// Other pending events can fire further transitions.
 				cs.activateSW(mi)
 			}
 
 			if cs.cfg.Mode == Separate {
+				cs.emitReaction(mi, rr, 0, 0, 0)
 				cs.trace = append(cs.trace, recorded{machine: mi, r: rr, preVars: preVars})
 				finish = func() {
 					cs.deliver(mi, rr)
@@ -85,6 +86,7 @@ func (cs *CoSim) activateSW(mi int) {
 			// masters in real time. The reaction completes when both the
 			// CPU phase and the last transfer finish.
 			cpuDur := units.Time(cycles) * cs.cfg.Timing.Clock.Period()
+			cs.emitReaction(mi, rr, cycles, energy, cpuDur)
 			finish = func() {
 				if wait := cs.kernel.Now() - cpuEnd; wait > 0 {
 					// The CPU stalls on its outstanding transfers.
@@ -137,7 +139,9 @@ func (cs *CoSim) estimateSW(mi int, r *cfsm.Reaction, preVars []cfsm.Value) (uin
 	}
 
 	if cs.swCache != nil {
-		if e, cyc, ok := cs.swCache.Lookup(key); ok {
+		e, cyc, ok := cs.swCache.Lookup(key)
+		cs.emitECache(mi, r, ok)
+		if ok {
 			cs.swSync[mi] = true
 			return cyc, e
 		}
@@ -198,6 +202,11 @@ func (cs *CoSim) runISS(mi int, r *cfsm.Reaction, preVars []cfsm.Value) (uint64,
 	mc.ReadOutbox(cs.cpu.Mem) // drain; behavioral emissions drive delivery
 	cs.issCalls++
 	cs.machineEstCalls[mi]++
+	cs.trc.Emit(telemetry.Event{
+		Time: cs.kernel.Now(), Kind: telemetry.KindISSCall,
+		Component: cs.sys.Net.Machines[mi].Name, Machine: mi,
+		Path: uint64(r.Path), Cycles: st.Cycles, Energy: st.Energy,
+	})
 	if cs.cfg.PathEnergy != nil {
 		cs.cfg.PathEnergy(mi, r.Path, st.Energy)
 	}

@@ -1,0 +1,88 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+func TestWaveformEmptyPeak(t *testing.T) {
+	w := core.NewWaveform(units.Microsecond)
+	at, p := w.Peak()
+	if at != 0 || p != 0 {
+		t.Fatalf("empty waveform Peak() = (%v, %v), want (0, 0)", at, p)
+	}
+	if names := w.Names(); len(names) != 0 {
+		t.Fatalf("empty waveform Names() = %v", names)
+	}
+	if s := w.Series("cpu"); len(s) != 0 {
+		t.Fatalf("empty waveform Series() = %v", s)
+	}
+}
+
+func TestWaveformNilSafe(t *testing.T) {
+	var w *core.Waveform
+	w.Add("cpu", 0, units.Energy(1))
+	if at, p := w.Peak(); at != 0 || p != 0 {
+		t.Fatalf("nil waveform Peak() = (%v, %v)", at, p)
+	}
+	if w.Names() != nil || w.Series("cpu") != nil {
+		t.Fatal("nil waveform must report nothing")
+	}
+}
+
+// Energy charged exactly at a bucket boundary belongs to the bucket that
+// starts there, not the one that ends there.
+func TestWaveformBucketBoundary(t *testing.T) {
+	b := 10 * units.Microsecond
+	w := core.NewWaveform(b)
+	w.Add("cpu", 0, units.Energy(1e-6))     // bucket 0 start
+	w.Add("cpu", b, units.Energy(2e-6))     // exactly on the 0/1 boundary -> bucket 1
+	w.Add("cpu", 2*b-1, units.Energy(4e-6)) // last instant of bucket 1
+
+	s := w.Series("cpu")
+	if len(s) != 2 {
+		t.Fatalf("series has %d buckets, want 2: %v", len(s), s)
+	}
+	want0 := units.Energy(1e-6).Over(b)
+	want1 := units.Energy(6e-6).Over(b)
+	if s[0] != want0 || s[1] != want1 {
+		t.Fatalf("series = %v, want [%v %v]", s, want0, want1)
+	}
+	at, p := w.Peak()
+	if at != b || p != want1 {
+		t.Fatalf("Peak() = (%v, %v), want (%v, %v)", at, p, b, want1)
+	}
+}
+
+// A run whose activity all lands inside one bucket peaks at t=0 with the
+// summed power of every component.
+func TestWaveformSingleBucket(t *testing.T) {
+	b := units.Millisecond
+	w := core.NewWaveform(b)
+	w.Add("cpu", 10*units.Microsecond, units.Energy(3e-6))
+	w.Add("bus", 400*units.Microsecond, units.Energy(1e-6))
+	w.Add("cpu", 999*units.Microsecond, units.Energy(2e-6))
+
+	at, p := w.Peak()
+	if at != 0 {
+		t.Fatalf("peak time = %v, want 0", at)
+	}
+	want := units.Energy(6e-6).Over(b)
+	if diff := float64(p - want); diff < -1e-15 || diff > 1e-15 {
+		t.Fatalf("peak power = %v, want %v", p, want)
+	}
+	if n := len(w.Names()); n != 2 {
+		t.Fatalf("Names() has %d entries, want 2", n)
+	}
+}
+
+// A zero (or unset) bucket disables recording instead of dividing by zero.
+func TestWaveformZeroBucketNoOp(t *testing.T) {
+	w := &core.Waveform{}
+	w.Add("cpu", units.Microsecond, units.Energy(1))
+	if at, p := w.Peak(); at != 0 || p != 0 {
+		t.Fatalf("zero-bucket waveform Peak() = (%v, %v)", at, p)
+	}
+}

@@ -12,7 +12,15 @@ import (
 
 	"repro/internal/cfsm"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/units"
+)
+
+// Process-wide energy-cache metrics (aggregated across every instance: SW
+// and HW caches, all concurrent sweep points).
+var (
+	mLookups = telemetry.Default.Counter("coest_ecache_lookups_total", "energy-cache lookups")
+	mHits    = telemetry.Default.Counter("coest_ecache_hits_total", "energy-cache hits (simulator skipped)")
 )
 
 // Params are the two user-specified knobs of Fig 4(c), controlling the
@@ -86,11 +94,13 @@ func (c *Cache) Params() Params { return c.params }
 // the caller must simulate and then call Update.
 func (c *Cache) Lookup(k Key) (units.Energy, uint64, bool) {
 	c.lookups++
+	mLookups.Inc()
 	e := c.entries[k]
 	if e == nil || !e.Ready(c.params) {
 		return 0, 0, false
 	}
 	c.hits++
+	mHits.Inc()
 	return units.Energy(e.Energy.Mean()), uint64(e.Cycles.Mean() + 0.5), true
 }
 

@@ -1,0 +1,141 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Sweep-level metrics on the process-wide registry, fed by every
+// SweepSummary as points complete (the long-sweep monitoring view behind
+// -debug-addr).
+var (
+	mPointsDone   = telemetry.Default.Counter("coest_sweep_points_total", "design points estimated")
+	mPointsFailed = telemetry.Default.Counter("coest_sweep_points_failed_total", "design points that failed")
+	mPointWall    = telemetry.Default.Histogram("coest_point_wall_seconds",
+		"wall time per design point", telemetry.ExpBuckets(1e-4, 10, 7))
+)
+
+// numWallBuckets is len(wallBuckets); the summary array carries one extra
+// overflow slot.
+const numWallBuckets = 7
+
+// wallBuckets are the SweepSummary histogram's upper bounds: 100 µs to
+// 100 s, decade-spaced — co-estimation points span that whole range
+// depending on workload length and acceleration settings.
+var wallBuckets = [numWallBuckets]time.Duration{
+	100 * time.Microsecond,
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+	10 * time.Second,
+	100 * time.Second,
+}
+
+// SweepSummary rolls the per-point metrics of one sweep into a sweep-level
+// record: how long points took (a histogram plus extremes), how much
+// simulation work the sweep did, and how well the acceleration layers
+// worked in aggregate. Feed it from the OnPoint hook via Observe — the
+// engine serializes that hook, so no locking is needed — or install it
+// with coest.WithTelemetry.
+type SweepSummary struct {
+	Points int // points observed (completed or failed)
+	Failed int // points that returned an error
+
+	TotalWall time.Duration // summed point wall time (CPU-ish, not elapsed)
+	MinWall   time.Duration
+	MaxWall   time.Duration
+
+	// WallHist counts points per wall-time bucket; WallHist[i] counts
+	// points with Wall <= wallBuckets[i] (first matching bucket), and the
+	// final element is the overflow.
+	WallHist [numWallBuckets + 1]int
+
+	ISSInsts  uint64 // total instructions retired across the sweep
+	GateEvals uint64 // total gate-simulator invocations across the sweep
+
+	ECacheLookups uint64
+	ECacheHits    uint64
+}
+
+// Observe folds one finished point into the summary and into the
+// process-wide registry. It is the OnPoint-hook shape.
+func (s *SweepSummary) Observe(m PointMetrics) {
+	s.Points++
+	mPointsDone.Inc()
+	s.TotalWall += m.Wall
+	if s.Points == 1 || m.Wall < s.MinWall {
+		s.MinWall = m.Wall
+	}
+	if m.Wall > s.MaxWall {
+		s.MaxWall = m.Wall
+	}
+	i := 0
+	for i < len(wallBuckets) && m.Wall > wallBuckets[i] {
+		i++
+	}
+	s.WallHist[i]++
+	mPointWall.Observe(m.Wall.Seconds())
+
+	if m.Err != nil {
+		s.Failed++
+		mPointsFailed.Inc()
+		return
+	}
+	s.ISSInsts += m.ISSInsts
+	s.GateEvals += m.GateEvals
+	s.ECacheLookups += m.ECacheLookups
+	s.ECacheHits += m.ECacheHits
+}
+
+// ECacheHitRate returns the aggregate hit rate, 0 when no point consulted
+// the cache.
+func (s *SweepSummary) ECacheHitRate() float64 {
+	if s.ECacheLookups == 0 {
+		return 0
+	}
+	return float64(s.ECacheHits) / float64(s.ECacheLookups)
+}
+
+// MeanWall returns the mean point wall time.
+func (s *SweepSummary) MeanWall() time.Duration {
+	if s.Points == 0 {
+		return 0
+	}
+	return s.TotalWall / time.Duration(s.Points)
+}
+
+// String renders the multi-line sweep summary block the CLIs print.
+func (s *SweepSummary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sweep: %d points", s.Points)
+	if s.Failed > 0 {
+		fmt.Fprintf(&b, " (%d failed)", s.Failed)
+	}
+	fmt.Fprintf(&b, " in %v total (min %v, mean %v, max %v)\n",
+		s.TotalWall.Round(time.Millisecond), s.MinWall.Round(time.Microsecond),
+		s.MeanWall().Round(time.Microsecond), s.MaxWall.Round(time.Microsecond))
+	fmt.Fprintf(&b, "  work: %d ISS insts, %d gate evals\n", s.ISSInsts, s.GateEvals)
+	if s.ECacheLookups > 0 {
+		fmt.Fprintf(&b, "  ecache: %.1f%% aggregate hit rate (%d/%d lookups)\n",
+			s.ECacheHitRate()*100, s.ECacheHits, s.ECacheLookups)
+	} else {
+		fmt.Fprintf(&b, "  ecache: off\n")
+	}
+	b.WriteString("  wall histogram:")
+	for i, n := range s.WallHist {
+		if n == 0 {
+			continue
+		}
+		if i < len(wallBuckets) {
+			fmt.Fprintf(&b, " <=%v:%d", wallBuckets[i], n)
+		} else {
+			fmt.Fprintf(&b, " >%v:%d", wallBuckets[len(wallBuckets)-1], n)
+		}
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package engine
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSweepSummaryAggregates(t *testing.T) {
+	var s SweepSummary
+	s.Observe(PointMetrics{
+		Index: 0, Total: 3, Wall: 500 * time.Microsecond,
+		ISSInsts: 100, GateEvals: 40, ECacheLookups: 10, ECacheHits: 8,
+	})
+	s.Observe(PointMetrics{
+		Index: 1, Total: 3, Wall: 2 * time.Millisecond,
+		ISSInsts: 300, GateEvals: 60, ECacheLookups: 10, ECacheHits: 2,
+	})
+	s.Observe(PointMetrics{
+		Index: 2, Total: 3, Wall: 50 * time.Microsecond,
+		Err: errors.New("boom"),
+	})
+
+	if s.Points != 3 || s.Failed != 1 {
+		t.Fatalf("points=%d failed=%d, want 3/1", s.Points, s.Failed)
+	}
+	if s.ISSInsts != 400 || s.GateEvals != 100 {
+		t.Fatalf("work totals: insts=%d evals=%d", s.ISSInsts, s.GateEvals)
+	}
+	if got := s.ECacheHitRate(); got != 0.5 {
+		t.Fatalf("aggregate hit rate = %g, want 0.5", got)
+	}
+	if s.MinWall != 50*time.Microsecond || s.MaxWall != 2*time.Millisecond {
+		t.Fatalf("wall extremes: min=%v max=%v", s.MinWall, s.MaxWall)
+	}
+	if s.TotalWall != 2550*time.Microsecond {
+		t.Fatalf("total wall = %v", s.TotalWall)
+	}
+	// 50µs -> bucket 0 (<=100µs), 500µs -> bucket 1 (<=1ms), 2ms -> bucket 2 (<=10ms).
+	if s.WallHist[0] != 1 || s.WallHist[1] != 1 || s.WallHist[2] != 1 {
+		t.Fatalf("wall histogram = %v", s.WallHist)
+	}
+
+	out := s.String()
+	for _, want := range []string{"3 points", "(1 failed)", "400 ISS insts", "100 gate evals", "50.0% aggregate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary %q missing %q", out, want)
+		}
+	}
+}
+
+func TestSweepSummaryNoECache(t *testing.T) {
+	var s SweepSummary
+	s.Observe(PointMetrics{Index: 0, Total: 1, Wall: time.Millisecond, ISSInsts: 5})
+	if got := s.ECacheHitRate(); got != 0 {
+		t.Fatalf("hit rate = %g, want 0", got)
+	}
+	if out := s.String(); !strings.Contains(out, "ecache: off") {
+		t.Errorf("summary %q should report ecache off", out)
+	}
+}
+
+func TestPointMetricsStringECacheOff(t *testing.T) {
+	m := PointMetrics{Index: 0, Total: 2, Wall: time.Millisecond, ISSInsts: 7}
+	if out := m.String(); !strings.Contains(out, "ecache off") {
+		t.Errorf("String() = %q, want \"ecache off\" when the cache was never consulted", out)
+	}
+	m.ECacheLookups, m.ECacheHits = 4, 1
+	if out := m.String(); !strings.Contains(out, "ecache 25%") {
+		t.Errorf("String() = %q, want a hit-rate percentage when lookups happened", out)
+	}
+}

@@ -3,7 +3,15 @@ package gate
 import (
 	"fmt"
 
+	"repro/internal/telemetry"
 	"repro/internal/units"
+)
+
+// Process-wide gate-simulator metrics, batched once per simulated cycle so
+// the settle loop stays atomics-free.
+var (
+	mCycles = telemetry.Default.Counter("coest_gate_cycles_total", "gate-level clock cycles simulated")
+	mEvals  = telemetry.Default.Counter("coest_gate_evals_total", "gate evaluations performed")
 )
 
 // Sim is a levelized cycle-based simulator with toggle-count power
@@ -196,6 +204,11 @@ func (s *Sim) Cycle(in InputVector) units.Energy {
 	if len(in) != len(s.N.Inputs) {
 		panic(fmt.Sprintf("gate: input vector width %d, want %d", len(in), len(s.N.Inputs)))
 	}
+	evals0 := s.evals
+	defer func() {
+		mCycles.Inc()
+		mEvals.Add(s.evals - evals0)
+	}()
 	var e units.Energy
 
 	markDirty := func(net NetID) {

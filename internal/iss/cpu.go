@@ -4,7 +4,16 @@ import (
 	"fmt"
 
 	"repro/internal/sparc"
+	"repro/internal/telemetry"
 	"repro/internal/units"
+)
+
+// Process-wide ISS metrics (aggregated across every CPU instance; updated
+// once per Call, not per instruction, to keep the atomics off the decode
+// loop).
+var (
+	mCalls = telemetry.Default.Counter("coest_iss_calls_total", "ISS reaction invocations")
+	mInsts = telemetry.Default.Counter("coest_iss_insts_total", "instructions executed by the ISS")
 )
 
 // HaltAddr is the magic return address used by Call: when the program
@@ -483,6 +492,10 @@ func (c *CPU) Call(entry uint32, args ...uint32) (uint32, RunStats, error) {
 	c.halted = false
 
 	var n uint64
+	defer func() {
+		mCalls.Inc()
+		mInsts.Add(n)
+	}()
 	for !c.halted {
 		if err := c.Step(); err != nil {
 			return 0, c.stats.Sub(base), err

@@ -11,8 +11,12 @@ import (
 	"sort"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
+
+// mDispatches counts dispatched reactions across every scheduler instance.
+var mDispatches = telemetry.Default.Counter("coest_rtos_dispatches_total", "reactions dispatched by the RTOS scheduler")
 
 // Policy selects the ready-queue discipline.
 type Policy int
@@ -146,6 +150,7 @@ func (s *Scheduler) dispatch() {
 		service = 0
 	}
 	s.stats.Dispatches++
+	mDispatches.Inc()
 	s.stats.OverheadCycles += s.cfg.DispatchCycles
 	s.stats.OverheadTime += overhead
 	s.stats.BusyTime += service

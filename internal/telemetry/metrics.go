@@ -1,0 +1,278 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds d (negative to decrement).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is an atomic cumulative histogram with fixed upper bounds —
+// the Prometheus histogram shape (le-bucketed counts plus sum and count).
+type Histogram struct {
+	bounds []float64       // ascending upper bounds; an implicit +Inf closes
+	counts []atomic.Uint64 // len(bounds)+1
+	sum    atomic.Uint64   // float64 bits, CAS-accumulated
+	count  atomic.Uint64
+}
+
+// NewHistogram returns a histogram over the given ascending upper bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram bounds not ascending at %d: %v", i, bounds))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// ExpBuckets returns n exponentially spaced bounds starting at lo with the
+// given growth factor — the usual latency-histogram layout.
+func ExpBuckets(lo, factor float64, n int) []float64 {
+	if lo <= 0 || factor <= 1 || n <= 0 {
+		panic(fmt.Sprintf("telemetry: bad exp bucket spec lo=%g factor=%g n=%d", lo, factor, n))
+	}
+	out := make([]float64, n)
+	v := lo
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(x float64) {
+	i := sort.SearchFloat64s(h.bounds, x)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + x)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Buckets returns the upper bounds and the per-bucket (non-cumulative)
+// counts; the final count is the +Inf overflow bucket.
+func (h *Histogram) Buckets() (bounds []float64, counts []uint64) {
+	counts = make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return h.bounds, counts
+}
+
+// metricKind tags registry entries for exposition.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+type metricEntry struct {
+	name string
+	help string
+	kind metricKind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry is a named collection of metrics with stable registration
+// order, exposable as Prometheus text and as one expvar map. Metric
+// constructors are idempotent: asking for an existing name of the same
+// kind returns the existing instance (so per-layer package vars and
+// sweep-level code can share counters), while a kind clash panics — it is
+// always a programming error.
+type Registry struct {
+	mu      sync.Mutex
+	order   []string
+	entries map[string]*metricEntry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*metricEntry)}
+}
+
+// Default is the process-wide registry the estimator layers (ISS, gate,
+// ecache, bus, rtos, compact, sweep engine) register their counters on.
+// It aggregates across every run in the process — the long-sweep
+// monitoring view — and is served by the -debug-addr endpoint.
+var Default = NewRegistry()
+
+func (r *Registry) lookup(name, help string, kind metricKind) *metricEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("telemetry: metric %q re-registered with a different kind", name))
+		}
+		return e
+	}
+	e := &metricEntry{name: name, help: help, kind: kind}
+	switch kind {
+	case kindCounter:
+		e.c = &Counter{}
+	case kindGauge:
+		e.g = &Gauge{}
+	}
+	r.entries[name] = e
+	r.order = append(r.order, name)
+	return e
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.lookup(name, help, kindCounter).c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.lookup(name, help, kindGauge).g
+}
+
+// Histogram returns the named histogram, creating it with the given bounds
+// on first use (later calls ignore bounds and return the existing one).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	e := r.lookup(name, help, kindHistogram)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e.h == nil {
+		e.h = NewHistogram(bounds)
+	}
+	return e.h
+}
+
+// snapshot returns the entries in registration order.
+func (r *Registry) snapshot() []*metricEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*metricEntry, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.entries[name])
+	}
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (the /metrics payload).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, e := range r.snapshot() {
+		if e.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", e.name, e.help); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch e.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", e.name, e.name, e.c.Value())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", e.name, e.name, e.g.Value())
+		case kindHistogram:
+			if _, err = fmt.Fprintf(w, "# TYPE %s histogram\n", e.name); err != nil {
+				return err
+			}
+			bounds, counts := e.h.Buckets()
+			var cum uint64
+			for i, b := range bounds {
+				cum += counts[i]
+				if _, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", e.name, formatBound(b), cum); err != nil {
+					return err
+				}
+			}
+			cum += counts[len(counts)-1]
+			_, err = fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %g\n%s_count %d\n",
+				e.name, cum, e.name, e.h.Sum(), e.name, e.h.Count())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// Expvar returns the registry as one expvar-compatible value: a map from
+// metric name to value (counters and gauges as numbers, histograms as
+// {sum, count, buckets}).
+func (r *Registry) Expvar() any {
+	out := make(map[string]any)
+	for _, e := range r.snapshot() {
+		switch e.kind {
+		case kindCounter:
+			out[e.name] = e.c.Value()
+		case kindGauge:
+			out[e.name] = e.g.Value()
+		case kindHistogram:
+			bounds, counts := e.h.Buckets()
+			out[e.name] = map[string]any{
+				"sum":     e.h.Sum(),
+				"count":   e.h.Count(),
+				"bounds":  bounds,
+				"buckets": counts,
+			}
+		}
+	}
+	return out
+}
+
+var publishOnce sync.Once
+
+// PublishExpvar publishes the Default registry under the expvar name
+// "coest" (idempotent; expvar forbids re-publishing a name).
+func PublishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("coest", expvar.Func(Default.Expvar))
+	})
+}

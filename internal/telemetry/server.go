@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler returns the debug endpoint mux:
+//
+//	/metrics       Default registry, Prometheus text exposition
+//	/debug/vars    expvar JSON (includes the "coest" registry map)
+//	/debug/pprof/  net/http/pprof profiles (heap, profile, trace, ...)
+//
+// It is what -debug-addr serves in the CLIs; tests can drive it directly.
+func DebugHandler() http.Handler {
+	PublishExpvar()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = Default.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "coest debug endpoint\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// ServeDebug binds addr (e.g. "localhost:6060") and serves DebugHandler on
+// it in a background goroutine, for profiling and monitoring long sweeps.
+// It returns the bound address (useful with a ":0" port) and a shutdown
+// function.
+func ServeDebug(addr string) (net.Addr, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: DebugHandler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr(), srv.Close, nil
+}

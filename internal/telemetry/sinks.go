@@ -1,0 +1,239 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/units"
+)
+
+// jsonEvent is the JSONL wire form of an Event. Fields that are zero for a
+// kind are omitted, keeping lines compact and grep-friendly.
+type jsonEvent struct {
+	TimeNS     int64   `json:"t_ns"`
+	Kind       string  `json:"kind"`
+	Component  string  `json:"component,omitempty"`
+	Machine    int     `json:"machine"`
+	Transition int     `json:"transition,omitempty"`
+	Name       string  `json:"name,omitempty"`
+	Path       string  `json:"path,omitempty"`
+	Value      int64   `json:"value,omitempty"`
+	Cycles     uint64  `json:"cycles,omitempty"`
+	EnergyJ    float64 `json:"energy_j,omitempty"`
+	DurNS      int64   `json:"dur_ns,omitempty"`
+	Addr       uint32  `json:"addr,omitempty"`
+	Words      int     `json:"words,omitempty"`
+	Write      bool    `json:"write,omitempty"`
+}
+
+// JSONLSink writes one JSON object per event, newline-delimited — the
+// machine-readable export for downstream analysis (jq, pandas, ...).
+type JSONLSink struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewJSONLSink returns a buffered JSONL sink over w. Close flushes.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	return &JSONLSink{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit implements Sink.
+func (s *JSONLSink) Emit(ev Event) {
+	je := jsonEvent{
+		TimeNS:     int64(ev.Time),
+		Kind:       ev.Kind.String(),
+		Component:  ev.Component,
+		Machine:    ev.Machine,
+		Transition: ev.Transition,
+		Name:       ev.Name,
+		Value:      ev.Value,
+		Cycles:     ev.Cycles,
+		EnergyJ:    ev.Energy.Joules(),
+		DurNS:      int64(ev.Dur),
+		Addr:       ev.Addr,
+		Words:      ev.Words,
+		Write:      ev.Write,
+	}
+	if ev.Path != 0 {
+		je.Path = fmt.Sprintf("%x", ev.Path)
+	}
+	_ = s.enc.Encode(je) // error surfaces at Close via the flush
+}
+
+// Close implements Sink.
+func (s *JSONLSink) Close() error { return s.bw.Flush() }
+
+// Chrome trace_event pid/tid assignment: one viewer "process" per subsystem
+// so a co-simulation opens with per-process lanes (the machines), the bus
+// masters, and the master's own annotations.
+const (
+	chromePIDMachines = 1 // one tid per CFSM process
+	chromePIDBus      = 2 // one tid per bus master
+	chromePIDMaster   = 3 // compaction, deadline warnings
+)
+
+// ChromeSink streams the event stream as a Chrome/Perfetto trace_event JSON
+// object ({"traceEvents": [...], "displayTimeUnit": "ns"}): load the file
+// in chrome://tracing or ui.perfetto.dev to see per-process lanes of
+// reactions, estimator calls, cache hits and bus grants over simulated
+// time. Reactions and bus grants with known durations render as complete
+// ("X") slices; everything else as instants ("i").
+type ChromeSink struct {
+	bw    *bufio.Writer
+	first bool
+	err   error
+	named map[[2]int]bool // (pid,tid) lanes already given thread_name metadata
+}
+
+// NewChromeSink returns a sink writing the trace_event JSON to w. The JSON
+// is only well-formed after Close.
+func NewChromeSink(w io.Writer) *ChromeSink {
+	s := &ChromeSink{bw: bufio.NewWriter(w), first: true, named: make(map[[2]int]bool)}
+	_, s.err = s.bw.WriteString(`{"displayTimeUnit":"ns","traceEvents":[` + "\n")
+	return s
+}
+
+// chromeEvent is one trace_event record. ts/dur are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func (s *ChromeSink) write(ce chromeEvent) {
+	if s.err != nil {
+		return
+	}
+	if !s.first {
+		if _, s.err = s.bw.WriteString(",\n"); s.err != nil {
+			return
+		}
+	}
+	s.first = false
+	b, err := json.Marshal(ce)
+	if err != nil {
+		s.err = err
+		return
+	}
+	_, s.err = s.bw.Write(b)
+}
+
+// lane ensures the (pid,tid) lane carries thread_name metadata before its
+// first real event, so the viewer labels rows with process names.
+func (s *ChromeSink) lane(pid, tid int, name string) {
+	key := [2]int{pid, tid}
+	if s.named[key] {
+		return
+	}
+	s.named[key] = true
+	s.write(chromeEvent{
+		Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+func usec(t units.Time) float64 { return float64(t) / 1e3 }
+
+// Emit implements Sink.
+func (s *ChromeSink) Emit(ev Event) {
+	pid, tid := chromePIDMachines, ev.Machine+1
+	lane := ev.Component
+	switch ev.Kind {
+	case KindBusTransaction:
+		pid = chromePIDBus
+		lane = fmt.Sprintf("bus master %d", ev.Machine)
+	case KindCompactionDispatch, KindDeadlineWarning:
+		pid, tid = chromePIDMaster, 1
+		lane = "master"
+	}
+	s.lane(pid, tid, lane)
+
+	ce := chromeEvent{Ph: "i", TS: usec(ev.Time), PID: pid, TID: tid, S: "t"}
+	switch ev.Kind {
+	case KindReactionDispatched:
+		ce.Name = fmt.Sprintf("react %s", ev.Name)
+		ce.Args = map[string]any{"path": fmt.Sprintf("%x", ev.Path), "cycles": ev.Cycles, "energy_j": ev.Energy.Joules()}
+		if ev.Dur > 0 {
+			ce.Ph, ce.S, ce.Dur = "X", "", usec(ev.Dur)
+		}
+	case KindEventEmitted:
+		ce.Name = fmt.Sprintf("emit %s=%d", ev.Name, ev.Value)
+	case KindISSCall, KindGateEval:
+		ce.Name = ev.Kind.String()
+		ce.Args = map[string]any{"path": fmt.Sprintf("%x", ev.Path), "cycles": ev.Cycles, "energy_j": ev.Energy.Joules()}
+	case KindECacheHit, KindECacheMiss:
+		ce.Name = ev.Kind.String()
+		ce.Args = map[string]any{"path": fmt.Sprintf("%x", ev.Path)}
+	case KindBusTransaction:
+		dir := "read"
+		if ev.Write {
+			dir = "write"
+		}
+		ce.Name = fmt.Sprintf("%s %d words", dir, ev.Words)
+		ce.Args = map[string]any{"addr": ev.Addr, "energy_j": ev.Energy.Joules()}
+		if ev.Dur > 0 {
+			ce.Ph, ce.S, ce.Dur = "X", "", usec(ev.Dur)
+		}
+	case KindCompactionDispatch:
+		ce.Name = fmt.Sprintf("compaction %d/%d", ev.Words, ev.Value)
+		ce.Args = map[string]any{"energy_j": ev.Energy.Joules()}
+	case KindDeadlineWarning:
+		ce.Name = "deadline: truncated"
+		ce.Args = map[string]any{"pending": ev.Value}
+	default:
+		ce.Name = ev.Kind.String()
+	}
+	s.write(ce)
+}
+
+// Close terminates the JSON document and flushes.
+func (s *ChromeSink) Close() error {
+	if s.err != nil {
+		return s.err
+	}
+	if _, err := s.bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return s.bw.Flush()
+}
+
+// syncSink serializes a sink shared by concurrent producers.
+type syncSink struct {
+	mu   sync.Mutex
+	sink Sink
+}
+
+// Synchronized wraps sink with a mutex so one sink instance can absorb the
+// interleaved event streams of a parallel sweep's workers. Expect the
+// points' simulated timestamps to interleave; tag-by-point ordering is the
+// consumer's job (or run with one worker for a clean single stream).
+func Synchronized(sink Sink) Sink {
+	if sink == nil {
+		return nil
+	}
+	return &syncSink{sink: sink}
+}
+
+// Emit implements Sink.
+func (s *syncSink) Emit(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sink.Emit(ev)
+}
+
+// Close implements Sink.
+func (s *syncSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sink.Close()
+}

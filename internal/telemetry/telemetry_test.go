@@ -1,0 +1,211 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var trc *Tracer
+	if trc.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	trc.Emit(Event{Kind: KindISSCall}) // must not panic
+	if NewTracer(nil) != nil {
+		t.Fatal("NewTracer(nil) should be the nil tracer")
+	}
+}
+
+// The event hot path must be allocation-free when no sink is attached:
+// every reaction, estimator call and bus grant constructs an Event
+// unconditionally, so a disabled tracer must cost nothing on the heap.
+func TestEmitNoSinkZeroAllocs(t *testing.T) {
+	var trc *Tracer
+	name := "machine"
+	allocs := testing.AllocsPerRun(1000, func() {
+		trc.Emit(Event{
+			Time:      12345 * units.Nanosecond,
+			Kind:      KindReactionDispatched,
+			Component: name,
+			Machine:   2,
+			Name:      name,
+			Path:      0xdeadbeef,
+			Cycles:    321,
+			Energy:    5 * units.Nanojoule,
+		})
+	})
+	if allocs != 0 {
+		t.Fatalf("Emit with no sink allocates %v per op, want 0", allocs)
+	}
+}
+
+func BenchmarkEmitNoSink(b *testing.B) {
+	var trc *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		trc.Emit(Event{
+			Time: units.Time(i), Kind: KindBusTransaction,
+			Component: "bus", Machine: 1, Addr: 0x40, Words: 4, Write: true,
+			Energy: units.Nanojoule,
+		})
+	}
+}
+
+func TestEventString(t *testing.T) {
+	ev := Event{
+		Time: 3 * units.Microsecond, Kind: KindReactionDispatched,
+		Component: "counter", Transition: 2, Name: "tick", Path: 0x2b,
+	}
+	s := ev.String()
+	for _, want := range []string{"react counter", "t2", "(tick)", "path 2b"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	emit := Event{Kind: KindEventEmitted, Component: "counter", Name: "ALERT", Value: 10}
+	if got := emit.String(); !strings.Contains(got, "emit  counter.ALERT = 10") {
+		t.Errorf("emit String() = %q", got)
+	}
+}
+
+func TestTextSinkBridgesToFunc(t *testing.T) {
+	var lines []string
+	trc := NewTracer(NewTextSink(func(s string) { lines = append(lines, s) }))
+	trc.Emit(Event{Kind: KindECacheHit, Component: "m", Path: 7})
+	trc.Emit(Event{Kind: KindDeadlineWarning, Value: 3})
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	if !strings.Contains(lines[1], "DEADLINE") || !strings.Contains(lines[1], "3 events") {
+		t.Errorf("deadline line = %q", lines[1])
+	}
+}
+
+func TestJSONLSinkRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	trc := NewTracer(sink)
+	trc.Emit(Event{
+		Time: 100, Kind: KindISSCall, Component: "counter", Machine: 0,
+		Path: 0xab, Cycles: 42, Energy: 2 * units.Nanojoule,
+	})
+	trc.Emit(Event{
+		Time: 200, Kind: KindBusTransaction, Component: "bus", Machine: 1,
+		Addr: 0x80, Words: 4, Write: true, Dur: 160, Energy: units.Picojoule,
+	})
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2: %q", len(lines), buf.String())
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 0 is not JSON: %v", err)
+	}
+	if first["kind"] != "iss-call" || first["path"] != "ab" || first["cycles"] != float64(42) {
+		t.Errorf("unexpected first line: %v", first)
+	}
+	var second map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatal(err)
+	}
+	if second["write"] != true || second["words"] != float64(4) || second["dur_ns"] != float64(160) {
+		t.Errorf("unexpected second line: %v", second)
+	}
+}
+
+func TestChromeSinkWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewChromeSink(&buf)
+	trc := NewTracer(sink)
+	trc.Emit(Event{Time: 0, Kind: KindReactionDispatched, Component: "counter", Machine: 0, Name: "tick", Dur: 500})
+	trc.Emit(Event{Time: 100, Kind: KindECacheMiss, Component: "counter", Machine: 0, Path: 1})
+	trc.Emit(Event{Time: 200, Kind: KindBusTransaction, Component: "bus", Machine: 0, Words: 2, Dur: 80})
+	trc.Emit(Event{Time: 300, Kind: KindDeadlineWarning, Value: 1})
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			PID  int     `json:"pid"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	// 4 events + 3 lane metadata records (machines, bus master, master).
+	if len(doc.TraceEvents) != 7 {
+		t.Fatalf("got %d trace events, want 7", len(doc.TraceEvents))
+	}
+	var metas, reals int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			metas++
+		case "X", "i":
+			reals++
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if metas != 3 || reals != 4 {
+		t.Fatalf("metas=%d reals=%d, want 3/4", metas, reals)
+	}
+}
+
+func TestMultiSinkFansOutAndCollapses(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Fatal("empty Multi should collapse to nil")
+	}
+	var a, b int
+	sa := NewTextSink(func(string) { a++ })
+	sb := NewTextSink(func(string) { b++ })
+	if got := Multi(sa, nil); got != sa {
+		t.Fatal("single-sink Multi should return the sink itself")
+	}
+	m := Multi(sa, sb)
+	m.Emit(Event{Kind: KindISSCall})
+	if a != 1 || b != 1 {
+		t.Fatalf("fan-out failed: a=%d b=%d", a, b)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSynchronizedSink(t *testing.T) {
+	if Synchronized(nil) != nil {
+		t.Fatal("Synchronized(nil) should stay nil")
+	}
+	var buf bytes.Buffer
+	s := Synchronized(NewJSONLSink(&buf))
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			for i := 0; i < 100; i++ {
+				s.Emit(Event{Kind: KindISSCall, Machine: i})
+			}
+			done <- struct{}{}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != 400 {
+		t.Fatalf("got %d lines, want 400", n)
+	}
+}

@@ -166,7 +166,7 @@ func Sweep(ctx context.Context, grid Grid, opts ...Option) ([]PointResult, error
 		o(st)
 	}
 	results, err := engine.RunReports(ctx, grid.N,
-		engine.Options{Workers: st.workers, OnPoint: st.onPoint},
+		engine.Options{Workers: st.workers, OnPoint: st.pointHook()},
 		func(i int) (*core.System, core.Config, error) {
 			sys, err := grid.Build(i)
 			if err != nil {

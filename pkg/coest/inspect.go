@@ -80,8 +80,8 @@ func (c *Compiled) Estimate(ctx context.Context) (*Report, error) {
 	c.ran = true
 	start := time.Now()
 	rep, err := c.cs.Run()
-	if c.st.onPoint != nil {
-		c.st.onPoint(pointMetrics(0, 1, rep, time.Since(start), err))
+	if hook := c.st.pointHook(); hook != nil {
+		hook(pointMetrics(0, 1, rep, time.Since(start), err))
 	}
 	return rep, err
 }

@@ -27,8 +27,29 @@ type settings struct {
 	cfg     *core.Config // nil when only run-level fields are harvested
 	workers int
 	onPoint func(PointMetrics)
+	summary *engine.SweepSummary
 	macro   bool // characterize-and-share a macro table at run time
 	err     error
+}
+
+// point delivers one finished point to the run-level observers (the
+// WithTelemetry summary, then the WithProgress callback). Callers serialize.
+func (st *settings) point(m PointMetrics) {
+	if st.summary != nil {
+		st.summary.Observe(m)
+	}
+	if st.onPoint != nil {
+		st.onPoint(m)
+	}
+}
+
+// pointHook returns point as an engine OnPoint hook, nil when nothing
+// observes.
+func (st *settings) pointHook() func(PointMetrics) {
+	if st.summary == nil && st.onPoint == nil {
+		return nil
+	}
+	return st.point
 }
 
 func newSettings(cfg *core.Config) *settings { return &settings{cfg: cfg} }
@@ -171,10 +192,15 @@ func WithBusCompaction(k, ratio int) Option {
 	}
 }
 
-// WithTrace streams one line per master-level event (reaction dispatches,
-// event deliveries, bus phases) to fn — the PTOLEMY-style source-level
-// visibility. In a Sweep the callback is invoked concurrently from every
-// worker and must be goroutine-safe.
+// WithTrace streams one rendered line per master-level event (reaction
+// dispatches, event deliveries, bus phases) to fn — the PTOLEMY-style
+// source-level visibility. In a Sweep the callback is invoked concurrently
+// from every worker and must be goroutine-safe.
+//
+// Deprecated: WithTrace is the legacy stringly interface, kept as a thin
+// adapter over the typed event stream (each TraceEvent is rendered with its
+// String method). New code should use WithTraceSink, which delivers the
+// structured events themselves.
 func WithTrace(fn func(string)) Option {
 	return func(st *settings) {
 		st.config(func(c *core.Config) { c.Trace = fn })
