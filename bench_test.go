@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/bus"
@@ -82,16 +83,21 @@ func BenchmarkTable1Caching(b *testing.B) {
 	}
 }
 
-var benchTable *macromodel.Table
+var (
+	benchTableOnce sync.Once
+	benchTable     *macromodel.Table
+	benchTableErr  error
+)
 
+// macroTable characterizes the macro-model once per process; the sync.Once
+// keeps the lazy init safe under parallel or otherwise concurrent benchmarks.
 func macroTable(b *testing.B) *macromodel.Table {
 	b.Helper()
-	if benchTable == nil {
-		tbl, err := macromodel.Characterize(iss.SPARCliteTiming(), iss.SPARCliteModel())
-		if err != nil {
-			b.Fatal(err)
-		}
-		benchTable = tbl
+	benchTableOnce.Do(func() {
+		benchTable, benchTableErr = macromodel.Characterize(iss.SPARCliteTiming(), iss.SPARCliteModel())
+	})
+	if benchTableErr != nil {
+		b.Fatal(benchTableErr)
 	}
 	return benchTable
 }
@@ -291,6 +297,11 @@ func BenchmarkCacheSim(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		// Restart each pass over the trace from a cold, deterministic cache
+		// so iterations are identically distributed regardless of b.N.
+		if i%len(addrs) == 0 {
+			c.Reset()
+		}
 		c.Access(addrs[i%len(addrs)])
 	}
 }

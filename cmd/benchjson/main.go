@@ -1,0 +1,183 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON artifact, aggregating repeated -count runs per benchmark and, when
+// given a baseline file, computing per-benchmark ns/op speedups. It backs
+// scripts/bench.sh, which snapshots the repository's performance numbers
+// (BENCH_PR3.json) so regressions show up in review rather than in use.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem -count 3 . | benchjson -o bench.json
+//	benchjson -baseline old.txt -o bench.json new.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Stat summarizes the repeated observations of one measurement.
+type Stat struct {
+	Count  int     `json:"count"`
+	Min    float64 `json:"min"`
+	Median float64 `json:"median"`
+	Mean   float64 `json:"mean"`
+	Max    float64 `json:"max"`
+}
+
+func newStat(vals []float64) Stat {
+	sort.Float64s(vals)
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	return Stat{
+		Count:  len(vals),
+		Min:    vals[0],
+		Median: vals[len(vals)/2],
+		Mean:   sum / float64(len(vals)),
+		Max:    vals[len(vals)-1],
+	}
+}
+
+// Bench is the aggregate of one benchmark across -count runs. Metrics holds
+// every "value unit" pair the benchmark reported: ns/op, B/op, allocs/op,
+// and custom ReportMetric units such as inst/s, gate-evals/s or nJ.
+type Bench struct {
+	Iterations int             `json:"iterations"` // from the last run
+	Metrics    map[string]Stat `json:"metrics"`
+}
+
+// parse collects per-benchmark metric observations from bench output text.
+func parse(r io.Reader) (map[string]Bench, error) {
+	obs := map[string]map[string][]float64{}
+	iters := map[string]int{}
+	names := []string{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 {
+			continue
+		}
+		// Strip the trailing -GOMAXPROCS suffix go test appends to names.
+		name := strings.TrimPrefix(f[0], "Benchmark")
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		n, err := strconv.Atoi(f[1])
+		if err != nil {
+			continue
+		}
+		if obs[name] == nil {
+			obs[name] = map[string][]float64{}
+			names = append(names, name)
+		}
+		iters[name] = n
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in %q", f[i], line)
+			}
+			obs[name][f[i+1]] = append(obs[name][f[i+1]], v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := map[string]Bench{}
+	for _, name := range names {
+		b := Bench{Iterations: iters[name], Metrics: map[string]Stat{}}
+		for unit, vals := range obs[name] {
+			b.Metrics[unit] = newStat(vals)
+		}
+		out[name] = b
+	}
+	return out, nil
+}
+
+// Report is the emitted artifact.
+type Report struct {
+	// Baseline is present only when -baseline was given; Speedup then maps
+	// benchmark name to baseline/current median ns/op (>1 means faster).
+	Baseline map[string]Bench   `json:"baseline,omitempty"`
+	Current  map[string]Bench   `json:"current"`
+	Speedup  map[string]float64 `json:"speedup_ns_op,omitempty"`
+}
+
+func run() error {
+	out := flag.String("o", "", "output path (default stdout)")
+	baseline := flag.String("baseline", "", "prior bench output to compare against")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	cur, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(cur) == 0 {
+		return fmt.Errorf("no benchmark lines in input")
+	}
+	rep := Report{Current: cur}
+	if *baseline != "" {
+		f, err := os.Open(*baseline)
+		if err != nil {
+			return err
+		}
+		base, err := parse(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		rep.Baseline = base
+		rep.Speedup = map[string]float64{}
+		for name, b := range base {
+			c, ok := cur[name]
+			if !ok {
+				continue
+			}
+			bn, cn := b.Metrics["ns/op"], c.Metrics["ns/op"]
+			if bn.Count > 0 && cn.Count > 0 && cn.Median > 0 {
+				rep.Speedup[name] = bn.Median / cn.Median
+			}
+		}
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(*out, enc, 0o644)
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

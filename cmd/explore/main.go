@@ -36,8 +36,21 @@ func main() {
 		verbose   = flag.Bool("v", false, "print per-point progress metrics to stderr")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/pprof/ on this address during the sweep (e.g. localhost:6060)")
 		manifest  = flag.String("manifest", "", "write a JSON run manifest (config, versions, phase timings) to this path")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := telemetry.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "explore: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "explore: %v\n", err)
+		}
+	}()
 
 	if *debugAddr != "" {
 		addr, shutdown, err := telemetry.ServeDebug(*debugAddr)

@@ -45,8 +45,20 @@ func main() {
 		dmaList   = flag.String("dma", "", "comma-separated DMA sizes for Tables 1/2")
 		workers   = flag.Int("j", 0, "sweep worker pool size (0 = GOMAXPROCS; use 1 for quietest wall-time columns)")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/pprof/ on this address while experiments run (e.g. localhost:6060)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := telemetry.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+		}
+	}()
 
 	if *debugAddr != "" {
 		addr, shutdown, err := telemetry.ServeDebug(*debugAddr)

@@ -73,21 +73,86 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Lookups)
 }
 
+// record is one interned path: the precomputed FNV hash of its key plus the
+// per-path entry (pointer-stable across table growth).
+type record struct {
+	key  Key
+	hash uint64
+	ent  *Entry
+}
+
 // Cache is one energy/delay cache instance (typically one per estimator).
+//
+// Paths are interned under a precomputed 64-bit FNV-1a hash of (Machine,
+// Path) in an open-addressed table, so the per-reaction Lookup/Update fast
+// path is a handful of flat-array probes instead of runtime map hashing of
+// a struct key.
 type Cache struct {
 	params  Params
-	entries map[Key]*Entry
+	slots   []int32 // open-addressed: 1-based index into recs, 0 = empty
+	recs    []record
 	lookups uint64
 	hits    uint64
 }
 
 // New returns an empty cache.
 func New(p Params) *Cache {
-	return &Cache{params: p, entries: make(map[Key]*Entry)}
+	return &Cache{params: p, slots: make([]int32, 64)}
 }
 
 // Params returns the configured thresholds.
 func (c *Cache) Params() Params { return c.params }
+
+// FNV-1a parameters (64-bit).
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// keyHash is 64-bit FNV-1a over the 16 bytes of (Machine, Path).
+func keyHash(k Key) uint64 {
+	h := uint64(fnvOffset)
+	x := uint64(k.Machine)
+	for i := 0; i < 8; i++ {
+		h = (h ^ (x & 0xff)) * fnvPrime
+		x >>= 8
+	}
+	y := uint64(k.Path)
+	for i := 0; i < 8; i++ {
+		h = (h ^ (y & 0xff)) * fnvPrime
+		y >>= 8
+	}
+	return h
+}
+
+// find linear-probes for k (with hash h); it returns the entry, or nil and
+// the empty slot index where k belongs.
+func (c *Cache) find(k Key, h uint64) (*Entry, uint64) {
+	mask := uint64(len(c.slots) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		ri := c.slots[i]
+		if ri == 0 {
+			return nil, i
+		}
+		if r := &c.recs[ri-1]; r.hash == h && r.key == k {
+			return r.ent, i
+		}
+	}
+}
+
+// grow doubles the slot table and reinserts from the stored hashes.
+func (c *Cache) grow() {
+	old := c.slots
+	c.slots = make([]int32, 2*len(old))
+	mask := uint64(len(c.slots) - 1)
+	for ri := range c.recs {
+		i := c.recs[ri].hash & mask
+		for c.slots[i] != 0 {
+			i = (i + 1) & mask
+		}
+		c.slots[i] = int32(ri + 1)
+	}
+}
 
 // Lookup consults the cache for a path. On a hit it returns the mean energy
 // and mean cycle count and true; the caller skips the simulator. On a miss
@@ -95,7 +160,7 @@ func (c *Cache) Params() Params { return c.params }
 func (c *Cache) Lookup(k Key) (units.Energy, uint64, bool) {
 	c.lookups++
 	mLookups.Inc()
-	e := c.entries[k]
+	e, _ := c.find(k, keyHash(k))
 	if e == nil || !e.Ready(c.params) {
 		return 0, 0, false
 	}
@@ -106,10 +171,15 @@ func (c *Cache) Lookup(k Key) (units.Energy, uint64, bool) {
 
 // Update folds a fresh simulator observation into the path's entry.
 func (c *Cache) Update(k Key, energy units.Energy, cycles uint64) {
-	e := c.entries[k]
+	h := keyHash(k)
+	e, slot := c.find(k, h)
 	if e == nil {
 		e = &Entry{}
-		c.entries[k] = e
+		c.recs = append(c.recs, record{key: k, hash: h, ent: e})
+		c.slots[slot] = int32(len(c.recs))
+		if 4*len(c.recs) >= 3*len(c.slots) {
+			c.grow()
+		}
 	}
 	e.Energy.Add(float64(energy))
 	e.Cycles.Add(float64(cycles))
@@ -117,11 +187,14 @@ func (c *Cache) Update(k Key, energy units.Energy, cycles uint64) {
 
 // Entry exposes a path's record (nil if never observed) for reporting —
 // e.g. the per-path energy spreads behind Fig 4(b).
-func (c *Cache) Entry(k Key) *Entry { return c.entries[k] }
+func (c *Cache) Entry(k Key) *Entry {
+	e, _ := c.find(k, keyHash(k))
+	return e
+}
 
 // Stats returns cache effectiveness counters.
 func (c *Cache) Stats() Stats {
-	return Stats{Lookups: c.lookups, Hits: c.hits, Entries: len(c.entries)}
+	return Stats{Lookups: c.lookups, Hits: c.hits, Entries: len(c.recs)}
 }
 
 // PathReport is one row of the per-path summary.
@@ -136,14 +209,15 @@ type PathReport struct {
 // Report returns per-path rows sorted by descending call count — the
 // "snapshot of the energy cache" of Fig 4(c).
 func (c *Cache) Report() []PathReport {
-	rows := make([]PathReport, 0, len(c.entries))
-	for k, e := range c.entries {
+	rows := make([]PathReport, 0, len(c.recs))
+	for i := range c.recs {
+		r := &c.recs[i]
 		rows = append(rows, PathReport{
-			Key:    k,
-			Calls:  e.Energy.N(),
-			Mean:   units.Energy(e.Energy.Mean()),
-			StdDev: units.Energy(e.Energy.StdDev()),
-			Cached: e.Ready(c.params),
+			Key:    r.key,
+			Calls:  r.ent.Energy.N(),
+			Mean:   units.Energy(r.ent.Energy.Mean()),
+			StdDev: units.Energy(r.ent.Energy.StdDev()),
+			Cached: r.ent.Ready(c.params),
 		})
 	}
 	sort.Slice(rows, func(a, b int) bool {

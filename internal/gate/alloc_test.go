@@ -1,0 +1,30 @@
+package gate
+
+import "testing"
+
+// TestCycleZeroAlloc is the PR 3 alloc-guard for the gate simulator: on a
+// warmed-up netlist, Cycle must run the launch/settle/capture path without
+// allocating, whatever the input activity.
+func TestCycleZeroAlloc(t *testing.T) {
+	n := NewNetlist("alloc")
+	a := n.Input("a")
+	b := n.Input("b")
+	x := n.Xor2(a, b)
+	y := n.And2(a, b)
+	q := n.Flop(n.Or2(x, y), false, "q")
+	n.Inv(q)
+	s := sim(t, n)
+
+	in := InputVector{false, false}
+	s.Cycle(in) // warm up
+	i := 0
+	avg := testing.AllocsPerRun(1000, func() {
+		in[0] = i&1 == 1
+		in[1] = i&2 == 2
+		i++
+		s.Cycle(in)
+	})
+	if avg != 0 {
+		t.Fatalf("gate.Sim.Cycle allocates %v allocs/op, want 0", avg)
+	}
+}

@@ -60,12 +60,15 @@ func (s RunStats) Time(t *TimingModel) units.Time {
 	return units.Time(s.Cycles) * t.Clock.Period()
 }
 
-type savedWindow struct {
-	locals [8]uint32
-	ins    [8]uint32
-}
+// savedWindow is one spilled register window: locals (rf[16:24]) followed by
+// ins (rf[24:32]).
+type savedWindow [16]uint32
 
 // CPU is one SPARC-like processor core.
+//
+// The register file is a flat 32-entry array in the architectural numbering
+// (%g0-%g7, %o0-%o7, %l0-%l7, %i0-%i7) so the execution loop indexes it
+// directly; SAVE/RESTORE shift the window by copying sub-ranges.
 type CPU struct {
 	Timing *TimingModel
 	Power  *PowerModel
@@ -79,14 +82,11 @@ type CPU struct {
 	// MaxInsts bounds a single Call (runaway-code guard).
 	MaxInsts uint64
 
-	prog      *sparc.Program
-	progBase  uint32
-	progInsts []sparc.Inst
+	prog     *sparc.Program
+	progBase uint32
+	dec      []decoded
 
-	globals [8]uint32
-	outs    [8]uint32
-	locals  [8]uint32
-	ins     [8]uint32
+	rf      [32]uint32
 	winss   []savedWindow
 	hwLive  int // live hardware windows, 1..Windows-1
 	spilled int // frames currently spilled by overflow traps
@@ -112,10 +112,7 @@ func New(timing *TimingModel, power *PowerModel, mem *Mem) *CPU {
 
 // Reset clears registers and pipeline state and sets the stack pointer.
 func (c *CPU) Reset(stackTop uint32) {
-	c.globals = [8]uint32{}
-	c.outs = [8]uint32{}
-	c.locals = [8]uint32{}
-	c.ins = [8]uint32{}
+	c.rf = [32]uint32{}
 	c.winss = c.winss[:0]
 	c.hwLive = 1
 	c.spilled = 0
@@ -124,18 +121,19 @@ func (c *CPU) Reset(stackTop uint32) {
 	c.halted = true
 	c.pendingLoad = sparc.G0
 	c.lastClass = sparc.ClassALU
-	c.outs[6] = stackTop // %sp
+	c.rf[sparc.SP] = stackTop
 }
 
 // LoadProgram installs the code image: words are written to memory and the
-// decoded instruction stream is cached for execution.
+// instruction stream is predecoded once into the dense execution form, so
+// Call never touches the encoded words again.
 func (c *CPU) LoadProgram(p *sparc.Program) {
 	for i, w := range p.Words {
 		c.Mem.Write32(p.Base+uint32(i)*4, w)
 	}
 	c.prog = p
 	c.progBase = p.Base
-	c.progInsts = p.Insts
+	c.dec = predecode(p, c.Timing)
 }
 
 // Stats returns the cumulative statistics since construction.
@@ -145,7 +143,7 @@ func (c *CPU) Stats() RunStats { return c.stats }
 func (c *CPU) InstCount(op sparc.Op) uint64 { return c.instCount[op] }
 
 // Reg returns the value of register r in the current window.
-func (c *CPU) Reg(r sparc.Reg) uint32 { return c.reg(r) }
+func (c *CPU) Reg(r sparc.Reg) uint32 { return c.rf[r] }
 
 // SetReg sets register r in the current window.
 func (c *CPU) SetReg(r sparc.Reg, v uint32) { c.setReg(r, v) }
@@ -153,326 +151,17 @@ func (c *CPU) SetReg(r sparc.Reg, v uint32) { c.setReg(r, v) }
 // PC returns the current program counter.
 func (c *CPU) PC() uint32 { return c.pc }
 
-func (c *CPU) reg(r sparc.Reg) uint32 {
-	switch {
-	case r == 0:
-		return 0
-	case r < 8:
-		return c.globals[r]
-	case r < 16:
-		return c.outs[r-8]
-	case r < 24:
-		return c.locals[r-16]
-	default:
-		return c.ins[r-24]
-	}
-}
-
+// setReg writes register r. The write to %g0 is undone unconditionally,
+// which keeps the store branchless on the hot path.
 func (c *CPU) setReg(r sparc.Reg, v uint32) {
-	switch {
-	case r == 0:
-		// %g0 is hardwired to zero.
-	case r < 8:
-		c.globals[r] = v
-	case r < 16:
-		c.outs[r-8] = v
-	case r < 24:
-		c.locals[r-16] = v
-	default:
-		c.ins[r-24] = v
-	}
-}
-
-func (c *CPU) operand2(i sparc.Inst) uint32 {
-	if i.UseImm {
-		return uint32(i.Imm)
-	}
-	return c.reg(i.Rs2)
-}
-
-func (c *CPU) setICCAdd(a, b, r uint32) {
-	c.iccN = int32(r) < 0
-	c.iccZ = r == 0
-	c.iccV = (^(a^b)&(a^r))>>31 == 1
-	c.iccC = r < a
-}
-
-func (c *CPU) setICCSub(a, b, r uint32) {
-	c.iccN = int32(r) < 0
-	c.iccZ = r == 0
-	c.iccV = ((a^b)&(a^r))>>31 == 1
-	c.iccC = b > a
-}
-
-func (c *CPU) setICCLogic(r uint32) {
-	c.iccN = int32(r) < 0
-	c.iccZ = r == 0
-	c.iccV = false
-	c.iccC = false
-}
-
-func (c *CPU) condTaken(op sparc.Op) bool {
-	n, z, v, cc := c.iccN, c.iccZ, c.iccV, c.iccC
-	switch op {
-	case sparc.BA:
-		return true
-	case sparc.BN:
-		return false
-	case sparc.BE:
-		return z
-	case sparc.BNE:
-		return !z
-	case sparc.BG:
-		return !(z || (n != v))
-	case sparc.BLE:
-		return z || (n != v)
-	case sparc.BGE:
-		return n == v
-	case sparc.BL:
-		return n != v
-	case sparc.BGU:
-		return !(cc || z)
-	case sparc.BLEU:
-		return cc || z
-	case sparc.BCC:
-		return !cc
-	case sparc.BCS:
-		return cc
-	case sparc.BPOS:
-		return !n
-	case sparc.BNEG:
-		return n
-	}
-	panic("iss: not a branch")
-}
-
-func (c *CPU) fetch(pc uint32) (sparc.Inst, error) {
-	if pc >= c.progBase {
-		idx := (pc - c.progBase) >> 2
-		if idx < uint32(len(c.progInsts)) && pc&3 == 0 {
-			return c.progInsts[idx], nil
-		}
-	}
-	return sparc.Inst{}, fmt.Errorf("iss: instruction fetch outside program: pc=%#x", pc)
+	c.rf[r] = v
+	c.rf[sparc.G0] = 0
 }
 
 // Step executes exactly one instruction (plus its timing side effects).
 func (c *CPU) Step() error {
-	pc := c.pc
-	if pc == HaltAddr {
-		c.halted = true
-		return nil
-	}
-	if c.FetchHook != nil {
-		c.FetchHook(pc)
-	}
-	inst, err := c.fetch(pc)
-	if err != nil {
-		return err
-	}
-
-	op := inst.Op
-	cycles := c.Timing.CyclesOf(op)
-	var stalls uint64
-
-	// Load-use interlock: the instruction right after a load stalls if it
-	// reads the loaded register (stores read Rd as their data source).
-	if c.pendingLoad != sparc.G0 {
-		uses := inst.Rs1 == c.pendingLoad ||
-			(!inst.UseImm && inst.Rs2 == c.pendingLoad) ||
-			(sparc.IsStore(op) && inst.Rd == c.pendingLoad)
-		if uses && op != sparc.SETHI && op != sparc.CALL && !sparc.IsBranch(op) {
-			stalls += c.Timing.LoadUseStall
-		}
-	}
-	c.pendingLoad = sparc.G0
-
-	newPC, newNPC := c.npc, c.npc+4
-	var result uint32
-
-	switch {
-	case op == sparc.SETHI:
-		result = uint32(inst.Imm) << 10
-		c.setReg(inst.Rd, result)
-
-	case op == sparc.CALL:
-		c.setReg(sparc.O7, pc)
-		newNPC = pc + uint32(inst.Imm)*4
-		result = pc
-
-	case sparc.IsBranch(op):
-		taken := c.condTaken(op)
-		if taken {
-			target := pc + uint32(inst.Imm)*4
-			newNPC = target
-			stalls += c.Timing.TakenBranchStall
-			if op == sparc.BA && inst.Annul {
-				// ba,a annuls the delay slot and jumps immediately.
-				newPC = target
-				newNPC = target + 4
-				stalls += c.Timing.AnnulStall
-			}
-		} else if inst.Annul {
-			// Untaken with annul: squash the delay slot.
-			newPC = c.npc + 4
-			newNPC = c.npc + 8
-			stalls += c.Timing.AnnulStall
-		}
-
-	case op == sparc.JMPL:
-		target := c.reg(inst.Rs1) + c.operand2(inst)
-		c.setReg(inst.Rd, pc)
-		newNPC = target
-		stalls += c.Timing.TakenBranchStall
-		result = pc
-
-	case op == sparc.SAVE:
-		a, b := c.reg(inst.Rs1), c.operand2(inst)
-		result = a + b
-		c.winss = append(c.winss, savedWindow{locals: c.locals, ins: c.ins})
-		c.ins = c.outs
-		c.locals = [8]uint32{}
-		c.outs = [8]uint32{}
-		if c.hwLive >= c.Timing.Windows-1 {
-			// Window overflow trap: spill one frame.
-			c.stats.Traps++
-			c.spilled++
-			stalls += c.Timing.WindowTrapCycles
-		} else {
-			c.hwLive++
-		}
-		c.setReg(inst.Rd, result)
-
-	case op == sparc.RESTORE:
-		a, b := c.reg(inst.Rs1), c.operand2(inst)
-		result = a + b
-		if len(c.winss) == 0 {
-			return fmt.Errorf("iss: restore with empty window stack at pc=%#x", pc)
-		}
-		c.outs = c.ins
-		top := c.winss[len(c.winss)-1]
-		c.winss = c.winss[:len(c.winss)-1]
-		c.locals, c.ins = top.locals, top.ins
-		if c.spilled > 0 && c.hwLive == 1 {
-			// Window underflow trap: fill a spilled frame.
-			c.stats.Traps++
-			c.spilled--
-			stalls += c.Timing.WindowTrapCycles
-		} else if c.hwLive > 1 {
-			c.hwLive--
-		}
-		c.setReg(inst.Rd, result)
-
-	case sparc.IsLoad(op):
-		addr := c.reg(inst.Rs1) + c.operand2(inst)
-		switch op {
-		case sparc.LD:
-			if addr&3 != 0 {
-				return fmt.Errorf("iss: misaligned word load at %#x (pc=%#x)", addr, pc)
-			}
-			result = c.Mem.Read32(addr)
-		case sparc.LDUB:
-			result = uint32(c.Mem.Read8(addr))
-		case sparc.LDUH:
-			if addr&1 != 0 {
-				return fmt.Errorf("iss: misaligned halfword load at %#x (pc=%#x)", addr, pc)
-			}
-			result = uint32(c.Mem.Read16(addr))
-		}
-		c.setReg(inst.Rd, result)
-		c.pendingLoad = inst.Rd
-
-	case sparc.IsStore(op):
-		addr := c.reg(inst.Rs1) + c.operand2(inst)
-		v := c.reg(inst.Rd)
-		result = v
-		switch op {
-		case sparc.ST:
-			if addr&3 != 0 {
-				return fmt.Errorf("iss: misaligned word store at %#x (pc=%#x)", addr, pc)
-			}
-			c.Mem.Write32(addr, v)
-		case sparc.STB:
-			c.Mem.Write8(addr, uint8(v))
-		case sparc.STH:
-			if addr&1 != 0 {
-				return fmt.Errorf("iss: misaligned halfword store at %#x (pc=%#x)", addr, pc)
-			}
-			c.Mem.Write16(addr, uint16(v))
-		}
-
-	default: // ALU / shift / mul / div
-		a, b := c.reg(inst.Rs1), c.operand2(inst)
-		switch op {
-		case sparc.ADD:
-			result = a + b
-		case sparc.ADDCC:
-			result = a + b
-			c.setICCAdd(a, b, result)
-		case sparc.SUB:
-			result = a - b
-		case sparc.SUBCC:
-			result = a - b
-			c.setICCSub(a, b, result)
-		case sparc.AND:
-			result = a & b
-		case sparc.ANDCC:
-			result = a & b
-			c.setICCLogic(result)
-		case sparc.OR:
-			result = a | b
-		case sparc.ORCC:
-			result = a | b
-			c.setICCLogic(result)
-		case sparc.XOR:
-			result = a ^ b
-		case sparc.XORCC:
-			result = a ^ b
-			c.setICCLogic(result)
-		case sparc.SLL:
-			result = a << (b & 31)
-		case sparc.SRL:
-			result = a >> (b & 31)
-		case sparc.SRA:
-			result = uint32(int32(a) >> (b & 31))
-		case sparc.UMUL:
-			result = uint32(uint64(a) * uint64(b))
-		case sparc.SMUL:
-			result = uint32(int64(int32(a)) * int64(int32(b)))
-		case sparc.UDIV:
-			if b == 0 {
-				c.stats.Traps++
-				result = 0
-			} else {
-				result = a / b
-			}
-		case sparc.SDIV:
-			if b == 0 || (int32(a) == -1<<31 && int32(b) == -1) {
-				c.stats.Traps++
-				result = 0
-			} else {
-				result = uint32(int32(a) / int32(b))
-			}
-		default:
-			return fmt.Errorf("iss: unimplemented opcode %v at pc=%#x", op, pc)
-		}
-		c.setReg(inst.Rd, result)
-	}
-
-	cl := sparc.ClassOf(op)
-	extra := (cycles - 1) + stalls
-	c.stats.Energy += c.Power.InstEnergy(c.lastClass, cl, result, extra)
-	c.stats.Cycles += cycles + stalls
-	c.stats.Stalls += stalls
-	c.stats.Insts++
-	c.instCount[op]++
-	c.lastClass = cl
-
-	c.pc, c.npc = newPC, newNPC
-	if c.pc == HaltAddr {
-		c.halted = true
-	}
-	return nil
+	_, err := c.run(1)
+	return err
 }
 
 // Call invokes the routine at entry with up to six word arguments in
@@ -485,25 +174,24 @@ func (c *CPU) Call(entry uint32, args ...uint32) (uint32, RunStats, error) {
 	}
 	base := c.stats
 	for i, a := range args {
-		c.outs[i] = a
+		c.rf[int(sparc.O0)+i] = a
 	}
-	c.outs[7] = HaltAddr - 8 // so that retl (jmpl %o7+8) lands on HaltAddr
+	c.rf[sparc.O7] = HaltAddr - 8 // so that retl (jmpl %o7+8) lands on HaltAddr
 	c.pc, c.npc = entry, entry+4
 	c.halted = false
 
-	var n uint64
-	defer func() {
-		mCalls.Inc()
-		mInsts.Add(n)
-	}()
-	for !c.halted {
-		if err := c.Step(); err != nil {
-			return 0, c.stats.Sub(base), err
-		}
-		n++
-		if n > c.MaxInsts {
-			return 0, c.stats.Sub(base), fmt.Errorf("iss: runaway call at entry %#x (> %d insts)", entry, c.MaxInsts)
-		}
+	limit := c.MaxInsts + 1
+	if limit == 0 { // MaxInsts == ^uint64(0)
+		limit = ^uint64(0)
 	}
-	return c.outs[0], c.stats.Sub(base), nil
+	n, err := c.run(limit)
+	mCalls.Inc()
+	mInsts.Add(n)
+	if err != nil {
+		return 0, c.stats.Sub(base), err
+	}
+	if n > c.MaxInsts {
+		return 0, c.stats.Sub(base), fmt.Errorf("iss: runaway call at entry %#x (> %d insts)", entry, c.MaxInsts)
+	}
+	return c.rf[sparc.O0], c.stats.Sub(base), nil
 }

@@ -7,74 +7,82 @@
 // Determinism contract: events scheduled for the same instant fire in
 // (priority, insertion-order) sequence, so repeated runs of the same system
 // produce bit-identical traces and energy reports.
+//
+// The scheduler is built for the co-estimation hot path: events live in a
+// flat slab recycled through a free list, ordered by an index-based 4-ary
+// heap, so steady-state Schedule/Run performs no heap allocations and stays
+// cache-resident. Handles carry generation counters, which keeps Cancel and
+// Pending safe after the underlying slot has been recycled.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/units"
 )
 
-// Handle identifies a scheduled event and allows cancellation.
+// noSlot marks a free-list end / absent slab slot.
+const noSlot = -1
+
+// Handle identifies a scheduled event and allows cancellation. The zero
+// Handle is valid and refers to no event.
 type Handle struct {
-	ev *event
+	k   *Kernel
+	idx int32
+	gen uint32
 }
 
 // Cancel withdraws the event if it has not fired yet.
 // Cancelling an already-fired or already-cancelled event is a no-op.
 func (h Handle) Cancel() {
-	if h.ev != nil {
-		h.ev.fn = nil
+	if h.k == nil {
+		return
+	}
+	ev := &h.k.slab[h.idx]
+	if ev.gen == h.gen && ev.fn != nil {
+		ev.fn = nil
+		h.k.live--
 	}
 }
 
 // Pending reports whether the event is still waiting to fire.
-func (h Handle) Pending() bool { return h.ev != nil && h.ev.fn != nil }
+func (h Handle) Pending() bool {
+	if h.k == nil {
+		return false
+	}
+	ev := &h.k.slab[h.idx]
+	return ev.gen == h.gen && ev.fn != nil
+}
 
+// event is one slab slot. A slot cycles between scheduled (fn != nil, owned
+// by the heap), cancelled-unreaped (fn == nil, still owned by the heap) and
+// free (linked through next). gen increments every time the slot is
+// released, invalidating outstanding Handles.
 type event struct {
 	at   units.Time
-	prio int
 	seq  uint64
 	fn   func()
-}
-
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	if q[i].prio != q[j].prio {
-		return q[i].prio < q[j].prio
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
+	prio int
+	gen  uint32
+	next int32 // free-list link while the slot is free
 }
 
 // Kernel is a discrete-event scheduler. The zero value is not ready for use;
 // call NewKernel.
 type Kernel struct {
 	now     units.Time
-	queue   eventQueue
+	slab    []event
+	heap    []int32 // slab indices ordered as a 4-ary min-heap
+	free    int32   // free-list head into slab, noSlot when empty
 	seq     uint64
+	live    int // scheduled and not cancelled
 	stopped bool
 	fired   uint64
 }
 
 // NewKernel returns an empty kernel at time zero.
 func NewKernel() *Kernel {
-	return &Kernel{}
+	return &Kernel{free: noSlot}
 }
 
 // Now returns the current simulated time.
@@ -86,20 +94,104 @@ func (k *Kernel) Fired() uint64 { return k.fired }
 
 // Pending returns the number of events currently scheduled (including
 // cancelled-but-unreaped entries).
-func (k *Kernel) Pending() int { return len(k.queue) }
+func (k *Kernel) Pending() int { return len(k.heap) }
 
 // LivePending returns the number of scheduled events that have not been
 // cancelled — the work the simulation would still perform if resumed. A
 // nonzero value after RunUntil(deadline) means the run was truncated by the
 // deadline rather than finishing naturally.
-func (k *Kernel) LivePending() int {
-	n := 0
-	for _, ev := range k.queue {
-		if ev.fn != nil {
-			n++
-		}
+func (k *Kernel) LivePending() int { return k.live }
+
+// alloc takes a slot off the free list (or grows the slab) and initializes
+// it. Steady state this performs no allocation: fired events return their
+// slots before new ones are scheduled.
+func (k *Kernel) alloc(t units.Time, prio int, fn func()) int32 {
+	var idx int32
+	if k.free != noSlot {
+		idx = k.free
+		k.free = k.slab[idx].next
+	} else {
+		k.slab = append(k.slab, event{})
+		idx = int32(len(k.slab) - 1)
 	}
-	return n
+	ev := &k.slab[idx]
+	ev.at = t
+	ev.prio = prio
+	ev.seq = k.seq
+	ev.fn = fn
+	ev.next = noSlot
+	k.seq++
+	return idx
+}
+
+// release returns a popped slot to the free list and invalidates handles.
+func (k *Kernel) release(idx int32) {
+	ev := &k.slab[idx]
+	ev.fn = nil
+	ev.gen++
+	ev.next = k.free
+	k.free = idx
+}
+
+// less orders slab slots by (time, priority, insertion sequence).
+func (k *Kernel) less(a, b int32) bool {
+	ea, eb := &k.slab[a], &k.slab[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	if ea.prio != eb.prio {
+		return ea.prio < eb.prio
+	}
+	return ea.seq < eb.seq
+}
+
+// push adds a slab index to the 4-ary heap.
+func (k *Kernel) push(idx int32) {
+	h := k.heap
+	h = append(h, idx)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !k.less(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	k.heap = h
+}
+
+// pop removes and returns the minimum slab index from the heap.
+func (k *Kernel) pop() int32 {
+	h := k.heap
+	root := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if k.less(h[c], h[min]) {
+				min = c
+			}
+		}
+		if !k.less(h[min], h[i]) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	k.heap = h
+	return root
 }
 
 // At schedules fn to run at absolute time t with priority 0.
@@ -117,10 +209,10 @@ func (k *Kernel) AtPrio(t units.Time, prio int, fn func()) Handle {
 	if fn == nil {
 		panic("sim: nil event function")
 	}
-	ev := &event{at: t, prio: prio, seq: k.seq, fn: fn}
-	k.seq++
-	heap.Push(&k.queue, ev)
-	return Handle{ev: ev}
+	idx := k.alloc(t, prio, fn)
+	k.push(idx)
+	k.live++
+	return Handle{k: k, idx: idx, gen: k.slab[idx].gen}
 }
 
 // After schedules fn to run d from now. Negative delays panic.
@@ -139,14 +231,17 @@ func (k *Kernel) Stop() { k.stopped = true }
 // Step fires the next pending event, if any, advancing time to it.
 // It reports whether an event fired.
 func (k *Kernel) Step() bool {
-	for len(k.queue) > 0 {
-		ev := heap.Pop(&k.queue).(*event)
+	for len(k.heap) > 0 {
+		idx := k.pop()
+		ev := &k.slab[idx]
 		if ev.fn == nil { // cancelled
+			k.release(idx)
 			continue
 		}
 		k.now = ev.at
 		fn := ev.fn
-		ev.fn = nil
+		k.release(idx)
+		k.live--
 		fn()
 		k.fired++
 		return true
@@ -166,11 +261,11 @@ func (k *Kernel) Run() {
 func (k *Kernel) RunUntil(deadline units.Time) {
 	k.stopped = false
 	for !k.stopped {
-		ev := k.peek()
-		if ev == nil {
+		head := k.peek()
+		if head == noSlot {
 			return
 		}
-		if ev.at > deadline {
+		if k.slab[head].at > deadline {
 			k.now = deadline
 			return
 		}
@@ -178,14 +273,17 @@ func (k *Kernel) RunUntil(deadline units.Time) {
 	}
 }
 
-func (k *Kernel) peek() *event {
-	for len(k.queue) > 0 {
-		if k.queue[0].fn != nil {
-			return k.queue[0]
+// peek reaps cancelled heap heads and returns the live minimum slab index,
+// or noSlot if the queue is effectively empty.
+func (k *Kernel) peek() int32 {
+	for len(k.heap) > 0 {
+		head := k.heap[0]
+		if k.slab[head].fn != nil {
+			return head
 		}
-		heap.Pop(&k.queue) // reap cancelled head
+		k.release(k.pop())
 	}
-	return nil
+	return noSlot
 }
 
 // Ticker invokes fn every period until the returned stop function is called.

@@ -181,7 +181,7 @@ func TestTicker(t *testing.T) {
 			t.Errorf("tick %d has index %d", i, n)
 		}
 	}
-	if k.Pending() != 0 && k.peek() != nil {
+	if k.Pending() != 0 && k.peek() != noSlot {
 		t.Error("stopped ticker left live events behind")
 	}
 }

@@ -170,50 +170,44 @@ func (c Class) String() string {
 	return "class?"
 }
 
-// ClassOf returns the power-model class of op.
-func ClassOf(op Op) Class {
-	switch op {
-	case SLL, SRL, SRA:
-		return ClassShift
-	case UMUL, SMUL:
-		return ClassMul
-	case UDIV, SDIV:
-		return ClassDiv
-	case LD, LDUB, LDUH:
-		return ClassLoad
-	case ST, STB, STH:
-		return ClassStore
-	case BA, BN, BE, BNE, BG, BLE, BGE, BL, BGU, BLEU, BCC, BCS, BPOS, BNEG:
-		return ClassBranch
-	case CALL, JMPL:
-		return ClassCall
-	case SAVE, RESTORE:
-		return ClassWindow
-	case SETHI:
-		return ClassSethi
-	default:
-		return ClassALU
-	}
+// opClass is the precomputed Op -> Class table: the class predicates below
+// sit on the ISS per-instruction path, so they must be single array loads,
+// not switches. Ops not listed default to ClassALU (== 0).
+var opClass = [NumOpcodes]Class{
+	SLL: ClassShift, SRL: ClassShift, SRA: ClassShift,
+	UMUL: ClassMul, SMUL: ClassMul,
+	UDIV: ClassDiv, SDIV: ClassDiv,
+	LD: ClassLoad, LDUB: ClassLoad, LDUH: ClassLoad,
+	ST: ClassStore, STB: ClassStore, STH: ClassStore,
+	BA: ClassBranch, BN: ClassBranch, BE: ClassBranch, BNE: ClassBranch,
+	BG: ClassBranch, BLE: ClassBranch, BGE: ClassBranch, BL: ClassBranch,
+	BGU: ClassBranch, BLEU: ClassBranch, BCC: ClassBranch, BCS: ClassBranch,
+	BPOS: ClassBranch, BNEG: ClassBranch,
+	CALL: ClassCall, JMPL: ClassCall,
+	SAVE: ClassWindow, RESTORE: ClassWindow,
+	SETHI: ClassSethi,
 }
+
+// opSetsCC marks the opcodes that update the integer condition codes.
+var opSetsCC = [NumOpcodes]bool{
+	ADDCC: true, SUBCC: true, ANDCC: true, ORCC: true, XORCC: true,
+}
+
+// ClassOf returns the power-model class of op.
+func ClassOf(op Op) Class { return opClass[op] }
 
 // IsBranch reports whether op is a conditional or unconditional branch
 // (delayed, with an optional annul bit). CALL and JMPL are not branches.
-func IsBranch(op Op) bool { return ClassOf(op) == ClassBranch }
+func IsBranch(op Op) bool { return opClass[op] == ClassBranch }
 
 // IsLoad reports whether op reads data memory.
-func IsLoad(op Op) bool { return ClassOf(op) == ClassLoad }
+func IsLoad(op Op) bool { return opClass[op] == ClassLoad }
 
 // IsStore reports whether op writes data memory.
-func IsStore(op Op) bool { return ClassOf(op) == ClassStore }
+func IsStore(op Op) bool { return opClass[op] == ClassStore }
 
 // SetsCC reports whether op updates the integer condition codes.
-func SetsCC(op Op) bool {
-	switch op {
-	case ADDCC, SUBCC, ANDCC, ORCC, XORCC:
-		return true
-	}
-	return false
-}
+func SetsCC(op Op) bool { return opSetsCC[op] }
 
 // Inst is one decoded instruction.
 //
