@@ -8,6 +8,12 @@
 //
 //	go test -run '^$' -bench . -benchmem -count 3 . | benchjson -o bench.json
 //	benchjson -baseline old.txt -o bench.json new.txt
+//	go test -run '^$' -bench . -benchmem . | benchjson -check BENCH_PR3.json
+//
+// In -check mode the fresh run is compared against a committed JSON
+// artifact: a benchmark whose median ns/op exceeds the baseline by more
+// than -tolerance, or whose allocs/op grew at all, fails the check and the
+// command exits non-zero.
 package main
 
 import (
@@ -108,6 +114,71 @@ func parse(r io.Reader) (map[string]Bench, error) {
 	return out, nil
 }
 
+// regressions compares a fresh run against a baseline and reports, one
+// line per finding, every benchmark that got slower than the tolerance
+// allows. Tolerance is relative: 0.35 passes anything within +35% of the
+// baseline median ns/op. Allocation counts get a much tighter gate —
+// +1% relative with a half-alloc absolute floor, so growth from zero
+// always fails — independent of -tolerance, because allocs/op only
+// jitters through b.N-amortized setup, not scheduling noise. (The
+// steady-state zero-alloc contracts are the AllocsPerRun test guards,
+// not this check.) Benchmarks that exist only on one side are noted but
+// never fail the check — renames and additions are routine.
+func regressions(base, cur map[string]Bench, tol float64) (fail, info []string) {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base[name]
+		c, ok := cur[name]
+		if !ok {
+			info = append(info, fmt.Sprintf("%s: missing from current run", name))
+			continue
+		}
+		bn, cn := b.Metrics["ns/op"], c.Metrics["ns/op"]
+		if bn.Count > 0 && cn.Count > 0 && bn.Median > 0 {
+			ratio := cn.Median / bn.Median
+			if ratio > 1+tol {
+				fail = append(fail, fmt.Sprintf(
+					"%s: %.0f ns/op vs baseline %.0f (%.0f%% slower, tolerance %.0f%%)",
+					name, cn.Median, bn.Median, (ratio-1)*100, tol*100))
+			}
+		}
+		ba, ca := b.Metrics["allocs/op"], c.Metrics["allocs/op"]
+		if ba.Count > 0 && ca.Count > 0 && ca.Median > ba.Median*1.01+0.5 {
+			fail = append(fail, fmt.Sprintf(
+				"%s: %.0f allocs/op vs baseline %.0f (allocs get no more than 1%% slack)",
+				name, ca.Median, ba.Median))
+		}
+	}
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			info = append(info, fmt.Sprintf("%s: new benchmark, no baseline", name))
+		}
+	}
+	sort.Strings(info)
+	return fail, info
+}
+
+// loadBaseline reads a committed benchjson artifact and returns its
+// current-run benchmark map.
+func loadBaseline(path string) (map[string]Bench, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Current) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in baseline artifact", path)
+	}
+	return rep.Current, nil
+}
+
 // Report is the emitted artifact.
 type Report struct {
 	// Baseline is present only when -baseline was given; Speedup then maps
@@ -120,6 +191,8 @@ type Report struct {
 func run() error {
 	out := flag.String("o", "", "output path (default stdout)")
 	baseline := flag.String("baseline", "", "prior bench output to compare against")
+	check := flag.String("check", "", "baseline JSON artifact; fail on median ns/op or alloc regressions")
+	tolerance := flag.Float64("tolerance", 0.35, "relative ns/op slack allowed in -check mode")
 	flag.Parse()
 
 	in := io.Reader(os.Stdin)
@@ -137,6 +210,25 @@ func run() error {
 	}
 	if len(cur) == 0 {
 		return fmt.Errorf("no benchmark lines in input")
+	}
+	if *check != "" {
+		base, err := loadBaseline(*check)
+		if err != nil {
+			return err
+		}
+		fail, info := regressions(base, cur, *tolerance)
+		for _, line := range info {
+			fmt.Fprintln(os.Stdout, "note:", line)
+		}
+		for _, line := range fail {
+			fmt.Fprintln(os.Stdout, "FAIL:", line)
+		}
+		if len(fail) > 0 {
+			return fmt.Errorf("%d benchmark regression(s) against %s", len(fail), *check)
+		}
+		fmt.Fprintf(os.Stdout, "ok: %d benchmarks within %.0f%% of %s\n",
+			len(cur), *tolerance*100, *check)
+		return nil
 	}
 	rep := Report{Current: cur}
 	if *baseline != "" {

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func bench(iters int, metrics map[string]Stat) Bench {
+	return Bench{Iterations: iters, Metrics: metrics}
+}
+
+func stat(median float64) Stat {
+	return Stat{Count: 3, Min: median, Median: median, Mean: median, Max: median}
+}
+
+func TestParseAggregatesCounts(t *testing.T) {
+	in := `goos: linux
+BenchmarkRun-8   	     100	     12000 ns/op	     128 B/op	       3 allocs/op
+BenchmarkRun-8   	     100	     14000 ns/op	     128 B/op	       3 allocs/op
+BenchmarkOther   	      50	      9000 ns/op
+PASS
+`
+	got, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, ok := got["Run"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", got)
+	}
+	ns := run.Metrics["ns/op"]
+	if ns.Count != 2 || ns.Min != 12000 || ns.Max != 14000 || ns.Median != 14000 {
+		t.Fatalf("ns/op stat = %+v", ns)
+	}
+	if run.Metrics["allocs/op"].Median != 3 {
+		t.Fatalf("allocs/op = %+v", run.Metrics["allocs/op"])
+	}
+	if _, ok := got["Other"]; !ok {
+		t.Fatalf("unsuffixed benchmark lost: %v", got)
+	}
+}
+
+func TestRegressionsWithinTolerancePasses(t *testing.T) {
+	base := map[string]Bench{
+		"Run": bench(100, map[string]Stat{"ns/op": stat(1000), "allocs/op": stat(2)}),
+	}
+	cur := map[string]Bench{
+		"Run": bench(100, map[string]Stat{"ns/op": stat(1300), "allocs/op": stat(2)}),
+	}
+	fail, info := regressions(base, cur, 0.35)
+	if len(fail) != 0 {
+		t.Fatalf("+30%% within a 35%% tolerance failed: %v", fail)
+	}
+	if len(info) != 0 {
+		t.Fatalf("unexpected notes: %v", info)
+	}
+}
+
+func TestRegressionsSlowdownFails(t *testing.T) {
+	base := map[string]Bench{
+		"Run": bench(100, map[string]Stat{"ns/op": stat(1000)}),
+	}
+	cur := map[string]Bench{
+		"Run": bench(100, map[string]Stat{"ns/op": stat(1500)}),
+	}
+	fail, _ := regressions(base, cur, 0.35)
+	if len(fail) != 1 || !strings.Contains(fail[0], "Run") {
+		t.Fatalf("+50%% not flagged: %v", fail)
+	}
+}
+
+func TestRegressionsAllocGrowthFailsRegardlessOfTolerance(t *testing.T) {
+	// Growth from zero always fails, even with an absurd ns/op tolerance.
+	base := map[string]Bench{
+		"Run": bench(100, map[string]Stat{"ns/op": stat(1000), "allocs/op": stat(0)}),
+	}
+	cur := map[string]Bench{
+		"Run": bench(100, map[string]Stat{"ns/op": stat(1000), "allocs/op": stat(1)}),
+	}
+	fail, _ := regressions(base, cur, 100)
+	if len(fail) != 1 || !strings.Contains(fail[0], "allocs/op") {
+		t.Fatalf("alloc growth not flagged: %v", fail)
+	}
+
+	// Within the 1% amortization slack: passes.
+	base["Run"] = bench(100, map[string]Stat{"allocs/op": stat(12600)})
+	cur["Run"] = bench(100, map[string]Stat{"allocs/op": stat(12606)})
+	if fail, _ := regressions(base, cur, 0.35); len(fail) != 0 {
+		t.Fatalf("b.N-amortization jitter flagged: %v", fail)
+	}
+
+	// Past it: fails.
+	cur["Run"] = bench(100, map[string]Stat{"allocs/op": stat(12800)})
+	if fail, _ := regressions(base, cur, 0.35); len(fail) != 1 {
+		t.Fatalf("+1.6%% allocs not flagged: %v", fail)
+	}
+}
+
+func TestRegressionsMismatchedSetsAreNotesOnly(t *testing.T) {
+	base := map[string]Bench{
+		"Gone": bench(100, map[string]Stat{"ns/op": stat(1000)}),
+	}
+	cur := map[string]Bench{
+		"New": bench(100, map[string]Stat{"ns/op": stat(1000)}),
+	}
+	fail, info := regressions(base, cur, 0.35)
+	if len(fail) != 0 {
+		t.Fatalf("renames must not fail the check: %v", fail)
+	}
+	if len(info) != 2 {
+		t.Fatalf("want a note per mismatched benchmark, got %v", info)
+	}
+}

@@ -55,6 +55,8 @@ func main() {
 		probEst   = flag.Bool("prob", false, "print probabilistic (vectorless) power estimates for each HW block")
 		exportSys = flag.Bool("export", false, "print the system in the textual CFSM language and exit")
 		paramFile = flag.String("params", "", "macro-model parameter file (skips characterization; implies -macromodel)")
+		attribRep = flag.Bool("attrib", false, "print the hierarchical energy attribution ledger")
+		shadow    = flag.Float64("shadow-rate", 0, "shadow-audit this fraction of accelerated serves on the reference estimator (0..1)")
 	)
 	flag.Parse()
 
@@ -93,6 +95,12 @@ func main() {
 	}
 	if *useSamp {
 		opts = append(opts, coest.WithSampling())
+	}
+	if *attribRep {
+		opts = append(opts, coest.WithAttribution())
+	}
+	if *shadow > 0 {
+		opts = append(opts, coest.WithShadowAudit(*shadow))
 	}
 	if *waveform || *vcdPath != "" {
 		opts = append(opts, coest.WithWaveform(10*time.Microsecond))
@@ -183,6 +191,19 @@ func main() {
 		return
 	}
 	fmt.Print(rep)
+
+	if rep.Attribution != nil {
+		fmt.Println("  energy attribution:")
+		rep.Attribution.Render(os.Stdout)
+	}
+	if rep.Budget != nil {
+		fmt.Println("  error budget:")
+		rep.Budget.Render(os.Stdout)
+	}
+	if rep.Audit != nil {
+		fmt.Println("  shadow audit:")
+		rep.Audit.Render(os.Stdout)
+	}
 
 	if *breakdown {
 		fmt.Println("  per-transition energy:")
@@ -336,19 +357,22 @@ func writeJSON(w io.Writer, rep *coest.Report) error {
 		Transitions []transJSON `json:"transitions,omitempty"`
 	}
 	out := struct {
-		System      string        `json:"system"`
-		Mode        string        `json:"mode"`
-		SimulatedNS int64         `json:"simulated_ns"`
-		WallNS      int64         `json:"wall_ns"`
-		TotalJ      float64       `json:"total_j"`
-		SWJ         float64       `json:"sw_j"`
-		HWJ         float64       `json:"hw_j"`
-		BusJ        float64       `json:"bus_j"`
-		CacheJ      float64       `json:"cache_j"`
-		RTOSJ       float64       `json:"rtos_j"`
-		ISSCalls    uint64        `json:"iss_calls"`
-		GateExecs   uint64        `json:"gate_execs"`
-		Machines    []machineJSON `json:"machines"`
+		System      string                    `json:"system"`
+		Mode        string                    `json:"mode"`
+		SimulatedNS int64                     `json:"simulated_ns"`
+		WallNS      int64                     `json:"wall_ns"`
+		TotalJ      float64                   `json:"total_j"`
+		SWJ         float64                   `json:"sw_j"`
+		HWJ         float64                   `json:"hw_j"`
+		BusJ        float64                   `json:"bus_j"`
+		CacheJ      float64                   `json:"cache_j"`
+		RTOSJ       float64                   `json:"rtos_j"`
+		ISSCalls    uint64                    `json:"iss_calls"`
+		GateExecs   uint64                    `json:"gate_execs"`
+		Machines    []machineJSON             `json:"machines"`
+		Attribution *coest.AttributionSummary `json:"attribution,omitempty"`
+		Audit       *coest.AuditReport        `json:"audit,omitempty"`
+		Budget      *coest.ErrorBudget        `json:"error_budget,omitempty"`
 	}{
 		System:      rep.System,
 		Mode:        rep.Mode.String(),
@@ -362,6 +386,9 @@ func writeJSON(w io.Writer, rep *coest.Report) error {
 		RTOSJ:       rep.RTOSEnergy.Joules(),
 		ISSCalls:    rep.ISSCalls,
 		GateExecs:   rep.GateExecs,
+		Attribution: rep.Attribution,
+		Audit:       rep.Audit,
+		Budget:      rep.Budget,
 	}
 	for _, m := range rep.Machines {
 		mj := machineJSON{

@@ -19,6 +19,8 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/audit"
+	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/explore"
@@ -32,6 +34,8 @@ func main() {
 		packets   = flag.Int("packets", 3, "packets per co-estimation")
 		dmaList   = flag.String("dma", "2,4,8,16,32,64,128", "comma-separated DMA sizes")
 		ecache    = flag.Bool("ecache", false, "accelerate each point with energy caching")
+		attrib    = flag.Bool("attrib", false, "enable the energy attribution ledger on every point")
+		shadow    = flag.Float64("shadow-rate", 0, "shadow-audit this fraction of accelerated serves (0..1)")
 		workers   = flag.Int("j", runtime.NumCPU(), "parallel co-estimations")
 		verbose   = flag.Bool("v", false, "print per-point progress metrics to stderr")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/pprof/ on this address during the sweep (e.g. localhost:6060)")
@@ -52,8 +56,13 @@ func main() {
 		}
 	}()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	if *debugAddr != "" {
-		addr, shutdown, err := telemetry.ServeDebug(*debugAddr)
+		// Context-bound: an interrupt shuts the server down gracefully even
+		// before the deferred shutdown runs.
+		addr, shutdown, err := telemetry.ServeDebugContext(ctx, *debugAddr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "explore: debug server: %v\n", err)
 			os.Exit(1)
@@ -74,13 +83,25 @@ func main() {
 
 	p := systems.DefaultTCPIP()
 	p.Packets = *packets
-	var mutate explore.Mutator
+	var muts []explore.Mutator
 	if *ecache {
-		mutate = experiments.ECacheOn
+		muts = append(muts, experiments.ECacheOn)
+	}
+	if *attrib {
+		muts = append(muts, func(cfg *core.Config) { cfg.Attribution = true })
+	}
+	if *shadow > 0 {
+		muts = append(muts, func(cfg *core.Config) { cfg.ShadowAudit = audit.DefaultParams(*shadow) })
+	}
+	var mutate explore.Mutator
+	if len(muts) > 0 {
+		mutate = func(cfg *core.Config) {
+			for _, m := range muts {
+				m(cfg)
+			}
+		}
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
 	var summary engine.SweepSummary
 	opts := engine.Options{Workers: *workers}
 	opts.OnPoint = func(m engine.PointMetrics) {

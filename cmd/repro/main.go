@@ -40,6 +40,8 @@ func main() {
 		fig7      = flag.Bool("fig7", false, "Fig 7: design-space exploration")
 		sampling  = flag.Bool("sampling", false, "sec. 4.3: sampling / compaction")
 		partition = flag.Bool("partition", false, "HW/SW partition exploration (prodcons)")
+		quality   = flag.Bool("quality", false, "estimation quality: attribution ledger, error budget, shadow audit")
+		shadow    = flag.Float64("shadow-rate", 0.25, "shadow-audit rate for -quality (0..1)")
 		packets   = flag.Int("packets", 0, "packets per Table 1/2 run")
 		repeats   = flag.Int("repeats", 0, "wall-time measurement repeats")
 		dmaList   = flag.String("dma", "", "comma-separated DMA sizes for Tables 1/2")
@@ -145,6 +147,12 @@ func main() {
 	}
 	if *all || *partition {
 		if _, err := experiments.Partition(w); err != nil {
+			fatal(err)
+		}
+		any = true
+	}
+	if *all || *quality {
+		if _, err := experiments.Quality(w, p, *shadow); err != nil {
 			fatal(err)
 		}
 		any = true

@@ -1,0 +1,408 @@
+// Package attrib implements the hierarchical energy attribution ledger:
+// the answer to "where did the energy go?" during a run, not after it.
+//
+// The ledger is a telemetry.Sink. Fanned into a run's event stream
+// (core wires this up under Config.Attribution) it consumes the typed
+// events the estimators already emit — KindEnergyAttributed records from
+// every accrual site, bus grants, cache hits, estimator invocations —
+// and maintains per-process, per-execution-path, per-bus-master and
+// per-component (SW / HW / bus / I-cache / RTOS) energy rollups. The
+// resulting Summary reconciles against the run report's total energy:
+// every joule the report counts was attributed by exactly one event, so
+// the component rollups sum to the reported total (floating-point
+// summation order aside).
+//
+// Per-technique rollups ("how much energy was costed by the ISS vs
+// served from the energy cache vs macro-modeled?") give the exposure
+// behind the per-technique error budgets in package audit.
+package attrib
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/report"
+	"repro/internal/telemetry"
+	"repro/internal/units"
+)
+
+// Process-wide attribution metrics.
+var (
+	mLedgers = telemetry.Default.Counter("coest_attrib_ledgers_total", "attribution ledgers created (runs with attribution on)")
+	mEvents  = telemetry.Default.Counter("coest_attrib_events_total", "energy-attribution events consumed")
+)
+
+// MachineInfo names one machine for the ledger and records its partition.
+type MachineInfo struct {
+	Name string
+	HW   bool
+}
+
+type pathKey struct {
+	machine int
+	path    uint64
+}
+
+type pathAgg struct {
+	energy float64
+	count  uint64
+	source string // last costing technique that served the path
+}
+
+type machineAgg struct {
+	energy    float64 // compute + wait
+	wait      float64
+	reactions uint64
+	estCalls  uint64 // real ISS / gate invocations
+	cacheHits uint64
+}
+
+type masterAgg struct {
+	energy float64
+	grants uint64
+	words  uint64
+}
+
+// Ledger accumulates energy attribution from one run's event stream. It
+// implements telemetry.Sink and is driven from the simulation's single
+// goroutine; it is not goroutine-safe and must not be shared between
+// concurrent runs (the sweep engine gives every point its own).
+type Ledger struct {
+	machines []MachineInfo
+	agg      []machineAgg
+	masters  map[int]*masterAgg
+	paths    map[pathKey]*pathAgg
+	techs    map[string]*pathAgg // technique name -> energy/count rollup
+
+	busFull      float64
+	busCompacted float64
+	compacted    bool
+	icache       float64
+	rtos         float64
+
+	shadowAudits uint64
+	truncated    bool
+	events       uint64
+}
+
+// NewLedger returns an empty ledger over the given machine set.
+func NewLedger(machines []MachineInfo) *Ledger {
+	mLedgers.Inc()
+	return &Ledger{
+		machines: machines,
+		agg:      make([]machineAgg, len(machines)),
+		masters:  make(map[int]*masterAgg),
+		paths:    make(map[pathKey]*pathAgg),
+		techs:    make(map[string]*pathAgg),
+	}
+}
+
+// Emit implements telemetry.Sink.
+func (l *Ledger) Emit(ev telemetry.Event) {
+	switch ev.Kind {
+	case telemetry.KindEnergyAttributed:
+		l.events++
+		mEvents.Inc()
+		l.attribute(ev)
+	case telemetry.KindReactionDispatched:
+		if ev.Machine >= 0 && ev.Machine < len(l.agg) {
+			l.agg[ev.Machine].reactions++
+		}
+	case telemetry.KindISSCall, telemetry.KindGateEval:
+		if ev.Machine >= 0 && ev.Machine < len(l.agg) {
+			l.agg[ev.Machine].estCalls++
+		}
+	case telemetry.KindECacheHit:
+		if ev.Machine >= 0 && ev.Machine < len(l.agg) {
+			l.agg[ev.Machine].cacheHits++
+		}
+	case telemetry.KindBusTransaction:
+		l.busFull += float64(ev.Energy)
+		m := l.masters[ev.Machine]
+		if m == nil {
+			m = &masterAgg{}
+			l.masters[ev.Machine] = m
+		}
+		m.energy += float64(ev.Energy)
+		m.grants++
+		m.words += uint64(ev.Words)
+	case telemetry.KindCompactionDispatch:
+		l.busCompacted += float64(ev.Energy)
+		l.compacted = true
+	case telemetry.KindShadowAudit:
+		l.shadowAudits++
+	case telemetry.KindDeadlineWarning:
+		l.truncated = true
+	}
+}
+
+// attribute books one KindEnergyAttributed record.
+func (l *Ledger) attribute(ev telemetry.Event) {
+	e := float64(ev.Energy)
+	switch ev.Name {
+	case "icache":
+		l.icache += e
+		return
+	case "rtos":
+		l.rtos += e
+		return
+	}
+	if ev.Machine < 0 || ev.Machine >= len(l.agg) {
+		return
+	}
+	a := &l.agg[ev.Machine]
+	a.energy += e
+	t := l.techs[ev.Name]
+	if t == nil {
+		t = &pathAgg{}
+		l.techs[ev.Name] = t
+	}
+	t.energy += e
+	t.count++
+	if ev.Name == "wait" {
+		// Stall energy is the integration architecture's doing, not a
+		// costed path's — keep it out of the path rollup.
+		a.wait += e
+		return
+	}
+	k := pathKey{machine: ev.Machine, path: ev.Path}
+	p := l.paths[k]
+	if p == nil {
+		p = &pathAgg{}
+		l.paths[k] = p
+	}
+	p.energy += e
+	p.count++
+	p.source = ev.Name
+}
+
+// Close implements telemetry.Sink (no-op; the ledger outlives the run).
+func (l *Ledger) Close() error { return nil }
+
+// ComponentShare is one row of the component rollup.
+type ComponentShare struct {
+	Name   string       `json:"name"`
+	Energy units.Energy `json:"energy_j"`
+	Share  float64      `json:"share"` // fraction of Summary.Total
+}
+
+// MachineBreakdown is one process's attributed energy.
+type MachineBreakdown struct {
+	Machine        int          `json:"machine"`
+	Name           string       `json:"name"`
+	HW             bool         `json:"hw"`
+	Energy         units.Energy `json:"energy_j"` // compute + wait
+	Wait           units.Energy `json:"wait_j"`
+	Reactions      uint64       `json:"reactions"`
+	EstimatorCalls uint64       `json:"estimator_calls"`
+	CacheHits      uint64       `json:"cache_hits"`
+	Share          float64      `json:"share"`
+}
+
+// BusMasterBreakdown is one master's share of the bus energy. With
+// compaction on, per-master energies are from the full grant stream while
+// the component rollup uses the compacted estimate; shares are relative to
+// the full-trace bus energy.
+type BusMasterBreakdown struct {
+	Machine int          `json:"machine"`
+	Name    string       `json:"name"`
+	Energy  units.Energy `json:"energy_j"`
+	Grants  uint64       `json:"grants"`
+	Words   uint64       `json:"words"`
+	Share   float64      `json:"share"`
+}
+
+// TechniqueBreakdown is the energy attributed through one costing source
+// ("iss", "gate", "ecache", "macro", "sampling", "wait").
+type TechniqueBreakdown struct {
+	Name   string       `json:"name"`
+	Energy units.Energy `json:"energy_j"`
+	Count  uint64       `json:"count"` // attribution records
+	Share  float64      `json:"share"`
+}
+
+// PathBreakdown is one execution path's attributed energy.
+type PathBreakdown struct {
+	Machine int          `json:"machine"`
+	Name    string       `json:"name"`
+	Path    uint64       `json:"path"`
+	Energy  units.Energy `json:"energy_j"`
+	Count   uint64       `json:"count"`
+	Source  string       `json:"source"`
+	Share   float64      `json:"share"`
+}
+
+// Summary is the rendered ledger: hierarchical rollups, top-N paths, and
+// the reconciled total.
+type Summary struct {
+	Total      units.Energy         `json:"total_j"` // sum of component energies
+	Components []ComponentShare     `json:"components"`
+	Machines   []MachineBreakdown   `json:"machines"`
+	BusMasters []BusMasterBreakdown `json:"bus_masters"`
+	Techniques []TechniqueBreakdown `json:"techniques"`
+	TopPaths   []PathBreakdown      `json:"top_paths"`
+	PathCount  int                  `json:"path_count"` // distinct paths attributed
+	Events     uint64               `json:"events"`     // attribution records consumed
+	ShadowSeen uint64               `json:"shadow_audits,omitempty"`
+	Truncated  bool                 `json:"truncated,omitempty"`
+}
+
+// Summary rolls the ledger up, keeping the topN highest-energy paths.
+func (l *Ledger) Summary(topN int) *Summary {
+	var sw, hw float64
+	for mi := range l.agg {
+		if l.machines[mi].HW {
+			hw += l.agg[mi].energy
+		} else {
+			sw += l.agg[mi].energy
+		}
+	}
+	busE := l.busFull
+	if l.compacted {
+		busE = l.busCompacted
+	}
+	total := sw + hw + busE + l.icache + l.rtos
+	share := func(e float64) float64 {
+		if total == 0 {
+			return 0
+		}
+		return e / total
+	}
+
+	s := &Summary{
+		Total:      units.Energy(total),
+		Events:     l.events,
+		ShadowSeen: l.shadowAudits,
+		Truncated:  l.truncated,
+		PathCount:  len(l.paths),
+	}
+	s.Components = []ComponentShare{
+		{Name: "sw", Energy: units.Energy(sw), Share: share(sw)},
+		{Name: "hw", Energy: units.Energy(hw), Share: share(hw)},
+		{Name: "bus", Energy: units.Energy(busE), Share: share(busE)},
+		{Name: "icache", Energy: units.Energy(l.icache), Share: share(l.icache)},
+		{Name: "rtos", Energy: units.Energy(l.rtos), Share: share(l.rtos)},
+	}
+
+	for mi, info := range l.machines {
+		a := &l.agg[mi]
+		s.Machines = append(s.Machines, MachineBreakdown{
+			Machine: mi, Name: info.Name, HW: info.HW,
+			Energy: units.Energy(a.energy), Wait: units.Energy(a.wait),
+			Reactions: a.reactions, EstimatorCalls: a.estCalls, CacheHits: a.cacheHits,
+			Share: share(a.energy),
+		})
+	}
+	sort.SliceStable(s.Machines, func(a, b int) bool {
+		return s.Machines[a].Energy > s.Machines[b].Energy
+	})
+
+	for mi, m := range l.masters {
+		name := "?"
+		if mi >= 0 && mi < len(l.machines) {
+			name = l.machines[mi].Name
+		}
+		shr := 0.0
+		if l.busFull > 0 {
+			shr = m.energy / l.busFull
+		}
+		s.BusMasters = append(s.BusMasters, BusMasterBreakdown{
+			Machine: mi, Name: name,
+			Energy: units.Energy(m.energy), Grants: m.grants, Words: m.words, Share: shr,
+		})
+	}
+	sort.Slice(s.BusMasters, func(a, b int) bool {
+		if s.BusMasters[a].Energy != s.BusMasters[b].Energy {
+			return s.BusMasters[a].Energy > s.BusMasters[b].Energy
+		}
+		return s.BusMasters[a].Machine < s.BusMasters[b].Machine
+	})
+
+	for name, t := range l.techs {
+		s.Techniques = append(s.Techniques, TechniqueBreakdown{
+			Name: name, Energy: units.Energy(t.energy), Count: t.count, Share: share(t.energy),
+		})
+	}
+	sort.Slice(s.Techniques, func(a, b int) bool {
+		if s.Techniques[a].Energy != s.Techniques[b].Energy {
+			return s.Techniques[a].Energy > s.Techniques[b].Energy
+		}
+		return s.Techniques[a].Name < s.Techniques[b].Name
+	})
+
+	for k, p := range l.paths {
+		name := "?"
+		if k.machine >= 0 && k.machine < len(l.machines) {
+			name = l.machines[k.machine].Name
+		}
+		s.TopPaths = append(s.TopPaths, PathBreakdown{
+			Machine: k.machine, Name: name, Path: k.path,
+			Energy: units.Energy(p.energy), Count: p.count, Source: p.source,
+			Share: share(p.energy),
+		})
+	}
+	sort.Slice(s.TopPaths, func(a, b int) bool {
+		if s.TopPaths[a].Energy != s.TopPaths[b].Energy {
+			return s.TopPaths[a].Energy > s.TopPaths[b].Energy
+		}
+		if s.TopPaths[a].Machine != s.TopPaths[b].Machine {
+			return s.TopPaths[a].Machine < s.TopPaths[b].Machine
+		}
+		return s.TopPaths[a].Path < s.TopPaths[b].Path
+	})
+	if topN > 0 && len(s.TopPaths) > topN {
+		s.TopPaths = s.TopPaths[:topN]
+	}
+	return s
+}
+
+// Render writes the attribution report as terminal tables.
+func (s *Summary) Render(w io.Writer) {
+	fmt.Fprintf(w, "energy attribution: %v total across %d records\n", s.Total, s.Events)
+	t := report.NewTable("component", "energy", "share")
+	for _, c := range s.Components {
+		t.Row(c.Name, c.Energy.String(), pct(c.Share))
+	}
+	t.Render(w)
+
+	t = report.NewTable("process", "map", "energy", "wait", "share", "reactions", "est.calls", "cache hits")
+	for _, m := range s.Machines {
+		mp := "sw"
+		if m.HW {
+			mp = "hw"
+		}
+		t.Row(m.Name, mp, m.Energy.String(), m.Wait.String(), pct(m.Share), m.Reactions, m.EstimatorCalls, m.CacheHits)
+	}
+	t.Render(w)
+
+	if len(s.BusMasters) > 0 {
+		t = report.NewTable("bus master", "energy", "share", "grants", "words")
+		for _, m := range s.BusMasters {
+			t.Row(m.Name, m.Energy.String(), pct(m.Share), m.Grants, m.Words)
+		}
+		t.Render(w)
+	}
+
+	if len(s.Techniques) > 0 {
+		t = report.NewTable("costed by", "energy", "share", "records")
+		for _, c := range s.Techniques {
+			t.Row(c.Name, c.Energy.String(), pct(c.Share), c.Count)
+		}
+		t.Render(w)
+	}
+
+	if len(s.TopPaths) > 0 {
+		fmt.Fprintf(w, "top %d of %d execution paths:\n", len(s.TopPaths), s.PathCount)
+		t = report.NewTable("process", "path", "energy", "share", "reactions", "source")
+		for _, p := range s.TopPaths {
+			t.Row(p.Name, fmt.Sprintf("%x", p.Path), p.Energy.String(), pct(p.Share), p.Count, p.Source)
+		}
+		t.Render(w)
+	}
+	if s.Truncated {
+		fmt.Fprintf(w, "  (run truncated at MaxSimTime; attribution covers the observed window)\n")
+	}
+}
+
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }

@@ -1,0 +1,191 @@
+package attrib
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+	"repro/internal/units"
+)
+
+func testMachines() []MachineInfo {
+	return []MachineInfo{
+		{Name: "producer", HW: false},
+		{Name: "filter", HW: true},
+	}
+}
+
+func attr(machine int, source string, path uint64, e units.Energy) telemetry.Event {
+	return telemetry.Event{
+		Kind:    telemetry.KindEnergyAttributed,
+		Machine: machine, Name: source, Path: path, Energy: e,
+	}
+}
+
+func TestLedgerComponentRollupReconciles(t *testing.T) {
+	l := NewLedger(testMachines())
+	l.Emit(attr(0, "iss", 0x10, 100*units.Nanojoule))
+	l.Emit(attr(0, "ecache", 0x10, 50*units.Nanojoule))
+	l.Emit(attr(0, "wait", 0, 5*units.Nanojoule))
+	l.Emit(attr(1, "gate", 0x20, 30*units.Nanojoule))
+	l.Emit(attr(0, "icache", 0x10, 20*units.Nanojoule))
+	l.Emit(attr(-1, "rtos", 0, 10*units.Nanojoule))
+	l.Emit(telemetry.Event{Kind: telemetry.KindBusTransaction, Machine: 0,
+		Words: 4, Energy: 7 * units.Nanojoule})
+
+	s := l.Summary(10)
+	want := (100 + 50 + 5 + 30 + 20 + 10 + 7) * units.Nanojoule
+	if math.Abs(float64(s.Total-want)) > 1e-18 {
+		t.Fatalf("total = %v, want %v", s.Total, want)
+	}
+
+	// Component totals must sum to the ledger total exactly (one event, one
+	// component).
+	var sum units.Energy
+	byName := map[string]units.Energy{}
+	for _, c := range s.Components {
+		sum += c.Energy
+		byName[c.Name] = c.Energy
+	}
+	if math.Abs(float64(sum-s.Total)) > 1e-15*math.Abs(float64(s.Total)) {
+		t.Fatalf("component sum %v != total %v", sum, s.Total)
+	}
+	near := func(got, want units.Energy) bool {
+		return math.Abs(float64(got-want)) <= 1e-9*math.Abs(float64(want))
+	}
+	if !near(byName["sw"], 155*units.Nanojoule) {
+		t.Fatalf("sw = %v, want 155nJ (compute + wait)", byName["sw"])
+	}
+	if !near(byName["hw"], 30*units.Nanojoule) {
+		t.Fatalf("hw = %v", byName["hw"])
+	}
+	if !near(byName["bus"], 7*units.Nanojoule) {
+		t.Fatalf("bus = %v", byName["bus"])
+	}
+	if !near(byName["icache"], 20*units.Nanojoule) || !near(byName["rtos"], 10*units.Nanojoule) {
+		t.Fatalf("icache/rtos = %v/%v", byName["icache"], byName["rtos"])
+	}
+}
+
+func TestLedgerPathAndTechniqueRollups(t *testing.T) {
+	l := NewLedger(testMachines())
+	l.Emit(attr(0, "iss", 0xA, 10*units.Nanojoule))
+	l.Emit(attr(0, "ecache", 0xA, 20*units.Nanojoule))
+	l.Emit(attr(0, "iss", 0xB, 5*units.Nanojoule))
+	l.Emit(attr(0, "wait", 0, 3*units.Nanojoule))
+
+	s := l.Summary(10)
+	if s.PathCount != 2 {
+		t.Fatalf("paths = %d, want 2 (wait must not create a path)", s.PathCount)
+	}
+	top := s.TopPaths[0]
+	if top.Path != 0xA || top.Energy != 30*units.Nanojoule || top.Count != 2 {
+		t.Fatalf("top path = %+v", top)
+	}
+	if top.Source != "ecache" {
+		t.Fatalf("top path source = %q, want last serve technique", top.Source)
+	}
+
+	techs := map[string]TechniqueBreakdown{}
+	for _, c := range s.Techniques {
+		techs[c.Name] = c
+	}
+	if techs["iss"].Energy != 15*units.Nanojoule || techs["iss"].Count != 2 {
+		t.Fatalf("iss technique = %+v", techs["iss"])
+	}
+	if techs["ecache"].Energy != 20*units.Nanojoule {
+		t.Fatalf("ecache technique = %+v", techs["ecache"])
+	}
+	if techs["wait"].Energy != 3*units.Nanojoule {
+		t.Fatalf("wait technique = %+v", techs["wait"])
+	}
+}
+
+func TestLedgerTopNTruncation(t *testing.T) {
+	l := NewLedger(testMachines())
+	for p := uint64(1); p <= 5; p++ {
+		l.Emit(attr(0, "iss", p, units.Energy(p)*units.Nanojoule))
+	}
+	s := l.Summary(2)
+	if len(s.TopPaths) != 2 || s.PathCount != 5 {
+		t.Fatalf("topN = %d of %d, want 2 of 5", len(s.TopPaths), s.PathCount)
+	}
+	if s.TopPaths[0].Path != 5 || s.TopPaths[1].Path != 4 {
+		t.Fatalf("top paths not energy-ordered: %+v", s.TopPaths)
+	}
+}
+
+func TestLedgerCompactedBusOverridesFull(t *testing.T) {
+	l := NewLedger(testMachines())
+	l.Emit(telemetry.Event{Kind: telemetry.KindBusTransaction, Machine: 0, Energy: 10 * units.Nanojoule})
+	l.Emit(telemetry.Event{Kind: telemetry.KindBusTransaction, Machine: 1, Energy: 10 * units.Nanojoule})
+	l.Emit(telemetry.Event{Kind: telemetry.KindCompactionDispatch, Machine: -1, Energy: 18 * units.Nanojoule})
+
+	s := l.Summary(0)
+	var busE units.Energy
+	for _, c := range s.Components {
+		if c.Name == "bus" {
+			busE = c.Energy
+		}
+	}
+	if busE != 18*units.Nanojoule {
+		t.Fatalf("bus component = %v, want the compacted estimate", busE)
+	}
+	// Per-master breakdown still reflects the full grant stream, with
+	// shares relative to the full-trace energy.
+	if len(s.BusMasters) != 2 {
+		t.Fatalf("masters = %d", len(s.BusMasters))
+	}
+	for _, m := range s.BusMasters {
+		if math.Abs(m.Share-0.5) > 1e-9 {
+			t.Fatalf("master share = %v, want 0.5 of full-trace energy", m.Share)
+		}
+	}
+}
+
+func TestLedgerCountersAndFlags(t *testing.T) {
+	l := NewLedger(testMachines())
+	l.Emit(telemetry.Event{Kind: telemetry.KindReactionDispatched, Machine: 0})
+	l.Emit(telemetry.Event{Kind: telemetry.KindISSCall, Machine: 0})
+	l.Emit(telemetry.Event{Kind: telemetry.KindECacheHit, Machine: 0})
+	l.Emit(telemetry.Event{Kind: telemetry.KindGateEval, Machine: 1})
+	l.Emit(telemetry.Event{Kind: telemetry.KindShadowAudit, Machine: 0})
+	l.Emit(telemetry.Event{Kind: telemetry.KindDeadlineWarning})
+
+	s := l.Summary(0)
+	m0 := s.Machines[0]
+	if m0.Name != "producer" {
+		m0 = s.Machines[1]
+	}
+	if m0.Reactions != 1 || m0.EstimatorCalls != 1 || m0.CacheHits != 1 {
+		t.Fatalf("machine counters = %+v", m0)
+	}
+	if s.ShadowSeen != 1 || !s.Truncated {
+		t.Fatalf("shadow/truncated = %d/%v", s.ShadowSeen, s.Truncated)
+	}
+}
+
+func TestSummaryRender(t *testing.T) {
+	l := NewLedger(testMachines())
+	l.Emit(attr(0, "iss", 0x1, 10*units.Nanojoule))
+	l.Emit(attr(1, "gate", 0x2, 5*units.Nanojoule))
+	var buf bytes.Buffer
+	l.Summary(10).Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"energy attribution", "component", "producer", "filter", "costed by", "execution paths"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLedgerIgnoresOutOfRangeMachines(t *testing.T) {
+	l := NewLedger(testMachines())
+	l.Emit(attr(7, "iss", 0x1, 10*units.Nanojoule)) // unknown machine index
+	s := l.Summary(0)
+	if s.Total != 0 {
+		t.Fatalf("out-of-range machine attributed: %v", s.Total)
+	}
+}

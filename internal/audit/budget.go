@@ -1,0 +1,215 @@
+package audit
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/ecache"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// TechniqueBudget bounds the total-energy error one acceleration technique
+// may have introduced into a run — the live counterpart of one accuracy
+// column of the paper's Tables 1–3.
+type TechniqueBudget struct {
+	Name string `json:"name"`
+	// Served counts the reactions (or, for compaction, dispatch windows)
+	// whose cost came from the technique rather than a reference run.
+	Served uint64 `json:"served"`
+	// Energy is the total energy attributed through the technique.
+	Energy units.Energy `json:"energy_j"`
+	// Bound is the worst-case absolute error: every served reaction
+	// assumed to sit at the farthest observed extreme from the value used.
+	Bound units.Energy `json:"bound_j"`
+	// CI95 is the 95% statistical bound under independent per-serve
+	// errors drawn from the observed per-path spreads.
+	CI95 units.Energy `json:"ci95_j"`
+	// Calibrated is false when the technique exposed no error signal
+	// (e.g. macro-modeling without shadow audits); Bound/CI95 are then
+	// zero and must not be read as "no error".
+	Calibrated bool   `json:"calibrated"`
+	Basis      string `json:"basis"` // where the bound comes from
+}
+
+// ErrorBudget combines the per-technique bounds into a run-level budget.
+type ErrorBudget struct {
+	// Total is the run's reported total energy the bounds are relative to.
+	Total      units.Energy      `json:"total_j"`
+	Techniques []TechniqueBudget `json:"techniques"`
+	// Bound is the sum of the calibrated worst-case bounds.
+	Bound units.Energy `json:"bound_j"`
+	// CI95 combines the calibrated statistical bounds in quadrature
+	// (techniques err independently).
+	CI95 units.Energy `json:"ci95_j"`
+	// Uncalibrated is true when some active technique could not be
+	// bounded; the combined numbers are then a floor, not a ceiling.
+	Uncalibrated bool `json:"uncalibrated,omitempty"`
+}
+
+// NewBudget starts an empty budget against the run's total energy.
+func NewBudget(total units.Energy) *ErrorBudget {
+	return &ErrorBudget{Total: total}
+}
+
+// Add folds one technique's budget in, skipping techniques that served
+// nothing (they contributed no error).
+func (b *ErrorBudget) Add(t TechniqueBudget) {
+	if t.Served == 0 {
+		return
+	}
+	b.Techniques = append(b.Techniques, t)
+	if !t.Calibrated {
+		b.Uncalibrated = true
+		return
+	}
+	b.Bound += t.Bound
+	b.CI95 = units.Energy(math.Sqrt(float64(b.CI95)*float64(b.CI95) + float64(t.CI95)*float64(t.CI95)))
+}
+
+// RelBound returns Bound as a fraction of the run total (0 when the total
+// is zero).
+func (b *ErrorBudget) RelBound() float64 {
+	if b.Total == 0 {
+		return 0
+	}
+	return float64(b.Bound) / math.Abs(float64(b.Total))
+}
+
+// RelCI95 returns CI95 as a fraction of the run total.
+func (b *ErrorBudget) RelCI95() float64 {
+	if b.Total == 0 {
+		return 0
+	}
+	return float64(b.CI95) / math.Abs(float64(b.Total))
+}
+
+// Render writes the error budget as a terminal table — the live analogue
+// of the paper's Tables 1–3 accuracy columns.
+func (b *ErrorBudget) Render(w io.Writer) {
+	fmt.Fprintf(w, "error budget vs total %v: worst-case ±%v (%.3f%%), 95%% CI ±%v (%.3f%%)\n",
+		b.Total, b.Bound, b.RelBound()*100, b.CI95, b.RelCI95()*100)
+	if len(b.Techniques) == 0 {
+		fmt.Fprintln(w, "  (no acceleration served any reaction; the estimate is reference-exact)")
+		return
+	}
+	t := report.NewTable("technique", "served", "energy", "bound", "bound%", "ci95", "ci95%", "basis")
+	rel := func(e units.Energy) string {
+		if b.Total == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.3f%%", float64(e)/math.Abs(float64(b.Total))*100)
+	}
+	for _, tb := range b.Techniques {
+		bound, ci, basis := tb.Bound.String(), tb.CI95.String(), tb.Basis
+		boundRel, ciRel := rel(tb.Bound), rel(tb.CI95)
+		if !tb.Calibrated {
+			bound, ci, boundRel, ciRel = "?", "?", "-", "-"
+		}
+		t.Row(tb.Name, tb.Served, tb.Energy.String(), bound, boundRel, ci, ciRel, basis)
+	}
+	t.Render(w)
+	if b.Uncalibrated {
+		fmt.Fprintln(w, "  (uncalibrated technique present — enable shadow auditing to bound it; combined numbers are a floor)")
+	}
+}
+
+// ECacheBudget bounds the error of serving paths from an energy cache's
+// stored means (§4.2): each served reaction may have cost anywhere in the
+// path's observed [min, max], so the worst case weights every hit by the
+// farthest extreme from the mean, and the statistical bound treats hits
+// as draws from the path's observed distribution.
+func ECacheBudget(name string, rows []ecache.PathReport) TechniqueBudget {
+	b := TechniqueBudget{Name: name, Calibrated: true, Basis: "per-path stored spread"}
+	var varSum float64
+	for _, r := range rows {
+		if r.Hits == 0 {
+			continue
+		}
+		b.Served += r.Hits
+		b.Energy += units.Energy(float64(r.Hits) * float64(r.Mean))
+		worst := math.Max(float64(r.Max-r.Mean), float64(r.Mean-r.Min))
+		b.Bound += units.Energy(float64(r.Hits) * worst)
+		if r.Calls > 0 {
+			sd := float64(r.StdDev)
+			// Each hit's error has the path variance, plus the mean's own
+			// sampling uncertainty (the 1/n term).
+			varSum += float64(r.Hits) * sd * sd * (1 + 1/float64(r.Calls))
+		}
+	}
+	b.CI95 = units.Energy(1.96 * math.Sqrt(varSum))
+	return b
+}
+
+// SamplingPath is one path's record under reaction sampling (§4.3):
+// Skipped reactions were never dispatched and had their energy settled
+// from the path's sampled distribution.
+type SamplingPath struct {
+	Skipped uint64
+	Energy  stats.Running // per-reaction energies of the dispatched samples
+}
+
+// SamplingBudget bounds the error of the skipped (scaled-over) reactions.
+func SamplingBudget(paths []SamplingPath) TechniqueBudget {
+	b := TechniqueBudget{Name: "sampling", Calibrated: true, Basis: "per-path sample spread"}
+	var varSum float64
+	for _, p := range paths {
+		if p.Skipped == 0 {
+			continue
+		}
+		b.Served += p.Skipped
+		b.Energy += units.Energy(float64(p.Skipped) * p.Energy.Mean())
+		worst := math.Max(p.Energy.Max()-p.Energy.Mean(), p.Energy.Mean()-p.Energy.Min())
+		b.Bound += units.Energy(float64(p.Skipped) * worst)
+		if n := p.Energy.N(); n > 0 {
+			v := p.Energy.Variance()
+			varSum += float64(p.Skipped) * v * (1 + 1/float64(n))
+		}
+	}
+	b.CI95 = units.Energy(1.96 * math.Sqrt(varSum))
+	return b
+}
+
+// CompactionBudget records the bus-compaction error (§4.3): unlike the
+// other techniques it is exactly known, because the full grant trace was
+// observed before compaction replaced its energy.
+func CompactionBudget(full, compacted units.Energy, windows uint64) TechniqueBudget {
+	err := units.Energy(math.Abs(float64(full - compacted)))
+	return TechniqueBudget{
+		Name:       "compaction",
+		Served:     windows,
+		Energy:     compacted,
+		Bound:      err,
+		CI95:       err,
+		Calibrated: true,
+		Basis:      "exact vs full trace",
+	}
+}
+
+// MacroBudget bounds the macro-model's error (§4.1). The table itself
+// carries no error signal — it is a point estimate per operator — so the
+// bound is calibrated from shadow-audit residuals: the worst observed
+// relative divergence bounds the worst case, and the mean plus spread of
+// the per-reaction divergence bounds the expected case. Without audits
+// the budget is reported uncalibrated.
+func MacroBudget(energy units.Energy, served uint64, lens *TechniqueStats) TechniqueBudget {
+	b := TechniqueBudget{Name: "macro", Served: served, Energy: energy}
+	if lens == nil || lens.Audited == 0 {
+		b.Basis = "no reference samples (enable shadow audit)"
+		return b
+	}
+	b.Calibrated = true
+	b.Basis = fmt.Sprintf("%d shadow-audited reactions", lens.Audited)
+	mag := math.Abs(float64(energy))
+	b.Bound = units.Energy(mag * lens.MaxRel)
+	// Model error is systematic, not independent per reaction: spread is
+	// not divided by sqrt(n).
+	spread := lens.P99Rel
+	if math.IsNaN(spread) || spread < lens.MeanRel {
+		spread = lens.MeanRel
+	}
+	b.CI95 = units.Energy(mag * spread)
+	return b
+}

@@ -1,0 +1,96 @@
+package audit
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/report"
+	"repro/internal/units"
+)
+
+// TechniqueStats is one technique's shadow-audit divergence record.
+type TechniqueStats struct {
+	Name        string       `json:"name"`
+	Audited     uint64       `json:"audited"`
+	Flagged     uint64       `json:"flagged"`
+	Invalidated uint64       `json:"invalidated,omitempty"`
+	Served      units.Energy `json:"served_j"`    // summed audited estimates
+	Reference   units.Energy `json:"reference_j"` // summed reference energies
+	MeanRel     float64      `json:"mean_rel"`    // mean |served-ref|/|ref|
+	P50Rel      float64      `json:"p50_rel"`
+	P99Rel      float64      `json:"p99_rel"`
+	MaxRel      float64      `json:"max_rel"`
+	BiasRel     float64      `json:"bias_rel"` // mean signed (served-ref)/|ref|
+	MeanAbsErr  units.Energy `json:"mean_abs_err_j"`
+}
+
+func (r *techRec) stats(t Technique) *TechniqueStats {
+	return &TechniqueStats{
+		Name:        t.String(),
+		Audited:     r.audited,
+		Flagged:     r.flagged,
+		Invalidated: r.invalidated,
+		Served:      units.Energy(r.served),
+		Reference:   units.Energy(r.ref),
+		MeanRel:     r.rel.Mean(),
+		P50Rel:      r.hist.Quantile(0.50),
+		P99Rel:      r.hist.Quantile(0.99),
+		MaxRel:      r.rel.Max(),
+		BiasRel:     r.signedRel.Mean(),
+		MeanAbsErr:  units.Energy(r.absErr.Mean()),
+	}
+}
+
+// Report is the rendered shadow-audit record of one run.
+type Report struct {
+	Rate             float64          `json:"rate"`
+	DivergeThreshold float64          `json:"diverge_threshold"`
+	AutoInvalidate   bool             `json:"auto_invalidate,omitempty"`
+	Audits           uint64           `json:"audits"`
+	Flagged          uint64           `json:"flagged"`
+	Invalidated      uint64           `json:"invalidated,omitempty"`
+	Techniques       []TechniqueStats `json:"techniques"`
+}
+
+// Report rolls up the auditor's record; nil when the auditor is disabled.
+func (a *Auditor) Report() *Report {
+	if a == nil {
+		return nil
+	}
+	rep := &Report{
+		Rate:             a.p.Rate,
+		DivergeThreshold: a.p.DivergeThreshold,
+		AutoInvalidate:   a.p.AutoInvalidate,
+	}
+	for t := Technique(0); t < numTechniques; t++ {
+		r := &a.recs[t]
+		if r.audited == 0 {
+			continue
+		}
+		rep.Audits += r.audited
+		rep.Flagged += r.flagged
+		rep.Invalidated += r.invalidated
+		rep.Techniques = append(rep.Techniques, *r.stats(t))
+	}
+	return rep
+}
+
+// Render writes the shadow-audit report as a terminal table.
+func (r *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "shadow audit: %d of the accelerated serves re-run on the reference estimator (rate %.3g, flag >%.3g%%)\n",
+		r.Audits, r.Rate, r.DivergeThreshold*100)
+	if r.Audits == 0 {
+		fmt.Fprintln(w, "  (no accelerated serves were audited — caches may never have qualified)")
+		return
+	}
+	t := report.NewTable("technique", "audited", "served", "reference", "mean", "p50", "p99", "max", "bias", "flagged", "invalidated")
+	for _, ts := range r.Techniques {
+		t.Row(ts.Name, ts.Audited, ts.Served.String(), ts.Reference.String(),
+			relPct(ts.MeanRel), relPct(ts.P50Rel), relPct(ts.P99Rel), relPct(ts.MaxRel),
+			fmt.Sprintf("%+.2f%%", ts.BiasRel*100), ts.Flagged, ts.Invalidated)
+	}
+	t.Render(w)
+	fmt.Fprintln(w, "  (mean/p50/p99/max: relative divergence |served-ref|/|ref|; bias: signed drift direction)")
+}
+
+func relPct(f float64) string { return fmt.Sprintf("%.2f%%", f*100) }

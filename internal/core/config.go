@@ -16,6 +16,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/audit"
 	"repro/internal/bus"
 	"repro/internal/cachesim"
 	"repro/internal/cfsm"
@@ -228,6 +229,21 @@ type Config struct {
 	// machine, execution path and measured energy — the raw samples behind
 	// the per-path energy histograms of Fig 4(b).
 	PathEnergy func(machine int, path cfsm.PathKey, energy units.Energy)
+
+	// Attribution enables the hierarchical energy attribution ledger: every
+	// energy accrual is emitted as a KindEnergyAttributed event and rolled
+	// up per process / execution path / bus master / component, attached to
+	// the report as Report.Attribution. Requires CoEstimation mode (the
+	// separate baseline estimates components offline, outside the event
+	// stream).
+	Attribution bool
+
+	// ShadowAudit configures the shadow-sampling auditor: at
+	// ShadowAudit.Rate, reactions served from the energy cache or the
+	// macro-model table are also run through the reference ISS/gate
+	// estimator and the divergence is recorded (Report.Audit). A zero rate
+	// disables auditing. Requires CoEstimation mode.
+	ShadowAudit audit.Params
 }
 
 // DefaultConfig returns the reference configuration: 50 MHz SPARClite,
@@ -287,6 +303,12 @@ func (c *Config) Validate() error {
 		if err := c.Accel.BusCompactionParams.Validate(); err != nil {
 			return err
 		}
+	}
+	if err := c.ShadowAudit.Validate(); err != nil {
+		return err
+	}
+	if c.Mode != CoEstimation && (c.Attribution || c.ShadowAudit.Rate > 0) {
+		return fmt.Errorf("core: attribution and shadow auditing require co-estimation mode")
 	}
 	return nil
 }

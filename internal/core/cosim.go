@@ -5,6 +5,8 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/attrib"
+	"repro/internal/audit"
 	"repro/internal/bus"
 	"repro/internal/cachesim"
 	"repro/internal/cfsm"
@@ -49,6 +51,7 @@ type hwExec struct {
 type sampleState struct {
 	seen        uint64
 	sinceSample uint64
+	skipped     uint64 // total skipped dispatches (error-budget exposure)
 	cycles      stats.Running
 	energy      stats.Running
 }
@@ -98,8 +101,18 @@ type CoSim struct {
 	gateExecs uint64
 
 	// trc is the typed event stream; nil (the no-op tracer) when neither
-	// Config.Sink nor the legacy Config.Trace callback is set.
+	// Config.Sink nor the legacy Config.Trace callback is set and no
+	// attribution ledger is attached.
 	trc *telemetry.Tracer
+
+	// ledger consumes the run's event stream into energy attribution
+	// rollups (Config.Attribution); nil when attribution is off.
+	// KindEnergyAttributed events are only emitted while it is attached.
+	ledger *attrib.Ledger
+
+	// audit is the shadow-sampling auditor (Config.ShadowAudit); the nil
+	// auditor is disabled and costs nothing on the hot path.
+	audit *audit.Auditor
 
 	envOut []ObservedEvent
 	trace  []recorded // Separate mode only
@@ -133,12 +146,23 @@ func New(sys *System, cfg Config) (*CoSim, error) {
 		swSync:  make(map[int]bool),
 		samples: make(map[ecache.Key]*sampleState),
 	}
-	// The legacy Trace callback rides the typed stream as a text sink.
+	// The legacy Trace callback rides the typed stream as a text sink; the
+	// attribution ledger, when enabled, is one more fan-out target of the
+	// same stream.
 	sink := cfg.Sink
 	if cfg.Trace != nil {
 		sink = telemetry.Multi(sink, telemetry.NewTextSink(cfg.Trace))
 	}
+	if cfg.Attribution {
+		infos := make([]attrib.MachineInfo, len(sys.Net.Machines))
+		for mi, m := range sys.Net.Machines {
+			infos[mi] = attrib.MachineInfo{Name: m.Name, HW: sys.Procs[m.Name].Mapping == HW}
+		}
+		cs.ledger = attrib.NewLedger(infos)
+		sink = telemetry.Multi(sink, cs.ledger)
+	}
 	cs.trc = telemetry.NewTracer(sink)
+	cs.audit = audit.New(cfg.ShadowAudit)
 	n := len(sys.Net.Machines)
 	cs.procs = make([]ProcessConfig, n)
 	cs.machineEnergy = make([]units.Energy, n)
@@ -358,6 +382,33 @@ func (cs *CoSim) emitECache(mi int, r *cfsm.Reaction, hit bool) {
 	cs.trc.Emit(telemetry.Event{
 		Time: cs.kernel.Now(), Kind: kind,
 		Component: cs.sys.Net.Machines[mi].Name, Machine: mi, Path: uint64(r.Path),
+	})
+}
+
+// emitAttrib books one energy accrual on the event stream for the
+// attribution ledger. Gated on the ledger so runs without attribution
+// keep their traces (and hot path) unchanged; mi is -1 for shared
+// components, whose source label routes them in the ledger.
+func (cs *CoSim) emitAttrib(mi int, source string, path uint64, e units.Energy) {
+	if cs.ledger == nil {
+		return
+	}
+	comp := source
+	if mi >= 0 {
+		comp = cs.sys.Net.Machines[mi].Name
+	}
+	cs.trc.Emit(telemetry.Event{
+		Time: cs.kernel.Now(), Kind: telemetry.KindEnergyAttributed,
+		Component: comp, Machine: mi, Name: source, Path: path, Energy: e,
+	})
+}
+
+// emitShadow announces one shadow-audited serve on the event stream.
+func (cs *CoSim) emitShadow(mi int, r *cfsm.Reaction, tech string, served, ref units.Energy, refCycles uint64) {
+	cs.trc.Emit(telemetry.Event{
+		Time: cs.kernel.Now(), Kind: telemetry.KindShadowAudit,
+		Component: cs.sys.Net.Machines[mi].Name, Machine: mi, Name: tech,
+		Path: uint64(r.Path), Cycles: refCycles, Energy: ref, Served: served,
 	})
 }
 

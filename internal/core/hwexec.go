@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/audit"
 	"repro/internal/bus"
 	"repro/internal/cfsm"
 	"repro/internal/ecache"
@@ -54,8 +55,12 @@ func (cs *CoSim) startHW(mi int, ex *hwExec) {
 		e, cyc, ok := cs.hwCache.Lookup(key)
 		cs.emitECache(mi, r, ok)
 		if ok {
-			ex.stale = true
-			cs.finishHW(mi, ex, r, cyc, e)
+			if cs.audit.Should() {
+				cs.shadowHW(ex, key, r, preVars, e)
+			} else {
+				ex.stale = true
+			}
+			cs.finishHW(mi, ex, r, cyc, e, srcECache)
 			return
 		}
 	}
@@ -118,7 +123,7 @@ func (cs *CoSim) pumpHW(mi int, ex *hwExec, r *cfsm.Reaction, run *hwRun, key ec
 				cs.cfg.PathEnergy(mi, r.Path, st.Energy)
 			}
 			cs.machineCycles[mi] += st.Cycles
-			cs.finishHW(mi, ex, r, 0, st.Energy)
+			cs.finishHW(mi, ex, r, 0, st.Energy, srcGate)
 		})
 		return
 	}
@@ -184,15 +189,52 @@ func (cs *CoSim) blockFor(r *cfsm.Reaction, run *hwRun, req hwsyn.Req) (uint32, 
 	return ops[start].Addr, data, req.Write
 }
 
+// shadowHW re-runs a cache-served HW reaction on the reference gate-level
+// driver, synchronously and with zero-wait memory service from the
+// reaction's own behavioral access trace, and books the divergence. The
+// comparison carries a small systematic component: the cached energy
+// includes the bus-stall cycles of the original pumped measurements while
+// the shadow run is stall-free. Cycles compare cleanly — the cache stores
+// stall-free counts. The reference execution leaves the driver registers
+// current, so the stale flag clears. Like shadowSW, it bypasses the
+// gateExecs/machineEstCalls accounting and the PathEnergy callback.
+func (cs *CoSim) shadowHW(ex *hwExec, key ecache.Key, r *cfsm.Reaction, preVars []cfsm.Value, served units.Energy) {
+	mi := key.Machine
+	if ex.stale {
+		vals := make([]uint32, len(preVars))
+		for i, v := range preVars {
+			vals[i] = uint32(v)
+		}
+		ex.driver.SyncVars(vals)
+		ex.stale = false
+	}
+	st, err := ex.driver.ExecTransition(r, nil)
+	if err != nil {
+		cs.fail(err)
+		return
+	}
+	out := cs.audit.Observe(audit.TechECacheHW, served, st.Energy)
+	cs.emitShadow(mi, r, audit.TechECacheHW.String(), served, st.Energy, st.ComputeCycles())
+	if out.Invalidate {
+		// Unlike the SW shadow, the stall-free reference observation is NOT
+		// folded back into the cache — it would bias future serves low.
+		// Invalidation forces the next occurrence down the measured path,
+		// which re-characterizes the entry with its real stall context.
+		cs.hwCache.Invalidate(key)
+	}
+}
+
 // finishHW completes a hardware reaction: for cached reactions, lumpCycles
 // spreads the cached duration (and the bus groups replay concurrently); for
-// measured ones the engine time already elapsed during pumping.
-func (cs *CoSim) finishHW(mi int, ex *hwExec, r *cfsm.Reaction, lumpCycles uint64, energy units.Energy) {
+// measured ones the engine time already elapsed during pumping. src labels
+// the costing technique for attribution.
+func (cs *CoSim) finishHW(mi int, ex *hwExec, r *cfsm.Reaction, lumpCycles uint64, energy units.Energy, src string) {
 	m := cs.sys.Net.Machines[mi]
 	cs.machineEnergy[mi] += energy
 	cs.transEnergy[mi][r.TransIdx] += energy
 	cs.transCount[mi][r.TransIdx]++
 	cs.wave.Add(m.Name, cs.kernel.Now(), energy)
+	cs.emitAttrib(mi, src, uint64(r.Path), energy)
 
 	complete := func() {
 		cs.machineCycles[mi] += lumpCycles // measured cycles were added by the pump

@@ -2,9 +2,12 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
+	"repro/internal/attrib"
+	"repro/internal/audit"
 	"repro/internal/bus"
 	"repro/internal/cachesim"
 	"repro/internal/compact"
@@ -88,6 +91,20 @@ type Report struct {
 	Waveform  *Waveform
 
 	BusCompaction *BusCompactionReport
+
+	// Attribution is the energy attribution ledger's rollup; nil unless
+	// Config.Attribution was set. Its component totals reconcile with
+	// Total (same accrual events, same summation).
+	Attribution *attrib.Summary
+
+	// Audit is the shadow-sampling auditor's divergence record; nil
+	// unless Config.ShadowAudit.Rate was set.
+	Audit *audit.Report
+
+	// Budget bounds the error the enabled accelerations may have
+	// introduced into Total — the live analogue of the paper's Tables
+	// 1–3 accuracy columns. Nil when no acceleration is active.
+	Budget *audit.ErrorBudget
 }
 
 // Machine returns the named process report, or nil.
@@ -126,6 +143,14 @@ func (r *Report) String() string {
 		fmt.Fprintf(&b, "  bus compaction: %v vs %v full (%.2f%% err, %.1fx)\n",
 			r.BusCompaction.CompactedEnergy, r.BusCompaction.FullEnergy,
 			r.BusCompaction.ErrorPct(), r.BusCompaction.Stats.CompressionRatio())
+	}
+	if r.Budget != nil {
+		fmt.Fprintf(&b, "  error budget: ±%v worst-case (%.3f%%), ±%v 95%% CI\n",
+			r.Budget.Bound, r.Budget.RelBound()*100, r.Budget.CI95)
+	}
+	if r.Audit != nil {
+		fmt.Fprintf(&b, "  shadow audit: %d audited, %d flagged, %d invalidated\n",
+			r.Audit.Audits, r.Audit.Flagged, r.Audit.Invalidated)
 	}
 	fmt.Fprintf(&b, "  TOTAL %v (sw %v, hw %v)\n", r.Total, r.SWEnergy, r.HWEnergy)
 	return b.String()
@@ -198,6 +223,7 @@ func (cs *CoSim) report(wall time.Duration) *Report {
 
 	r.RTOSStats = cs.sched.Stats()
 	r.RTOSEnergy = units.Energy(r.RTOSStats.OverheadCycles) * cs.cfg.Power.Stall
+	cs.emitAttrib(-1, srcRTOS, 0, r.RTOSEnergy)
 	if cs.swCache != nil {
 		r.SWECache = cs.swCache.Stats()
 	}
@@ -206,7 +232,72 @@ func (cs *CoSim) report(wall time.Duration) *Report {
 	}
 
 	r.Total = r.SWEnergy + r.HWEnergy + r.BusEnergy + r.CacheEnergy + r.RTOSEnergy
+	r.Audit = cs.audit.Report()
+	r.Budget = cs.errorBudget(r)
+	if cs.ledger != nil {
+		r.Attribution = cs.ledger.Summary(10)
+	}
 	return r
+}
+
+// errorBudget assembles the per-technique error budget (the live analogue
+// of the paper's Tables 1–3 accuracy columns) from the run's acceleration
+// state. Nil when no acceleration is enabled — an unaccelerated run has no
+// estimation error to budget.
+func (cs *CoSim) errorBudget(r *Report) *audit.ErrorBudget {
+	a := cs.cfg.Accel
+	if !a.ECache && !a.Macromodel && !a.Sampling && !a.BusCompaction {
+		return nil
+	}
+	b := audit.NewBudget(r.Total)
+	if cs.swCache != nil {
+		b.Add(audit.ECacheBudget("ecache-sw", cs.swCache.Report()))
+	}
+	if cs.hwCache != nil {
+		// Under macro-modeling the HW path table is the per-block
+		// macro-model of §4.1; same cache mechanics, different name.
+		name := "ecache-hw"
+		if a.Macromodel {
+			name = "macro-hw"
+		}
+		b.Add(audit.ECacheBudget(name, cs.hwCache.Report()))
+	}
+	if a.Macromodel {
+		// Table-served SW energy: with macro-modeling on, every SW compute
+		// joule came from the table.
+		var served uint64
+		var energy units.Energy
+		for mi := range cs.sys.Net.Machines {
+			if cs.procs[mi].Mapping == SW {
+				served += cs.machineReact[mi]
+				energy += cs.machineEnergy[mi]
+			}
+		}
+		b.Add(audit.MacroBudget(energy, served, cs.audit.Lens(audit.TechMacro)))
+	}
+	if a.Sampling && len(cs.samples) > 0 {
+		keys := make([]ecache.Key, 0, len(cs.samples))
+		for k := range cs.samples {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].Machine != keys[j].Machine {
+				return keys[i].Machine < keys[j].Machine
+			}
+			return keys[i].Path < keys[j].Path
+		})
+		paths := make([]audit.SamplingPath, 0, len(keys))
+		for _, k := range keys {
+			st := cs.samples[k]
+			paths = append(paths, audit.SamplingPath{Skipped: st.skipped, Energy: st.energy})
+		}
+		b.Add(audit.SamplingBudget(paths))
+	}
+	if r.BusCompaction != nil {
+		b.Add(audit.CompactionBudget(r.BusCompaction.FullEnergy,
+			r.BusCompaction.CompactedEnergy, r.BusCompaction.Stats.Windows))
+	}
+	return b
 }
 
 // compactBusTrace re-estimates bus energy from the K-memory-compacted grant

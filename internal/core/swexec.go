@@ -1,12 +1,26 @@
 package core
 
 import (
+	"repro/internal/audit"
 	"repro/internal/bus"
 	"repro/internal/cfsm"
 	"repro/internal/ecache"
 	"repro/internal/rtos"
 	"repro/internal/telemetry"
 	"repro/internal/units"
+)
+
+// Attribution source labels: the costing technique (or accrual site) a
+// KindEnergyAttributed event books its energy under.
+const (
+	srcISS      = "iss"
+	srcGate     = "gate"
+	srcECache   = "ecache"
+	srcMacro    = "macro"
+	srcSampling = "sampling"
+	srcWait     = "wait"
+	srcICache   = "icache"
+	srcRTOS     = "rtos"
 )
 
 // activateSW routes a software machine's pending events through the RTOS:
@@ -53,7 +67,8 @@ func (cs *CoSim) activateSW(mi int) {
 				return 0
 			}
 
-			cycles, energy := cs.estimateSW(mi, rr, preVars)
+			cycles, energy, src := cs.estimateSW(mi, rr, preVars)
+			cs.emitAttrib(mi, src, uint64(rr.Path), energy)
 
 			// Fast instruction-cache simulation, fed by the master from the
 			// statically reconstructed path trace (never from the ISS).
@@ -73,6 +88,7 @@ func (cs *CoSim) activateSW(mi int) {
 				ce := d.Energy - before.Energy
 				cs.cacheEnergy += ce
 				cs.wave.Add("icache", cs.kernel.Now(), ce)
+				cs.emitAttrib(mi, srcICache, uint64(rr.Path), ce)
 			}
 
 			cs.machineCycles[mi] += cycles
@@ -93,6 +109,7 @@ func (cs *CoSim) activateSW(mi int) {
 					we := units.Energy(float64(cs.cfg.CPUIdle) * wait.Seconds())
 					cs.machineWait[mi] += we
 					cs.wave.Add(m.Name, cs.kernel.Now(), we)
+					cs.emitAttrib(mi, srcWait, 0, we)
 				}
 				cs.deliver(mi, rr)
 				cs.sched.Release()
@@ -128,14 +145,18 @@ func (cs *CoSim) activateSW(mi int) {
 }
 
 // estimateSW is the software estimator stack of Fig 2(b): energy cache, then
-// macro-model or sampling, then the ISS itself.
-func (cs *CoSim) estimateSW(mi int, r *cfsm.Reaction, preVars []cfsm.Value) (uint64, units.Energy) {
+// macro-model or sampling, then the ISS itself. The returned source label
+// names the technique that produced the cost (for attribution).
+func (cs *CoSim) estimateSW(mi int, r *cfsm.Reaction, preVars []cfsm.Value) (uint64, units.Energy, string) {
 	key := ecache.Key{Machine: mi, Path: r.Path}
 
 	if cs.cfg.Accel.Macromodel {
 		cycles, energy := cs.cfg.Accel.MacromodelTable.CostOfReaction(r)
 		cs.swSync[mi] = true // the ISS image is not being updated
-		return cycles, energy
+		if cs.audit.Should() {
+			cs.shadowSW(audit.TechMacro, nil, key, r, preVars, energy)
+		}
+		return cycles, energy, srcMacro
 	}
 
 	if cs.swCache != nil {
@@ -143,7 +164,10 @@ func (cs *CoSim) estimateSW(mi int, r *cfsm.Reaction, preVars []cfsm.Value) (uin
 		cs.emitECache(mi, r, ok)
 		if ok {
 			cs.swSync[mi] = true
-			return cyc, e
+			if cs.audit.Should() {
+				cs.shadowSW(audit.TechECacheSW, cs.swCache, key, r, preVars, e)
+			}
+			return cyc, e, srcECache
 		}
 	}
 
@@ -160,7 +184,8 @@ func (cs *CoSim) estimateSW(mi int, r *cfsm.Reaction, preVars []cfsm.Value) (uin
 				// Skip the ISS: delay from the path's running mean; energy
 				// is covered by the next sample's scale factor.
 				cs.swSync[mi] = true
-				return uint64(st.cycles.Mean() + 0.5), 0
+				st.skipped++
+				return uint64(st.cycles.Mean() + 0.5), 0, srcSampling
 			}
 		}
 		cyc, e := cs.runISS(mi, r, preVars)
@@ -174,14 +199,14 @@ func (cs *CoSim) estimateSW(mi int, r *cfsm.Reaction, preVars []cfsm.Value) (uin
 		if cs.swCache != nil {
 			cs.swCache.Update(key, e, cyc)
 		}
-		return cyc, units.Energy(float64(e) * float64(scale))
+		return cyc, units.Energy(float64(e) * float64(scale)), srcSampling
 	}
 
 	cyc, e := cs.runISS(mi, r, preVars)
 	if cs.swCache != nil {
 		cs.swCache.Update(key, e, cyc)
 	}
-	return cyc, e
+	return cyc, e, srcISS
 }
 
 // runISS replays the reaction on the generated code: bind inputs, run to the
@@ -213,6 +238,37 @@ func (cs *CoSim) runISS(mi int, r *cfsm.Reaction, preVars []cfsm.Value) (uint64,
 	return st.Cycles, st.Energy
 }
 
+// shadowSW re-runs an accelerated SW serve on the reference ISS and books
+// the divergence. It deliberately bypasses the issCalls/machineEstCalls
+// accounting and the PathEnergy callback — shadow runs are audit
+// overhead, not part of the estimate (the auditor keeps its own
+// counters). cache, when non-nil, receives the fresh reference
+// observation, preceded by an invalidation when the auditor flags drift
+// past the threshold (continuous re-characterization).
+func (cs *CoSim) shadowSW(tech audit.Technique, cache *ecache.Cache, key ecache.Key, r *cfsm.Reaction, preVars []cfsm.Value, served units.Energy) {
+	mi := key.Machine
+	mc := cs.image.Machines[cs.swIdx[mi]]
+	if cs.swSync[mi] {
+		mc.SyncVars(cs.cpu.Mem, preVars)
+		cs.swSync[mi] = false
+	}
+	mc.BindReaction(cs.cpu.Mem, r)
+	_, st, err := cs.cpu.Call(mc.Entries[r.TransIdx])
+	if err != nil {
+		cs.fail(err)
+		return
+	}
+	mc.ReadOutbox(cs.cpu.Mem)
+	out := cs.audit.Observe(tech, served, st.Energy)
+	cs.emitShadow(mi, r, tech.String(), served, st.Energy, st.Cycles)
+	if cache != nil {
+		if out.Invalidate {
+			cache.Invalidate(key)
+		}
+		cache.Update(key, st.Energy, st.Cycles)
+	}
+}
+
 // finishSampling settles the energy of reactions that were skipped after the
 // last dispatched sample of their path.
 func (cs *CoSim) finishSampling() {
@@ -225,6 +281,7 @@ func (cs *CoSim) finishSampling() {
 			e := units.Energy(st.energy.Mean() * float64(st.sinceSample))
 			cs.machineEnergy[key.Machine] += e
 			cs.wave.Add(cs.sys.Net.Machines[key.Machine].Name, now, e)
+			cs.emitAttrib(key.Machine, srcSampling, uint64(key.Path), e)
 			st.sinceSample = 0
 		}
 	}

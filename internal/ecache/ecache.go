@@ -51,6 +51,11 @@ type Key struct {
 type Entry struct {
 	Energy stats.Running // joules per execution
 	Cycles stats.Running // estimator-reported cycles per execution
+	// Hits counts the reactions served from this entry — the per-path
+	// exposure that weights the entry's spread in the error budget. It
+	// survives Invalidate so the exposure stays truthful across
+	// re-characterization.
+	Hits uint64
 }
 
 // Ready reports whether the entry satisfies the thresholds.
@@ -60,9 +65,10 @@ func (e *Entry) Ready(p Params) bool {
 
 // Stats summarizes cache effectiveness.
 type Stats struct {
-	Lookups uint64
-	Hits    uint64 // served from cache: simulator skipped
-	Entries int
+	Lookups       uint64
+	Hits          uint64 // served from cache: simulator skipped
+	Entries       int
+	Invalidations uint64 // entries reset by the shadow auditor
 }
 
 // HitRate returns hits/lookups.
@@ -88,11 +94,12 @@ type record struct {
 // path is a handful of flat-array probes instead of runtime map hashing of
 // a struct key.
 type Cache struct {
-	params  Params
-	slots   []int32 // open-addressed: 1-based index into recs, 0 = empty
-	recs    []record
-	lookups uint64
-	hits    uint64
+	params        Params
+	slots         []int32 // open-addressed: 1-based index into recs, 0 = empty
+	recs          []record
+	lookups       uint64
+	hits          uint64
+	invalidations uint64
 }
 
 // New returns an empty cache.
@@ -165,8 +172,25 @@ func (c *Cache) Lookup(k Key) (units.Energy, uint64, bool) {
 		return 0, 0, false
 	}
 	c.hits++
+	e.Hits++
 	mHits.Inc()
 	return units.Energy(e.Energy.Mean()), uint64(e.Cycles.Mean() + 0.5), true
+}
+
+// Invalidate resets a path's accumulated statistics so it must
+// re-qualify (ThreshCalls fresh observations, spread back under
+// ThreshVariance) before being served again — the shadow auditor's
+// continuous re-characterization hook for entries that drift. The
+// served-reaction count is preserved; the error budget must keep
+// weighting the entry by everything it already served. Unknown keys are
+// a no-op.
+func (c *Cache) Invalidate(k Key) {
+	e, _ := c.find(k, keyHash(k))
+	if e == nil {
+		return
+	}
+	*e = Entry{Hits: e.Hits}
+	c.invalidations++
 }
 
 // Update folds a fresh simulator observation into the path's entry.
@@ -194,15 +218,18 @@ func (c *Cache) Entry(k Key) *Entry {
 
 // Stats returns cache effectiveness counters.
 func (c *Cache) Stats() Stats {
-	return Stats{Lookups: c.lookups, Hits: c.hits, Entries: len(c.recs)}
+	return Stats{Lookups: c.lookups, Hits: c.hits, Entries: len(c.recs), Invalidations: c.invalidations}
 }
 
 // PathReport is one row of the per-path summary.
 type PathReport struct {
 	Key    Key
 	Calls  uint64
+	Hits   uint64 // reactions served from the cached means
 	Mean   units.Energy
 	StdDev units.Energy
+	Min    units.Energy
+	Max    units.Energy
 	Cached bool
 }
 
@@ -215,8 +242,11 @@ func (c *Cache) Report() []PathReport {
 		rows = append(rows, PathReport{
 			Key:    r.key,
 			Calls:  r.ent.Energy.N(),
+			Hits:   r.ent.Hits,
 			Mean:   units.Energy(r.ent.Energy.Mean()),
 			StdDev: units.Energy(r.ent.Energy.StdDev()),
+			Min:    units.Energy(r.ent.Energy.Min()),
+			Max:    units.Energy(r.ent.Energy.Max()),
 			Cached: r.ent.Ready(c.params),
 		})
 	}

@@ -135,3 +135,79 @@ func TestZeroThresholdVarianceExactOnly(t *testing.T) {
 		t.Fatal("any spread must miss at zero threshold")
 	}
 }
+
+func TestInvalidateResetsButKeepsHits(t *testing.T) {
+	c := New(Params{ThreshCalls: 2})
+	k := Key{Machine: 1, Path: 5}
+	c.Update(k, 100*units.Nanojoule, 10)
+	c.Update(k, 100*units.Nanojoule, 10)
+	for i := 0; i < 3; i++ {
+		if _, _, ok := c.Lookup(k); !ok {
+			t.Fatal("expected hit before invalidation")
+		}
+	}
+
+	c.Invalidate(k)
+	if _, _, ok := c.Lookup(k); ok {
+		t.Fatal("hit served from invalidated entry")
+	}
+	if st := c.Stats(); st.Invalidations != 1 {
+		t.Fatalf("invalidations = %d, want 1", st.Invalidations)
+	}
+
+	// The hit exposure survives the reset — the entry served 3 estimates
+	// and the error budget must keep accounting for them.
+	c.Update(k, 200*units.Nanojoule, 20)
+	c.Update(k, 200*units.Nanojoule, 20)
+	rows := c.Report()
+	var found bool
+	for _, r := range rows {
+		if r.Key == k {
+			found = true
+			if r.Hits != 3 {
+				t.Fatalf("hits after invalidate = %d, want 3", r.Hits)
+			}
+			if r.Mean != 200*units.Nanojoule {
+				t.Fatalf("re-characterized mean = %v, want 200nJ", r.Mean)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("re-characterized entry missing from report")
+	}
+
+	// Fresh observations re-qualify the entry.
+	if e, _, ok := c.Lookup(k); !ok || e != 200*units.Nanojoule {
+		t.Fatalf("re-characterized lookup = %v, %v", e, ok)
+	}
+}
+
+func TestInvalidateUnknownKeyIsNoOp(t *testing.T) {
+	c := New(DefaultParams())
+	c.Invalidate(Key{Machine: 9, Path: 9})
+	if st := c.Stats(); st.Invalidations != 0 {
+		t.Fatalf("invalidating an absent key counted: %d", st.Invalidations)
+	}
+}
+
+func TestReportCarriesHitsAndSpread(t *testing.T) {
+	c := New(Params{ThreshVariance: 0.2, ThreshCalls: 2})
+	k := Key{Path: 3}
+	c.Update(k, 90*units.Nanojoule, 10)
+	c.Update(k, 110*units.Nanojoule, 10)
+	c.Lookup(k)
+	c.Lookup(k)
+	for _, r := range c.Report() {
+		if r.Key != k {
+			continue
+		}
+		if r.Hits != 2 {
+			t.Fatalf("hits = %d, want 2", r.Hits)
+		}
+		if r.Min != 90*units.Nanojoule || r.Max != 110*units.Nanojoule {
+			t.Fatalf("spread = [%v, %v], want [90nJ, 110nJ]", r.Min, r.Max)
+		}
+		return
+	}
+	t.Fatal("entry missing from report")
+}

@@ -26,6 +26,14 @@ type PointMetrics struct {
 	// dispatched item), 1 when compaction was off for this point.
 	CompactionRatio float64
 
+	ShadowAudits  uint64 // shadow-audited serves (0 when auditing was off)
+	ShadowFlagged uint64 // audited serves past the divergence threshold
+
+	// ErrorBoundJ / ErrorCI95J are the point's worst-case and 95%-CI
+	// error-budget bounds in joules, 0 when no acceleration was active.
+	ErrorBoundJ float64
+	ErrorCI95J  float64
+
 	// Err is the point's failure, nil on success. A failed point carries no
 	// estimator metrics.
 	Err error
@@ -64,5 +72,13 @@ func (m *PointMetrics) fill(rep *core.Report) {
 	m.CompactionRatio = 1
 	if rep.BusCompaction != nil {
 		m.CompactionRatio = rep.BusCompaction.Stats.CompressionRatio()
+	}
+	if rep.Audit != nil {
+		m.ShadowAudits = rep.Audit.Audits
+		m.ShadowFlagged = rep.Audit.Flagged
+	}
+	if rep.Budget != nil {
+		m.ErrorBoundJ = float64(rep.Budget.Bound)
+		m.ErrorCI95J = float64(rep.Budget.CI95)
 	}
 }

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"time"
 
@@ -59,6 +60,17 @@ type SweepSummary struct {
 
 	ECacheLookups uint64
 	ECacheHits    uint64
+
+	ShadowAudits  uint64 // shadow-audited serves across the sweep
+	ShadowFlagged uint64 // audited serves past the divergence threshold
+
+	// ErrorBoundJ is the summed worst-case error bound (joules) across the
+	// sweep's points — bounds add linearly.
+	ErrorBoundJ float64
+
+	// errCI95Sq accumulates the squared per-point 95%-CI half-widths;
+	// independent point errors combine in quadrature (ErrorCI95J).
+	errCI95Sq float64
 }
 
 // Observe folds one finished point into the summary and into the
@@ -89,6 +101,16 @@ func (s *SweepSummary) Observe(m PointMetrics) {
 	s.GateEvals += m.GateEvals
 	s.ECacheLookups += m.ECacheLookups
 	s.ECacheHits += m.ECacheHits
+	s.ShadowAudits += m.ShadowAudits
+	s.ShadowFlagged += m.ShadowFlagged
+	s.ErrorBoundJ += m.ErrorBoundJ
+	s.errCI95Sq += m.ErrorCI95J * m.ErrorCI95J
+}
+
+// ErrorCI95J returns the sweep-level 95%-CI error half-width in joules:
+// per-point CIs combined in quadrature (points are independent runs).
+func (s *SweepSummary) ErrorCI95J() float64 {
+	return math.Sqrt(s.errCI95Sq)
 }
 
 // ECacheHitRate returns the aggregate hit rate, 0 when no point consulted
@@ -124,6 +146,10 @@ func (s *SweepSummary) String() string {
 			s.ECacheHitRate()*100, s.ECacheHits, s.ECacheLookups)
 	} else {
 		fmt.Fprintf(&b, "  ecache: off\n")
+	}
+	if s.ErrorBoundJ > 0 || s.ShadowAudits > 0 {
+		fmt.Fprintf(&b, "  quality: bound %.3g J, CI95 %.3g J, %d shadow audits (%d flagged)\n",
+			s.ErrorBoundJ, s.ErrorCI95J(), s.ShadowAudits, s.ShadowFlagged)
 	}
 	b.WriteString("  wall histogram:")
 	for i, n := range s.WallHist {

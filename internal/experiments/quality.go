@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/attrib"
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/systems"
+)
+
+// QualityResult is the estimation-quality artifact: one accelerated TCP/IP
+// co-estimation run with the attribution ledger, the per-technique error
+// budget and the shadow-sampling auditor all enabled — the live counterpart
+// of the accuracy columns in the paper's Tables 1–3.
+type QualityResult struct {
+	Report      *core.Report
+	Attribution *attrib.Summary
+	Budget      *audit.ErrorBudget
+	Audit       *audit.Report
+}
+
+// ReconciliationErrPct is the relative difference between the attribution
+// ledger's total and the report total, in percent — the ledger's books must
+// balance against the estimate.
+func (r *QualityResult) ReconciliationErrPct() float64 {
+	if r.Report.Total == 0 {
+		return 0
+	}
+	d := float64(r.Attribution.Total-r.Report.Total) / float64(r.Report.Total) * 100
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// Quality runs the estimation-quality observability experiment: an
+// energy-cached TCP/IP co-estimation with attribution and shadow auditing at
+// the given rate, rendering the ledger, the error budget and the audit
+// record.
+func Quality(w io.Writer, p Params, shadowRate float64) (*QualityResult, error) {
+	sys, cfg := systems.TCPIP(p.tcpip())
+	ECacheOn(&cfg)
+	cfg.Attribution = true
+	if shadowRate > 0 {
+		cfg.ShadowAudit = audit.DefaultParams(shadowRate)
+	}
+	cs, err := core.New(sys, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := cs.Run()
+	if err != nil {
+		return nil, err
+	}
+	res := &QualityResult{
+		Report:      rep,
+		Attribution: rep.Attribution,
+		Budget:      rep.Budget,
+		Audit:       rep.Audit,
+	}
+
+	fmt.Fprintf(w, "estimation quality (tcpip, %d packets, ecache, shadow rate %.0f%%):\n\n",
+		p.Packets, shadowRate*100)
+	res.Attribution.Render(w)
+	fmt.Fprintf(w, "\nledger reconciliation: %.4f%% off the run total (%v)\n\n",
+		res.ReconciliationErrPct(), rep.Total)
+	if res.Budget != nil {
+		res.Budget.Render(w)
+		fmt.Fprintln(w)
+	}
+	if res.Audit != nil {
+		res.Audit.Render(w)
+	}
+	return res, nil
+}

@@ -92,10 +92,27 @@ func Scatter(w io.Writer, xs, ys []float64, labels []string, width, height int) 
 		fmt.Fprintln(w, "  (no data)")
 		return
 	}
-	lo, hi := xs[0], xs[0]
+	if width < 2 {
+		width = 2
+	}
+	if height < 2 {
+		height = 2
+	}
+	// Bounds come from the finite points only; non-finite coordinates would
+	// poison the scale (NaN propagates through Min/Max) and are skipped.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	finite := 0
 	for i := range xs {
+		if !finiteXY(xs[i], ys[i]) {
+			continue
+		}
+		finite++
 		lo = math.Min(lo, math.Min(xs[i], ys[i]))
 		hi = math.Max(hi, math.Max(xs[i], ys[i]))
+	}
+	if finite == 0 {
+		fmt.Fprintln(w, "  (no data)")
+		return
 	}
 	if hi == lo {
 		hi = lo + 1
@@ -120,6 +137,9 @@ func Scatter(w io.Writer, xs, ys []float64, labels []string, width, height int) 
 		put(v, v, '.')
 	}
 	for i := range xs {
+		if !finiteXY(xs[i], ys[i]) {
+			continue
+		}
 		r, c := put(xs[i], ys[i], '*')
 		if labels != nil && i < len(labels) {
 			lbl := labels[i]
@@ -137,14 +157,23 @@ func Scatter(w io.Writer, xs, ys []float64, labels []string, width, height int) 
 	fmt.Fprintln(w, "  +"+strings.Repeat("-", width))
 }
 
+func finiteXY(x, y float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0) && !math.IsNaN(y) && !math.IsInf(y, 0)
+}
+
 // Grid renders a value grid (rows × cols) with row/col labels — the textual
-// form of the Fig 7 energy surface.
+// form of the Fig 7 energy surface. Missing cells (a values matrix smaller
+// than the label axes) render blank rather than panicking.
 func Grid(w io.Writer, rowLabels, colLabels []string, vals [][]float64, unit string) {
 	t := NewTable(append([]string{""}, colLabels...)...)
 	for i, rl := range rowLabels {
 		cells := make([]any, 0, len(colLabels)+1)
 		cells = append(cells, rl)
 		for j := range colLabels {
+			if i >= len(vals) || j >= len(vals[i]) {
+				cells = append(cells, "")
+				continue
+			}
 			cells = append(cells, trimFloat(vals[i][j]))
 		}
 		t.Row(cells...)

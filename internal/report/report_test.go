@@ -2,6 +2,7 @@ package report
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 )
@@ -72,6 +73,61 @@ func TestScatterDegenerate(t *testing.T) {
 	}
 }
 
+func TestScatterSinglePoint(t *testing.T) {
+	var buf bytes.Buffer
+	Scatter(&buf, []float64{7}, []float64{7}, []string{"only"}, 20, 5)
+	out := buf.String()
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestScatterNaN(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+
+	// All-NaN input: no finite points, must degrade to "no data".
+	var buf bytes.Buffer
+	Scatter(&buf, []float64{nan, nan}, []float64{nan, 1}, nil, 20, 5)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Fatalf("all-NaN scatter should say no data:\n%s", buf.String())
+	}
+
+	// Mixed input: the finite points still plot, the NaN/Inf ones are
+	// skipped, and the scale stays finite.
+	buf.Reset()
+	Scatter(&buf, []float64{1, nan, 3, 4}, []float64{1, 2, inf, 4.5}, nil, 20, 5)
+	out := buf.String()
+	if !strings.Contains(out, "*") {
+		t.Fatalf("finite points not plotted:\n%s", out)
+	}
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Fatalf("non-finite scale leaked into output:\n%s", out)
+	}
+}
+
+func TestScatterTinyDims(t *testing.T) {
+	// width/height below the 2-cell minimum must not divide by zero.
+	var buf bytes.Buffer
+	Scatter(&buf, []float64{1, 2}, []float64{1, 2}, nil, 0, 0)
+	if !strings.Contains(buf.String(), "*") {
+		t.Fatalf("clamped scatter must still plot:\n%s", buf.String())
+	}
+	buf.Reset()
+	Scatter(&buf, []float64{1, 2}, []float64{1, 2}, nil, 1, -3)
+	if !strings.Contains(buf.String(), "*") {
+		t.Fatalf("clamped scatter must still plot:\n%s", buf.String())
+	}
+}
+
+func TestScatterMismatchedLengths(t *testing.T) {
+	var buf bytes.Buffer
+	Scatter(&buf, []float64{1, 2}, []float64{1}, nil, 20, 5)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Fatal("mismatched xs/ys must degrade to no data")
+	}
+}
+
 func TestGrid(t *testing.T) {
 	var buf bytes.Buffer
 	Grid(&buf, []string{"r1", "r2"}, []string{"c1", "c2"},
@@ -81,5 +137,20 @@ func TestGrid(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("grid missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestGridEmptyAndRagged(t *testing.T) {
+	// Empty everything: must not panic (output is just the blank header).
+	var buf bytes.Buffer
+	Grid(&buf, nil, nil, nil, "")
+
+	// Labels wider than the values matrix: missing cells render blank.
+	buf.Reset()
+	Grid(&buf, []string{"r1", "r2"}, []string{"c1", "c2"},
+		[][]float64{{1}}, "uJ")
+	out := buf.String()
+	if !strings.Contains(out, "r2") || !strings.Contains(out, "1") {
+		t.Fatalf("ragged grid lost data:\n%s", out)
 	}
 }

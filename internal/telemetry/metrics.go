@@ -96,6 +96,40 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 // Sum returns the sum of all observed samples.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
+// Quantile estimates the q-th quantile (0 <= q <= 1) of the observed
+// samples by linear interpolation within the bucket holding the target
+// rank, assuming uniform spread inside each bucket — the standard
+// Prometheus histogram_quantile estimate. The first bucket interpolates
+// from zero; samples landing in the +Inf overflow bucket clamp to the
+// highest finite bound. It returns NaN when no samples were observed.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 || len(h.bounds) == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	lower := 0.0
+	for i, upper := range h.bounds {
+		c := float64(h.counts[i].Load())
+		if c > 0 && cum+c >= rank {
+			frac := (rank - cum) / c
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + (upper-lower)*frac
+		}
+		cum += c
+		lower = upper
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Buckets returns the upper bounds and the per-bucket (non-cumulative)
 // counts; the final count is the +Inf overflow bucket.
 func (h *Histogram) Buckets() (bounds []float64, counts []uint64) {

@@ -1,12 +1,16 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
+	"math"
+	"net/http"
 	"net/http/httptest"
 	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestCounterGaugeAtomics(t *testing.T) {
@@ -158,6 +162,92 @@ func TestServeDebugBindsAndShutsDown(t *testing.T) {
 	}
 	if err := shutdown(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestServeDebugContextCancelShutsDown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	addr, shutdown, err := ServeDebugContext(ctx, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	url := "http://" + addr.String() + "/metrics"
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	cancel()
+	// The AfterFunc shutdown races the poll below; the server must stop
+	// accepting within the deadline.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(url)
+		if err != nil {
+			break // connection refused: server is down
+		}
+		resp.Body.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("server still serving after context cancellation")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Shutting down an already-stopped server is a no-op, not an error.
+	if err := shutdown(); err != nil && err != http.ErrServerClosed {
+		t.Fatalf("shutdown after cancel: %v", err)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+
+	if q := h.Quantile(0.5); !math.IsNaN(q) {
+		t.Fatalf("quantile of empty histogram = %v, want NaN", q)
+	}
+
+	// 100 observations uniform in (0,1]: every one lands in the first
+	// bucket, so quantiles interpolate linearly across [0,1].
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	if q := h.Quantile(0.5); math.Abs(q-0.5) > 0.02 {
+		t.Fatalf("p50 = %v, want ~0.5", q)
+	}
+	if q := h.Quantile(0.99); math.Abs(q-0.99) > 0.02 {
+		t.Fatalf("p99 = %v, want ~0.99", q)
+	}
+
+	// Clamping.
+	if q := h.Quantile(-1); q < 0 || q > 0.05 {
+		t.Fatalf("q<0 should clamp to the minimum, got %v", q)
+	}
+	if q := h.Quantile(2); math.Abs(q-1) > 0.02 {
+		t.Fatalf("q>1 should clamp to the maximum, got %v", q)
+	}
+
+	// Add mass to an upper bucket and check the quantile crosses buckets.
+	h2 := NewHistogram([]float64{1, 2, 4})
+	for i := 0; i < 50; i++ {
+		h2.Observe(0.5) // bucket [0,1]
+		h2.Observe(3)   // bucket (2,4]
+	}
+	if q := h2.Quantile(0.25); q > 1 {
+		t.Fatalf("p25 = %v, want within first bucket", q)
+	}
+	q := h2.Quantile(0.75)
+	if q <= 2 || q > 4 {
+		t.Fatalf("p75 = %v, want within (2,4]", q)
+	}
+
+	// Overflow: observations beyond the last bound report that bound.
+	h3 := NewHistogram([]float64{1})
+	h3.Observe(100)
+	if q := h3.Quantile(0.99); q != 1 {
+		t.Fatalf("overflow quantile = %v, want last bound", q)
 	}
 }
 

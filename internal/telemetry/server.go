@@ -1,11 +1,13 @@
 package telemetry
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // DebugHandler returns the debug endpoint mux:
@@ -38,16 +40,49 @@ func DebugHandler() http.Handler {
 	return mux
 }
 
+// shutdownGrace bounds how long a debug-server shutdown waits for in-flight
+// requests (a slow pprof trace download, say) before force-closing.
+const shutdownGrace = 2 * time.Second
+
 // ServeDebug binds addr (e.g. "localhost:6060") and serves DebugHandler on
 // it in a background goroutine, for profiling and monitoring long sweeps.
 // It returns the bound address (useful with a ":0" port) and a shutdown
-// function.
+// function that drains in-flight requests for a short grace period before
+// force-closing. The server carries read-header and idle timeouts so a
+// stalled or half-open client cannot pin a connection (and with it the
+// process) forever.
 func ServeDebug(addr string) (net.Addr, func() error, error) {
+	return ServeDebugContext(context.Background(), addr)
+}
+
+// ServeDebugContext is ServeDebug bound to a context: when ctx is
+// cancelled the server shuts down on its own, so CLI main loops that
+// already carry a signal context get debug-endpoint teardown for free.
+// The returned shutdown function remains valid (and idempotent with the
+// context path) for callers that want to tear down earlier.
+func ServeDebugContext(ctx context.Context, addr string) (net.Addr, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, err
 	}
-	srv := &http.Server{Handler: DebugHandler()}
+	srv := &http.Server{
+		Handler:           DebugHandler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
 	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr(), srv.Close, nil
+	shutdown := func() error {
+		sctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			// Grace period elapsed with requests still in flight; drop them.
+			return srv.Close()
+		}
+		return nil
+	}
+	stop := context.AfterFunc(ctx, func() { _ = shutdown() })
+	return ln.Addr(), func() error {
+		stop()
+		return shutdown()
+	}, nil
 }

@@ -52,6 +52,15 @@ const (
 	// KindDeadlineWarning: the run hit MaxSimTime with events still
 	// scheduled (a truncation, not a natural finish).
 	KindDeadlineWarning
+	// KindEnergyAttributed: energy was accrued to a component — the
+	// attribution record behind the energy ledger. One event per accrual
+	// site: reaction compute energy (with the costing technique in Name),
+	// CPU bus-stall wait energy, I-cache energy, RTOS overhead.
+	KindEnergyAttributed
+	// KindShadowAudit: a reaction served from the energy cache or the
+	// macro-model table was also run through the reference estimator (ISS
+	// or gate-level) and the divergence recorded.
+	KindShadowAudit
 )
 
 var kindNames = [...]string{
@@ -64,6 +73,8 @@ var kindNames = [...]string{
 	KindBusTransaction:     "bus-txn",
 	KindCompactionDispatch: "compaction",
 	KindDeadlineWarning:    "deadline",
+	KindEnergyAttributed:   "energy",
+	KindShadowAudit:        "shadow",
 }
 
 func (k Kind) String() string {
@@ -90,6 +101,13 @@ func (k Kind) String() string {
 //	CompactionDispatch  Component ("bus"), Words (selected), Value (window
 //	                    total), Energy (scaled window energy)
 //	DeadlineWarning     Component ("master"), Value (live pending events)
+//	EnergyAttributed    Component (machine name, "icache", "rtos"), Machine
+//	                    (-1 for shared components), Name (source: "iss",
+//	                    "gate", "ecache", "macro", "sampling", "wait",
+//	                    "icache", "rtos"), Path, Energy
+//	ShadowAudit         Component (machine), Machine, Name (technique),
+//	                    Path, Cycles (reference), Energy (reference),
+//	                    Served (estimate under audit)
 type Event struct {
 	Time units.Time // simulated timestamp
 	Kind Kind
@@ -108,6 +126,8 @@ type Event struct {
 	Addr  uint32 // bus word-block start address (bytes)
 	Words int    // bus words transferred / compaction selected count
 	Write bool   // bus transfer direction
+
+	Served units.Energy // shadow audit: the accelerated estimate under audit
 }
 
 // String renders the event as one human-readable trace line (the format
@@ -137,6 +157,10 @@ func (ev Event) String() string {
 		return prefix + fmt.Sprintf("comp  window %d -> %d dispatched, %v", ev.Value, ev.Words, ev.Energy)
 	case KindDeadlineWarning:
 		return prefix + fmt.Sprintf("DEADLINE: truncated with %d events still scheduled", ev.Value)
+	case KindEnergyAttributed:
+		return prefix + fmt.Sprintf("attr  %s <- %v (%s)", ev.Component, ev.Energy, ev.Name)
+	case KindShadowAudit:
+		return prefix + fmt.Sprintf("shdw  %s path %x (%s): served %v, ref %v over %d cycles", ev.Component, ev.Path, ev.Name, ev.Served, ev.Energy, ev.Cycles)
 	}
 	return prefix + ev.Kind.String()
 }

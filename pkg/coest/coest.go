@@ -29,6 +29,8 @@ import (
 	"context"
 	"time"
 
+	"repro/internal/attrib"
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/engine"
 )
@@ -75,6 +77,16 @@ type (
 	// RunConfig is the full internal run configuration, reachable through
 	// the WithConfig escape hatch when no dedicated option exists.
 	RunConfig = core.Config
+
+	// AttributionSummary is the energy attribution ledger's rollup
+	// (Report.Attribution, via WithAttribution).
+	AttributionSummary = attrib.Summary
+	// AuditReport is the shadow-sampling auditor's divergence record
+	// (Report.Audit, via WithShadowAudit).
+	AuditReport = audit.Report
+	// ErrorBudget bounds the error the enabled accelerations may have
+	// introduced into the run total (Report.Budget).
+	ErrorBudget = audit.ErrorBudget
 )
 
 // Partition mappings for ProcessConfig.
@@ -127,6 +139,14 @@ func pointMetrics(i, total int, rep *Report, wall time.Duration, err error) Poin
 		m.ECacheHits = rep.SWECache.Hits + rep.HWECache.Hits
 		if rep.BusCompaction != nil {
 			m.CompactionRatio = rep.BusCompaction.Stats.CompressionRatio()
+		}
+		if rep.Audit != nil {
+			m.ShadowAudits = rep.Audit.Audits
+			m.ShadowFlagged = rep.Audit.Flagged
+		}
+		if rep.Budget != nil {
+			m.ErrorBoundJ = float64(rep.Budget.Bound)
+			m.ErrorCI95J = float64(rep.Budget.CI95)
 		}
 	}
 	return m

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/ecache"
 	"repro/internal/engine"
@@ -20,6 +21,9 @@ type (
 	SamplingParams = core.SamplingParams
 	// MacroTable is a characterized software power macro-model (§4.1).
 	MacroTable = macromodel.Table
+	// ShadowAuditParams tunes the shadow-sampling auditor (rate, divergence
+	// threshold, auto-invalidation).
+	ShadowAuditParams = audit.Params
 )
 
 // settings is the resolved option set for one Estimate or Sweep call.
@@ -268,6 +272,36 @@ func WithWorkers(n int) Option {
 // long.
 func WithProgress(fn func(PointMetrics)) Option {
 	return func(st *settings) { st.onPoint = fn }
+}
+
+// WithAttribution enables the hierarchical energy attribution ledger: every
+// energy accrual of the run is booked per process, execution path, bus
+// master and component, and the rollup is attached to the report as
+// Report.Attribution. The ledger consumes the same accrual events that feed
+// Report.Total, so its component totals reconcile with the run total.
+func WithAttribution() Option {
+	return func(st *settings) {
+		st.config(func(c *core.Config) { c.Attribution = true })
+	}
+}
+
+// WithShadowAudit enables the shadow-sampling auditor at the given rate
+// (0 < rate <= 1): that fraction of reactions served from the energy cache
+// or the macro-model table is also run through the reference ISS/gate
+// estimator, and the divergence is recorded per technique in Report.Audit.
+// Audited entries drifting past the default threshold are flagged;
+// reference observations are folded back into the cache (continuous
+// re-characterization). Use WithShadowAuditParams for threshold and
+// auto-invalidation control.
+func WithShadowAudit(rate float64) Option {
+	return WithShadowAuditParams(audit.DefaultParams(rate))
+}
+
+// WithShadowAuditParams enables shadow auditing with explicit parameters.
+func WithShadowAuditParams(p ShadowAuditParams) Option {
+	return func(st *settings) {
+		st.config(func(c *core.Config) { c.ShadowAudit = p })
+	}
 }
 
 // WithConfig is the escape hatch to the full internal run configuration,
