@@ -8,14 +8,20 @@
 //	coest -system tcpip -ecache -cachereport
 //	coest -system prodcons -mode separate
 //	coest -system automotive -waveform
+//	coest -serve http://localhost:8350 -system tcpip -packets 6 -dma 16
+//
+// With -serve the estimation is delegated to a running coestd daemon (see
+// cmd/coestd), whose warm sessions skip recompilation on repeat requests.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
@@ -23,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/gate"
+	"repro/internal/serve"
 	"repro/internal/telemetry"
 	"repro/internal/units"
 	"repro/internal/vcd"
@@ -57,8 +64,18 @@ func main() {
 		paramFile = flag.String("params", "", "macro-model parameter file (skips characterization; implies -macromodel)")
 		attribRep = flag.Bool("attrib", false, "print the hierarchical energy attribution ledger")
 		shadow    = flag.Float64("shadow-rate", 0, "shadow-audit this fraction of accelerated serves on the reference estimator (0..1)")
+		serveURL  = flag.String("serve", "", "delegate the estimation to a coestd daemon at this base URL (e.g. http://localhost:8350)")
+		deadline  = flag.Duration("deadline", 0, "with -serve: per-request wall-clock deadline (0 = server default)")
 	)
 	flag.Parse()
+
+	if *serveURL != "" {
+		if err := runRemote(*serveURL, *file, *system, *packets, *dma,
+			*useCache, *useMacro, *useSamp, *deadline, *asJSON); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	sys, opts, err := assemble(*file, *system, *packets, *dma, *perm)
 	if err != nil {
@@ -408,6 +425,69 @@ func writeJSON(w io.Writer, rep *coest.Report) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// runRemote sends the estimation to a coestd daemon instead of running it in
+// process. Only the knobs in the service's wire API travel; flags outside it
+// (modes, waveforms, traces) stay local-only.
+func runRemote(base, file, system string, packets, dma int, ecache, macro, sampling bool, deadline time.Duration, asJSON bool) error {
+	if file != "" {
+		return fmt.Errorf("-serve estimates named case-study systems only (got -file)")
+	}
+	req := serve.Request{
+		System:     system,
+		Packets:    packets,
+		DeadlineMS: int(deadline / time.Millisecond),
+		Points: []serve.PointSpec{{
+			DMASize:  dma,
+			ECache:   ecache,
+			Macro:    macro,
+			Sampling: sampling,
+		}},
+	}
+	body, err := json.Marshal(&req)
+	if err != nil {
+		return err
+	}
+	httpResp, err := http.Post(strings.TrimSuffix(base, "/")+"/estimate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 4096))
+		if httpResp.StatusCode == http.StatusTooManyRequests {
+			return fmt.Errorf("server busy (retry after %ss): %s",
+				httpResp.Header.Get("Retry-After"), strings.TrimSpace(string(msg)))
+		}
+		return fmt.Errorf("server: %s: %s", httpResp.Status, strings.TrimSpace(string(msg)))
+	}
+	var resp serve.Response
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return err
+	}
+	if len(resp.Points) != 1 {
+		return fmt.Errorf("server returned %d points, want 1", len(resp.Points))
+	}
+	pt := resp.Points[0]
+	if pt.Error != "" {
+		return fmt.Errorf("server: %s", pt.Error)
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(&resp)
+	}
+	warmth := "cold session (compiled for this request)"
+	if resp.Warm {
+		warmth = "warm session (no recompilation)"
+	}
+	fmt.Printf("system %s via %s: %s\n", resp.System, base, warmth)
+	fmt.Printf("  simulated %v\n", units.Time(pt.SimulatedNS))
+	fmt.Printf("  TOTAL %v (sw %v, hw %v)\n",
+		units.Energy(pt.TotalJ), units.Energy(pt.SWJ), units.Energy(pt.HWJ))
+	fmt.Printf("  iss calls %d, iss instructions %d\n", pt.ISSCalls, pt.ISSInsts)
+	return nil
 }
 
 func fatal(err error) {

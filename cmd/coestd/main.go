@@ -1,0 +1,100 @@
+// Command coestd is the long-running power co-estimation daemon: an
+// HTTP/JSON service over warm pkg/coest sessions (internal/serve). Each
+// design is compiled once — software image, gate netlists, shared macro
+// tables — and repeat requests ride the warm session and its persistent
+// energy caches instead of recompiling.
+//
+//	coestd -addr localhost:8350 -debug-addr localhost:6060
+//
+// Endpoints:
+//
+//	POST /estimate  — estimate one design at one or more configuration
+//	                  points (coalesced into a single batched sweep)
+//	GET  /healthz   — liveness; 503 while draining
+//
+// The -debug-addr server exposes /metrics (request counters, queue depth,
+// latency histograms, estimator work counters) and /debug/pprof/.
+//
+// On SIGINT/SIGTERM the daemon stops admitting work (503), finishes queued
+// and in-flight requests within -drain-timeout, then exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "localhost:8350", "listen address for the estimation API")
+		debugAddr    = flag.String("debug-addr", "", "serve /metrics and /debug/pprof/ on this address (empty = off)")
+		workers      = flag.Int("workers", 2, "requests estimated concurrently")
+		queue        = flag.Int("queue", 8, "requests queued beyond the in-flight ones before 429")
+		pointWorkers = flag.Int("point-workers", 4, "per-request batch parallelism (grid points at once)")
+		deadline     = flag.Duration("deadline", 30*time.Second, "default per-request wall-clock deadline")
+		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+		drainTimeout = flag.Duration("drain-timeout", time.Minute, "how long to wait for in-flight requests on shutdown")
+	)
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		Workers:         *workers,
+		Queue:           *queue,
+		PointWorkers:    *pointWorkers,
+		DefaultDeadline: *deadline,
+		RetryAfter:      *retryAfter,
+	})
+
+	if *debugAddr != "" {
+		dbg, shutdown, err := telemetry.ServeDebug(*debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "coestd: debug endpoint on http://%s/ (/metrics, /debug/pprof/)\n", dbg)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "coestd: serving on http://%s/ (POST /estimate)\n", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second signal kills immediately
+
+	fmt.Fprintln(os.Stderr, "coestd: draining (new requests get 503)...")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "coestd:", err)
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := httpSrv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "coestd: shutdown:", err)
+	}
+	fmt.Fprintln(os.Stderr, "coestd: drained, bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "coestd:", err)
+	os.Exit(1)
+}

@@ -73,19 +73,17 @@ func main() {
 
 	// 4. Co-estimate: the DE master drives the ISS for the counter and the
 	// gate-level simulator for the synthesized alarm netlist. The typed
-	// event stream goes to a JSONL trace file, and a SweepSummary collects
-	// the run's wall-time and work totals.
+	// event stream goes to a JSONL trace file. (WithTelemetry is run-scope
+	// — it aggregates a multi-point Sweep, not a single Estimate.)
 	tf, err := os.Create("quickstart-trace.jsonl")
 	if err != nil {
 		log.Fatal(err)
 	}
 	bw := bufio.NewWriter(tf)
 	sink := coest.NewJSONLTraceSink(bw)
-	var sum coest.SweepSummary
 	rep, err := coest.Estimate(context.Background(), sys,
 		coest.WithMaxSimTime(600*time.Microsecond),
-		coest.WithTraceSink(sink),
-		coest.WithTelemetry(&sum))
+		coest.WithTraceSink(sink))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -105,7 +103,6 @@ func main() {
 		fmt.Printf("  %v LED=%d\n", e.Time, e.Value)
 	}
 	fmt.Printf("\ntyped event trace written to quickstart-trace.jsonl\n")
-	fmt.Print(sum.String())
 }
 
 func min(a, b int) int {

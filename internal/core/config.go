@@ -238,6 +238,17 @@ type Config struct {
 	// stream).
 	Attribution bool
 
+	// SWECache / HWECache, when non-nil and Accel.ECache is set, are used
+	// as this run's energy caches instead of fresh ones — the persistence
+	// hook of a warm estimation session, which carries one cache pair
+	// across many runs of the same design. A cache shared by overlapping
+	// runs must be marked concurrent first (ecache.Cache.Shared). The
+	// report's SWECache/HWECache stats are per-run deltas, not the
+	// persistent cache's lifetime totals. Both are ignored when
+	// Accel.ECache is unset.
+	SWECache *ecache.Cache
+	HWECache *ecache.Cache
+
 	// ShadowAudit configures the shadow-sampling auditor: at
 	// ShadowAudit.Rate, reactions served from the energy cache or the
 	// macro-model table are also run through the reference ISS/gate

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -29,6 +30,12 @@ var (
 	mRuns        = telemetry.Default.Counter("coest_runs_total", "co-estimation runs started")
 	mReactions   = telemetry.Default.Counter("coest_reactions_total", "CFSM reactions dispatched")
 	mTruncations = telemetry.Default.Counter("coest_deadline_truncations_total", "runs truncated at MaxSimTime with events still scheduled")
+
+	// Compilation-work counters: incremented only when the real synthesizer
+	// runs, never on the artifact-rebind warm path. Warm-session tests
+	// assert zero growth across repeat requests.
+	mSWCompiles  = telemetry.Default.Counter("coest_sw_compiles_total", "software partition compilations (swsyn)")
+	mHWSyntheses = telemetry.Default.Counter("coest_hw_syntheses_total", "hardware module syntheses (hwsyn)")
 )
 
 // ObservedEvent is one event that crossed the system boundary to the
@@ -83,7 +90,12 @@ type CoSim struct {
 
 	swCache *ecache.Cache
 	hwCache *ecache.Cache
-	samples map[ecache.Key]*sampleState
+	// Base snapshots of the cache counters at construction, so a run that
+	// shares a persistent session cache still reports its own activity
+	// (Report.SWECache/HWECache are deltas against these).
+	swCacheBase ecache.Stats
+	hwCacheBase ecache.Stats
+	samples     map[ecache.Key]*sampleState
 
 	wave *Waveform
 
@@ -129,6 +141,19 @@ type CoSim struct {
 // cache, RTOS and estimator stack are instantiated (Fig 2(a), the
 // compilation flow).
 func New(sys *System, cfg Config) (*CoSim, error) {
+	return NewShared(sys, cfg, nil)
+}
+
+// NewShared is New with optional pre-built synthesis artifacts: when art is
+// non-nil the software image and hardware modules are rebound to this run's
+// machines instead of being recompiled — the warm path of an estimation
+// session (compile once, estimate many). sys must be a clone of the system
+// the artifacts were built from (same machines, same order), and
+// cfg.HWWidth must match the artifacts' width.
+func NewShared(sys *System, cfg Config, art *Artifacts) (*CoSim, error) {
+	if art != nil && art.HWWidth != cfg.HWWidth {
+		return nil, fmt.Errorf("core: artifacts built for HW width %d, config wants %d", art.HWWidth, cfg.HWWidth)
+	}
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
@@ -195,9 +220,9 @@ func New(sys *System, cfg Config) (*CoSim, error) {
 		}
 	}
 
-	// Software synthesis + ISS.
+	// Software synthesis + ISS (or a rebind of the session's shared image).
 	if len(swMachines) > 0 {
-		img, err := swsyn.Compile(swMachines)
+		img, err := rebindSW(art, swMachines)
 		if err != nil {
 			return nil, err
 		}
@@ -209,12 +234,14 @@ func New(sys *System, cfg Config) (*CoSim, error) {
 		img.InitMemory(mem)
 	}
 
-	// Hardware synthesis + gate simulators.
+	// Hardware synthesis + gate simulators (modules may come rebound from
+	// the session's artifacts; the gate-level driver is always per-run —
+	// the simulator is stateful).
 	for mi, m := range sys.Net.Machines {
 		if cs.procs[mi].Mapping != HW {
 			continue
 		}
-		mod, err := hwsyn.Synthesize(m, hwsyn.Config{Width: cfg.HWWidth})
+		mod, err := rebindHW(art, m, &cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -263,8 +290,16 @@ func New(sys *System, cfg Config) (*CoSim, error) {
 	cs.sched = rtos.New(cs.kernel, rcfg)
 
 	if cfg.Accel.ECache {
-		cs.swCache = ecache.New(cfg.Accel.ECacheParams)
-		cs.hwCache = ecache.New(cfg.Accel.ECacheParams)
+		// A session may inject persistent caches that outlive this run
+		// (Config.SWECache/HWECache); otherwise the caches start cold.
+		if cs.swCache = cfg.SWECache; cs.swCache == nil {
+			cs.swCache = ecache.New(cfg.Accel.ECacheParams)
+		}
+		if cs.hwCache = cfg.HWECache; cs.hwCache == nil {
+			cs.hwCache = ecache.New(cfg.Accel.ECacheParams)
+		}
+		cs.swCacheBase = cs.swCache.Stats()
+		cs.hwCacheBase = cs.hwCache.Stats()
 	} else if cfg.Accel.Macromodel {
 		// Macro-modeling raises both partitions to pre-characterized cost
 		// tables (§4.1: "the approach in the case of hardware is quite
@@ -469,12 +504,31 @@ func groupMemOps(ops []cfsm.MemAccess) []busGroup {
 
 // Run executes the co-estimation and returns the report.
 func (cs *CoSim) Run() (*Report, error) {
+	return cs.RunContext(context.Background())
+}
+
+// RunContext is Run under a context: cancellation (or a context deadline)
+// aborts the simulation between two discrete events — within one event
+// quantum, not at end of run — and returns an error wrapping the context's
+// cause, so errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) hold as appropriate. The
+// wall-clock context is independent of the simulated-time deadline
+// (Config.MaxSimTime / ErrSimTimeExceeded): a run can fail either way, and
+// the two error families never mix. Background (and any context that can
+// no longer be cancelled) takes the poll-free fast path.
+func (cs *CoSim) RunContext(ctx context.Context) (*Report, error) {
 	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: run not started: %w", context.Cause(ctx))
+	}
 	mRuns.Inc()
 	cs.scheduleStimuli()
-	cs.kernel.RunUntil(cs.cfg.MaxSimTime)
+	interrupted := cs.kernel.RunUntilInterrupted(cs.cfg.MaxSimTime, ctx.Done())
 	if cs.err != nil {
 		return nil, cs.err
+	}
+	if interrupted {
+		return nil, fmt.Errorf("core: run aborted at %v: %w", cs.kernel.Now(), context.Cause(ctx))
 	}
 	if live := cs.kernel.LivePending(); live > 0 {
 		if cs.cfg.StrictDeadline {

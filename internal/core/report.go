@@ -225,10 +225,10 @@ func (cs *CoSim) report(wall time.Duration) *Report {
 	r.RTOSEnergy = units.Energy(r.RTOSStats.OverheadCycles) * cs.cfg.Power.Stall
 	cs.emitAttrib(-1, srcRTOS, 0, r.RTOSEnergy)
 	if cs.swCache != nil {
-		r.SWECache = cs.swCache.Stats()
+		r.SWECache = cs.swCache.Stats().Since(cs.swCacheBase)
 	}
 	if cs.hwCache != nil {
-		r.HWECache = cs.hwCache.Stats()
+		r.HWECache = cs.hwCache.Stats().Since(cs.hwCacheBase)
 	}
 
 	r.Total = r.SWEnergy + r.HWEnergy + r.BusEnergy + r.CacheEnergy + r.RTOSEnergy

@@ -9,6 +9,7 @@ package ecache
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/cfsm"
 	"repro/internal/stats"
@@ -71,6 +72,19 @@ type Stats struct {
 	Invalidations uint64 // entries reset by the shadow auditor
 }
 
+// Since returns the activity accumulated after base was captured — the
+// per-run view of a persistent cache that outlives individual runs.
+// Entries and the hit-rate denominator stay meaningful: counters subtract,
+// the entry count (a size, not a flow) carries over.
+func (s Stats) Since(base Stats) Stats {
+	return Stats{
+		Lookups:       s.Lookups - base.Lookups,
+		Hits:          s.Hits - base.Hits,
+		Entries:       s.Entries,
+		Invalidations: s.Invalidations - base.Invalidations,
+	}
+}
+
 // HitRate returns hits/lookups.
 func (s Stats) HitRate() float64 {
 	if s.Lookups == 0 {
@@ -100,11 +114,41 @@ type Cache struct {
 	lookups       uint64
 	hits          uint64
 	invalidations uint64
+
+	// mu serializes all access when the cache is Shared; nil for the
+	// default single-simulation cache, whose hot path stays lock-free.
+	mu *sync.Mutex
 }
 
 // New returns an empty cache.
 func New(p Params) *Cache {
 	return &Cache{params: p, slots: make([]int32, 64)}
+}
+
+// Shared marks the cache safe for concurrent use by serializing every
+// operation behind a mutex, and returns the cache. A session that persists
+// one energy cache across overlapping estimation runs shares it this way;
+// the default per-run cache skips the lock entirely (a nil-mutex check on
+// the hot path). Call Shared before the cache is visible to more than one
+// goroutine.
+func (c *Cache) Shared() *Cache {
+	if c.mu == nil {
+		c.mu = &sync.Mutex{}
+	}
+	return c
+}
+
+// lock acquires the mutex of a Shared cache; a no-op otherwise.
+func (c *Cache) lock() {
+	if c.mu != nil {
+		c.mu.Lock()
+	}
+}
+
+func (c *Cache) unlock() {
+	if c.mu != nil {
+		c.mu.Unlock()
+	}
 }
 
 // Params returns the configured thresholds.
@@ -165,6 +209,8 @@ func (c *Cache) grow() {
 // and mean cycle count and true; the caller skips the simulator. On a miss
 // the caller must simulate and then call Update.
 func (c *Cache) Lookup(k Key) (units.Energy, uint64, bool) {
+	c.lock()
+	defer c.unlock()
 	c.lookups++
 	mLookups.Inc()
 	e, _ := c.find(k, keyHash(k))
@@ -185,6 +231,8 @@ func (c *Cache) Lookup(k Key) (units.Energy, uint64, bool) {
 // weighting the entry by everything it already served. Unknown keys are
 // a no-op.
 func (c *Cache) Invalidate(k Key) {
+	c.lock()
+	defer c.unlock()
 	e, _ := c.find(k, keyHash(k))
 	if e == nil {
 		return
@@ -195,6 +243,8 @@ func (c *Cache) Invalidate(k Key) {
 
 // Update folds a fresh simulator observation into the path's entry.
 func (c *Cache) Update(k Key, energy units.Energy, cycles uint64) {
+	c.lock()
+	defer c.unlock()
 	h := keyHash(k)
 	e, slot := c.find(k, h)
 	if e == nil {
@@ -210,14 +260,20 @@ func (c *Cache) Update(k Key, energy units.Energy, cycles uint64) {
 }
 
 // Entry exposes a path's record (nil if never observed) for reporting —
-// e.g. the per-path energy spreads behind Fig 4(b).
+// e.g. the per-path energy spreads behind Fig 4(b). On a Shared cache the
+// returned pointer is a live view; read it only while the cache is
+// quiescent.
 func (c *Cache) Entry(k Key) *Entry {
+	c.lock()
+	defer c.unlock()
 	e, _ := c.find(k, keyHash(k))
 	return e
 }
 
 // Stats returns cache effectiveness counters.
 func (c *Cache) Stats() Stats {
+	c.lock()
+	defer c.unlock()
 	return Stats{Lookups: c.lookups, Hits: c.hits, Entries: len(c.recs), Invalidations: c.invalidations}
 }
 
@@ -236,6 +292,8 @@ type PathReport struct {
 // Report returns per-path rows sorted by descending call count — the
 // "snapshot of the energy cache" of Fig 4(c).
 func (c *Cache) Report() []PathReport {
+	c.lock()
+	defer c.unlock()
 	rows := make([]PathReport, 0, len(c.recs))
 	for i := range c.recs {
 		r := &c.recs[i]

@@ -86,8 +86,9 @@ func Values[T any](results []Result[T]) []T {
 // are independent of worker count. If a point fails, the remaining points
 // are cancelled and the lowest-index error observed is returned alongside
 // the points that did complete. If ctx is cancelled mid-sweep, dispatching
-// stops, in-flight points finish, and the completed (partial, index-ordered)
-// results are returned with the context's error.
+// stops, in-flight points are cancelled through their run context, and the
+// completed (partial, index-ordered) results are returned with the
+// context's error.
 func Run[T any](ctx context.Context, n int, opts Options, point func(ctx context.Context, i int) (T, error)) ([]Result[T], error) {
 	if n <= 0 {
 		return nil, ctx.Err()
@@ -175,9 +176,9 @@ func RunReports(ctx context.Context, n int, opts Options, build func(i int) (*co
 	hook := opts.OnPoint
 	inner.OnPoint = nil // fired below with full metrics instead
 	var mu sync.Mutex
-	return Run(ctx, n, inner, func(_ context.Context, i int) (*core.Report, error) {
+	return Run(ctx, n, inner, func(ctx context.Context, i int) (*core.Report, error) {
 		start := time.Now()
-		rep, err := runPoint(i, build)
+		rep, err := runPoint(ctx, i, build)
 		if err != nil {
 			err = fmt.Errorf("point %d: %w", i, err)
 		}
@@ -194,7 +195,7 @@ func RunReports(ctx context.Context, n int, opts Options, build func(i int) (*co
 	})
 }
 
-func runPoint(i int, build func(i int) (*core.System, core.Config, error)) (*core.Report, error) {
+func runPoint(ctx context.Context, i int, build func(i int) (*core.System, core.Config, error)) (*core.Report, error) {
 	sys, cfg, err := build(i)
 	if err != nil {
 		return nil, err
@@ -204,5 +205,8 @@ func runPoint(i int, build func(i int) (*core.System, core.Config, error)) (*cor
 	if err != nil {
 		return nil, err
 	}
-	return cs.Run()
+	// The run context reaches the simulation loop: a cancelled sweep aborts
+	// in-flight points within one event quantum instead of letting them run
+	// to completion.
+	return cs.RunContext(ctx)
 }

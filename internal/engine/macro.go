@@ -5,7 +5,13 @@ import (
 
 	"repro/internal/iss"
 	"repro/internal/macromodel"
+	"repro/internal/telemetry"
 )
+
+// mCharacterizations counts real macro-model characterization runs (cache
+// misses). Warm-session tests assert zero growth across repeat requests.
+var mCharacterizations = telemetry.Default.Counter(
+	"coest_macro_characterizations_total", "macro-model characterization runs (shared-table misses)")
 
 // macroKey identifies one characterization: the full timing model (a
 // comparable value struct) plus the power model's name. Power models are
@@ -36,6 +42,7 @@ func SharedMacroTable(timing *iss.TimingModel, power *iss.PowerModel) (*macromod
 	if tbl, ok := macroTables[key]; ok {
 		return tbl, nil
 	}
+	mCharacterizations.Inc()
 	tbl, err := macromodel.Characterize(timing, power)
 	if err != nil {
 		return nil, err

@@ -223,3 +223,23 @@ func (sy *synth) flattenStmt(s cfsm.Stmt, loopDepth int) {
 		sy.fail("unsupported statement %T", s)
 	}
 }
+
+// Rebind returns a copy of the synthesized module bound to a different
+// machine instance — typically a clone of the machine it was synthesized
+// from (see cfsm.CFSM.Clone). The netlist, micro-program and port maps are
+// shared read-only; only the M pointer (which the driver consults for
+// pending events and latched input values when it begins a transition)
+// changes. m must carry the same specification as the synthesis-time
+// machine.
+//
+// Rebind is what lets one hwsyn.Synthesize serve many concurrent
+// simulations: synthesize once, rebind per run (each run still needs its
+// own Driver — the gate simulator is stateful).
+func (mod *Module) Rebind(m *cfsm.CFSM) (*Module, error) {
+	if m.Name != mod.M.Name || len(m.Transitions) != len(mod.M.Transitions) {
+		return nil, fmt.Errorf("hwsyn: rebind machine is %q, module has %q", m.Name, mod.M.Name)
+	}
+	out := *mod
+	out.M = m
+	return &out, nil
+}

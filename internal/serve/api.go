@@ -1,0 +1,75 @@
+// Package serve is the long-running estimation service behind cmd/coestd: a
+// small HTTP/JSON front over warm pkg/coest sessions. A session compiles a
+// design once (software image, gate netlists, shared macro tables) and keeps
+// persistent energy caches, so repeat requests skip synthesis entirely; the
+// server coalesces each request's grid points into one batched sweep over a
+// bounded worker pool, applies backpressure when the queue fills, enforces
+// per-request deadlines with prompt mid-run cancellation, and drains
+// gracefully on shutdown.
+package serve
+
+// Request asks for the co-estimation of one design under one or more
+// configuration points. Points in a single request are coalesced into one
+// batched sweep on the design's warm session; an empty point list estimates
+// the baseline configuration once.
+type Request struct {
+	// System names the design: "tcpip" (default), "prodcons" or
+	// "automotive".
+	System string `json:"system,omitempty"`
+	// Packets sizes the tcpip stimulus (0 = the case-study default). It is
+	// part of the session key: designs with different packet counts compile
+	// to different stimuli.
+	Packets int `json:"packets,omitempty"`
+	// DeadlineMS bounds the request's wall-clock time in milliseconds
+	// (0 = the server default). On expiry in-flight simulation aborts
+	// mid-run and the request fails with 504.
+	DeadlineMS int `json:"deadline_ms,omitempty"`
+	// Points are the configuration points to estimate.
+	Points []PointSpec `json:"points,omitempty"`
+}
+
+// PointSpec is one configuration point: the sweepable knobs of the public
+// estimator API in wire form. The zero value is the baseline configuration.
+type PointSpec struct {
+	// DMASize sets the DMA transfer size in words (0 = no DMA refinement;
+	// negative values are rejected by the estimator and surface as the
+	// point's error).
+	DMASize int `json:"dma_size,omitempty"`
+	// ECache enables the §4.2 energy/delay cache. Cache state persists in
+	// the session across requests, so repeat points run cache-warm.
+	ECache bool `json:"ecache,omitempty"`
+	// Macro enables §4.1 macro-model estimation (shared characterization
+	// tables; no per-request recharacterization).
+	Macro bool `json:"macro,omitempty"`
+	// Sampling enables §4.3 statistical sampling.
+	Sampling bool `json:"sampling,omitempty"`
+	// MaxSimTimeNS truncates the simulation at this simulated time
+	// (nanoseconds; 0 = the configuration default).
+	MaxSimTimeNS int64 `json:"max_sim_time_ns,omitempty"`
+}
+
+// PointResult is the outcome of one configuration point. Exactly one of
+// Error or the result fields is meaningful.
+type PointResult struct {
+	Index int    `json:"index"`
+	Error string `json:"error,omitempty"`
+
+	// Energies in joules. JSON's shortest-round-trip float encoding keeps
+	// them bit-identical to the estimator's own float64 values.
+	TotalJ float64 `json:"total_j,omitempty"`
+	SWJ    float64 `json:"sw_j,omitempty"`
+	HWJ    float64 `json:"hw_j,omitempty"`
+
+	SimulatedNS int64  `json:"simulated_ns,omitempty"`
+	ISSCalls    uint64 `json:"iss_calls,omitempty"`
+	ISSInsts    uint64 `json:"iss_insts,omitempty"`
+}
+
+// Response is the reply to one Request.
+type Response struct {
+	System string `json:"system"`
+	// Warm reports whether the request hit an existing session: true means
+	// zero recompilation, resynthesis or recharacterization happened.
+	Warm   bool          `json:"warm"`
+	Points []PointResult `json:"points"`
+}

@@ -1,0 +1,370 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/pkg/coest"
+)
+
+// Service-level metrics, on the process-wide registry so cmd/coestd's debug
+// server exports them next to the estimator's own counters.
+var (
+	mRequests = telemetry.Default.Counter("serve_requests_total", "estimation requests accepted")
+	mRejected = telemetry.Default.Counter("serve_rejected_total", "requests rejected with 429 (queue full)")
+	mDrained  = telemetry.Default.Counter("serve_drain_rejects_total", "requests rejected with 503 (draining)")
+	mPoints   = telemetry.Default.Counter("serve_points_total", "configuration points estimated")
+	mWarmHits = telemetry.Default.Counter("serve_warm_hits_total", "requests served by an existing warm session")
+	mSessions = telemetry.Default.Counter("serve_sessions_total", "warm sessions compiled")
+	gQueue    = telemetry.Default.Gauge("serve_queue_depth", "requests queued, excluding in-flight")
+	hLatency  = telemetry.Default.Histogram("serve_request_seconds",
+		"request wall time (accepted requests)", telemetry.ExpBuckets(1e-4, 2, 22))
+)
+
+// Config sizes the server. The zero value is usable; every field has a
+// sensible default.
+type Config struct {
+	// Workers is the number of requests estimated concurrently (default 2).
+	Workers int
+	// Queue is the number of requests that may wait beyond the Workers
+	// in-flight ones before new arrivals are rejected with 429
+	// (default 8; negative = no waiting room at all).
+	Queue int
+	// PointWorkers bounds the per-request batch parallelism — how many of
+	// one request's points run at once (default 4).
+	PointWorkers int
+	// DefaultDeadline is the per-request wall-clock bound applied when the
+	// request does not set one (default 30s).
+	DefaultDeadline time.Duration
+	// RetryAfter is the backoff hint attached to 429 responses
+	// (default 1s).
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.Queue < 0 {
+		c.Queue = 0
+	} else if c.Queue == 0 {
+		c.Queue = 8
+	}
+	if c.PointWorkers <= 0 {
+		c.PointWorkers = 4
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// sessionKey identifies one compiled design: everything that reaches
+// synthesis must be part of the key.
+type sessionKey struct {
+	system  string
+	packets int
+}
+
+type job struct {
+	ctx  context.Context
+	req  *Request
+	done chan jobOutcome
+}
+
+type jobOutcome struct {
+	resp *Response
+	err  error
+}
+
+// Server is the estimation service: an http.Handler serving POST /estimate
+// and GET /healthz. Construct with New, dispose with Drain.
+type Server struct {
+	cfg   Config
+	jobs  chan *job
+	slots chan struct{} // admission tokens: Workers in-flight + Queue waiting
+	quit  chan struct{}
+
+	gate     sync.Mutex // guards draining and admission into inflight
+	draining bool
+	inflight sync.WaitGroup // accepted but unfinished requests
+	stop     sync.Once
+
+	mu       sync.Mutex
+	sessions map[sessionKey]*coest.Session
+}
+
+// accept admits one request into the in-flight set unless the server is
+// draining. Admission and the draining flag share a lock so Drain's
+// inflight.Wait never races an Add from zero.
+func (s *Server) accept() bool {
+	s.gate.Lock()
+	defer s.gate.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+func (s *Server) isDraining() bool {
+	s.gate.Lock()
+	defer s.gate.Unlock()
+	return s.draining
+}
+
+// New starts a server with cfg.Workers estimation workers. The caller must
+// eventually call Drain to stop them.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		jobs:     make(chan *job, cfg.Workers+cfg.Queue),
+		slots:    make(chan struct{}, cfg.Workers+cfg.Queue),
+		quit:     make(chan struct{}),
+		sessions: make(map[sessionKey]*coest.Session),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Server) worker() {
+	for {
+		select {
+		case <-s.quit:
+			return
+		case j := <-s.jobs:
+			gQueue.Add(-1)
+			resp, err := s.estimate(j.ctx, j.req)
+			j.done <- jobOutcome{resp: resp, err: err}
+		}
+	}
+}
+
+// session returns the design's warm session, compiling it on first use, and
+// whether it already existed.
+func (s *Server) session(req *Request) (*coest.Session, bool, error) {
+	key := sessionKey{system: req.System, packets: req.Packets}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sess, ok := s.sessions[key]; ok {
+		return sess, true, nil
+	}
+	sys, err := buildSystem(req)
+	if err != nil {
+		return nil, false, err
+	}
+	sess, err := coest.NewSession(sys)
+	if err != nil {
+		return nil, false, err
+	}
+	mSessions.Inc()
+	s.sessions[key] = sess
+	return sess, false, nil
+}
+
+func buildSystem(req *Request) (*coest.System, error) {
+	switch req.System {
+	case "", "tcpip":
+		p := coest.DefaultTCPIPParams()
+		if req.Packets > 0 {
+			p.Packets = req.Packets
+		}
+		return coest.TCPIP(p), nil
+	default:
+		if req.Packets != 0 {
+			return nil, fmt.Errorf("packets only applies to the tcpip system")
+		}
+		return coest.BySystemName(req.System)
+	}
+}
+
+func pointOptions(p PointSpec) []coest.Option {
+	var opts []coest.Option
+	if p.DMASize != 0 {
+		opts = append(opts, coest.WithDMASize(p.DMASize))
+	}
+	if p.ECache {
+		opts = append(opts, coest.WithEnergyCache())
+	}
+	if p.Macro {
+		opts = append(opts, coest.WithMacroModel())
+	}
+	if p.Sampling {
+		opts = append(opts, coest.WithSampling())
+	}
+	if p.MaxSimTimeNS > 0 {
+		opts = append(opts, coest.WithMaxSimTime(time.Duration(p.MaxSimTimeNS)))
+	}
+	return opts
+}
+
+// estimate runs one request on its design's warm session, coalescing the
+// request's points into a single batched sweep.
+func (s *Server) estimate(ctx context.Context, req *Request) (*Response, error) {
+	sess, warm, err := s.session(req)
+	if err != nil {
+		return nil, err
+	}
+	if warm {
+		mWarmHits.Inc()
+	}
+	specs := req.Points
+	if len(specs) == 0 {
+		specs = []PointSpec{{}}
+	}
+	points := make([][]coest.Option, len(specs))
+	for i, p := range specs {
+		points[i] = pointOptions(p)
+	}
+	results, err := sess.EstimateBatch(ctx, points, coest.WithWorkers(s.cfg.PointWorkers))
+	if err != nil {
+		return nil, err
+	}
+	name := req.System
+	if name == "" {
+		name = "tcpip"
+	}
+	resp := &Response{System: name, Warm: warm, Points: make([]PointResult, 0, len(results))}
+	for _, r := range results {
+		pr := PointResult{Index: r.Index}
+		if r.Err != nil {
+			pr.Error = r.Err.Error()
+		} else {
+			pr.TotalJ = r.Report.Total.Joules()
+			pr.SWJ = r.Report.SWEnergy.Joules()
+			pr.HWJ = r.Report.HWEnergy.Joules()
+			pr.SimulatedNS = int64(r.Report.SimulatedTime)
+			pr.ISSCalls = r.Report.ISSCalls
+			pr.ISSInsts = r.Report.ISSInsts
+		}
+		mPoints.Inc()
+		resp.Points = append(resp.Points, pr)
+	}
+	return resp, nil
+}
+
+// ServeHTTP routes POST /estimate and GET /healthz.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/healthz":
+		if s.isDraining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	case r.URL.Path == "/estimate":
+		s.handleEstimate(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.DeadlineMS < 0 {
+		http.Error(w, "bad request: negative deadline", http.StatusBadRequest)
+		return
+	}
+	if _, err := buildSystem(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	if !s.accept() {
+		mDrained.Inc()
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	defer s.inflight.Done()
+
+	deadline := s.cfg.DefaultDeadline
+	if req.DeadlineMS > 0 {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+
+	// Admission is a token, not a channel handoff, so shedding does not
+	// depend on worker scheduling: Workers+Queue requests may be in the
+	// system, the rest are rejected immediately.
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		// Backpressure: queue and workers are saturated. Shed load now so
+		// the client can retry a less-busy replica instead of piling on.
+		mRejected.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		http.Error(w, "queue full", http.StatusTooManyRequests)
+		return
+	}
+	defer func() { <-s.slots }()
+
+	j := &job{ctx: ctx, req: &req, done: make(chan jobOutcome, 1)}
+	s.jobs <- j // cannot block: the slot guarantees room
+	gQueue.Add(1)
+	mRequests.Inc()
+	start := time.Now()
+	out := <-j.done
+	hLatency.Observe(time.Since(start).Seconds())
+	if out.err != nil {
+		switch {
+		case errors.Is(out.err, context.DeadlineExceeded):
+			http.Error(w, "deadline exceeded", http.StatusGatewayTimeout)
+		case errors.Is(out.err, context.Canceled):
+			// The client went away; the status is a formality.
+			http.Error(w, "canceled", http.StatusServiceUnavailable)
+		default:
+			http.Error(w, out.err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(out.resp); err != nil {
+		// Response already committed; nothing more to do.
+		_ = err
+	}
+}
+
+// Drain stops accepting new requests, waits for queued and in-flight ones
+// to finish (in-flight simulations keep their own deadlines; a caller in a
+// hurry cancels ctx, which only abandons the wait — requests still complete),
+// then stops the workers. It is idempotent.
+func (s *Server) Drain(ctx context.Context) error {
+	s.gate.Lock()
+	s.draining = true
+	s.gate.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain aborted: %w", context.Cause(ctx))
+	}
+	s.stop.Do(func() { close(s.quit) })
+	return nil
+}

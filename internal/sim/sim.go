@@ -259,18 +259,49 @@ func (k *Kernel) Run() {
 // early if the queue drains or Stop is called; in the drained case the clock
 // stays at the last event time.
 func (k *Kernel) RunUntil(deadline units.Time) {
+	k.RunUntilInterrupted(deadline, nil)
+}
+
+// RunUntilInterrupted is RunUntil with an external abort signal: when done
+// becomes readable (or closed) the loop stops between two events — within
+// one event quantum of the signal — and the call reports true. A nil done
+// is the uninterruptible fast path, identical to RunUntil (no per-event
+// channel poll, no allocation). An interrupted kernel is resumable: the
+// clock and the pending queue are exactly as the last completed event left
+// them.
+func (k *Kernel) RunUntilInterrupted(deadline units.Time, done <-chan struct{}) bool {
 	k.stopped = false
+	if done == nil {
+		for !k.stopped {
+			head := k.peek()
+			if head == noSlot {
+				return false
+			}
+			if k.slab[head].at > deadline {
+				k.now = deadline
+				return false
+			}
+			k.Step()
+		}
+		return false
+	}
 	for !k.stopped {
+		select {
+		case <-done:
+			return true
+		default:
+		}
 		head := k.peek()
 		if head == noSlot {
-			return
+			return false
 		}
 		if k.slab[head].at > deadline {
 			k.now = deadline
-			return
+			return false
 		}
 		k.Step()
 	}
+	return false
 }
 
 // peek reaps cancelled heap heads and returns the live minimum slab index,

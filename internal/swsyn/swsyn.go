@@ -265,3 +265,31 @@ func (mc *MachineCode) VarValues(mem *iss.Mem) []cfsm.Value {
 	}
 	return out
 }
+
+// Rebind returns a copy of the compiled image bound to a different set of
+// machine instances — typically clones of the machines the image was
+// compiled from (see cfsm.CFSM.Clone). The program text, layouts and entry
+// tables are shared read-only; only the per-machine runtime binding (the M
+// pointer the master consults for pending events and latched input values
+// at replay time) changes. machines must be position-matched with the
+// compile-time set: same specifications in the same order.
+//
+// Rebind is what lets one swsyn.Compile serve many concurrent simulations:
+// compile once, rebind per run.
+func (c *Compiled) Rebind(machines []*cfsm.CFSM) (*Compiled, error) {
+	if len(machines) != len(c.Machines) {
+		return nil, fmt.Errorf("swsyn: rebind with %d machines, image has %d", len(machines), len(c.Machines))
+	}
+	out := &Compiled{Prog: c.Prog, EmitRange: c.EmitRange}
+	out.Machines = make([]*MachineCode, len(c.Machines))
+	for i, mc := range c.Machines {
+		if machines[i].Name != mc.M.Name || len(machines[i].Transitions) != len(mc.M.Transitions) {
+			return nil, fmt.Errorf("swsyn: rebind machine %d is %q, image has %q", i, machines[i].Name, mc.M.Name)
+		}
+		nmc := *mc
+		nmc.M = machines[i]
+		nmc.emitRange = &out.EmitRange
+		out.Machines[i] = &nmc
+	}
+	return out, nil
+}

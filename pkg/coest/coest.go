@@ -2,13 +2,17 @@
 // co-estimation framework — the stable API over the internal engine that
 // the cmd/* binaries and embedding applications build on.
 //
-// The two entry points mirror how the paper's tool is used:
+// The entry points mirror how the paper's tool is used:
 //
 //   - Estimate runs one power co-estimation of a system and returns its
 //     energy report;
 //   - Sweep runs a whole design-space grid of independent co-estimations on
 //     a bounded parallel worker pool, with deterministic (serial-identical)
-//     results, per-point progress metrics, and context cancellation.
+//     results, per-point progress metrics, and context cancellation;
+//   - Session is the compile-once/estimate-many form behind long-running
+//     services: the system is compiled a single time and every subsequent
+//     estimation rebinds the shared read-only artifacts to a fresh clone,
+//     so repeat requests skip synthesis entirely and may run concurrently.
 //
 // Systems come from the case-study constructors (TCPIP, ProdCons,
 // Automotive), from a textual .cfsm source (ParseCFSM), or from a
@@ -27,6 +31,7 @@ package coest
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"repro/internal/attrib"
@@ -52,12 +57,23 @@ var (
 // options refine. Construct with TCPIP, ProdCons, Automotive, ParseCFSM or
 // New; the zero value is not usable.
 //
-// A System may be estimated repeatedly, but not concurrently — simulations
-// mutate the network state (each run starts with a reset). Sweep therefore
-// builds a fresh System per grid point.
+// A System is safe for concurrent use: every estimation entry point
+// (Estimate, Compile, NewSession, Sweep) clones the network first and
+// simulates the clone, so the System itself is never mutated. The historic
+// "may be estimated repeatedly, but not concurrently" restriction is gone —
+// callers that built a fresh System per goroutine keep working, but no
+// longer need to.
 type System struct {
 	spec *core.System
 	cfg  core.Config
+}
+
+// Clone returns an independent copy of the subject: the CFSM network state
+// is copied while the immutable specification, wiring and baseline
+// configuration are shared. Estimation already clones internally; reach for
+// Clone only when mutating a Spec by hand while another goroutine estimates.
+func (s *System) Clone() *System {
+	return &System{spec: s.spec.Clone(), cfg: s.cfg.Clone()}
 }
 
 // Spec is the raw co-estimation subject — the CFSM network, the partition
@@ -111,18 +127,30 @@ func newSystem(spec *core.System, cfg core.Config) *System {
 func (s *System) Spec() *Spec { return s.spec }
 
 // Estimate runs one power co-estimation and returns the energy report.
-// The context is honored at run granularity: a context that is already done
-// fails fast, but a started simulation runs to completion (single runs are
-// short; cancel a Sweep for point-level promptness).
+//
+// The context is threaded into the simulation loop: a context that is
+// already done fails fast without compiling, and cancelling (or timing out)
+// a running estimation aborts it within one simulation event quantum, with
+// an error matching errors.Is(err, context.Canceled) or
+// errors.Is(err, context.DeadlineExceeded). The wall-clock context is
+// independent of the simulated-time deadline: WithDeadline bounds simulated
+// time and fails with ErrSimTimeExceeded, never with a context error.
+//
+// Estimate accepts config-scope options only; run-level options
+// (WithWorkers, WithProgress, WithTelemetry) fail with ErrOptionScope.
 func Estimate(ctx context.Context, sys *System, opts ...Option) (*Report, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	c, err := Compile(sys, opts...)
+	cfg, _, err := sys.configured("Estimate", scopeConfig, opts)
 	if err != nil {
 		return nil, err
 	}
-	return c.Estimate(ctx)
+	cs, err := core.New(sys.spec.Clone(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return cs.RunContext(ctx)
 }
 
 // PointMetrics is the per-point observability record delivered to the
@@ -152,18 +180,23 @@ func pointMetrics(i, total int, rep *Report, wall time.Duration, err error) Poin
 	return m
 }
 
-// Grid is a finite design space for Sweep. Build must return a fresh System
-// for point i on every call — points run concurrently and a System is not
-// safe for concurrent use.
+// Grid is a finite design space for Sweep. Build is called once per point;
+// the engine clones the returned System's network before simulating, so
+// Build may derive every point from shared state (it is still called from
+// one goroutine at a time).
 type Grid struct {
 	N     int
 	Build func(i int) (*System, error)
 }
 
-// PointResult pairs a completed grid point with its index.
+// PointResult pairs a completed grid point with its index. Err is non-nil
+// only for Session.EstimateBatch, whose per-point failures land in the
+// result instead of aborting the batch; Sweep keeps its fail-fast contract
+// and never returns a PointResult with a non-nil Err.
 type PointResult struct {
 	Index  int
 	Report *Report
+	Err    error
 }
 
 // Sweep estimates every point of the grid on a bounded parallel worker pool
@@ -177,13 +210,14 @@ type PointResult struct {
 // is cancelled and the lowest-index error is returned with the completed
 // points.
 //
-// Options apply to every point, on top of the point's own configuration.
-// One-time setup is shared: with WithMacroModel, the macro-operation
-// characterization runs once and every point reuses the table.
+// Options apply to every point, on top of the point's own configuration;
+// Sweep accepts both config-scope and run-scope options. One-time setup is
+// shared: with WithMacroModel, the macro-operation characterization runs
+// once and every point reuses the table.
 func Sweep(ctx context.Context, grid Grid, opts ...Option) ([]PointResult, error) {
 	st := newSettings(nil)
-	for _, o := range opts {
-		o(st)
+	if err := st.applyAll("Sweep", scopeConfig|scopeRun, opts); err != nil {
+		return nil, err
 	}
 	results, err := engine.RunReports(ctx, grid.N,
 		engine.Options{Workers: st.workers, OnPoint: st.pointHook()},
@@ -192,11 +226,11 @@ func Sweep(ctx context.Context, grid Grid, opts ...Option) ([]PointResult, error
 			if err != nil {
 				return nil, core.Config{}, err
 			}
-			cfg, _, err := sys.configured(opts)
+			cfg, _, err := sys.configured("Sweep", scopeConfig|scopeRun, opts)
 			if err != nil {
 				return nil, core.Config{}, err
 			}
-			return sys.spec, cfg, nil
+			return sys.spec.Clone(), cfg, nil
 		})
 	out := make([]PointResult, 0, len(results))
 	for _, r := range results {
@@ -205,12 +239,28 @@ func Sweep(ctx context.Context, grid Grid, opts ...Option) ([]PointResult, error
 	return out, err
 }
 
-// Reports flattens a fully successful Sweep result into the bare reports,
-// indexed by grid point.
+// Reports flattens a fully successful result set into the bare reports,
+// indexed by grid point. Points that failed (Session.EstimateBatch) carry a
+// nil report; use Errors for the failure side of the split.
 func Reports(results []PointResult) []*Report {
 	out := make([]*Report, len(results))
 	for i, r := range results {
 		out[i] = r.Report
 	}
 	return out
+}
+
+// Errors collects the failed points of a result set as errors wrapped with
+// their grid indices, or nil when every point succeeded — the companion of
+// Reports, so callers stop hand-rolling the report/error split. Each
+// returned error unwraps to the point's own failure (errors.Is sees
+// through the index wrapper).
+func Errors(results []PointResult) []error {
+	var errs []error
+	for _, r := range results {
+		if r.Err != nil {
+			errs = append(errs, fmt.Errorf("point %d: %w", r.Index, r.Err))
+		}
+	}
+	return errs
 }

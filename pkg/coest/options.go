@@ -70,28 +70,86 @@ func (st *settings) fail(err error) {
 	}
 }
 
-// Option refines how a system is estimated. Options are applied in order;
-// later options win on conflict.
-type Option func(*settings)
+// optionScope classifies where an option may legally appear.
+type optionScope uint8
 
-// configured resolves the option list against the system's baseline
-// configuration, yielding the per-run Config.
-func (s *System) configured(opts []Option) (core.Config, *settings, error) {
-	cfg := s.cfg.Clone()
-	st := newSettings(&cfg)
+const (
+	// scopeConfig options refine the configuration of one estimation run;
+	// they are valid on every entry point.
+	scopeConfig optionScope = 1 << iota
+	// scopeRun options steer a multi-point run — worker-pool width,
+	// progress callbacks, summary aggregation. They are valid on Sweep and
+	// Session.EstimateBatch only; passing one to Estimate, Compile,
+	// NewSession or Compiled.Estimate fails with ErrOptionScope.
+	scopeRun
+)
+
+// Option refines how a system is estimated. Options are applied in order;
+// later options win on conflict. Every option carries its scope: config
+// options (accelerations, deadlines, models, trace sinks) apply everywhere,
+// run options (WithWorkers, WithProgress, WithTelemetry) apply only to
+// multi-point calls, and misuse is rejected with a typed ErrOptionScope
+// error instead of being silently ignored. The zero Option is a no-op.
+type Option struct {
+	name  string
+	scope optionScope
+	apply func(*settings)
+}
+
+// configOption wraps a per-run configuration mutator.
+func configOption(name string, apply func(*settings)) Option {
+	return Option{name: name, scope: scopeConfig, apply: apply}
+}
+
+// runOption wraps a run-level (multi-point) option.
+func runOption(name string, apply func(*settings)) Option {
+	return Option{name: name, scope: scopeRun, apply: apply}
+}
+
+// applyAll validates every option against the calling context and applies
+// the survivors in order. call names the entry point for error messages.
+func (st *settings) applyAll(call string, allowed optionScope, opts []Option) error {
 	for _, o := range opts {
-		o(st)
+		if o.apply == nil {
+			continue // zero Option
+		}
+		if o.scope&allowed == 0 {
+			return &OptionScopeError{Option: o.name, Call: call}
+		}
+		o.apply(st)
 	}
 	if st.err != nil {
-		return core.Config{}, nil, fmt.Errorf("coest: %w", st.err)
+		return fmt.Errorf("coest: %w", st.err)
 	}
-	if st.macro && cfg.Accel.MacromodelTable == nil {
-		tbl, err := engine.SharedMacroTable(cfg.Timing, cfg.Power)
-		if err != nil {
-			return core.Config{}, nil, fmt.Errorf("coest: macro-model characterization: %w", err)
-		}
-		cfg.Accel.Macromodel = true
-		cfg.Accel.MacromodelTable = tbl
+	return nil
+}
+
+// resolveMacro characterizes (or fetches) the shared macro table when
+// WithMacroModel asked for run-time characterization.
+func (st *settings) resolveMacro() error {
+	if !st.macro || st.cfg == nil || st.cfg.Accel.MacromodelTable != nil {
+		return nil
+	}
+	tbl, err := engine.SharedMacroTable(st.cfg.Timing, st.cfg.Power)
+	if err != nil {
+		return fmt.Errorf("coest: macro-model characterization: %w", err)
+	}
+	st.cfg.Accel.Macromodel = true
+	st.cfg.Accel.MacromodelTable = tbl
+	return nil
+}
+
+// configured resolves the option list against the system's baseline
+// configuration, yielding the per-run Config. allowed bounds the option
+// scopes the calling entry point accepts.
+func (s *System) configured(call string, allowed optionScope, opts []Option) (core.Config, *settings, error) {
+	cfg := s.cfg.Clone()
+	st := newSettings(&cfg)
+	if err := st.applyAll(call, allowed, opts); err != nil {
+		return core.Config{}, nil, err
+	}
+	if err := st.resolveMacro(); err != nil {
+		return core.Config{}, nil, err
 	}
 	return cfg, st, nil
 }
@@ -99,13 +157,13 @@ func (s *System) configured(opts []Option) (core.Config, *settings, error) {
 // WithDMASize sets the bus DMA block size in words — the communication-
 // architecture axis of the paper's Tables 1-2 and Fig 7.
 func WithDMASize(words int) Option {
-	return func(st *settings) {
+	return configOption("WithDMASize", func(st *settings) {
 		if words <= 0 {
 			st.fail(fmt.Errorf("DMA size %d must be positive", words))
 			return
 		}
 		st.config(func(c *core.Config) { c.Bus.DMASize = words })
-	}
+	})
 }
 
 // WithEnergyCache enables energy & delay caching (§4.2) with the default
@@ -115,12 +173,12 @@ func WithEnergyCache() Option { return WithEnergyCacheParams(ecache.DefaultParam
 // WithEnergyCacheParams enables energy & delay caching with explicit
 // aggressiveness thresholds.
 func WithEnergyCacheParams(p ECacheParams) Option {
-	return func(st *settings) {
+	return configOption("WithEnergyCacheParams", func(st *settings) {
 		st.config(func(c *core.Config) {
 			c.Accel.ECache = true
 			c.Accel.ECacheParams = p
 		})
-	}
+	})
 }
 
 // WithMacroModel enables software power macro-modeling (§4.1). The
@@ -128,14 +186,14 @@ func WithEnergyCacheParams(p ECacheParams) Option {
 // needed and shared process-wide afterwards — a Sweep characterizes once,
 // not once per point.
 func WithMacroModel() Option {
-	return func(st *settings) { st.macro = true }
+	return configOption("WithMacroModel", func(st *settings) { st.macro = true })
 }
 
 // WithMacroModelTable enables macro-modeling with a pre-characterized table
 // (e.g. loaded from a POLIS-style parameter file), skipping
 // characterization entirely.
 func WithMacroModelTable(tbl *MacroTable) Option {
-	return func(st *settings) {
+	return configOption("WithMacroModelTable", func(st *settings) {
 		if tbl == nil {
 			st.fail(fmt.Errorf("nil macro-model table"))
 			return
@@ -144,14 +202,14 @@ func WithMacroModelTable(tbl *MacroTable) Option {
 			c.Accel.Macromodel = true
 			c.Accel.MacromodelTable = tbl
 		})
-	}
+	})
 }
 
 // WithMacroModelParams enables macro-modeling from a parsed parameter file
 // (see ParseParamFile), building the cost table against the run's timing
 // model and skipping on-ISS characterization.
 func WithMacroModelParams(pf *ParamFile) Option {
-	return func(st *settings) {
+	return configOption("WithMacroModelParams", func(st *settings) {
 		if pf == nil {
 			st.fail(fmt.Errorf("nil parameter file"))
 			return
@@ -165,7 +223,7 @@ func WithMacroModelParams(pf *ParamFile) Option {
 			c.Accel.Macromodel = true
 			c.Accel.MacromodelTable = tbl
 		})
-	}
+	})
 }
 
 // WithSampling enables reaction-level statistical sampling (§4.3) with the
@@ -175,25 +233,25 @@ func WithSampling() Option { return WithSamplingParams(core.DefaultSampling()) }
 // WithSamplingParams enables statistical sampling with an explicit
 // warmup/ratio.
 func WithSamplingParams(p SamplingParams) Option {
-	return func(st *settings) {
+	return configOption("WithSamplingParams", func(st *settings) {
 		st.config(func(c *core.Config) {
 			c.Accel.Sampling = true
 			c.Accel.SamplingParams = p
 		})
-	}
+	})
 }
 
 // WithBusCompaction estimates bus energy from a K-memory-compacted grant
 // trace (§4.3 applied to the bus estimator): windows of k grants keep one
 // in ratio.
 func WithBusCompaction(k, ratio int) Option {
-	return func(st *settings) {
+	return configOption("WithBusCompaction", func(st *settings) {
 		st.config(func(c *core.Config) {
 			c.Accel.BusCompaction = true
 			c.Accel.BusCompactionParams.K = k
 			c.Accel.BusCompactionParams.Ratio = ratio
 		})
-	}
+	})
 }
 
 // WithTrace streams one rendered line per master-level event (reaction
@@ -206,9 +264,9 @@ func WithBusCompaction(k, ratio int) Option {
 // String method). New code should use WithTraceSink, which delivers the
 // structured events themselves.
 func WithTrace(fn func(string)) Option {
-	return func(st *settings) {
+	return configOption("WithTrace", func(st *settings) {
 		st.config(func(c *core.Config) { c.Trace = fn })
-	}
+	})
 }
 
 // WithSeparateEstimation switches the run to the §2 baseline: a
@@ -216,62 +274,65 @@ func WithTrace(fn func(string)) Option {
 // estimated in isolation (the configuration the paper shows under-estimates
 // timing-sensitive components).
 func WithSeparateEstimation() Option {
-	return func(st *settings) {
+	return configOption("WithSeparateEstimation", func(st *settings) {
 		st.config(func(c *core.Config) { c.Mode = core.Separate })
-	}
+	})
 }
 
 // WithDSPModel swaps in the data-dependent DSP-flavored instruction power
 // model, where instruction energy varies with operand values (the Fig 4
 // path-variance study).
 func WithDSPModel() Option {
-	return func(st *settings) {
+	return configOption("WithDSPModel", func(st *settings) {
 		st.config(func(c *core.Config) { c.Power = iss.DSPModel() })
-	}
+	})
 }
 
 // WithMaxSimTime bounds the simulated time. Hitting the bound is a normal
 // truncation (use WithDeadline to make it an error).
 func WithMaxSimTime(d time.Duration) Option {
-	return func(st *settings) {
+	return configOption("WithMaxSimTime", func(st *settings) {
 		st.config(func(c *core.Config) {
 			c.MaxSimTime = units.Time(d.Nanoseconds())
 			c.StrictDeadline = false
 		})
-	}
+	})
 }
 
 // WithDeadline bounds the simulated time and makes hitting the bound with
 // work still pending an error: the run fails with ErrSimTimeExceeded
 // instead of returning a silently truncated report.
 func WithDeadline(d time.Duration) Option {
-	return func(st *settings) {
+	return configOption("WithDeadline", func(st *settings) {
 		st.config(func(c *core.Config) {
 			c.MaxSimTime = units.Time(d.Nanoseconds())
 			c.StrictDeadline = true
 		})
-	}
+	})
 }
 
 // WithWaveform enables power-waveform recording at the given time
 // resolution (simulated time per bucket).
 func WithWaveform(bucket time.Duration) Option {
-	return func(st *settings) {
+	return configOption("WithWaveform", func(st *settings) {
 		st.config(func(c *core.Config) { c.WaveformBucket = units.Time(bucket.Nanoseconds()) })
-	}
+	})
 }
 
-// WithWorkers bounds Sweep's worker pool (0 or negative = GOMAXPROCS).
-// Estimate ignores it.
+// WithWorkers bounds the worker pool of a multi-point run — Sweep or
+// Session.EstimateBatch (0 or negative = GOMAXPROCS). It is a run-level
+// option: passing it to a single estimation (Estimate, Compile, NewSession,
+// Compiled.Estimate) fails with ErrOptionScope.
 func WithWorkers(n int) Option {
-	return func(st *settings) { st.workers = n }
+	return runOption("WithWorkers", func(st *settings) { st.workers = n })
 }
 
 // WithProgress receives one PointMetrics record per finished point, in
 // completion order. Calls are serialized; the callback must not block for
-// long.
+// long. It is a run-level option (Sweep, Session.EstimateBatch); on a
+// single estimation it fails with ErrOptionScope.
 func WithProgress(fn func(PointMetrics)) Option {
-	return func(st *settings) { st.onPoint = fn }
+	return runOption("WithProgress", func(st *settings) { st.onPoint = fn })
 }
 
 // WithAttribution enables the hierarchical energy attribution ledger: every
@@ -280,9 +341,9 @@ func WithProgress(fn func(PointMetrics)) Option {
 // Report.Attribution. The ledger consumes the same accrual events that feed
 // Report.Total, so its component totals reconcile with the run total.
 func WithAttribution() Option {
-	return func(st *settings) {
+	return configOption("WithAttribution", func(st *settings) {
 		st.config(func(c *core.Config) { c.Attribution = true })
-	}
+	})
 }
 
 // WithShadowAudit enables the shadow-sampling auditor at the given rate
@@ -299,14 +360,14 @@ func WithShadowAudit(rate float64) Option {
 
 // WithShadowAuditParams enables shadow auditing with explicit parameters.
 func WithShadowAuditParams(p ShadowAuditParams) Option {
-	return func(st *settings) {
+	return configOption("WithShadowAuditParams", func(st *settings) {
 		st.config(func(c *core.Config) { c.ShadowAudit = p })
-	}
+	})
 }
 
 // WithConfig is the escape hatch to the full internal run configuration,
 // for knobs without a dedicated option. It runs after the options before
 // it, in order with those after it.
 func WithConfig(mutate func(*RunConfig)) Option {
-	return func(st *settings) { st.config(mutate) }
+	return configOption("WithConfig", func(st *settings) { st.config(mutate) })
 }

@@ -56,13 +56,13 @@ func MultiTraceSink(sinks ...TraceSink) TraceSink { return telemetry.Multi(sinks
 // after the run to flush buffered output.
 func WithTraceSink(sink TraceSink) Option {
 	wrapped := telemetry.Synchronized(sink)
-	return func(st *settings) {
+	return configOption("WithTraceSink", func(st *settings) {
 		if wrapped == nil {
 			st.fail(fmt.Errorf("nil trace sink"))
 			return
 		}
 		st.config(func(c *RunConfig) { c.Sink = wrapped })
-	}
+	})
 }
 
 // WithTelemetry aggregates per-point metrics into sum as points finish:
@@ -70,12 +70,16 @@ func WithTraceSink(sink TraceSink) Option {
 // simulation work, aggregate energy-cache hit rate and failure count.
 // Observation is serialized by the engine, so the same summary may be
 // shared with a WithProgress callback.
+//
+// WithTelemetry is a run-level option: it applies to Sweep and
+// Session.EstimateBatch; passing it to a single Estimate fails with
+// ErrOptionScope.
 func WithTelemetry(sum *SweepSummary) Option {
-	return func(st *settings) {
+	return runOption("WithTelemetry", func(st *settings) {
 		if sum == nil {
 			st.fail(fmt.Errorf("nil telemetry summary"))
 			return
 		}
 		st.summary = sum
-	}
+	})
 }

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -175,14 +176,17 @@ func TestWithTelemetrySummary(t *testing.T) {
 		t.Fatalf("summary wall stats inconsistent: %+v", sum)
 	}
 
-	// Estimate feeds the same summary (a 1-point sweep).
+	// WithTelemetry is run-scope: a single Estimate rejects it with the
+	// typed scope error instead of silently ignoring it.
 	var one coest.SweepSummary
-	if _, err := coest.Estimate(context.Background(), coest.TCPIP(quickTCPIP()),
-		coest.WithTelemetry(&one)); err != nil {
-		t.Fatal(err)
+	_, err = coest.Estimate(context.Background(), coest.TCPIP(quickTCPIP()),
+		coest.WithTelemetry(&one))
+	if !errors.Is(err, coest.ErrOptionScope) {
+		t.Fatalf("Estimate(WithTelemetry) error = %v, want ErrOptionScope", err)
 	}
-	if one.Points != 1 {
-		t.Fatalf("Estimate observed %d points, want 1", one.Points)
+	var scope *coest.OptionScopeError
+	if !errors.As(err, &scope) || scope.Option != "WithTelemetry" || scope.Call != "Estimate" {
+		t.Fatalf("scope error detail = %+v", scope)
 	}
 }
 
@@ -191,7 +195,10 @@ func TestWithTraceSinkNil(t *testing.T) {
 		coest.WithTraceSink(nil)); err == nil {
 		t.Fatal("nil sink must fail")
 	}
-	if _, err := coest.Estimate(context.Background(), coest.TCPIP(quickTCPIP()),
+	grid := coest.Grid{N: 1, Build: func(int) (*coest.System, error) {
+		return coest.TCPIP(quickTCPIP()), nil
+	}}
+	if _, err := coest.Sweep(context.Background(), grid,
 		coest.WithTelemetry(nil)); err == nil {
 		t.Fatal("nil summary must fail")
 	}
