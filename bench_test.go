@@ -8,6 +8,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/cachesim"
 	"repro/internal/cfsm"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/explore"
 	"repro/internal/hwsyn"
@@ -27,6 +29,9 @@ import (
 	"repro/internal/sparc"
 	"repro/internal/swsyn"
 	"repro/internal/systems"
+
+	// Register the packed64 estimator backend for the sweep benchmarks.
+	_ "repro/internal/packed64"
 )
 
 // tableDMASizes is the row axis of Tables 1 and 2.
@@ -196,6 +201,81 @@ func BenchmarkAutomotive(b *testing.B) {
 		}
 		if _, err := cs.Run(); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPackedSweep compares the estimator backends at Workers=1, so
+// wall-time differences are pure backend differences. Reports are
+// bit-identical either way; speedup = interpreted ns/op / packed64 ns/op.
+//
+// Two sweeps:
+//
+//   - Co: the plain Table 1 sweep (one TCP/IP co-estimation per DMA size).
+//     ISS-dominated, so lane packing only shares the gate-level tail.
+//   - Gate: the gate-level sweep — the same Table 1 DMA axis with the whole
+//     partition mapped to hardware, replicated across the Fig 7 priority
+//     permutations and two packet counts to fill all 64 lanes, on warm
+//     shared artifacts (the serving path). This is the workload the packed
+//     engine targets: one union-dirty plane evaluation advances every lane,
+//     so throughput grows with lane count (≥4x at 64 lanes).
+func BenchmarkPackedSweep(b *testing.B) {
+	coBuild := func(i int) (*core.System, core.Config, error) {
+		p := systems.DefaultTCPIP()
+		p.Packets = 12
+		p.DMASize = tableDMASizes[i]
+		sys, cfg := systems.TCPIP(p)
+		return sys, cfg, nil
+	}
+	gateMk := func(i int) (*core.System, core.Config) {
+		p := systems.DefaultTCPIP()
+		p.Packets = 12 + i/36
+		p.DMASize = tableDMASizes[i%6]
+		p.PriorityPerm = (i / 6) % 6
+		sys, cfg := systems.TCPIP(p)
+		for name, pc := range sys.Procs {
+			pc.Mapping = core.HW
+			sys.Procs[name] = pc
+		}
+		return sys, cfg
+	}
+	gateSpec, gateCfg := gateMk(0)
+	gateCS, err := core.NewShared(gateSpec, gateCfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gateArt := gateCS.Artifacts()
+	gateBuild := func(i int) (*core.System, core.Config, error) {
+		sys, cfg := gateMk(i)
+		return sys, cfg, nil
+	}
+
+	sweeps := []struct {
+		name  string
+		n     int
+		opts  engine.Options
+		build engine.BuildFunc
+	}{
+		{"Co", len(tableDMASizes), engine.Options{Workers: 1}, coBuild},
+		{"Gate", 64, engine.Options{Workers: 1, Artifacts: gateArt}, gateBuild},
+	}
+	for _, sw := range sweeps {
+		for _, backend := range []string{"interpreted", "packed64"} {
+			opts := sw.opts
+			opts.Backend = backend
+			b.Run(sw.name+"/"+backend, func(b *testing.B) {
+				var gateExecs uint64
+				for i := 0; i < b.N; i++ {
+					results, err := engine.RunReports(context.Background(), sw.n, opts, sw.build)
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, r := range results {
+						gateExecs += r.Value.GateExecs
+					}
+				}
+				b.ReportMetric(float64(gateExecs)/b.Elapsed().Seconds(), "gate-execs/s")
+			})
 		}
 	}
 }

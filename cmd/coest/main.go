@@ -64,13 +64,14 @@ func main() {
 		paramFile = flag.String("params", "", "macro-model parameter file (skips characterization; implies -macromodel)")
 		attribRep = flag.Bool("attrib", false, "print the hierarchical energy attribution ledger")
 		shadow    = flag.Float64("shadow-rate", 0, "shadow-audit this fraction of accelerated serves on the reference estimator (0..1)")
+		backend   = flag.String("backend", "", "estimator backend: interpreted (default) or packed64 (bit-identical reports)")
 		serveURL  = flag.String("serve", "", "delegate the estimation to a coestd daemon at this base URL (e.g. http://localhost:8350)")
 		deadline  = flag.Duration("deadline", 0, "with -serve: per-request wall-clock deadline (0 = server default)")
 	)
 	flag.Parse()
 
 	if *serveURL != "" {
-		if err := runRemote(*serveURL, *file, *system, *packets, *dma,
+		if err := runRemote(*serveURL, *file, *system, *backend, *packets, *dma,
 			*useCache, *useMacro, *useSamp, *deadline, *asJSON); err != nil {
 			fatal(err)
 		}
@@ -80,6 +81,9 @@ func main() {
 	sys, opts, err := assemble(*file, *system, *packets, *dma, *perm)
 	if err != nil {
 		fatal(err)
+	}
+	if *backend != "" {
+		opts = append(opts, coest.WithBackend(*backend))
 	}
 
 	switch *mode {
@@ -430,12 +434,13 @@ func writeJSON(w io.Writer, rep *coest.Report) error {
 // runRemote sends the estimation to a coestd daemon instead of running it in
 // process. Only the knobs in the service's wire API travel; flags outside it
 // (modes, waveforms, traces) stay local-only.
-func runRemote(base, file, system string, packets, dma int, ecache, macro, sampling bool, deadline time.Duration, asJSON bool) error {
+func runRemote(base, file, system, backend string, packets, dma int, ecache, macro, sampling bool, deadline time.Duration, asJSON bool) error {
 	if file != "" {
 		return fmt.Errorf("-serve estimates named case-study systems only (got -file)")
 	}
 	req := serve.Request{
 		System:     system,
+		Backend:    backend,
 		Packets:    packets,
 		DeadlineMS: int(deadline / time.Millisecond),
 		Points: []serve.PointSpec{{
@@ -482,7 +487,7 @@ func runRemote(base, file, system string, packets, dma int, ecache, macro, sampl
 	if resp.Warm {
 		warmth = "warm session (no recompilation)"
 	}
-	fmt.Printf("system %s via %s: %s\n", resp.System, base, warmth)
+	fmt.Printf("system %s via %s: %s, %s backend\n", resp.System, base, warmth, resp.Backend)
 	fmt.Printf("  simulated %v\n", units.Time(pt.SimulatedNS))
 	fmt.Printf("  TOTAL %v (sw %v, hw %v)\n",
 		units.Energy(pt.TotalJ), units.Energy(pt.SWJ), units.Energy(pt.HWJ))

@@ -27,6 +27,9 @@ import (
 	"repro/internal/report"
 	"repro/internal/systems"
 	"repro/internal/telemetry"
+
+	// Register the packed64 estimator backend for -backend.
+	_ "repro/internal/packed64"
 )
 
 func main() {
@@ -36,6 +39,7 @@ func main() {
 		ecache    = flag.Bool("ecache", false, "accelerate each point with energy caching")
 		attrib    = flag.Bool("attrib", false, "enable the energy attribution ledger on every point")
 		shadow    = flag.Float64("shadow-rate", 0, "shadow-audit this fraction of accelerated serves (0..1)")
+		backend   = flag.String("backend", "", "estimator backend: interpreted (default) or packed64 (bit-identical reports)")
 		workers   = flag.Int("j", runtime.NumCPU(), "parallel co-estimations")
 		verbose   = flag.Bool("v", false, "print per-point progress metrics to stderr")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/pprof/ on this address during the sweep (e.g. localhost:6060)")
@@ -102,8 +106,14 @@ func main() {
 		}
 	}
 
+	be, err := engine.LookupBackend(*backend)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "explore: %v\n", err)
+		os.Exit(1)
+	}
+
 	var summary engine.SweepSummary
-	opts := engine.Options{Workers: *workers}
+	opts := engine.Options{Workers: *workers, Backend: *backend}
 	opts.OnPoint = func(m engine.PointMetrics) {
 		summary.Observe(m)
 		if *verbose {
@@ -116,6 +126,7 @@ func main() {
 		man = telemetry.NewManifest("explore", os.Args[1:], map[string]any{
 			"packets": *packets, "dma": dmas, "ecache": *ecache, "workers": *workers,
 		})
+		man.Backend = be.Name()
 	}
 
 	start := time.Now()

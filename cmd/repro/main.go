@@ -23,9 +23,13 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/macromodel"
 	"repro/internal/telemetry"
+
+	// Register the packed64 estimator backend for -backend.
+	_ "repro/internal/packed64"
 )
 
 func main() {
@@ -45,6 +49,7 @@ func main() {
 		packets   = flag.Int("packets", 0, "packets per Table 1/2 run")
 		repeats   = flag.Int("repeats", 0, "wall-time measurement repeats")
 		dmaList   = flag.String("dma", "", "comma-separated DMA sizes for Tables 1/2")
+		backend   = flag.String("backend", "", "estimator backend for the sweeps: interpreted (default) or packed64")
 		workers   = flag.Int("j", 0, "sweep worker pool size (0 = GOMAXPROCS; use 1 for quietest wall-time columns)")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/pprof/ on this address while experiments run (e.g. localhost:6060)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -79,6 +84,10 @@ func main() {
 		p.Repeats = *repeats
 	}
 	p.Workers = *workers
+	if _, err := engine.LookupBackend(*backend); err != nil {
+		fatal(err)
+	}
+	p.Backend = *backend
 	if *dmaList != "" {
 		p.DMASizes = nil
 		for _, s := range strings.Split(*dmaList, ",") {

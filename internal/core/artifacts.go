@@ -44,7 +44,7 @@ func (cs *CoSim) Artifacts() *Artifacts {
 	if len(cs.hw) > 0 {
 		a.HW = make(map[string]*hwsyn.Module, len(cs.hw))
 		for mi, ex := range cs.hw {
-			a.HW[cs.sys.Net.Machines[mi].Name] = ex.driver.Mod
+			a.HW[cs.sys.Net.Machines[mi].Name] = ex.driver.Module()
 		}
 	}
 	return a

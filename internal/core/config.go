@@ -22,6 +22,7 @@ import (
 	"repro/internal/cfsm"
 	"repro/internal/compact"
 	"repro/internal/ecache"
+	"repro/internal/hwsyn"
 	"repro/internal/iss"
 	"repro/internal/macromodel"
 	"repro/internal/rtos"
@@ -237,6 +238,15 @@ type Config struct {
 	// separate baseline estimates components offline, outside the event
 	// stream).
 	Attribution bool
+
+	// HWEngineFactory, if set, supplies the hardware execution engine for
+	// each synthesized module instead of the default per-run gate-level
+	// Driver. This is the seam the packed64 estimator backend uses to bind
+	// the run's hardware machines to lanes of a shared 64-wide bit-parallel
+	// column; estimation semantics are unchanged (engines must be
+	// observationally identical to a Driver). The factory is invoked during
+	// construction, once per hardware machine, in machine order.
+	HWEngineFactory func(mod *hwsyn.Module, vdd units.Voltage) (hwsyn.Engine, error)
 
 	// SWECache / HWECache, when non-nil and Accel.ECache is set, are used
 	// as this run's energy caches instead of fresh ones — the persistence

@@ -48,7 +48,7 @@ type ObservedEvent struct {
 
 // hwExec is the per-HW-machine execution state.
 type hwExec struct {
-	driver  *hwsyn.Driver
+	driver  hwsyn.Engine
 	busy    bool
 	pending int
 	stale   bool // registers out of sync (a cached skip happened)
@@ -245,11 +245,18 @@ func NewShared(sys *System, cfg Config, art *Artifacts) (*CoSim, error) {
 		if err != nil {
 			return nil, err
 		}
-		drv, err := hwsyn.NewDriver(mod, cfg.HWVdd)
+		var eng hwsyn.Engine
+		if cfg.HWEngineFactory != nil {
+			eng, err = cfg.HWEngineFactory(mod, cfg.HWVdd)
+		} else {
+			var drv *hwsyn.Driver
+			drv, err = hwsyn.NewDriver(mod, cfg.HWVdd)
+			eng = hwsyn.DriverEngine{Driver: drv}
+		}
 		if err != nil {
 			return nil, err
 		}
-		cs.hw[mi] = &hwExec{driver: drv}
+		cs.hw[mi] = &hwExec{driver: eng}
 	}
 
 	// Integration architecture. The priority map is copied before defaults
@@ -343,7 +350,7 @@ func (cs *CoSim) SWProgram() *sparc.Program {
 func (cs *CoSim) HWNetlists() map[string]*gate.Netlist {
 	out := make(map[string]*gate.Netlist, len(cs.hw))
 	for mi, ex := range cs.hw {
-		out[cs.sys.Net.Machines[mi].Name] = ex.driver.Mod.N
+		out[cs.sys.Net.Machines[mi].Name] = ex.driver.Module().N
 	}
 	return out
 }

@@ -1,0 +1,188 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// BuildFunc describes point i of a sweep: a fresh System (simulations
+// mutate network state, so points cannot share one) and the point's Config
+// (cloned by the engine before use).
+type BuildFunc func(i int) (*core.System, core.Config, error)
+
+// PointOutcome is one sweep point's result in a keep-going run: failures
+// ride the outcome instead of aborting the batch.
+type PointOutcome struct {
+	Index  int
+	Report *core.Report
+	Err    error
+}
+
+// Backend is a pluggable sweep-execution strategy: given the points of a
+// sweep it decides how to schedule and evaluate them. The contract is
+// strict — every backend must produce reports bit-identical to the
+// reference "interpreted" backend (one core.CoSim per point); backends only
+// differ in throughput. Outcomes are returned in index order.
+//
+// With failFast, the first (lowest-index) point error cancels the remaining
+// points and is returned wrapped as "point %d: ..." alongside the outcomes
+// that did complete (Sweep semantics). Without it, per-point errors ride
+// the outcomes, every dispatched point yields an outcome, and only context
+// cancellation produces a call-level error (EstimateBatch semantics).
+type Backend interface {
+	Name() string
+	Run(ctx context.Context, n int, opts Options, failFast bool, build BuildFunc) ([]PointOutcome, error)
+}
+
+// ErrUnknownBackend is the sentinel matched by errors.Is when a backend
+// name is not in the registry.
+var ErrUnknownBackend = errors.New("unknown estimator backend")
+
+// UnknownBackendError reports a backend-name lookup failure along with the
+// registered names. It matches ErrUnknownBackend under errors.Is.
+type UnknownBackendError struct {
+	Name  string
+	Known []string
+}
+
+func (e *UnknownBackendError) Error() string {
+	return fmt.Sprintf("engine: unknown estimator backend %q (registered: %s)",
+		e.Name, strings.Join(e.Known, ", "))
+}
+
+// Is makes errors.Is(err, ErrUnknownBackend) hold.
+func (e *UnknownBackendError) Is(target error) bool { return target == ErrUnknownBackend }
+
+var (
+	backendMu sync.RWMutex
+	backends  = map[string]Backend{}
+	defaultBE = "interpreted"
+)
+
+// RegisterBackend adds a named backend to the registry. Backends register
+// from init (the packed64 engine self-registers on import); duplicate names
+// panic.
+func RegisterBackend(b Backend) {
+	backendMu.Lock()
+	defer backendMu.Unlock()
+	if _, dup := backends[b.Name()]; dup {
+		panic(fmt.Sprintf("engine: backend %q registered twice", b.Name()))
+	}
+	backends[b.Name()] = b
+}
+
+// LookupBackend resolves a backend by name. The empty name means the
+// default ("interpreted") backend.
+func LookupBackend(name string) (Backend, error) {
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	if name == "" {
+		name = defaultBE
+	}
+	b, ok := backends[name]
+	if !ok {
+		return nil, &UnknownBackendError{Name: name, Known: backendNamesLocked()}
+	}
+	return b, nil
+}
+
+// BackendNames returns the registered backend names, sorted.
+func BackendNames() []string {
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	return backendNamesLocked()
+}
+
+func backendNamesLocked() []string {
+	names := make([]string, 0, len(backends))
+	for n := range backends {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() { RegisterBackend(interpretedBackend{}) }
+
+// interpretedBackend is the reference strategy: one full co-simulation per
+// point over the bounded worker pool — today's path, and the definition of
+// correct output for every other backend.
+type interpretedBackend struct{}
+
+func (interpretedBackend) Name() string { return "interpreted" }
+
+func (interpretedBackend) Run(ctx context.Context, n int, opts Options, failFast bool, build BuildFunc) ([]PointOutcome, error) {
+	hook := opts.OnPoint
+	inner := opts
+	inner.OnPoint = nil // fired below with full estimator metrics instead
+	var mu sync.Mutex
+	results, err := Run(ctx, n, inner, func(ctx context.Context, i int) (PointOutcome, error) {
+		start := time.Now()
+		rep, perr := runPoint(ctx, i, opts, build)
+		if perr != nil && failFast {
+			perr = fmt.Errorf("point %d: %w", i, perr)
+		}
+		if hook != nil {
+			m := PointMetrics{Index: i, Total: n, Wall: time.Since(start), Err: perr}
+			if rep != nil {
+				m.Fill(rep)
+			}
+			mu.Lock()
+			hook(m)
+			mu.Unlock()
+		}
+		if failFast {
+			return PointOutcome{Index: i, Report: rep}, perr
+		}
+		// Keep-going: the failure rides the outcome, not the batch.
+		return PointOutcome{Index: i, Report: rep, Err: perr}, nil
+	})
+	outs := make([]PointOutcome, 0, len(results))
+	for _, r := range results {
+		outs = append(outs, r.Value)
+	}
+	return outs, err
+}
+
+func runPoint(ctx context.Context, i int, opts Options, build BuildFunc) (*core.Report, error) {
+	sys, cfg, err := build(i)
+	if err != nil {
+		return nil, err
+	}
+	cfg = cfg.Clone()
+	cs, err := core.NewShared(sys, cfg, opts.Artifacts)
+	if err != nil {
+		return nil, err
+	}
+	// The run context reaches the simulation loop: a cancelled sweep aborts
+	// in-flight points within one event quantum instead of letting them run
+	// to completion.
+	rep, err := cs.RunContext(ctx)
+	if err == nil && opts.OnRun != nil {
+		opts.OnRun(i, cs)
+	}
+	return rep, err
+}
+
+// RunOutcomes runs every point with keep-going semantics through the
+// selected backend (Options.Backend): per-point failures land in their
+// outcome, the batch continues, and the returned slice has one entry per
+// dispatched point in index order. Only context cancellation (partial
+// outcome set) or an unknown backend produces a call-level error.
+func RunOutcomes(ctx context.Context, n int, opts Options, build BuildFunc) ([]PointOutcome, error) {
+	be, err := LookupBackend(opts.Backend)
+	if err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, ctx.Err()
+	}
+	return be.Run(ctx, n, opts, false, build)
+}

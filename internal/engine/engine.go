@@ -24,7 +24,6 @@ package engine
 
 import (
 	"context"
-	"fmt"
 	"runtime"
 	"sync"
 	"time"
@@ -46,6 +45,24 @@ type Options struct {
 	// Only RunReports populates estimator metrics; the generic Run fills
 	// index, wall time and error.
 	OnPoint func(PointMetrics)
+
+	// Backend names the estimator backend RunReports/RunOutcomes dispatch
+	// to. Empty means the default "interpreted" backend; unknown names fail
+	// with ErrUnknownBackend. The generic Run ignores it.
+	Backend string
+
+	// Artifacts, if set, are compile-once synthesis products every point
+	// rebinds instead of recompiling (the warm-session path). They must
+	// have been built from the same system with the same HWWidth as the
+	// points' configs.
+	Artifacts *core.Artifacts
+
+	// OnRun, if set, receives each point's completed co-simulation (after
+	// a successful run, before the point is reported done). Backends may
+	// invoke it concurrently from worker goroutines; the callback
+	// synchronizes itself. Sessions use it to retain the last run for
+	// cache-report inspection.
+	OnRun func(i int, cs *core.CoSim)
 }
 
 func (o Options) workers(n int) int {
@@ -163,50 +180,30 @@ dispatch:
 }
 
 // RunReports is Run specialized to co-estimations: build(i) describes point
-// i, the engine constructs and runs it, and the full per-point estimator
-// metrics (ISS instructions, gate evaluations, energy-cache hits, bus-trace
-// compaction ratio) flow into the OnPoint hook.
+// i, the selected backend (Options.Backend) constructs and runs it, and the
+// full per-point estimator metrics (ISS instructions, gate evaluations,
+// energy-cache hits, bus-trace compaction ratio) flow into the OnPoint
+// hook. A point failure cancels the remaining points and the lowest-index
+// error is returned, wrapped as "point %d: ...", with the completed points.
 //
 // build(i) must return a fresh System on every call — simulations mutate the
 // CFSM network state, so points cannot share one System value. The returned
 // Config is cloned by the engine before use (see core.Config.Clone), so
 // builds may derive all points from one shared base Config.
-func RunReports(ctx context.Context, n int, opts Options, build func(i int) (*core.System, core.Config, error)) ([]Result[*core.Report], error) {
-	inner := opts
-	hook := opts.OnPoint
-	inner.OnPoint = nil // fired below with full metrics instead
-	var mu sync.Mutex
-	return Run(ctx, n, inner, func(ctx context.Context, i int) (*core.Report, error) {
-		start := time.Now()
-		rep, err := runPoint(ctx, i, build)
-		if err != nil {
-			err = fmt.Errorf("point %d: %w", i, err)
-		}
-		if hook != nil {
-			m := PointMetrics{Index: i, Total: n, Wall: time.Since(start), Err: err}
-			if rep != nil {
-				m.fill(rep)
-			}
-			mu.Lock()
-			hook(m)
-			mu.Unlock()
-		}
-		return rep, err
-	})
-}
-
-func runPoint(ctx context.Context, i int, build func(i int) (*core.System, core.Config, error)) (*core.Report, error) {
-	sys, cfg, err := build(i)
+func RunReports(ctx context.Context, n int, opts Options, build BuildFunc) ([]Result[*core.Report], error) {
+	be, err := LookupBackend(opts.Backend)
 	if err != nil {
 		return nil, err
 	}
-	cfg = cfg.Clone()
-	cs, err := core.New(sys, cfg)
-	if err != nil {
-		return nil, err
+	if n <= 0 {
+		return nil, ctx.Err()
 	}
-	// The run context reaches the simulation loop: a cancelled sweep aborts
-	// in-flight points within one event quantum instead of letting them run
-	// to completion.
-	return cs.RunContext(ctx)
+	outs, err := be.Run(ctx, n, opts, true, build)
+	results := make([]Result[*core.Report], 0, len(outs))
+	for _, o := range outs {
+		if o.Err == nil && o.Report != nil {
+			results = append(results, Result[*core.Report]{Index: o.Index, Value: o.Report})
+		}
+	}
+	return results, err
 }

@@ -39,10 +39,16 @@ type Params struct {
 	// Energies are identical at any worker count; wall-time columns are
 	// quietest at Workers = 1.
 	Workers int
+	// Backend names the estimator backend the sweeps run on ("" =
+	// "interpreted"). Energies are identical on every backend; wall times
+	// differ (that is the point of "packed64").
+	Backend string
 }
 
 // opts returns the engine options the experiment sweeps run under.
-func (p Params) opts() engine.Options { return engine.Options{Workers: p.Workers} }
+func (p Params) opts() engine.Options {
+	return engine.Options{Workers: p.Workers, Backend: p.Backend}
+}
 
 // Default matches the paper's axes at a laptop-friendly workload size.
 func Default() Params {

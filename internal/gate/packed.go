@@ -1,0 +1,369 @@
+package gate
+
+import (
+	"math/bits"
+
+	"repro/internal/units"
+)
+
+// PackedLanes is the lane capacity of a PackedSim: one bit per lane in a
+// uint64 plane.
+const PackedLanes = 64
+
+// PackedSim evaluates one netlist for up to 64 independent simulations
+// ("lanes") at once. Where Sim packs 64 *nets* of one simulation into each
+// word, PackedSim flips the layout: each net owns one uint64 *plane* whose
+// bit L is the net's value in lane L, so a single gate evaluation advances
+// every lane and the settle loop's cost is shared across the whole batch.
+// This is the sweep-column engine behind the packed64 estimator backend:
+// the lanes are sweep points that share a netlist but differ in stimuli.
+//
+// Per-lane observability is preserved exactly: switching energy accumulates
+// into a separate accumulator per lane, and within one lane the terms are
+// added in the same order as Sim.Cycle (flop launches by ascending flop
+// index, the clock term, primary inputs in declaration order, then settle
+// toggles in ascending (level, position) order), so every lane's energy is
+// bit-identical to running that lane alone on Sim.
+//
+// Lanes advance independently: Tick takes a lane mask, and masked-out lanes
+// are completely inert — their net values, flop state and energy are
+// untouched, so lanes whose simulations sit at different local cycle counts
+// can share one PackedSim without any cross-lane cycle alignment.
+type PackedSim struct {
+	N   *Netlist
+	Vdd units.Voltage
+
+	// Shared read-only topology, borrowed from an ordinary Sim built over
+	// the same netlist (levelization, CSR fanout, hot-gate records and the
+	// per-net switch-energy table are lane-independent).
+	order      []int
+	levelGates [][]int32
+	levelOff   []int32
+	fanOff     []int32
+	fanIdx     []uint32
+	hot        []hotGate
+	insFlat    []NetID
+	swE        []units.Energy
+	dNets      []NetID
+
+	// Lane-parallel state: one plane (uint64, bit = lane) per net / flop /
+	// primary input. dirtyBits is the union dirtiness across lanes — a gate
+	// evaluated for the union computes all 64 lanes in one pass, and the
+	// masked update keeps inert lanes untouched.
+	val       []uint64 // plane per net
+	qVal      []uint64 // plane per flop
+	nextQ     []uint64 // plane per flop
+	inPlane   []uint64 // plane per primary input
+	dirtyBits []uint64
+
+	// pending holds per-lane dirty marks deferred by ForceFlop: a forced
+	// flop must only dirty its fanout for the forcing lane's *own* next
+	// tick, not for a batch the lane is masked out of.
+	pending [PackedLanes][]NetID
+
+	clockE units.Energy // per-cycle clock-tree term, identical to Sim's
+	laneE  [PackedLanes]units.Energy
+
+	cycles uint64 // lane-cycles simulated (popcount of all tick masks)
+	evals  uint64 // union gate evaluations
+}
+
+// NewPackedSim builds a 64-lane packed simulator for the netlist at the
+// given supply voltage. All lanes start in the same power-on state as a
+// freshly constructed Sim.
+func NewPackedSim(n *Netlist, vdd units.Voltage) (*PackedSim, error) {
+	ref, err := NewSim(n, vdd)
+	if err != nil {
+		return nil, err
+	}
+	p := &PackedSim{
+		N: n, Vdd: vdd,
+		order:      ref.order,
+		levelGates: ref.levelGates,
+		levelOff:   ref.levelOff,
+		fanOff:     ref.fanOff,
+		fanIdx:     ref.fanIdx,
+		hot:        ref.hot,
+		insFlat:    ref.insFlat,
+		swE:        ref.swE,
+		dNets:      ref.dNets,
+		val:        make([]uint64, n.NumNets()),
+		qVal:       make([]uint64, len(n.DFFs)),
+		nextQ:      make([]uint64, len(n.DFFs)),
+		inPlane:    make([]uint64, len(n.Inputs)),
+		dirtyBits:  make([]uint64, len(ref.dirtyBits)),
+		clockE:     units.SwitchEnergy(ref.ClockCap, vdd, uint64(len(n.DFFs))),
+	}
+	// Power-on state, replicated across all lanes: initial flop values, a
+	// full combinational settle, and a capture — no energy charged, exactly
+	// like Sim.Reset.
+	for i, ff := range n.DFFs {
+		if ff.Init {
+			p.val[ff.Q] = ^uint64(0)
+			p.qVal[i] = ^uint64(0)
+			p.nextQ[i] = ^uint64(0)
+		}
+	}
+	for _, gi := range p.order {
+		p.val[n.Gates[gi].Out] = p.evalPlane(int32(gi))
+	}
+	for i, d := range p.dNets {
+		p.nextQ[i] = p.val[d]
+	}
+	return p, nil
+}
+
+// evalPlane computes gate gi's function over all 64 lanes at once.
+func (p *PackedSim) evalPlane(gi int32) uint64 {
+	h := p.hot[gi]
+	val := p.val
+	switch h.op {
+	case opAnd2:
+		return val[h.a] & val[h.b]
+	case opNand2:
+		return ^(val[h.a] & val[h.b])
+	case opOr2:
+		return val[h.a] | val[h.b]
+	case opNor2:
+		return ^(val[h.a] | val[h.b])
+	case opXor2:
+		return val[h.a] ^ val[h.b]
+	case opXnor2:
+		return ^(val[h.a] ^ val[h.b])
+	case opNot:
+		return ^val[h.a]
+	case opBuf:
+		return val[h.a]
+	case opAndN, opNandN:
+		v := ^uint64(0)
+		for _, in := range p.insFlat[h.a:h.b] {
+			v &= val[in]
+		}
+		if h.op == opNandN {
+			v = ^v
+		}
+		return v
+	case opOrN, opNorN:
+		var v uint64
+		for _, in := range p.insFlat[h.a:h.b] {
+			v |= val[in]
+		}
+		if h.op == opNorN {
+			v = ^v
+		}
+		return v
+	default: // opXorN, opXnorN
+		var v uint64
+		for _, in := range p.insFlat[h.a:h.b] {
+			v ^= val[in]
+		}
+		if h.op == opXnorN {
+			v = ^v
+		}
+		return v
+	}
+}
+
+// markDirty queues every gate reading net for re-evaluation (union across
+// lanes — evaluation is masked per lane at update time).
+func (p *PackedSim) markDirty(net NetID) {
+	for _, di := range p.fanIdx[p.fanOff[net]:p.fanOff[net+1]] {
+		p.dirtyBits[di>>6] |= 1 << (di & 63)
+	}
+}
+
+// addLanes charges one net transition to every lane set in diff.
+func (p *PackedSim) addLanes(diff uint64, e units.Energy) {
+	for diff != 0 {
+		p.laneE[bits.TrailingZeros64(diff)] += e
+		diff &= diff - 1
+	}
+}
+
+// SetInput sets primary input i (by position in N.Inputs) for one lane. The
+// value persists across ticks, like an entry of Sim's InputVector.
+func (p *PackedSim) SetInput(i, lane int, v bool) {
+	if v {
+		p.inPlane[i] |= 1 << uint(lane)
+	} else {
+		p.inPlane[i] &^= 1 << uint(lane)
+	}
+}
+
+// Value returns the current value of net id in one lane.
+func (p *PackedSim) Value(lane int, id NetID) bool {
+	return p.val[id]>>uint(lane)&1 == 1
+}
+
+// WordValue returns the current unsigned value of a bus in one lane.
+func (p *PackedSim) WordValue(lane int, w Word) uint64 {
+	var v uint64
+	for i, id := range w {
+		v |= p.val[id] >> uint(lane) & 1 << uint(i)
+	}
+	return v
+}
+
+// ForceFlop overrides flop i's state in one lane without charging energy —
+// the per-lane analogue of Sim.ForceFlop. The fanout dirty marks are
+// deferred until the lane's next tick: marking immediately could hand the
+// re-evaluation to a batch the lane is masked out of, which would consume
+// the union dirty bit while leaving this lane's cone stale.
+func (p *PackedSim) ForceFlop(lane, i int, v bool) {
+	ff := p.N.DFFs[i]
+	bit := uint64(1) << uint(lane)
+	if (p.val[ff.Q]&bit != 0) != v {
+		p.val[ff.Q] ^= bit
+		p.qVal[i] ^= bit
+		p.pending[lane] = append(p.pending[lane], ff.Q)
+	}
+	if v {
+		p.nextQ[i] |= bit
+	} else {
+		p.nextQ[i] &^= bit
+	}
+}
+
+// Tick simulates one clock period for every lane set in mask and returns
+// the per-lane energies of this tick (valid until the next Tick; entries of
+// masked-out lanes are zero). Lanes outside the mask are untouched.
+func (p *PackedSim) Tick(mask uint64) *[PackedLanes]units.Energy {
+	for m := mask; m != 0; m &= m - 1 {
+		lane := bits.TrailingZeros64(m)
+		p.laneE[lane] = 0
+		if pend := p.pending[lane]; len(pend) > 0 {
+			for _, net := range pend {
+				p.markDirty(net)
+			}
+			p.pending[lane] = pend[:0]
+		}
+	}
+	evals0 := p.evals
+
+	// Clock edge: launch captured flop values in the ticking lanes.
+	dffs := p.N.DFFs
+	for i := range p.qVal {
+		diff := (p.qVal[i] ^ p.nextQ[i]) & mask
+		if diff == 0 {
+			continue
+		}
+		q := dffs[i].Q
+		p.val[q] ^= diff
+		p.qVal[i] ^= diff
+		p.addLanes(diff, p.swE[q])
+		p.markDirty(q)
+	}
+	for m := mask; m != 0; m &= m - 1 {
+		p.laneE[bits.TrailingZeros64(m)] += p.clockE
+	}
+
+	// Apply primary inputs in declaration order.
+	for i, id := range p.N.Inputs {
+		diff := (p.inPlane[i] ^ p.val[id]) & mask
+		if diff == 0 {
+			continue
+		}
+		p.val[id] ^= diff
+		p.addLanes(diff, p.swE[id])
+		p.markDirty(id)
+	}
+
+	// Settle the union of dirty gates, level by level. A single plane-wide
+	// evaluation computes all 64 lanes; the masked diff confines the update
+	// (and the energy) to ticking lanes whose output actually changed, so
+	// evaluations triggered by other lanes are free of side effects here.
+	evals := p.evals
+	val := p.val
+	hot, insFlat := p.hot, p.insFlat
+	swE := p.swE
+	fanOff, fanIdx, dirtyBits := p.fanOff, p.fanIdx, p.dirtyBits
+	for lv, gates := range p.levelGates {
+		dirtyLv := dirtyBits[p.levelOff[lv]:p.levelOff[lv+1]]
+		for wi, w := range dirtyLv {
+			if w == 0 {
+				continue
+			}
+			dirtyLv[wi] = 0
+			base := wi << 6
+			for w != 0 {
+				pos := base + bits.TrailingZeros64(w)
+				w &= w - 1
+				gi := gates[pos]
+				evals++
+
+				h := hot[gi]
+				var v uint64
+				switch h.op {
+				case opAnd2:
+					v = val[h.a] & val[h.b]
+				case opNand2:
+					v = ^(val[h.a] & val[h.b])
+				case opOr2:
+					v = val[h.a] | val[h.b]
+				case opNor2:
+					v = ^(val[h.a] | val[h.b])
+				case opXor2:
+					v = val[h.a] ^ val[h.b]
+				case opXnor2:
+					v = ^(val[h.a] ^ val[h.b])
+				case opNot:
+					v = ^val[h.a]
+				case opBuf:
+					v = val[h.a]
+				case opAndN, opNandN:
+					v = ^uint64(0)
+					for _, in := range insFlat[h.a:h.b] {
+						v &= val[in]
+					}
+					if h.op == opNandN {
+						v = ^v
+					}
+				case opOrN, opNorN:
+					v = 0
+					for _, in := range insFlat[h.a:h.b] {
+						v |= val[in]
+					}
+					if h.op == opNorN {
+						v = ^v
+					}
+				default: // opXorN, opXnorN
+					v = 0
+					for _, in := range insFlat[h.a:h.b] {
+						v ^= val[in]
+					}
+					if h.op == opXnorN {
+						v = ^v
+					}
+				}
+
+				out := h.out
+				diff := (v ^ val[out]) & mask
+				if diff != 0 {
+					val[out] ^= diff
+					p.addLanes(diff, swE[out])
+					for _, di := range fanIdx[fanOff[out]:fanOff[out+1]] {
+						dirtyBits[di>>6] |= 1 << (di & 63)
+					}
+				}
+			}
+		}
+	}
+	p.evals = evals
+
+	// Capture next state in the ticking lanes.
+	for i, d := range p.dNets {
+		p.nextQ[i] = p.nextQ[i]&^mask | p.val[d]&mask
+	}
+
+	p.cycles += uint64(bits.OnesCount64(mask))
+	mCycles.Add(uint64(bits.OnesCount64(mask)))
+	mEvals.Add(p.evals - evals0)
+	return &p.laneE
+}
+
+// LaneCycles returns the total lane-cycles simulated (the sum over ticks of
+// the ticking-lane count).
+func (p *PackedSim) LaneCycles() uint64 { return p.cycles }
+
+// Evals returns the union gate evaluations performed.
+func (p *PackedSim) Evals() uint64 { return p.evals }

@@ -1,0 +1,142 @@
+package hwsyn
+
+import (
+	"hash/fnv"
+
+	"repro/internal/cfsm"
+	"repro/internal/gate"
+)
+
+// Engine abstracts a hardware execution engine for one module, so the
+// co-simulation core can drive either the classic per-run Driver or a lane
+// of a 64-wide packed column without knowing which. The protocol is the
+// Driver's: SyncVars to force behavioral state, Begin to start a
+// transition, then resume the returned Execution until it completes.
+type Engine interface {
+	// Module returns the synthesized module this engine executes.
+	Module() *Module
+	// SyncVars forces the hardware variable registers to behavioral values.
+	SyncVars(vals []uint32)
+	// Begin binds a reaction's inputs and pulses Go (one cycle).
+	Begin(r *cfsm.Reaction) (Execution, error)
+	// ExecTransition runs a whole transition synchronously (shadow audit,
+	// trace replay). nil mem means zero-wait accesses backed by the
+	// reaction's own recorded read values.
+	ExecTransition(r *cfsm.Reaction, mem MemHandler) (ExecStats, error)
+}
+
+// Execution is one in-flight transition on an Engine: the simulation master
+// resumes it with Run, services memory requests (Stall + CreditRead /
+// CreditWrite) as the bus model dictates, and reads the final Stats.
+type Execution interface {
+	Run() (req Req, needMem bool, err error)
+	Stall(n uint64)
+	CreditRead(addr, data uint32)
+	CreditWrite(addr uint32)
+	Stats() ExecStats
+}
+
+// Module returns the driven module (Engine interface).
+func (d *Driver) Module() *Module { return d.Mod }
+
+// DriverEngine adapts Driver to the Engine interface. The only mismatch is
+// Begin's concrete *Exec return type.
+type DriverEngine struct{ *Driver }
+
+// Begin implements Engine.
+func (d DriverEngine) Begin(r *cfsm.Reaction) (Execution, error) {
+	e, err := d.Driver.Begin(r)
+	if err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Fingerprint returns a structural hash of the synthesized module: the
+// netlist topology, port bindings and micro-program entry points. Two
+// modules with equal fingerprints (and equal widths) synthesized from
+// clones of one machine are gate-for-gate interchangeable, which is the
+// precondition for packing their simulations into lanes of one PackedSim.
+// The hash is memoized at synthesis time — modules are immutable after
+// Synthesize and every lane Bind of a packed column consults it.
+func (mod *Module) Fingerprint() uint64 {
+	if mod.fp != 0 {
+		return mod.fp
+	}
+	return mod.fingerprint()
+}
+
+func (mod *Module) fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w := func(v uint64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	wNet := func(id gate.NetID) { w(uint64(id)) }
+	wWord := func(ws gate.Word) {
+		w(uint64(len(ws)))
+		for _, id := range ws {
+			wNet(id)
+		}
+	}
+
+	w(uint64(mod.Width))
+	n := mod.N
+	w(uint64(n.NumNets()))
+	w(uint64(len(n.Gates)))
+	for _, g := range n.Gates {
+		w(uint64(g.Kind))
+		wNet(g.Out)
+		w(uint64(len(g.Ins)))
+		for _, in := range g.Ins {
+			wNet(in)
+		}
+	}
+	w(uint64(len(n.DFFs)))
+	for _, ff := range n.DFFs {
+		wNet(ff.D)
+		wNet(ff.Q)
+		if ff.Init {
+			w(1)
+		} else {
+			w(0)
+		}
+	}
+	w(uint64(len(n.Inputs)))
+	for _, id := range n.Inputs {
+		wNet(id)
+	}
+
+	wNet(mod.Go)
+	wWord(mod.TransSel)
+	w(uint64(len(mod.InVals)))
+	for i := range mod.InVals {
+		wWord(mod.InVals[i])
+		wNet(mod.InPresent[i])
+	}
+	wWord(mod.MemRData)
+	wNet(mod.MemAck)
+	wNet(mod.Done)
+	w(uint64(len(mod.OutVals)))
+	for i := range mod.OutVals {
+		wNet(mod.OutPresent[i])
+		wWord(mod.OutVals[i])
+	}
+	wNet(mod.MemReq)
+	wNet(mod.MemWr)
+	wWord(mod.MemAddr)
+	wWord(mod.MemWData)
+	wWord(mod.Upc)
+	w(uint64(len(mod.VarRegs)))
+	for _, vr := range mod.VarRegs {
+		wWord(vr)
+	}
+	w(uint64(len(mod.entries)))
+	for _, e := range mod.entries {
+		w(uint64(e))
+	}
+	return h.Sum64()
+}

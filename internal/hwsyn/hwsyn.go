@@ -90,6 +90,10 @@ type Module struct {
 
 	entries []int // entry step per transition
 	steps   []step
+
+	// fp memoizes Fingerprint. Synthesize sets it before the module
+	// escapes, so reads never race; Rebind's shallow copy carries it.
+	fp uint64
 }
 
 // NumSteps returns the micro-program length (including idle and done steps).
@@ -112,6 +116,7 @@ func Synthesize(m *cfsm.CFSM, cfg Config) (*Module, error) {
 	if err := sy.build(); err != nil {
 		return nil, err
 	}
+	sy.mod.fp = sy.mod.fingerprint()
 	return sy.mod, nil
 }
 

@@ -1,0 +1,439 @@
+package hwsyn
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/cfsm"
+	"repro/internal/gate"
+	"repro/internal/units"
+)
+
+// ErrPackMismatch reports that a module cannot join a packed column because
+// it is not gate-for-gate interchangeable with the column's reference
+// module (different structure, port bindings or supply voltage). Callers
+// match it with errors.Is and fall back to a per-run Driver.
+var ErrPackMismatch = errors.New("hwsyn: module incompatible with packed column")
+
+// PackedModule shares one 64-lane gate.PackedSim between up to 64
+// independent simulations of structurally identical modules (sweep points
+// that differ only in stimuli). Each lane gets a LaneEngine implementing
+// the same Engine protocol a Driver does; the difference is that a lane's
+// Run cannot advance the netlist alone — it parks via the yield callback
+// until the column scheduler materializes a whole batch with RunBatch, so
+// one plane-wide gate evaluation serves every parked lane at once.
+//
+// Lanes are fully independent in simulated time: a batch only ticks the
+// lanes whose deferred programs need a cycle, so lanes at wildly different
+// local cycle counts coexist. Per-lane ExecStats are bit-identical to a
+// solo Driver run of the same stimuli (see TestPackedLanesMatchDriver).
+//
+// PackedModule is not safe for concurrent use: the column scheduler owns
+// it and serializes lane execution.
+type PackedModule struct {
+	sim    *gate.PackedSim
+	vdd    units.Voltage
+	mask32 uint32
+	fp     uint64
+
+	inIdx   map[gate.NetID]int
+	flopIdx map[gate.NetID]int
+
+	// MaxCycles bounds one transition execution per lane (runaway guard),
+	// mirroring Driver.MaxCycles.
+	MaxCycles uint64
+
+	parked [gate.PackedLanes]*LaneExec
+	nPark  int
+
+	yield func(lane int) error
+}
+
+// NewPackedModule builds a 64-lane column around mod's netlist. The yield
+// callback is invoked (on the lane's goroutine) whenever a lane parks in
+// Run; it must block until the scheduler has materialized the lane's
+// program via RunBatch, and returns a non-nil error to abort the lane
+// (cancellation).
+func NewPackedModule(mod *Module, vdd units.Voltage, yield func(lane int) error) (*PackedModule, error) {
+	sim, err := gate.NewPackedSim(mod.N, vdd)
+	if err != nil {
+		return nil, err
+	}
+	pm := &PackedModule{
+		sim:       sim,
+		vdd:       vdd,
+		mask32:    uint32(1)<<uint(mod.Width) - 1,
+		fp:        mod.Fingerprint(),
+		inIdx:     make(map[gate.NetID]int, len(mod.N.Inputs)),
+		flopIdx:   make(map[gate.NetID]int, len(mod.N.DFFs)),
+		MaxCycles: 10_000_000,
+		yield:     yield,
+	}
+	for i, id := range mod.N.Inputs {
+		pm.inIdx[id] = i
+	}
+	for i, ff := range mod.N.DFFs {
+		pm.flopIdx[ff.Q] = i
+	}
+	return pm, nil
+}
+
+// Bind attaches one lane's module instance (typically an Artifacts rebind,
+// or an independent synthesis of the same machine) and returns the lane's
+// Engine. The module must be structurally identical to the column's
+// reference — net IDs and micro-program included — and share its supply
+// voltage; otherwise Bind fails with ErrPackMismatch and the caller should
+// run that point on a plain Driver instead.
+func (pm *PackedModule) Bind(lane int, mod *Module, vdd units.Voltage) (*LaneEngine, error) {
+	if lane < 0 || lane >= gate.PackedLanes {
+		return nil, fmt.Errorf("hwsyn: lane %d out of range", lane)
+	}
+	if vdd != pm.vdd {
+		return nil, fmt.Errorf("%w: machine %s: vdd %v != column %v",
+			ErrPackMismatch, mod.M.Name, vdd, pm.vdd)
+	}
+	if mod.Fingerprint() != pm.fp {
+		return nil, fmt.Errorf("%w: machine %s: structural fingerprint differs",
+			ErrPackMismatch, mod.M.Name)
+	}
+	return &LaneEngine{pm: pm, mod: mod, lane: lane}, nil
+}
+
+// Parked returns how many lanes are currently parked in Run awaiting a
+// batch. The scheduler uses it to pick the fullest column.
+func (pm *PackedModule) Parked() int { return pm.nPark }
+
+// RunBatch materializes the deferred programs of every parked lane: rounds
+// of per-lane protocol decisions followed by one shared Tick for the lanes
+// that need a cycle, until every parked lane reaches a terminal Run result
+// (transition done, an uncredited memory request, or a runaway error).
+// The parked lanes' goroutines can then be resumed to collect the results.
+func (pm *PackedModule) RunBatch() {
+	for {
+		var mask uint64
+		for lane := range pm.parked {
+			e := pm.parked[lane]
+			if e == nil {
+				continue
+			}
+			if e.step() {
+				mask |= 1 << uint(lane)
+			} else {
+				pm.parked[lane] = nil
+				pm.nPark--
+			}
+		}
+		if mask == 0 {
+			return
+		}
+		laneE := pm.sim.Tick(mask)
+		for m := mask; m != 0; m &= m - 1 {
+			lane := bits.TrailingZeros64(m)
+			pm.parked[lane].postTick(laneE[lane])
+		}
+	}
+}
+
+// LaneEngine is one lane's view of a PackedModule, implementing the Engine
+// protocol the co-simulation core drives.
+type LaneEngine struct {
+	pm   *PackedModule
+	mod  *Module
+	lane int
+}
+
+// Module returns this lane's module instance.
+func (le *LaneEngine) Module() *Module { return le.mod }
+
+// Lane returns the lane index within the column.
+func (le *LaneEngine) Lane() int { return le.lane }
+
+func (le *LaneEngine) set(id gate.NetID, v bool) {
+	i, ok := le.pm.inIdx[id]
+	if !ok {
+		panic(fmt.Sprintf("hwsyn: net %d is not a primary input", id))
+	}
+	le.pm.sim.SetInput(i, le.lane, v)
+}
+
+func (le *LaneEngine) setWord(w gate.Word, v uint32) {
+	for b, id := range w {
+		le.set(id, v>>uint(b)&1 == 1)
+	}
+}
+
+// SyncVars forces this lane's hardware variable registers to behavioral
+// values, exactly like Driver.SyncVars. The forced state is visible to the
+// lane immediately; fanout re-evaluation is deferred to the lane's next
+// tick (PackedSim.ForceFlop), so other lanes' batches cannot consume it.
+func (le *LaneEngine) SyncVars(vals []uint32) {
+	pm := le.pm
+	for vi, q := range le.mod.VarRegs {
+		if vi >= len(vals) {
+			break
+		}
+		v := vals[vi] & pm.mask32
+		for b, net := range q {
+			pm.sim.ForceFlop(le.lane, pm.flopIdx[net], v>>uint(b)&1 == 1)
+		}
+	}
+}
+
+// VarValue reads variable vi from this lane's hardware registers.
+func (le *LaneEngine) VarValue(vi int) uint32 {
+	return uint32(le.pm.sim.WordValue(le.lane, le.mod.VarRegs[vi]))
+}
+
+type laneOut struct {
+	req     Req
+	needMem bool
+	err     error
+}
+
+// LaneExec is one in-flight transition on a lane — the packed counterpart
+// of Exec. Cycle and stall counters advance eagerly (so the core's
+// discrete-event bookkeeping reads correct Stats between protocol calls)
+// while the netlist ticks themselves are deferred until the lane joins a
+// batch; energy and emissions materialize with the ticks.
+type LaneExec struct {
+	eng *LaneEngine
+	r   *cfsm.Reaction
+
+	stats  ExecStats
+	lastPC uint64
+	served bool
+	done   bool
+
+	readCredit  map[uint32]uint32
+	writeCredit map[uint32]bool
+
+	pendBegin bool   // Begin's Go cycle not yet ticked
+	pendStall uint64 // stall cycles not yet ticked
+	out       laneOut
+}
+
+// Begin implements Engine: it binds the reaction's inputs on this lane's
+// planes and schedules the Go pulse cycle (counted now, ticked at the
+// lane's next batch).
+func (le *LaneEngine) Begin(r *cfsm.Reaction) (Execution, error) {
+	e, err := le.begin(r)
+	if err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (le *LaneEngine) begin(r *cfsm.Reaction) (*LaneExec, error) {
+	mod := le.mod
+	if r.TransIdx < 0 || r.TransIdx >= len(mod.entries) {
+		return nil, fmt.Errorf("hwsyn: transition %d out of range", r.TransIdx)
+	}
+	tr := mod.M.Transitions[r.TransIdx]
+	trig := map[int]bool{}
+	for _, p := range tr.Trigger {
+		trig[p] = true
+	}
+	for p := range mod.M.InputNames {
+		le.setWord(mod.InVals[p], uint32(mod.M.InputVal(p))&le.pm.mask32)
+		le.set(mod.InPresent[p], trig[p] || mod.M.Pending(p))
+	}
+	le.setWord(mod.TransSel, uint32(r.TransIdx))
+	le.setWord(mod.MemRData, 0)
+	le.set(mod.MemAck, false)
+
+	e := &LaneExec{
+		eng: le, r: r,
+		lastPC:      1<<63 - 1,
+		readCredit:  make(map[uint32]uint32),
+		writeCredit: make(map[uint32]bool),
+	}
+	le.set(mod.Go, true)
+	e.stats.Cycles++
+	e.pendBegin = true
+	return e, nil
+}
+
+// Stats returns the statistics accumulated so far. Cycle and stall counts
+// are always current; energy and emissions of cycles the lane has not yet
+// ticked appear once the lane's program materializes (i.e. by the time Run
+// returns).
+func (e *LaneExec) Stats() ExecStats { return e.stats }
+
+// Done reports whether the transition has completed.
+func (e *LaneExec) Done() bool { return e.done }
+
+// Stall burns n idle clock cycles (the engine waiting for the bus). The
+// cycles are counted immediately and ticked with the lane's next batch.
+func (e *LaneExec) Stall(n uint64) {
+	e.eng.set(e.eng.mod.MemAck, false)
+	e.stats.Cycles += n
+	e.stats.StallCycles += n
+	e.pendStall += n
+}
+
+// CreditRead supplies read data for an address (e.g. a fetched DMA block).
+func (e *LaneExec) CreditRead(addr, data uint32) { e.readCredit[addr] = data }
+
+// CreditWrite marks a write address as posted.
+func (e *LaneExec) CreditWrite(addr uint32) { e.writeCredit[addr] = true }
+
+// Run advances the lane until the transition completes or stalls on an
+// uncredited memory access — by parking the calling goroutine until the
+// column scheduler batches this lane's program with its siblings. A non-nil
+// yield error (cancellation) aborts the lane without a result.
+func (e *LaneExec) Run() (Req, bool, error) {
+	pm := e.eng.pm
+	lane := e.eng.lane
+	pm.parked[lane] = e
+	pm.nPark++
+	if err := pm.yield(lane); err != nil {
+		if pm.parked[lane] == e {
+			pm.parked[lane] = nil
+			pm.nPark--
+		}
+		return Req{}, false, err
+	}
+	return e.out.req, e.out.needMem, e.out.err
+}
+
+// step makes one protocol decision for the lane's deferred program. It
+// returns true when the lane needs a netlist tick this round, false when
+// the lane reached a terminal state (result stored in e.out). The decision
+// sequence replicates Exec.Run cycle for cycle.
+func (e *LaneExec) step() bool {
+	le := e.eng
+	pm, mod, lane := le.pm, le.mod, le.lane
+	if e.pendBegin || e.pendStall > 0 {
+		return true
+	}
+	if e.stats.Cycles > pm.MaxCycles {
+		e.out = laneOut{err: fmt.Errorf("hwsyn: transition %d runaway (> %d cycles)",
+			e.r.TransIdx, pm.MaxCycles)}
+		return false
+	}
+	if pm.sim.Value(lane, mod.Done) {
+		e.done = true
+		le.set(mod.MemAck, false)
+		e.out = laneOut{}
+		return false
+	}
+
+	pc := pm.sim.WordValue(lane, mod.Upc)
+	if pc != e.lastPC {
+		e.served = false
+		e.lastPC = pc
+	}
+
+	if pm.sim.Value(lane, mod.MemReq) && !e.served {
+		addr := uint32(pm.sim.WordValue(lane, mod.MemAddr))
+		write := pm.sim.Value(lane, mod.MemWr)
+		if write {
+			if e.writeCredit[addr] {
+				delete(e.writeCredit, addr)
+				e.stats.MemOps++
+				le.set(mod.MemAck, true)
+				e.served = true
+				return true
+			}
+			le.set(mod.MemAck, false)
+			e.out = laneOut{
+				req:     Req{Addr: addr, WData: uint32(pm.sim.WordValue(lane, mod.MemWData)), Write: true},
+				needMem: true,
+			}
+			return false
+		}
+		if v, ok := e.readCredit[addr]; ok {
+			delete(e.readCredit, addr)
+			e.stats.MemOps++
+			le.setWord(mod.MemRData, v&pm.mask32)
+			le.set(mod.MemAck, true)
+			e.served = true
+			return true
+		}
+		le.set(mod.MemAck, false)
+		e.out = laneOut{req: Req{Addr: addr}, needMem: true}
+		return false
+	}
+
+	le.set(mod.MemAck, false)
+	return true
+}
+
+// postTick absorbs one materialized tick: the lane's switching energy, any
+// output emissions, and — for run-loop cycles that were not counted eagerly
+// by Begin or Stall — the cycle count.
+func (e *LaneExec) postTick(energy units.Energy) {
+	le := e.eng
+	mod, lane := le.mod, le.lane
+	e.stats.Energy += energy
+	for p, pulse := range mod.OutPresent {
+		if le.pm.sim.Value(lane, pulse) {
+			e.stats.Emits = append(e.stats.Emits, cfsm.Emission{
+				Port:  p,
+				Value: cfsm.Value(uint32(le.pm.sim.WordValue(lane, mod.OutVals[p]))),
+			})
+		}
+	}
+	switch {
+	case e.pendBegin:
+		e.pendBegin = false
+		le.set(mod.Go, false)
+	case e.pendStall > 0:
+		e.pendStall--
+	default:
+		e.stats.Cycles++
+	}
+}
+
+// runSolo materializes this lane's program immediately, ticking only this
+// lane — the shadow-audit / replay path, where the caller needs the result
+// synchronously and no siblings are parked. Other lanes are untouched:
+// ticks are masked to this lane and their deferred dirty state stays
+// queued.
+func (e *LaneExec) runSolo() (Req, bool, error) {
+	mask := uint64(1) << uint(e.eng.lane)
+	for e.step() {
+		laneE := e.eng.pm.sim.Tick(mask)
+		e.postTick(laneE[e.eng.lane])
+	}
+	return e.out.req, e.out.needMem, e.out.err
+}
+
+// ExecTransition runs a whole transition synchronously on this lane alone
+// (Engine interface) — the packed counterpart of Driver.ExecTransition,
+// used by the shadow auditor and trace replay. nil mem answers reads from
+// the reaction's own recorded values with zero wait, like the Driver's.
+func (le *LaneEngine) ExecTransition(r *cfsm.Reaction, mem MemHandler) (ExecStats, error) {
+	if mem == nil {
+		reads := r.MemOps
+		mem = func(addr, wdata uint32, write bool) (uint32, uint64) {
+			for _, op := range reads {
+				if !op.Write && op.Addr == addr {
+					return uint32(op.Data) & le.pm.mask32, 0
+				}
+			}
+			return 0, 0
+		}
+	}
+	e, err := le.begin(r)
+	if err != nil {
+		return ExecStats{}, err
+	}
+	for {
+		req, needMem, err := e.runSolo()
+		if err != nil {
+			return e.stats, err
+		}
+		if !needMem {
+			return e.stats, nil
+		}
+		rdata, wait := mem(req.Addr, req.WData, req.Write)
+		e.Stall(wait)
+		if req.Write {
+			e.CreditWrite(req.Addr)
+		} else {
+			e.CreditRead(req.Addr, rdata)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package packed64
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hwsyn"
+	"repro/internal/units"
+)
+
+// colLane is one sweep point's seat in a column: its co-simulation and,
+// once the lane goroutine finishes, its result.
+type colLane struct {
+	p   *point
+	cs  *core.CoSim
+	rep *core.Report
+	err error
+}
+
+// parkEvt announces that a lane parked on a packed module awaiting a batch.
+type parkEvt struct {
+	pm   *hwsyn.PackedModule
+	lane int
+}
+
+// colSched carries the strict serial baton between the column scheduler and
+// its lane goroutines: exactly one lane runs at any moment, so the shared
+// packed simulator needs no locking. A lane that cannot proceed parks
+// (park), the scheduler resumes exactly one runnable lane (resume[lane])
+// and blocks until that lane parks again or finishes (finish).
+type colSched struct {
+	park   chan parkEvt
+	finish chan int
+	resume []chan error
+}
+
+func (s *colSched) yield(pm *hwsyn.PackedModule, lane int) error {
+	s.park <- parkEvt{pm: pm, lane: lane}
+	return <-s.resume[lane]
+}
+
+// runColumn estimates a column of compatible points on shared packed
+// simulators: one co-simulation per lane, every hardware machine of the
+// column backed by one hwsyn.PackedModule whose lanes the points bind. The
+// lanes execute under a cooperative scheduler — when every live lane is
+// parked awaiting hardware cycles, the fullest module materializes all of
+// them with one plane-parallel batch.
+//
+// If any lane's module turns out not to be structurally identical to the
+// column reference (the grouping key was too coarse for this grid), the
+// whole column is demoted to per-point interpreted execution — correctness
+// never depends on packability.
+func (b *Backend) runColumn(ctx context.Context, st *runState, pts []*point) {
+	colStart := time.Now()
+	sched := &colSched{
+		park:   make(chan parkEvt),
+		finish: make(chan int),
+		resume: make([]chan error, len(pts)),
+	}
+	for i := range sched.resume {
+		sched.resume[i] = make(chan error)
+	}
+
+	// Construction is serial: lane li's engine factory binds lane li of the
+	// per-machine packed module, creating the module around the first lane's
+	// netlist.
+	mods := make(map[string]*hwsyn.PackedModule)
+	var modNames []string
+	lanes := make([]*colLane, len(pts))
+	for li, p := range pts {
+		lane := li
+		cfg := p.cfg.Clone()
+		cfg.HWEngineFactory = func(mod *hwsyn.Module, vdd units.Voltage) (hwsyn.Engine, error) {
+			name := mod.M.Name
+			pm, ok := mods[name]
+			if !ok {
+				var err error
+				pm, err = hwsyn.NewPackedModule(mod, vdd, func(l int) error {
+					return sched.yield(pm, l)
+				})
+				if err != nil {
+					return nil, err
+				}
+				mods[name] = pm
+				modNames = append(modNames, name)
+			}
+			return pm.Bind(lane, mod, vdd)
+		}
+		cs, err := core.NewShared(p.sys, cfg, st.opts.Artifacts)
+		if err != nil {
+			if errors.Is(err, hwsyn.ErrPackMismatch) {
+				// Same machine names, different structure: rebuild every
+				// point of the column the interpreted way. Already-built
+				// sibling co-simulations never ran, so their systems are
+				// safe to re-bind from scratch.
+				mDemoted.Inc()
+				for _, dp := range pts {
+					if ctx.Err() != nil {
+						return
+					}
+					mSingles.Inc()
+					b.runSingle(ctx, st, dp)
+				}
+				return
+			}
+			// A per-point construction failure (validation etc.): record it
+			// and keep packing the remaining lanes.
+			st.finish(p.idx, nil, err, time.Since(colStart))
+			continue
+		}
+		lanes[li] = &colLane{p: p, cs: cs}
+	}
+
+	mColumns.Inc()
+	live := 0
+	for li, ln := range lanes {
+		if ln == nil {
+			continue
+		}
+		live++
+		mLanes.Inc()
+		go func(li int, ln *colLane) {
+			if err := <-sched.resume[li]; err != nil {
+				ln.err = err
+			} else {
+				ln.rep, ln.err = ln.cs.RunContext(ctx)
+			}
+			sched.finish <- li
+		}(li, ln)
+	}
+
+	// The baton loop. Invariant at the top: no lane is running, so every
+	// live lane is either runnable (holding a pending resume) or parked on
+	// some module.
+	runnable := make([]int, 0, live)
+	resumeErr := make([]error, len(pts))
+	for li, ln := range lanes {
+		if ln != nil {
+			runnable = append(runnable, li)
+		}
+	}
+	parkedOn := make(map[*hwsyn.PackedModule][]int)
+	for live > 0 {
+		if len(runnable) == 0 {
+			if ctx.Err() != nil {
+				// Cancelled mid-column: unwind every parked lane with the
+				// cause instead of materializing batches nobody wants. The
+				// lanes observe the error from their pending Run and abort.
+				abort := fmt.Errorf("packed64: lane aborted: %w", context.Cause(ctx))
+				for _, name := range modNames {
+					pm := mods[name]
+					for _, l := range parkedOn[pm] {
+						resumeErr[l] = abort
+						runnable = append(runnable, l)
+					}
+					delete(parkedOn, pm)
+				}
+				sort.Ints(runnable)
+				continue
+			}
+			var best *hwsyn.PackedModule
+			for _, name := range modNames {
+				pm := mods[name]
+				if len(parkedOn[pm]) == 0 {
+					continue
+				}
+				if best == nil || len(parkedOn[pm]) > len(parkedOn[best]) {
+					best = pm
+				}
+			}
+			if best == nil {
+				panic("packed64: live lanes but none parked or runnable")
+			}
+			best.RunBatch()
+			ls := parkedOn[best]
+			delete(parkedOn, best)
+			sort.Ints(ls)
+			runnable = ls
+			continue
+		}
+		l := runnable[0]
+		runnable = runnable[1:]
+		err := resumeErr[l]
+		resumeErr[l] = nil
+		sched.resume[l] <- err
+		// Exactly one event follows: the resumed lane parks again or
+		// finishes.
+		select {
+		case evt := <-sched.park:
+			parkedOn[evt.pm] = append(parkedOn[evt.pm], evt.lane)
+		case fl := <-sched.finish:
+			live--
+			ln := lanes[fl]
+			if ln.err == nil && st.opts.OnRun != nil {
+				st.opts.OnRun(ln.p.idx, ln.cs)
+			}
+			st.finish(ln.p.idx, ln.rep, ln.err, time.Since(colStart))
+		}
+	}
+}

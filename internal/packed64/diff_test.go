@@ -1,0 +1,274 @@
+package packed64
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/cfsm"
+	"repro/internal/cfsmtest"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/systems"
+	"repro/internal/units"
+)
+
+// socBuild returns a sweep build function over a random SoC: machine
+// structure is fully determined by seed (identical across points, so the
+// points pack into one column), while stimuli, shared-memory image and
+// acceleration config vary per point. Machine 0 maps to software, the rest
+// to hardware.
+func socBuild(seed int64, n int) engine.BuildFunc {
+	return func(i int) (*core.System, core.Config, error) {
+		const nm = 3
+		mrng := rand.New(rand.NewSource(seed))
+		net := cfsm.NewNet()
+		procs := make(map[string]core.ProcessConfig, nm)
+		for mi := 0; mi < nm; mi++ {
+			name := fmt.Sprintf("m%d", mi)
+			m := cfsmtest.Machine(name, cfsmtest.DefaultParams(), mrng)
+			net.Add(m)
+			net.EnvInputByName(fmt.Sprintf("IN%d", mi), name, "IN")
+			net.EnvOutput(fmt.Sprintf("OUT%d", mi), net.MachineIndex(name), m.OutputIndex("OUT"))
+			mapping := core.HW
+			if mi == 0 {
+				mapping = core.SW
+			}
+			procs[name] = core.ProcessConfig{Mapping: mapping, Priority: mi + 1}
+		}
+		sys := &core.System{
+			Name:       fmt.Sprintf("soc%d", seed),
+			Net:        net,
+			Procs:      procs,
+			SharedInit: map[uint32]cfsm.Value{},
+		}
+
+		srng := rand.New(rand.NewSource(seed*1000 + int64(i)))
+		for a := uint32(0); a < 256; a++ {
+			sys.SharedInit[a] = cfsm.Value(srng.Intn(cfsmtest.Mask + 1))
+		}
+		// Staggered lifetimes: later points see more events, so column lanes
+		// finish at different local times.
+		for k := 0; k < 3+i; k++ {
+			sys.Stimuli = append(sys.Stimuli, core.Stimulus{
+				At:    units.Time(k+1) * 20 * units.Microsecond,
+				Input: fmt.Sprintf("IN%d", srng.Intn(nm)),
+				Value: cfsm.Value(srng.Intn(cfsmtest.Mask + 1)),
+			})
+		}
+
+		cfg := core.DefaultConfig()
+		cfg.Attribution = true
+		if i%2 == 0 {
+			cfg.Accel.ECache = true
+			cfg.Accel.ECacheParams.ThreshCalls = 2
+			cfg.Accel.ECacheParams.ThreshVariance = 0.02
+		}
+		if i%3 == 0 && i%2 == 0 {
+			cfg.ShadowAudit = audit.DefaultParams(0.5)
+		}
+		return sys, cfg, nil
+	}
+}
+
+// scrub zeroes the fields that legitimately differ between runs (wall time).
+func scrub(rep *core.Report) core.Report {
+	r := *rep
+	r.Wall = 0
+	return r
+}
+
+// diffReports runs the same build through the interpreted backend and a
+// packed backend and requires bit-identical reports.
+func diffReports(t *testing.T, be *Backend, n int, workers int, build engine.BuildFunc) {
+	t.Helper()
+	want, err := engine.RunReports(context.Background(), n,
+		engine.Options{Workers: workers}, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := be.Run(context.Background(), n,
+		engine.Options{Workers: workers}, true, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != n || len(got) != n {
+		t.Fatalf("lengths: interpreted %d, packed %d, want %d", len(want), len(got), n)
+	}
+	for i := range want {
+		w, g := scrub(want[i].Value), scrub(got[i].Report)
+		if got[i].Index != want[i].Index {
+			t.Fatalf("outcome %d: index %d, want %d", i, got[i].Index, want[i].Index)
+		}
+		if !reflect.DeepEqual(w, g) {
+			t.Fatalf("point %d: packed report differs from interpreted:\n%v\nvs\n%v",
+				want[i].Index, w.String(), g.String())
+		}
+		if w.ISSCalls != g.ISSCalls || w.GateExecs != g.GateExecs {
+			t.Fatalf("point %d: estimator call counts differ", want[i].Index)
+		}
+	}
+}
+
+// TestPackedMatchesInterpretedRandomSoCs is the corpus differential: random
+// SoCs (SW + 2 HW machines, shared memory, per-point stimuli, caching and
+// shadow auditing on a rotating subset of points) must produce reports
+// bit-identical to the interpreted backend, including attribution rollups
+// and ISS/gate call counts. All grids are partial batches (n < 64).
+func TestPackedMatchesInterpretedRandomSoCs(t *testing.T) {
+	for seed := int64(200); seed < 204; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			diffReports(t, New(64), 6, 2, socBuild(seed, 6))
+		})
+	}
+}
+
+// TestPackedMixedModesFallBack pins the fallback classification: points in
+// separate mode (and their co-estimated siblings) coexist in one sweep, the
+// separate points running interpreted-style while the rest pack.
+func TestPackedMixedModesFallBack(t *testing.T) {
+	base := socBuild(300, 6)
+	build := func(i int) (*core.System, core.Config, error) {
+		sys, cfg, err := base(i)
+		if err != nil {
+			return nil, core.Config{}, err
+		}
+		if i == 2 || i == 4 {
+			cfg.Mode = core.Separate
+			cfg.Attribution = false
+			cfg.Accel.ECache = false
+			cfg.ShadowAudit = audit.Params{}
+		}
+		return sys, cfg, nil
+	}
+	diffReports(t, New(64), 6, 2, build)
+}
+
+// TestPackedMultiColumnChunking runs a compatible 5-point grid through a
+// width-2 backend: two full columns plus a leftover single, exercising the
+// chunking path that a 65+-point sweep takes at full width.
+func TestPackedMultiColumnChunking(t *testing.T) {
+	diffReports(t, New(2), 5, 2, socBuild(400, 5))
+}
+
+// TestPackedSystemsSweepsMatch checks the case-study sweeps: the TCPIP
+// priority × DMA grid (the Table 1 sweep axes) and a ProdCons workload
+// sweep, both against the interpreted backend.
+func TestPackedSystemsSweepsMatch(t *testing.T) {
+	perms, dmas := []int{0, 5}, []int{2, 64}
+	tcpip := func(i int) (*core.System, core.Config, error) {
+		p := systems.DefaultTCPIP()
+		p.Packets = 2
+		p.PriorityPerm = perms[i/len(dmas)]
+		p.DMASize = dmas[i%len(dmas)]
+		sys, cfg := systems.TCPIP(p)
+		return sys, cfg, nil
+	}
+	diffReports(t, New(64), len(perms)*len(dmas), 2, tcpip)
+
+	prodcons := func(i int) (*core.System, core.Config, error) {
+		p := systems.DefaultProdCons()
+		p.Packets = 2 + i
+		sys, cfg := systems.ProdCons(p)
+		return sys, cfg, nil
+	}
+	diffReports(t, New(64), 3, 2, prodcons)
+}
+
+// TestPackedDemotesStructuralMismatch gives every point the same machine
+// names, width and voltage — one column key — but structurally different
+// machines, so lane binding fails the fingerprint check and the whole
+// column must demote to per-point execution with identical results.
+func TestPackedDemotesStructuralMismatch(t *testing.T) {
+	build := func(i int) (*core.System, core.Config, error) {
+		// A different generator seed per point: same names, different logic.
+		return socBuild(500+int64(i), 4)(i)
+	}
+	before := mDemoted.Value()
+	diffReports(t, New(64), 4, 1, build)
+	if mDemoted.Value() == before {
+		t.Fatal("structurally mismatched column was not demoted")
+	}
+}
+
+// TestPackedCancellationMidColumn cancels the sweep after the first point
+// completes: parked lanes must unwind promptly, the partial results stay
+// index-ordered, and the error chain reaches context.Canceled.
+func TestPackedCancellationMidColumn(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := 0
+	outs, err := New(64).Run(ctx, 8, engine.Options{
+		Workers: 1,
+		OnPoint: func(m engine.PointMetrics) {
+			done++
+			if done == 1 {
+				cancel()
+			}
+		},
+	}, true, socBuild(600, 8))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in the chain", err)
+	}
+	if len(outs) >= 8 {
+		t.Fatal("cancelled sweep completed every point")
+	}
+	for j := 1; j < len(outs); j++ {
+		if outs[j].Index <= outs[j-1].Index {
+			t.Fatal("partial outcomes must stay index-ordered")
+		}
+	}
+}
+
+// TestPackedFailFastAndKeepGoing pins the two error modes on a build
+// failure: fail-fast surfaces the lowest-index error wrapped as
+// "point %d: ...", keep-going rides it on the outcome and completes the
+// remaining points identically to the interpreted backend.
+func TestPackedFailFastAndKeepGoing(t *testing.T) {
+	boom := errors.New("bad point")
+	build := func(i int) (*core.System, core.Config, error) {
+		if i == 2 {
+			return nil, core.Config{}, boom
+		}
+		return socBuild(700, 5)(i)
+	}
+
+	_, err := New(64).Run(context.Background(), 5, engine.Options{Workers: 1}, true, build)
+	if err == nil || !errors.Is(err, boom) || !strings.HasPrefix(err.Error(), "point 2:") {
+		t.Fatalf("fail-fast err = %v, want point 2's wrapped error", err)
+	}
+
+	outs, err := New(64).Run(context.Background(), 5, engine.Options{Workers: 1}, false, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 5 {
+		t.Fatalf("keep-going outcomes = %d, want 5", len(outs))
+	}
+	want, werr := engine.RunOutcomes(context.Background(), 5, engine.Options{Workers: 1}, build)
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	for i := range outs {
+		if (outs[i].Err != nil) != (want[i].Err != nil) {
+			t.Fatalf("point %d: error presence differs: packed %v, interpreted %v",
+				i, outs[i].Err, want[i].Err)
+		}
+		if outs[i].Err != nil {
+			if !errors.Is(outs[i].Err, boom) {
+				t.Fatalf("point %d: err = %v, want %v", i, outs[i].Err, boom)
+			}
+			continue
+		}
+		w, g := scrub(want[i].Report), scrub(outs[i].Report)
+		if !reflect.DeepEqual(w, g) {
+			t.Fatalf("point %d: keep-going report differs from interpreted", i)
+		}
+	}
+}

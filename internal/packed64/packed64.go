@@ -1,0 +1,280 @@
+// Package packed64 implements the bit-parallel sweep-estimation backend:
+// up to 64 sweep points that share their hardware netlists are batched into
+// the lanes of 64-wide gate.PackedSim columns, so one plane-wide gate
+// evaluation advances a whole column of design points at once. Sweep points
+// differ only in stimuli/configuration, never in netlist structure, which
+// is exactly the layout the packed simulator exploits (the hardware-
+// accelerated power estimation idea of Coburn/Ravi/Raghunathan, realized
+// with uint64 lanes instead of an FPGA).
+//
+// The backend registers itself as "packed64" in the internal/engine backend
+// registry on import. Its contract is bit-identity: every per-point Report
+// — energies, cycle counts, ISS-call counts, attribution rollups — must
+// equal the reference "interpreted" backend's output exactly; only
+// throughput differs. Points the column engine cannot pack (separate-mode
+// estimations, pure-software systems, configs that already install their
+// own hardware engine factory, or structurally mismatched modules) fall
+// back to per-point interpreted execution within the same run.
+package packed64
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/gate"
+	"repro/internal/telemetry"
+)
+
+var (
+	mColumns = telemetry.Default.Counter("packed64_columns_total", "packed sweep columns formed")
+	mLanes   = telemetry.Default.Counter("packed64_lanes_total", "sweep points estimated on packed lanes")
+	mSingles = telemetry.Default.Counter("packed64_fallback_points_total", "sweep points that fell back to per-point execution")
+	mDemoted = telemetry.Default.Counter("packed64_demoted_columns_total", "columns demoted to per-point execution (structural mismatch)")
+)
+
+func init() { engine.RegisterBackend(New(gate.PackedLanes)) }
+
+// Backend is the packed sweep engine. The registered instance packs
+// gate.PackedLanes (64) points per column; tests construct narrower ones to
+// exercise multi-column chunking on small grids.
+type Backend struct {
+	width int
+}
+
+// New returns a packed backend batching up to width points per column.
+func New(width int) *Backend {
+	if width < 1 || width > gate.PackedLanes {
+		panic(fmt.Sprintf("packed64: width %d out of range", width))
+	}
+	return &Backend{width: width}
+}
+
+// Name implements engine.Backend.
+func (b *Backend) Name() string { return "packed64" }
+
+// point is one built sweep point awaiting execution.
+type point struct {
+	idx int
+	sys *core.System
+	cfg core.Config
+}
+
+// colKey groups points whose hardware machines can share packed columns:
+// identical datapath width and supply voltage (both reach the netlist and
+// the energy model) and the same set of HW-mapped machines. Clock frequency
+// is deliberately absent — it scales discrete-event time, not gate
+// evaluation, so lanes with different HW clocks pack fine.
+type colKey struct {
+	width    int
+	vdd      float64
+	machines string
+}
+
+// packable reports whether a point can join a column: co-estimation mode
+// (the separate baseline estimates components offline, not through the
+// engine protocol), at least one hardware machine, and no caller-installed
+// engine factory to displace.
+func packable(p *point) (colKey, bool) {
+	if p.cfg.Mode != core.CoEstimation || p.cfg.HWEngineFactory != nil {
+		return colKey{}, false
+	}
+	var names []string
+	for _, m := range p.sys.Net.Machines {
+		if p.sys.Procs[m.Name].Mapping == core.HW {
+			names = append(names, m.Name)
+		}
+	}
+	if len(names) == 0 {
+		return colKey{}, false
+	}
+	sort.Strings(names)
+	return colKey{
+		width:    p.cfg.HWWidth,
+		vdd:      float64(p.cfg.HWVdd),
+		machines: strings.Join(names, "\x00"),
+	}, true
+}
+
+// unit is one schedulable piece of work: a packed column of ≥2 compatible
+// points, or a single point run interpreted-style.
+type unit struct {
+	column []*point // nil for singles
+	single *point
+}
+
+// runState is the bookkeeping shared by all units of one backend run.
+type runState struct {
+	opts     engine.Options
+	failFast bool
+	total    int
+	cancel   context.CancelFunc
+
+	mu       sync.Mutex
+	outcomes map[int]engine.PointOutcome
+	errIdx   int
+	firstErr error
+}
+
+// finish records one completed point: error wrapping and fail-fast
+// cancellation, the outcome, and the OnPoint metrics hook (serialized).
+func (st *runState) finish(i int, rep *core.Report, err error, wall time.Duration) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if err != nil && st.failFast {
+		err = fmt.Errorf("point %d: %w", i, err)
+		if st.errIdx < 0 || i < st.errIdx {
+			st.errIdx, st.firstErr = i, err
+		}
+		st.cancel() // stop dispatching the rest of the grid
+	}
+	if st.failFast {
+		if err == nil {
+			st.outcomes[i] = engine.PointOutcome{Index: i, Report: rep}
+		}
+	} else {
+		st.outcomes[i] = engine.PointOutcome{Index: i, Report: rep, Err: err}
+	}
+	if st.opts.OnPoint != nil {
+		m := engine.PointMetrics{Index: i, Total: st.total, Wall: wall, Err: err}
+		if rep != nil {
+			m.Fill(rep)
+		}
+		st.opts.OnPoint(m)
+	}
+}
+
+// Run implements engine.Backend: build every point, group compatible ones
+// into lane columns, and execute columns plus leftover singles over a
+// bounded worker pool.
+func (b *Backend) Run(ctx context.Context, n int, opts engine.Options, failFast bool, build engine.BuildFunc) ([]engine.PointOutcome, error) {
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	st := &runState{
+		opts:     opts,
+		failFast: failFast,
+		total:    n,
+		cancel:   cancel,
+		outcomes: make(map[int]engine.PointOutcome, n),
+		errIdx:   -1,
+	}
+
+	// Build phase: the column scheduler needs every point's system and
+	// config up front to group compatible ones. Build errors keep Sweep's
+	// fail-fast first-error semantics (or ride the outcome in batch mode).
+	var pts []*point
+	for i := 0; i < n && runCtx.Err() == nil; i++ {
+		sys, cfg, err := build(i)
+		if err != nil {
+			st.finish(i, nil, err, 0)
+			continue
+		}
+		pts = append(pts, &point{idx: i, sys: sys, cfg: cfg})
+	}
+
+	// Column scheduler: group packable points by compatibility key, chunk
+	// each group into ≤width lanes, and run leftovers as singles.
+	groups := make(map[colKey][]*point)
+	var keys []colKey
+	var units []unit
+	for _, p := range pts {
+		key, ok := packable(p)
+		if !ok {
+			units = append(units, unit{single: p})
+			continue
+		}
+		if _, seen := groups[key]; !seen {
+			keys = append(keys, key)
+		}
+		groups[key] = append(groups[key], p)
+	}
+	for _, key := range keys {
+		g := groups[key]
+		for len(g) > 0 {
+			c := len(g)
+			if c > b.width {
+				c = b.width
+			}
+			if c == 1 {
+				// A lone point gains nothing from lane machinery.
+				units = append(units, unit{single: g[0]})
+			} else {
+				units = append(units, unit{column: g[:c]})
+			}
+			g = g[c:]
+		}
+	}
+
+	if st.firstErr == nil || !failFast {
+		workers := opts.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers > len(units) {
+			workers = len(units)
+		}
+		jobs := make(chan unit)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for u := range jobs {
+					if runCtx.Err() != nil {
+						continue // drain: cancelled units never started
+					}
+					if u.single != nil {
+						mSingles.Inc()
+						b.runSingle(runCtx, st, u.single)
+					} else {
+						b.runColumn(runCtx, st, u.column)
+					}
+				}
+			}()
+		}
+	dispatch:
+		for _, u := range units {
+			select {
+			case jobs <- u:
+			case <-runCtx.Done():
+				break dispatch
+			}
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	out := make([]engine.PointOutcome, 0, len(st.outcomes))
+	for i := 0; i < n; i++ {
+		if o, ok := st.outcomes[i]; ok {
+			out = append(out, o)
+		}
+	}
+	if failFast && st.firstErr != nil {
+		return out, st.firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// runSingle estimates one point exactly like the interpreted backend.
+func (b *Backend) runSingle(ctx context.Context, st *runState, p *point) {
+	start := time.Now()
+	var rep *core.Report
+	cs, err := core.NewShared(p.sys, p.cfg.Clone(), st.opts.Artifacts)
+	if err == nil {
+		rep, err = cs.RunContext(ctx)
+	}
+	if err == nil && st.opts.OnRun != nil {
+		st.opts.OnRun(p.idx, cs)
+	}
+	st.finish(p.idx, rep, err, time.Since(start))
+}

@@ -328,6 +328,47 @@ func TestBadRequests(t *testing.T) {
 	}
 }
 
+// TestBackendSelection: requests pick an estimator backend by name — unknown
+// names fail fast with 400, the resolved backend is echoed, and packed64
+// results are bit-identical to the default interpreted ones.
+func TestBackendSelection(t *testing.T) {
+	_, ts := startServer(t, serve.Config{})
+
+	if code, _, _ := post(t, ts.URL, serve.Request{Backend: "quantum"}); code != http.StatusBadRequest {
+		t.Fatalf("unknown backend: status %d, want 400", code)
+	}
+
+	req := serve.Request{Packets: 2, Points: []serve.PointSpec{{}, {DMASize: 32}}}
+	code, _, ref := post(t, ts.URL, req)
+	if code != http.StatusOK {
+		t.Fatalf("interpreted request: status %d", code)
+	}
+	if ref.Backend != "interpreted" {
+		t.Fatalf("default backend echoed as %q, want \"interpreted\"", ref.Backend)
+	}
+
+	packedReqs := telemetry.Default.Counter("serve_backend_packed64_requests_total", "")
+	before := packedReqs.Value()
+	req.Backend = "packed64"
+	code, _, packed := post(t, ts.URL, req)
+	if code != http.StatusOK {
+		t.Fatalf("packed64 request: status %d", code)
+	}
+	if packed.Backend != "packed64" {
+		t.Fatalf("backend echoed as %q, want \"packed64\"", packed.Backend)
+	}
+	if packedReqs.Value() != before+1 {
+		t.Fatalf("packed64 request counter %d, want %d", packedReqs.Value(), before+1)
+	}
+	for i := range ref.Points {
+		r, p := ref.Points[i], packed.Points[i]
+		if r.TotalJ != p.TotalJ || r.SWJ != p.SWJ || r.HWJ != p.HWJ ||
+			r.ISSCalls != p.ISSCalls || r.SimulatedNS != p.SimulatedNS {
+			t.Fatalf("point %d differs across backends:\ninterpreted %+v\npacked64    %+v", i, r, p)
+		}
+	}
+}
+
 // TestNonTCPIPSystems: the other case studies serve too, each with its own
 // session.
 func TestNonTCPIPSystems(t *testing.T) {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -27,6 +28,28 @@ var (
 	hLatency  = telemetry.Default.Histogram("serve_request_seconds",
 		"request wall time (accepted requests)", telemetry.ExpBuckets(1e-4, 2, 22))
 )
+
+// backendCounter returns the per-backend request counter, e.g.
+// serve_backend_packed64_requests_total. The registry's create-on-first-use
+// lookup makes repeat calls cheap, and the backend set is small and fixed.
+func backendCounter(name string) *telemetry.Counter {
+	return telemetry.Default.Counter("serve_backend_"+name+"_requests_total",
+		"requests executed on the "+name+" estimator backend")
+}
+
+// validBackend reports whether name is "" (the default) or a registered
+// estimator backend.
+func validBackend(name string) bool {
+	if name == "" {
+		return true
+	}
+	for _, b := range coest.Backends() {
+		if b == name {
+			return true
+		}
+	}
+	return false
+}
 
 // Config sizes the server. The zero value is usable; every field has a
 // sensible default.
@@ -229,7 +252,16 @@ func (s *Server) estimate(ctx context.Context, req *Request) (*Response, error) 
 	for i, p := range specs {
 		points[i] = pointOptions(p)
 	}
-	results, err := sess.EstimateBatch(ctx, points, coest.WithWorkers(s.cfg.PointWorkers))
+	batchOpts := []coest.Option{coest.WithWorkers(s.cfg.PointWorkers)}
+	backend := sess.Backend()
+	if req.Backend != "" {
+		// Validated at admission; the option re-validates against the
+		// registry and overrides the session baseline for this batch.
+		batchOpts = append(batchOpts, coest.WithBackend(req.Backend))
+		backend = req.Backend
+	}
+	backendCounter(backend).Inc()
+	results, err := sess.EstimateBatch(ctx, points, batchOpts...)
 	if err != nil {
 		return nil, err
 	}
@@ -237,7 +269,7 @@ func (s *Server) estimate(ctx context.Context, req *Request) (*Response, error) 
 	if name == "" {
 		name = "tcpip"
 	}
-	resp := &Response{System: name, Warm: warm, Points: make([]PointResult, 0, len(results))}
+	resp := &Response{System: name, Backend: backend, Warm: warm, Points: make([]PointResult, 0, len(results))}
 	for _, r := range results {
 		pr := PointResult{Index: r.Index}
 		if r.Err != nil {
@@ -289,6 +321,11 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 	if _, err := buildSystem(&req); err != nil {
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if !validBackend(req.Backend) {
+		http.Error(w, fmt.Sprintf("bad request: unknown backend %q (known: %s)",
+			req.Backend, strings.Join(coest.Backends(), ", ")), http.StatusBadRequest)
 		return
 	}
 

@@ -1,0 +1,148 @@
+package coest_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/pkg/coest"
+)
+
+func TestBackendsRegistry(t *testing.T) {
+	names := coest.Backends()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Backends() not sorted: %v", names)
+	}
+	want := map[string]bool{"interpreted": false, "packed64": false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Fatalf("built-in backend %q missing from %v", n, names)
+		}
+	}
+}
+
+func TestWithBackendUnknown(t *testing.T) {
+	_, err := coest.Estimate(context.Background(), coest.TCPIP(quickTCPIP()),
+		coest.WithBackend("quantum"))
+	if !errors.Is(err, coest.ErrUnknownBackend) {
+		t.Fatalf("err = %v, want ErrUnknownBackend", err)
+	}
+	var ube *coest.UnknownBackendError
+	if !errors.As(err, &ube) {
+		t.Fatalf("err = %v, want UnknownBackendError", err)
+	}
+	if ube.Name != "quantum" || len(ube.Known) == 0 {
+		t.Fatalf("bad detail: %+v", ube)
+	}
+	if _, err := coest.Sweep(context.Background(),
+		coest.TCPIPGrid(quickTCPIP(), []int{0}, []int{2}),
+		coest.WithBackend("quantum")); !errors.Is(err, coest.ErrUnknownBackend) {
+		t.Fatalf("Sweep err = %v, want ErrUnknownBackend", err)
+	}
+	if _, err := coest.NewSession(coest.TCPIP(quickTCPIP()),
+		coest.WithBackend("quantum")); !errors.Is(err, coest.ErrUnknownBackend) {
+		t.Fatalf("NewSession err = %v, want ErrUnknownBackend", err)
+	}
+}
+
+// TestSweepBackendBitIdentical is the public-API face of the backend
+// contract: a packed64 sweep reproduces the interpreted sweep bit for bit.
+func TestSweepBackendBitIdentical(t *testing.T) {
+	grid := coest.TCPIPGrid(quickTCPIP(), []int{0, 5}, []int{2, 64})
+	ref, err := coest.Sweep(context.Background(), grid, coest.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := coest.Sweep(context.Background(), grid,
+		coest.WithWorkers(2), coest.WithBackend("packed64"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(packed) != len(ref) {
+		t.Fatalf("packed sweep returned %d points, interpreted %d", len(packed), len(ref))
+	}
+	for i := range ref {
+		a, b := *ref[i].Report, *packed[i].Report
+		a.Wall, b.Wall = 0, 0
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("point %d: packed64 report differs from interpreted", i)
+		}
+	}
+}
+
+func TestSessionAndCompiledBackend(t *testing.T) {
+	sys := coest.TCPIP(quickTCPIP())
+	sess, err := coest.NewSession(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.Backend(); got != "interpreted" {
+		t.Fatalf("default session backend %q, want \"interpreted\"", got)
+	}
+	c, err := coest.Compile(sys, coest.WithBackend("packed64"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Backend(); got != "packed64" {
+		t.Fatalf("compiled backend %q, want \"packed64\"", got)
+	}
+	// Backend choice never changes a single estimation's result.
+	a, err := coest.Estimate(context.Background(), sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Estimate(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total != b.Total || a.ISSCalls != b.ISSCalls {
+		t.Fatalf("single estimation differs across backends: %v vs %v", a.Total, b.Total)
+	}
+}
+
+// TestEstimateBatchBackendOverride: a batch-level WithBackend overrides the
+// session baseline for that call and keeps results bit-identical.
+func TestEstimateBatchBackendOverride(t *testing.T) {
+	sess, err := coest.NewSession(coest.TCPIP(quickTCPIP()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := [][]coest.Option{
+		nil,
+		{coest.WithDMASize(32)},
+		{coest.WithDMASize(64)},
+	}
+	ref, err := sess.EstimateBatch(context.Background(), points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := sess.EstimateBatch(context.Background(), points,
+		coest.WithBackend("packed64"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) != len(points) || len(packed) != len(points) {
+		t.Fatalf("batch sizes %d/%d, want %d", len(ref), len(packed), len(points))
+	}
+	for i := range ref {
+		if ref[i].Err != nil || packed[i].Err != nil {
+			t.Fatalf("point %d failed: %v / %v", i, ref[i].Err, packed[i].Err)
+		}
+		a, b := *ref[i].Report, *packed[i].Report
+		a.Wall, b.Wall = 0, 0
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("point %d: packed64 batch report differs from interpreted", i)
+		}
+	}
+	if _, err := sess.EstimateBatch(context.Background(), points,
+		coest.WithBackend("quantum")); !errors.Is(err, coest.ErrUnknownBackend) {
+		t.Fatalf("batch err = %v, want ErrUnknownBackend", err)
+	}
+}

@@ -32,12 +32,15 @@ package coest
 import (
 	"context"
 	"fmt"
-	"time"
 
 	"repro/internal/attrib"
 	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/engine"
+
+	// Register the packed64 estimator backend: importing coest makes every
+	// registered backend selectable with WithBackend.
+	_ "repro/internal/packed64"
 )
 
 // Sentinel errors, matched with errors.Is.
@@ -158,28 +161,6 @@ func Estimate(ctx context.Context, sys *System, opts ...Option) (*Report, error)
 // evaluations, energy-cache hit rate and bus-trace compaction ratio.
 type PointMetrics = engine.PointMetrics
 
-func pointMetrics(i, total int, rep *Report, wall time.Duration, err error) PointMetrics {
-	m := PointMetrics{Index: i, Total: total, Wall: wall, Err: err, CompactionRatio: 1}
-	if rep != nil {
-		m.ISSInsts = rep.ISSInsts
-		m.GateEvals = rep.GateExecs
-		m.ECacheLookups = rep.SWECache.Lookups + rep.HWECache.Lookups
-		m.ECacheHits = rep.SWECache.Hits + rep.HWECache.Hits
-		if rep.BusCompaction != nil {
-			m.CompactionRatio = rep.BusCompaction.Stats.CompressionRatio()
-		}
-		if rep.Audit != nil {
-			m.ShadowAudits = rep.Audit.Audits
-			m.ShadowFlagged = rep.Audit.Flagged
-		}
-		if rep.Budget != nil {
-			m.ErrorBoundJ = float64(rep.Budget.Bound)
-			m.ErrorCI95J = float64(rep.Budget.CI95)
-		}
-	}
-	return m
-}
-
 // Grid is a finite design space for Sweep. Build is called once per point;
 // the engine clones the returned System's network before simulating, so
 // Build may derive every point from shared state (it is still called from
@@ -220,7 +201,7 @@ func Sweep(ctx context.Context, grid Grid, opts ...Option) ([]PointResult, error
 		return nil, err
 	}
 	results, err := engine.RunReports(ctx, grid.N,
-		engine.Options{Workers: st.workers, OnPoint: st.pointHook()},
+		engine.Options{Workers: st.workers, OnPoint: st.pointHook(), Backend: st.backend},
 		func(i int) (*core.System, core.Config, error) {
 			sys, err := grid.Build(i)
 			if err != nil {
@@ -238,6 +219,12 @@ func Sweep(ctx context.Context, grid Grid, opts ...Option) ([]PointResult, error
 	}
 	return out, err
 }
+
+// Backends enumerates the registered estimator backend names, sorted —
+// the valid arguments to WithBackend. The built-in set is "interpreted"
+// (the reference per-point path) and "packed64" (the 64-lane bit-parallel
+// sweep engine); both produce bit-identical reports.
+func Backends() []string { return engine.BackendNames() }
 
 // Reports flattens a fully successful result set into the bare reports,
 // indexed by grid point. Points that failed (Session.EstimateBatch) carry a

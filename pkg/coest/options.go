@@ -32,7 +32,8 @@ type settings struct {
 	workers int
 	onPoint func(PointMetrics)
 	summary *engine.SweepSummary
-	macro   bool // characterize-and-share a macro table at run time
+	macro   bool   // characterize-and-share a macro table at run time
+	backend string // estimator backend name, "" = default ("interpreted")
 	err     error
 }
 
@@ -362,6 +363,26 @@ func WithShadowAudit(rate float64) Option {
 func WithShadowAuditParams(p ShadowAuditParams) Option {
 	return configOption("WithShadowAuditParams", func(st *settings) {
 		st.config(func(c *core.Config) { c.ShadowAudit = p })
+	})
+}
+
+// WithBackend selects the estimator backend by registered name — see
+// Backends for the choices ("interpreted", the reference path, and
+// "packed64", the 64-lane bit-parallel sweep engine). Every backend
+// produces bit-identical reports; they differ only in throughput, so the
+// choice matters on multi-point runs (Sweep, Session.EstimateBatch), where
+// the named backend schedules the whole grid. On single estimations the
+// name is validated and recorded for inspection (Compiled.Backend,
+// Session.Backend) but execution takes the reference path, which every
+// backend degenerates to for one point. An unregistered name fails with
+// ErrUnknownBackend.
+func WithBackend(name string) Option {
+	return configOption("WithBackend", func(st *settings) {
+		if _, err := engine.LookupBackend(name); err != nil {
+			st.fail(err)
+			return
+		}
+		st.backend = name
 	})
 }
 

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"sync"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/ecache"
@@ -34,9 +33,10 @@ import (
 //
 // All methods are safe for concurrent use.
 type Session struct {
-	spec *core.System // session-private clone of the subject
-	base core.Config  // resolved baseline configuration
-	art  *core.Artifacts
+	spec    *core.System // session-private clone of the subject
+	base    core.Config  // resolved baseline configuration
+	art     *core.Artifacts
+	backend string // baseline estimator backend, "" = default
 
 	mu     sync.Mutex
 	caches map[ECacheParams]*cachePair
@@ -52,7 +52,7 @@ type cachePair struct {
 // returns the reusable session. NewSession accepts config-scope options
 // only; run-level options fail with ErrOptionScope.
 func NewSession(sys *System, opts ...Option) (*Session, error) {
-	cfg, _, err := sys.configured("NewSession", scopeConfig, opts)
+	cfg, st, err := sys.configured("NewSession", scopeConfig, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -62,16 +62,29 @@ func NewSession(sys *System, opts ...Option) (*Session, error) {
 		return nil, err
 	}
 	return &Session{
-		spec:   spec,
-		base:   cfg,
-		art:    cs.Artifacts(),
-		caches: make(map[ECacheParams]*cachePair),
+		spec:    spec,
+		base:    cfg,
+		art:     cs.Artifacts(),
+		backend: st.backend,
+		caches:  make(map[ECacheParams]*cachePair),
 	}, nil
 }
 
 // Config returns the session's resolved baseline configuration (a private
 // copy).
 func (s *Session) Config() RunConfig { return s.base.Clone() }
+
+// Backend returns the resolved name of the session's baseline estimator
+// backend — the WithBackend choice made at NewSession/Compile time, or
+// "interpreted" when none was made. EstimateBatch runs on it unless a
+// batch-level WithBackend overrides.
+func (s *Session) Backend() string {
+	be, err := engine.LookupBackend(s.backend)
+	if err != nil {
+		return s.backend // unreachable: the name was validated at apply time
+	}
+	return be.Name()
+}
 
 // SWProgram returns the compiled SPARC program image of the software
 // partition, or nil when no process maps to software.
@@ -180,7 +193,10 @@ func (s *Session) run(ctx context.Context, cfg core.Config) (*Report, error) {
 // engine sweep over a bounded worker pool: points[i] is the config-scope
 // option list of point i, applied on top of the batch-wide options. opts
 // accepts both scopes — config options are applied to every point, run
-// options (WithWorkers, WithProgress, WithTelemetry) steer the batch.
+// options (WithWorkers, WithProgress, WithTelemetry) steer the batch. The
+// batch executes on the session's baseline estimator backend; a batch-level
+// WithBackend overrides it for this call (a packed backend lane-parallelizes
+// compatible points, with per-point reports unchanged).
 //
 // Unlike Sweep, a failing point does not abort the batch: its error lands
 // in the point's PointResult.Err and the other points complete. The
@@ -194,45 +210,51 @@ func (s *Session) EstimateBatch(ctx context.Context, points [][]Option, opts ...
 		if o.apply == nil {
 			continue
 		}
-		if o.scope&scopeRun != 0 {
-			o.apply(st)
-			continue
+		// Run-scope options steer the batch; config options are re-applied
+		// per point below, but also pass through st here so batch-level
+		// backend selection (WithBackend) is harvested.
+		o.apply(st)
+		if o.scope&scopeRun == 0 {
+			common = append(common, o)
 		}
-		common = append(common, o)
 	}
 	if st.err != nil {
 		return nil, fmt.Errorf("coest: %w", st.err)
+	}
+	backend := s.backend
+	if st.backend != "" {
+		backend = st.backend
 	}
 	n := len(points)
 	if n == 0 {
 		return nil, ctx.Err()
 	}
-	hook := st.pointHook()
-	var hmu sync.Mutex
-	results, err := engine.Run(ctx, n, engine.Options{Workers: st.workers},
-		func(ctx context.Context, i int) (PointResult, error) {
-			start := time.Now()
-			merged := points[i]
-			if len(common) > 0 {
-				merged = append(append([]Option{}, common...), points[i]...)
-			}
-			var rep *Report
-			cfg, perr := s.runConfig("Session.EstimateBatch", merged)
-			if perr == nil {
-				rep, perr = s.run(ctx, cfg)
-			}
-			if hook != nil {
-				hmu.Lock()
-				hook(pointMetrics(i, n, rep, time.Since(start), perr))
-				hmu.Unlock()
-			}
-			// Point failures ride the result, not the batch error: one bad
-			// grid point must not abort a serving batch.
-			return PointResult{Index: i, Report: rep, Err: perr}, nil
-		})
-	out := make([]PointResult, 0, len(results))
-	for _, r := range results {
-		out = append(out, r.Value)
+	outs, err := engine.RunOutcomes(ctx, n, engine.Options{
+		Workers:   st.workers,
+		Backend:   backend,
+		OnPoint:   st.pointHook(),
+		Artifacts: s.art,
+		OnRun: func(_ int, cs *core.CoSim) {
+			s.mu.Lock()
+			s.last = cs
+			s.mu.Unlock()
+		},
+	}, func(i int) (*core.System, core.Config, error) {
+		merged := points[i]
+		if len(common) > 0 {
+			merged = append(append([]Option{}, common...), points[i]...)
+		}
+		cfg, err := s.runConfig("Session.EstimateBatch", merged)
+		if err != nil {
+			return nil, core.Config{}, err
+		}
+		return s.spec.Clone(), cfg, nil
+	})
+	// Point failures ride the result, not the batch error: one bad grid
+	// point must not abort a serving batch.
+	out := make([]PointResult, 0, len(outs))
+	for _, o := range outs {
+		out = append(out, PointResult{Index: o.Index, Report: o.Report, Err: o.Err})
 	}
 	return out, err
 }
