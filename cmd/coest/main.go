@@ -148,8 +148,13 @@ func main() {
 		sinkFiles = append(sinkFiles, f)
 		sinks = append(sinks, spec.mk(f))
 	}
+	ctx := context.Background()
+	var rootSpan *telemetry.Span
 	if len(sinks) > 0 {
-		sink := coest.MultiTraceSink(sinks...)
+		// One synchronized sink carries both streams: the simulated-time
+		// event stream (via WithTraceSink, whose own Synchronized wrap is
+		// idempotent) and the wall-clock request spans below.
+		sink := telemetry.Synchronized(coest.MultiTraceSink(sinks...))
 		opts = append(opts, coest.WithTraceSink(sink))
 		defer func() {
 			if err := sink.Close(); err != nil {
@@ -159,6 +164,11 @@ func main() {
 				f.Close()
 			}
 		}()
+		id := telemetry.NewTraceID()
+		scope := telemetry.NewSpanScope(sink, id)
+		ctx = telemetry.ContextWithSpanScope(ctx, scope)
+		ctx, rootSpan = telemetry.StartSpanWith(ctx, "run", *system, 0)
+		fmt.Fprintf(os.Stderr, "coest: trace id %s\n", id)
 	}
 	if *debugAddr != "" {
 		addr, shutdown, err := telemetry.ServeDebug(*debugAddr)
@@ -201,7 +211,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wrote %s (%d gates, %d flops)\n", path, st.Gates, st.DFFs)
 		}
 	}
-	rep, err := c.Estimate(context.Background())
+	rep, err := c.Estimate(ctx)
+	rootSpan.End()
 	if err != nil {
 		fatal(err)
 	}
@@ -454,7 +465,15 @@ func runRemote(base, file, system, backend string, packets, dma int, ecache, mac
 	if err != nil {
 		return err
 	}
-	httpResp, err := http.Post(strings.TrimSuffix(base, "/")+"/estimate", "application/json", bytes.NewReader(body))
+	httpReq, err := http.NewRequest(http.MethodPost, strings.TrimSuffix(base, "/")+"/estimate", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	// Mint the trace id client-side so a failed request is still findable in
+	// the daemon's /debug/requests ring; the server adopts inbound ids.
+	httpReq.Header.Set(serve.TraceHeader, telemetry.NewTraceID().String())
+	httpResp, err := http.DefaultClient.Do(httpReq)
 	if err != nil {
 		return err
 	}
@@ -488,6 +507,9 @@ func runRemote(base, file, system, backend string, packets, dma int, ecache, mac
 		warmth = "warm session (no recompilation)"
 	}
 	fmt.Printf("system %s via %s: %s, %s backend\n", resp.System, base, warmth, resp.Backend)
+	if id := httpResp.Header.Get(serve.TraceHeader); id != "" {
+		fmt.Printf("  trace %s (%s/debug/requests?trace=%s)\n", id, strings.TrimSuffix(base, "/"), id)
+	}
 	fmt.Printf("  simulated %v\n", units.Time(pt.SimulatedNS))
 	fmt.Printf("  TOTAL %v (sw %v, hw %v)\n",
 		units.Energy(pt.TotalJ), units.Energy(pt.SWJ), units.Energy(pt.HWJ))

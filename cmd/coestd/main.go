@@ -8,15 +8,26 @@
 //
 // Endpoints:
 //
-//	POST /estimate  — estimate one design at one or more configuration
-//	                  points (coalesced into a single batched sweep)
-//	GET  /healthz   — liveness; 503 while draining
+//	POST /estimate        — estimate one design at one or more configuration
+//	                        points (coalesced into a single batched sweep)
+//	GET  /healthz         — liveness (200 while the process serves)
+//	GET  /readyz          — routability; 503 from the first shutdown signal
+//	GET  /debug/requests  — recent request traces (also on -debug-addr);
+//	                        ?trace=<id> for one span tree, &format=chrome
+//	                        for a chrome://tracing flame graph
+//
+// Every /estimate response carries an X-Coest-Trace-Id header; inbound
+// X-Coest-Trace-Id/X-Coest-Parent-Span headers are adopted so a front-end
+// router can stitch cross-node traces.
 //
 // The -debug-addr server exposes /metrics (request counters, queue depth,
-// latency histograms, estimator work counters) and /debug/pprof/.
+// per-stage and per-endpoint latency histograms, estimator work counters),
+// /debug/requests and /debug/pprof/.
 //
-// On SIGINT/SIGTERM the daemon stops admitting work (503), finishes queued
-// and in-flight requests within -drain-timeout, then exits.
+// On SIGINT/SIGTERM the daemon flips /readyz to 503, waits -lame-duck for
+// load balancers to stop routing, stops admitting work (503), finishes
+// queued and in-flight requests within -drain-timeout, then exits — taking
+// the debug server down with it.
 package main
 
 import (
@@ -37,31 +48,64 @@ import (
 func main() {
 	var (
 		addr         = flag.String("addr", "localhost:8350", "listen address for the estimation API")
-		debugAddr    = flag.String("debug-addr", "", "serve /metrics and /debug/pprof/ on this address (empty = off)")
+		debugAddr    = flag.String("debug-addr", "", "serve /metrics, /debug/requests and /debug/pprof/ on this address (empty = off)")
 		workers      = flag.Int("workers", 2, "requests estimated concurrently")
 		queue        = flag.Int("queue", 8, "requests queued beyond the in-flight ones before 429")
 		pointWorkers = flag.Int("point-workers", 4, "per-request batch parallelism (grid points at once)")
 		deadline     = flag.Duration("deadline", 30*time.Second, "default per-request wall-clock deadline")
 		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
 		drainTimeout = flag.Duration("drain-timeout", time.Minute, "how long to wait for in-flight requests on shutdown")
+		lameDuck     = flag.Duration("lame-duck", 0, "pause between flipping /readyz unready and starting the drain (load-balancer deregistration window)")
+		traceRing    = flag.Int("trace-ring", 64, "completed request traces kept for /debug/requests (negative = tracing off)")
+		slowThresh   = flag.Duration("slow-threshold", 0, "requests at least this slow are flagged and kept in the slow-capture ring (0 = off)")
+		maxSpans     = flag.Int("max-spans", 0, "spans captured per request before dropping (0 = default 2048)")
+		accessLog    = flag.String("access-log", "", "append JSONL access lines (with trace ids) to this file, \"-\" for stderr (empty = off)")
 	)
 	flag.Parse()
 
-	srv := serve.New(serve.Config{
+	var accessW *os.File
+	switch *accessLog {
+	case "":
+	case "-":
+		accessW = os.Stderr
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		accessW = f
+	}
+
+	cfg := serve.Config{
 		Workers:         *workers,
 		Queue:           *queue,
 		PointWorkers:    *pointWorkers,
 		DefaultDeadline: *deadline,
 		RetryAfter:      *retryAfter,
-	})
+		TraceRing:       *traceRing,
+		MaxSpans:        *maxSpans,
+		SlowThreshold:   *slowThresh,
+	}
+	if accessW != nil {
+		cfg.AccessLog = accessW
+	}
+	srv := serve.New(cfg)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *debugAddr != "" {
-		dbg, shutdown, err := telemetry.ServeDebug(*debugAddr)
+		// The request-trace ring rides the debug endpoint next to /metrics;
+		// the context ties the debug server to the same SIGTERM lifecycle as
+		// the main listener, so drain terminates both cleanly.
+		telemetry.RegisterDebug("/debug/requests", srv.DebugRequestsHandler())
+		dbg, shutdown, err := telemetry.ServeDebugContext(ctx, *debugAddr)
 		if err != nil {
 			fatal(err)
 		}
 		defer shutdown()
-		fmt.Fprintf(os.Stderr, "coestd: debug endpoint on http://%s/ (/metrics, /debug/pprof/)\n", dbg)
+		fmt.Fprintf(os.Stderr, "coestd: debug endpoint on http://%s/ (/metrics, /debug/requests, /debug/pprof/)\n", dbg)
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
@@ -71,14 +115,21 @@ func main() {
 		errc <- httpSrv.ListenAndServe()
 	}()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	select {
 	case err := <-errc:
 		fatal(err)
 	case <-ctx.Done():
 	}
 	stop() // restore default signal handling: a second signal kills immediately
+
+	// Lame-duck first: /readyz goes 503 while /estimate still works, giving
+	// load balancers a window to deregister the node before real requests
+	// start seeing 503s from the drain.
+	srv.Unready()
+	if *lameDuck > 0 {
+		fmt.Fprintf(os.Stderr, "coestd: lame duck for %v (/readyz now 503)...\n", *lameDuck)
+		time.Sleep(*lameDuck)
+	}
 
 	fmt.Fprintln(os.Stderr, "coestd: draining (new requests get 503)...")
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)

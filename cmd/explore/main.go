@@ -44,6 +44,7 @@ func main() {
 		verbose   = flag.Bool("v", false, "print per-point progress metrics to stderr")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/pprof/ on this address during the sweep (e.g. localhost:6060)")
 		manifest  = flag.String("manifest", "", "write a JSON run manifest (config, versions, phase timings) to this path")
+		traceChr  = flag.String("trace-chrome", "", "write the sweep's span trace as a Chrome/Perfetto trace_event file (open in chrome://tracing or ui.perfetto.dev)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -62,6 +63,26 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	var rootSpan *telemetry.Span
+	if *traceChr != "" {
+		f, err := os.Create(*traceChr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "explore: %v\n", err)
+			os.Exit(1)
+		}
+		sink := telemetry.Synchronized(telemetry.NewChromeSink(f))
+		defer func() {
+			if err := sink.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "explore: trace sink: %v\n", err)
+			}
+			f.Close()
+		}()
+		id := telemetry.NewTraceID()
+		ctx = telemetry.ContextWithSpanScope(ctx, telemetry.NewSpanScope(sink, id))
+		ctx, rootSpan = telemetry.StartSpanWith(ctx, "sweep", "explore", 0)
+		fmt.Fprintf(os.Stderr, "explore: trace id %s -> %s\n", id, *traceChr)
+	}
 
 	if *debugAddr != "" {
 		// Context-bound: an interrupt shuts the server down gracefully even
@@ -135,6 +156,7 @@ func main() {
 		sweepDone = man.Phase("sweep")
 	}
 	points, err := explore.Sweep(ctx, p, []int{0, 1, 2, 3, 4, 5}, dmas, mutate, opts)
+	rootSpan.End()
 	if sweepDone != nil {
 		sweepDone()
 	}

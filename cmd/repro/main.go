@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -52,6 +53,7 @@ func main() {
 		backend   = flag.String("backend", "", "estimator backend for the sweeps: interpreted (default) or packed64")
 		workers   = flag.Int("j", 0, "sweep worker pool size (0 = GOMAXPROCS; use 1 for quietest wall-time columns)")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/pprof/ on this address while experiments run (e.g. localhost:6060)")
+		traceChr  = flag.String("trace-chrome", "", "write the experiments' span trace as a Chrome/Perfetto trace_event file")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -77,6 +79,26 @@ func main() {
 	}
 
 	p := experiments.Default()
+	if *traceChr != "" {
+		f, err := os.Create(*traceChr)
+		if err != nil {
+			fatal(err)
+		}
+		sink := telemetry.Synchronized(telemetry.NewChromeSink(f))
+		id := telemetry.NewTraceID()
+		ctx, rootSpan := telemetry.StartSpanWith(
+			telemetry.ContextWithSpanScope(context.Background(), telemetry.NewSpanScope(sink, id)),
+			"repro", strings.Join(os.Args[1:], " "), 0)
+		p.Ctx = ctx
+		defer func() {
+			rootSpan.End()
+			if err := sink.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "repro: trace sink:", err)
+			}
+			f.Close()
+		}()
+		fmt.Fprintf(os.Stderr, "repro: trace id %s -> %s\n", id, *traceChr)
+	}
 	if *packets > 0 {
 		p.Packets = *packets
 	}

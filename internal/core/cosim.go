@@ -117,6 +117,11 @@ type CoSim struct {
 	// attribution ledger is attached.
 	trc *telemetry.Tracer
 
+	// spans is the request-trace scope extracted once from RunContext's
+	// context; nil (every method a no-op) when the run is not traced, so
+	// the ISS/gate/ecache hot paths stay allocation-free.
+	spans *telemetry.SpanScope
+
 	// ledger consumes the run's event stream into energy attribution
 	// rollups (Config.Attribution); nil when attribution is off.
 	// KindEnergyAttributed events are only emitted while it is attached.
@@ -415,16 +420,20 @@ func (cs *CoSim) emitReaction(mi int, r *cfsm.Reaction, cycles uint64, energy un
 	})
 }
 
-// emitECache reports an energy-cache lookup outcome on the event stream.
+// emitECache reports an energy-cache lookup outcome on the event stream,
+// and as a zero-duration tick on the request trace when one is attached.
 func (cs *CoSim) emitECache(mi int, r *cfsm.Reaction, hit bool) {
 	kind := telemetry.KindECacheMiss
+	name := "ecache-miss"
 	if hit {
 		kind = telemetry.KindECacheHit
+		name = "ecache-hit"
 	}
 	cs.trc.Emit(telemetry.Event{
 		Time: cs.kernel.Now(), Kind: kind,
 		Component: cs.sys.Net.Machines[mi].Name, Machine: mi, Path: uint64(r.Path),
 	})
+	cs.spans.Instant(name, cs.sys.Net.Machines[mi].Name, int64(r.Path))
 }
 
 // emitAttrib books one energy accrual on the event stream for the
@@ -529,6 +538,7 @@ func (cs *CoSim) RunContext(ctx context.Context) (*Report, error) {
 		return nil, fmt.Errorf("core: run not started: %w", context.Cause(ctx))
 	}
 	mRuns.Inc()
+	cs.spans = telemetry.SpanScopeFrom(ctx)
 	cs.scheduleStimuli()
 	interrupted := cs.kernel.RunUntilInterrupted(cs.cfg.MaxSimTime, ctx.Done())
 	if cs.err != nil {

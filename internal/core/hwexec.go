@@ -89,6 +89,13 @@ func (cs *CoSim) startHW(mi int, ex *hwExec) {
 type hwRun struct {
 	exec   hwsyn.Execution
 	memIdx int // consumption pointer into the reaction's MemOps
+
+	// Wall-clock accounting for the request trace: the engine runs in
+	// chunks between bus stalls, so the gate span is recorded at
+	// completion from the first chunk's start and the accumulated busy
+	// time (bus waits excluded). Zero/unused when the run is untraced.
+	wallStart int64
+	wallBusy  int64
 }
 
 // pumpHW advances the engine until its next memory request, schedules the
@@ -98,7 +105,17 @@ type hwRun struct {
 func (cs *CoSim) pumpHW(mi int, ex *hwExec, r *cfsm.Reaction, run *hwRun, key ecache.Key) {
 	period := cs.cfg.HWClock.Period()
 	c0 := run.exec.Stats().Cycles
+	var chunkStart int64
+	if cs.spans != nil {
+		chunkStart = cs.spans.Now()
+		if run.wallStart == 0 {
+			run.wallStart = chunkStart
+		}
+	}
 	req, needMem, err := run.exec.Run()
+	if cs.spans != nil {
+		run.wallBusy += cs.spans.Now() - chunkStart
+	}
 	if err != nil {
 		cs.fail(err)
 		return
@@ -113,6 +130,7 @@ func (cs *CoSim) pumpHW(mi int, ex *hwExec, r *cfsm.Reaction, run *hwRun, key ec
 				Component: cs.sys.Net.Machines[mi].Name, Machine: mi,
 				Path: uint64(r.Path), Cycles: st.Cycles, Energy: st.Energy,
 			})
+			cs.spans.Complete("gate", cs.sys.Net.Machines[mi].Name, run.wallStart, run.wallBusy, st.Cycles, st.Energy)
 			if cs.hwCache != nil {
 				// Cache the stall-free cycle count: the cached replay
 				// re-runs the bus transfers in DE time, so wait time must

@@ -219,7 +219,9 @@ func (cs *CoSim) runISS(mi int, r *cfsm.Reaction, preVars []cfsm.Value) (uint64,
 		cs.swSync[mi] = false
 	}
 	mc.BindReaction(cs.cpu.Mem, r)
+	mark := cs.spans.BeginWith("iss", cs.sys.Net.Machines[mi].Name, int64(r.Path))
 	_, st, err := cs.cpu.Call(mc.Entries[r.TransIdx])
+	mark.End(st.Cycles, st.Energy)
 	if err != nil {
 		cs.fail(err)
 		return 0, 0

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
 // BuildFunc describes point i of a sweep: a fresh System (simulations
@@ -152,12 +153,22 @@ func (interpretedBackend) Run(ctx context.Context, n int, opts Options, failFast
 }
 
 func runPoint(ctx context.Context, i int, opts Options, build BuildFunc) (*core.Report, error) {
+	ctx, span := telemetry.StartSpanWith(ctx, "point", "", int64(i))
+	defer span.End()
 	sys, cfg, err := build(i)
 	if err != nil {
 		return nil, err
 	}
 	cfg = cfg.Clone()
+	// Cold points compile (synthesize SW image + HW netlists); warm points
+	// rebind the session's shared artifacts. The span name says which.
+	buildName := "compile"
+	if opts.Artifacts != nil {
+		buildName = "rebind"
+	}
+	_, bspan := telemetry.StartSpan(ctx, buildName)
 	cs, err := core.NewShared(sys, cfg, opts.Artifacts)
+	bspan.End()
 	if err != nil {
 		return nil, err
 	}

@@ -43,11 +43,23 @@ type Params struct {
 	// "interpreted"). Energies are identical on every backend; wall times
 	// differ (that is the point of "packed64").
 	Backend string
+	// Ctx, when non-nil, is the context the sweeps run under — cancellation
+	// plus any telemetry span scope it carries (the spans show up in a
+	// -trace-chrome flame graph as per-point children of the caller's root).
+	Ctx context.Context
 }
 
 // opts returns the engine options the experiment sweeps run under.
 func (p Params) opts() engine.Options {
 	return engine.Options{Workers: p.Workers, Backend: p.Backend}
+}
+
+// ctx returns the run context (Background when the caller set none).
+func (p Params) ctx() context.Context {
+	if p.Ctx != nil {
+		return p.Ctx
+	}
+	return context.Background()
 }
 
 // Default matches the paper's axes at a laptop-friendly workload size.
@@ -239,7 +251,7 @@ func renderTable(w io.Writer, title string, rows []explore.AccuracyRow, withErro
 // Table1 compares the base framework against energy caching over the DMA
 // sweep (paper Table 1: 8.6x-18.8x speedup, no energy error).
 func Table1(w io.Writer, p Params) (*TableResult, error) {
-	rows, err := explore.CompareAccelCtx(context.Background(), p.tcpip(), p.DMASizes, ECacheOn, p.Repeats, p.opts())
+	rows, err := explore.CompareAccelCtx(p.ctx(), p.tcpip(), p.DMASizes, ECacheOn, p.Repeats, p.opts())
 	if err != nil {
 		return nil, err
 	}
@@ -250,7 +262,7 @@ func Table1(w io.Writer, p Params) (*TableResult, error) {
 // Table2 compares the base framework against macro-modeling (paper Table 2:
 // 18.9x-87.1x speedup, ~24% conservative energy error).
 func Table2(w io.Writer, p Params, tbl *macromodel.Table) (*TableResult, error) {
-	rows, err := explore.CompareAccelCtx(context.Background(), p.tcpip(), p.DMASizes, MacromodelOn(tbl), p.Repeats, p.opts())
+	rows, err := explore.CompareAccelCtx(p.ctx(), p.tcpip(), p.DMASizes, MacromodelOn(tbl), p.Repeats, p.opts())
 	if err != nil {
 		return nil, err
 	}
@@ -365,7 +377,7 @@ type Fig6Result struct {
 // the paper's claim is ranking preservation and near-linearity.
 func Fig6(w io.Writer, p Params, tbl *macromodel.Table) (*Fig6Result, error) {
 	// Energy comparison only: no timing repeats needed.
-	rows, err := explore.CompareAccelCtx(context.Background(), p.tcpip(), p.Fig7DMASizes, MacromodelOn(tbl), 1, p.opts())
+	rows, err := explore.CompareAccelCtx(p.ctx(), p.tcpip(), p.Fig7DMASizes, MacromodelOn(tbl), 1, p.opts())
 	if err != nil {
 		return nil, err
 	}
@@ -399,7 +411,7 @@ type Fig7Result struct {
 func Fig7(w io.Writer, p Params) (*Fig7Result, error) {
 	tp := systems.DefaultTCPIP()
 	tp.Packets = 3
-	points, err := explore.Sweep(context.Background(), tp, []int{0, 1, 2, 3, 4, 5}, p.Fig7DMASizes, nil, p.opts())
+	points, err := explore.Sweep(p.ctx(), tp, []int{0, 1, 2, 3, 4, 5}, p.Fig7DMASizes, nil, p.opts())
 	if err != nil {
 		return nil, err
 	}

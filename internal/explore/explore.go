@@ -15,6 +15,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/stats"
 	"repro/internal/systems"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -37,8 +38,9 @@ func (p Point) PermName() string { return systems.PriorityPermName(p.Perm) }
 // Mutator adjusts the run configuration (e.g. enables an acceleration).
 type Mutator func(*core.Config)
 
-// runPoint executes one TCP/IP co-estimation.
-func runPoint(params systems.TCPIPParams, mutate Mutator) (*core.Report, error) {
+// runPoint executes one TCP/IP co-estimation under ctx (cancellation and
+// any tracing span scope it carries).
+func runPoint(ctx context.Context, params systems.TCPIPParams, mutate Mutator) (*core.Report, error) {
 	sys, cfg := systems.TCPIP(params)
 	if mutate != nil {
 		mutate(&cfg)
@@ -47,7 +49,7 @@ func runPoint(params systems.TCPIPParams, mutate Mutator) (*core.Report, error) 
 	if err != nil {
 		return nil, err
 	}
-	return cs.Run()
+	return cs.RunContext(ctx)
 }
 
 func pointFromReport(perm, dma int, rep *core.Report) Point {
@@ -173,12 +175,14 @@ func CompareAccelCtx(ctx context.Context, params systems.TCPIPParams, dmaSizes [
 	if repeats < 1 {
 		repeats = 1
 	}
-	results, err := engine.Run(ctx, len(dmaSizes), opts, func(_ context.Context, i int) (AccuracyRow, error) {
+	results, err := engine.Run(ctx, len(dmaSizes), opts, func(ctx context.Context, i int) (AccuracyRow, error) {
 		p := params
 		p.DMASize = dmaSizes[i]
 		row := AccuracyRow{DMASize: dmaSizes[i]}
+		rowCtx, span := telemetry.StartSpanWith(ctx, "row", "dma", int64(p.DMASize))
+		defer span.End()
 		for r := 0; r < repeats; r++ {
-			rep, err := runPoint(p, nil)
+			rep, err := runPoint(rowCtx, p, nil)
 			if err != nil {
 				return row, fmt.Errorf("dma %d: %w", p.DMASize, err)
 			}
@@ -189,7 +193,7 @@ func CompareAccelCtx(ctx context.Context, params systems.TCPIPParams, dmaSizes [
 			row.OrigISSCalls = rep.ISSCalls
 		}
 		for r := 0; r < repeats; r++ {
-			rep, err := runPoint(p, accel)
+			rep, err := runPoint(rowCtx, p, accel)
 			if err != nil {
 				return row, fmt.Errorf("dma %d accelerated: %w", p.DMASize, err)
 			}

@@ -73,6 +73,11 @@ type PointResult struct {
 // Response is the reply to one Request.
 type Response struct {
 	System string `json:"system"`
+	// TraceID echoes the request's trace id (also on the X-Coest-Trace-Id
+	// response header); empty when tracing is disabled. Feed it to
+	// /debug/requests?trace= for the span tree, &format=chrome for a
+	// flame graph.
+	TraceID string `json:"trace_id,omitempty"`
 	// Backend echoes the resolved estimator backend the points ran on
 	// ("interpreted" when the request named none).
 	Backend string `json:"backend"`

@@ -266,14 +266,42 @@ func TestClientCancelAbortsPromptly(t *testing.T) {
 }
 
 // TestDrainRejectsAndCompletes: a draining server turns new work away with
-// 503 while queued work completes; Drain is idempotent.
+// 503 while queued work completes; Drain is idempotent. /healthz stays 200
+// throughout (the process is alive), /readyz flips 503 at Unready (the
+// lame-duck signal) and stays 503 through the drain.
 func TestDrainRejectsAndCompletes(t *testing.T) {
 	s := serve.New(serve.Config{})
 	ts := httptest.NewServer(s)
 	defer ts.Close()
 
-	if resp, err := http.Get(ts.URL + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
-		t.Fatalf("healthz before drain: %v %v", resp.StatusCode, err)
+	get := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if code := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz before drain: %d", code)
+	}
+	if code := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz before drain: %d", code)
+	}
+
+	// Lame-duck: readiness drops before any request is refused.
+	s.Unready()
+	if code := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after Unready: %d, want 503", code)
+	}
+	if code, _, _ := post(t, ts.URL, serve.Request{Packets: 2}); code != http.StatusOK {
+		t.Fatalf("estimate while unready (not draining): status %d, want 200", code)
+	}
+	s.Ready()
+	if code := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz after Ready: %d", code)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -288,9 +316,11 @@ func TestDrainRejectsAndCompletes(t *testing.T) {
 	if code, _, _ := post(t, ts.URL, serve.Request{Packets: 2}); code != http.StatusServiceUnavailable {
 		t.Fatalf("estimate while draining: status %d, want 503", code)
 	}
-	resp, err := http.Get(ts.URL + "/healthz")
-	if err != nil || resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("healthz while draining: %v %v", resp.StatusCode, err)
+	if code := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz while draining: %d, want 200 (liveness is not routability)", code)
+	}
+	if code := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining: %d, want 503", code)
 	}
 }
 

@@ -5,14 +5,27 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/telemetry"
 	"repro/pkg/coest"
+)
+
+// Trace-propagation headers: the response always carries the request's
+// trace id; inbound values are adopted so a front-end router can stitch
+// one logical request across nodes.
+const (
+	// TraceHeader carries the 32-hex-digit trace id.
+	TraceHeader = "X-Coest-Trace-Id"
+	// ParentSpanHeader carries the caller's span id (hex) — this node's
+	// root request span parents under it.
+	ParentSpanHeader = "X-Coest-Parent-Span"
 )
 
 // Service-level metrics, on the process-wide registry so cmd/coestd's debug
@@ -27,7 +40,67 @@ var (
 	gQueue    = telemetry.Default.Gauge("serve_queue_depth", "requests queued, excluding in-flight")
 	hLatency  = telemetry.Default.Histogram("serve_request_seconds",
 		"request wall time (accepted requests)", telemetry.ExpBuckets(1e-4, 2, 22))
+	mErrors = telemetry.Default.Counter("serve_errors_total", "requests that finished with a 5xx status")
+	mSlow   = telemetry.Default.Counter("serve_slow_requests_total", "requests slower than the slow-threshold")
+
+	// Per-stage latency histograms: where an accepted /estimate request
+	// spends its wall time. "admission" is slot+queue wait, "session" the
+	// warm-session lookup (including a cold compile), "compile" the cold
+	// synthesis alone, "sweep" the batched estimation, "respond" the JSON
+	// encode.
+	hStageAdmission = stageSeconds("admission")
+	hStageSession   = stageSeconds("session")
+	hStageCompile   = stageSeconds("compile")
+	hStageSweep     = stageSeconds("sweep")
+	hStageRespond   = stageSeconds("respond")
 )
+
+func stageSeconds(stage string) *telemetry.Histogram {
+	return telemetry.Default.Histogram("serve_stage_"+stage+"_seconds",
+		"wall time of the "+stage+" stage of /estimate requests",
+		telemetry.ExpBuckets(1e-5, 2, 24))
+}
+
+// Per-endpoint RED metrics (rate, errors, duration). The registry has no
+// labels; the endpoint name is baked into the metric name, and the endpoint
+// set is small and fixed.
+func endpointRequests(name string) *telemetry.Counter {
+	return telemetry.Default.Counter("serve_endpoint_"+name+"_requests_total",
+		"requests served on the "+name+" endpoint")
+}
+
+func endpointErrors(name string) *telemetry.Counter {
+	return telemetry.Default.Counter("serve_endpoint_"+name+"_errors_total",
+		"requests that failed with 5xx on the "+name+" endpoint")
+}
+
+func endpointSeconds(name string) *telemetry.Histogram {
+	return telemetry.Default.Histogram("serve_endpoint_"+name+"_seconds",
+		"request wall time on the "+name+" endpoint", telemetry.ExpBuckets(1e-5, 2, 24))
+}
+
+// backendSeconds is the per-backend sweep-duration histogram, beside the
+// per-backend request counter.
+func backendSeconds(name string) *telemetry.Histogram {
+	return telemetry.Default.Histogram("serve_backend_"+name+"_seconds",
+		"sweep wall time on the "+name+" estimator backend", telemetry.ExpBuckets(1e-4, 2, 22))
+}
+
+// endpointName maps a request path to its metric/identifier name.
+func endpointName(path string) string {
+	switch path {
+	case "/estimate":
+		return "estimate"
+	case "/healthz":
+		return "healthz"
+	case "/readyz":
+		return "readyz"
+	case "/debug/requests":
+		return "debug_requests"
+	default:
+		return "other"
+	}
+}
 
 // backendCounter returns the per-backend request counter, e.g.
 // serve_backend_packed64_requests_total. The registry's create-on-first-use
@@ -69,6 +142,21 @@ type Config struct {
 	// RetryAfter is the backoff hint attached to 429 responses
 	// (default 1s).
 	RetryAfter time.Duration
+	// TraceRing sizes the /debug/requests ring of recent completed request
+	// traces (default 64; negative disables request tracing entirely —
+	// no spans, no ring, no trace header).
+	TraceRing int
+	// MaxSpans caps the spans captured per request (default 2048); excess
+	// spans are counted as dropped on the trace instead of growing memory
+	// without bound.
+	MaxSpans int
+	// SlowThreshold marks requests at least this slow for the always-on
+	// slow-request capture ring (0 = no slow flagging; error requests are
+	// captured regardless).
+	SlowThreshold time.Duration
+	// AccessLog, when non-nil, receives one JSONL line per request
+	// carrying the trace id (health probes excluded).
+	AccessLog io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +177,12 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.TraceRing == 0 {
+		c.TraceRing = 64
+	}
+	if c.MaxSpans <= 0 {
+		c.MaxSpans = 2048
+	}
 	return c
 }
 
@@ -103,6 +197,12 @@ type job struct {
 	ctx  context.Context
 	req  *Request
 	done chan jobOutcome
+
+	// Admission accounting: enq is when the request entered the queue;
+	// admit is the open admission span, ended by the worker that dequeues
+	// the job (the zero mark when the request is untraced).
+	enq   time.Time
+	admit telemetry.SpanMark
 }
 
 type jobOutcome struct {
@@ -110,8 +210,9 @@ type jobOutcome struct {
 	err  error
 }
 
-// Server is the estimation service: an http.Handler serving POST /estimate
-// and GET /healthz. Construct with New, dispose with Drain.
+// Server is the estimation service: an http.Handler serving POST /estimate,
+// the GET /healthz (liveness) and /readyz (routability) probes, and the
+// GET /debug/requests trace ring. Construct with New, dispose with Drain.
 type Server struct {
 	cfg   Config
 	jobs  chan *job
@@ -123,8 +224,19 @@ type Server struct {
 	inflight sync.WaitGroup // accepted but unfinished requests
 	stop     sync.Once
 
+	// notReady flips /readyz to 503 ahead of the drain (lame-duck mode):
+	// the load balancer stops routing while in-flight work still finishes.
+	notReady atomic.Bool
+
 	mu       sync.Mutex
 	sessions map[sessionKey]*coest.Session
+
+	// Request tracing (nil when Config.TraceRing < 0): ring holds the most
+	// recent completed traces, slowRing the slow/error capture that fast
+	// traffic must not evict.
+	ring     *traceRing
+	slowRing *traceRing
+	access   *accessLogger
 }
 
 // accept admits one request into the in-flight set unless the server is
@@ -156,12 +268,28 @@ func New(cfg Config) *Server {
 		slots:    make(chan struct{}, cfg.Workers+cfg.Queue),
 		quit:     make(chan struct{}),
 		sessions: make(map[sessionKey]*coest.Session),
+		access:   newAccessLogger(cfg.AccessLog),
+	}
+	if cfg.TraceRing > 0 {
+		s.ring = newTraceRing(cfg.TraceRing)
+		s.slowRing = newTraceRing(cfg.TraceRing)
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
 	return s
 }
+
+// Unready flips /readyz to 503 without refusing work — the lame-duck step
+// a load balancer needs before Drain starts returning 503s to real
+// requests. It is reversible with Ready (tests; operator re-enable).
+func (s *Server) Unready() { s.notReady.Store(true) }
+
+// Ready undoes Unready.
+func (s *Server) Ready() { s.notReady.Store(false) }
+
+// tracing reports whether request tracing is enabled.
+func (s *Server) tracing() bool { return s.ring != nil }
 
 func (s *Server) worker() {
 	for {
@@ -170,6 +298,8 @@ func (s *Server) worker() {
 			return
 		case j := <-s.jobs:
 			gQueue.Add(-1)
+			j.admit.End(0, 0)
+			hStageAdmission.Observe(time.Since(j.enq).Seconds())
 			resp, err := s.estimate(j.ctx, j.req)
 			j.done <- jobOutcome{resp: resp, err: err}
 		}
@@ -177,19 +307,26 @@ func (s *Server) worker() {
 }
 
 // session returns the design's warm session, compiling it on first use, and
-// whether it already existed.
-func (s *Server) session(req *Request) (*coest.Session, bool, error) {
+// whether it already existed. The compile-or-reuse decision lands on the
+// request trace: a cold build opens a "compile" span, a warm hit records a
+// "reuse" instant.
+func (s *Server) session(ctx context.Context, req *Request) (*coest.Session, bool, error) {
 	key := sessionKey{system: req.System, packets: req.Packets}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if sess, ok := s.sessions[key]; ok {
+		telemetry.SpanScopeFrom(ctx).Instant("reuse", key.system, int64(key.packets))
 		return sess, true, nil
 	}
 	sys, err := buildSystem(req)
 	if err != nil {
 		return nil, false, err
 	}
+	compileStart := time.Now()
+	_, cspan := telemetry.StartSpanWith(ctx, "compile", key.system, int64(key.packets))
 	sess, err := coest.NewSession(sys)
+	cspan.End()
+	hStageCompile.Observe(time.Since(compileStart).Seconds())
 	if err != nil {
 		return nil, false, err
 	}
@@ -237,7 +374,11 @@ func pointOptions(p PointSpec) []coest.Option {
 // estimate runs one request on its design's warm session, coalescing the
 // request's points into a single batched sweep.
 func (s *Server) estimate(ctx context.Context, req *Request) (*Response, error) {
-	sess, warm, err := s.session(req)
+	sessionStart := time.Now()
+	sessCtx, sspan := telemetry.StartSpan(ctx, "session")
+	sess, warm, err := s.session(sessCtx, req)
+	sspan.End()
+	hStageSession.Observe(time.Since(sessionStart).Seconds())
 	if err != nil {
 		return nil, err
 	}
@@ -261,7 +402,13 @@ func (s *Server) estimate(ctx context.Context, req *Request) (*Response, error) 
 		backend = req.Backend
 	}
 	backendCounter(backend).Inc()
-	results, err := sess.EstimateBatch(ctx, points, batchOpts...)
+	sweepStart := time.Now()
+	sweepCtx, wspan := telemetry.StartSpanWith(ctx, "sweep", backend, int64(len(points)))
+	results, err := sess.EstimateBatch(sweepCtx, points, batchOpts...)
+	wspan.End()
+	sweepDur := time.Since(sweepStart).Seconds()
+	hStageSweep.Observe(sweepDur)
+	backendSeconds(backend).Observe(sweepDur)
 	if err != nil {
 		return nil, err
 	}
@@ -288,24 +435,161 @@ func (s *Server) estimate(ctx context.Context, req *Request) (*Response, error) 
 	return resp, nil
 }
 
-// ServeHTTP routes POST /estimate and GET /healthz.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	switch {
-	case r.URL.Path == "/healthz":
-		if s.isDraining() {
-			http.Error(w, "draining", http.StatusServiceUnavailable)
-			return
+// statusRecorder captures the response status for metrics, access logs and
+// the request trace.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	if !w.wrote {
+		w.status = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusRecorder) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// traceState is one in-flight request's tracing context.
+type traceState struct {
+	ctx  context.Context
+	id   telemetry.TraceID
+	root *telemetry.Span
+	col  *traceCollector
+
+	// Estimation metadata, filled by handleEstimate before the request
+	// finishes (same goroutine; no locking needed).
+	system  string
+	backend string
+	points  int
+	warm    bool
+	errMsg  string
+}
+
+// startTrace opens the request's trace: the id comes from the inbound
+// X-Coest-Trace-Id header when present (cross-node stitching) or is freshly
+// generated, the root "request" span optionally parents under an inbound
+// X-Coest-Parent-Span, and the id is echoed on the response before any
+// status is written.
+func (s *Server) startTrace(w http.ResponseWriter, r *http.Request) *traceState {
+	id := telemetry.TraceID{}
+	if h := r.Header.Get(TraceHeader); h != "" {
+		if parsed, err := telemetry.ParseTraceID(h); err == nil {
+			id = parsed
 		}
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	case r.URL.Path == "/estimate":
-		s.handleEstimate(w, r)
-	default:
-		http.NotFound(w, r)
+	}
+	if id.IsZero() {
+		id = telemetry.NewTraceID()
+	}
+	col := newTraceCollector(s.cfg.MaxSpans)
+	scope := telemetry.NewSpanScope(telemetry.Synchronized(col), id)
+	if h := r.Header.Get(ParentSpanHeader); h != "" {
+		var parent uint64
+		if _, err := fmt.Sscanf(h, "%x", &parent); err == nil {
+			scope = scope.WithParent(parent)
+		}
+	}
+	ctx := telemetry.ContextWithSpanScope(r.Context(), scope)
+	ctx, root := telemetry.StartSpanWith(ctx, "request", r.Method+" "+r.URL.Path, 0)
+	w.Header().Set(TraceHeader, id.String())
+	return &traceState{ctx: ctx, id: id, root: root, col: col}
+}
+
+// finish closes out one request: RED metrics for every endpoint, an access
+// line for everything but health probes, and — for traced requests — the
+// completed trace into the ring(s).
+func (s *Server) finish(w *statusRecorder, r *http.Request, st *traceState, start time.Time) {
+	dur := time.Since(start)
+	name := endpointName(r.URL.Path)
+	endpointRequests(name).Inc()
+	endpointSeconds(name).Observe(dur.Seconds())
+	failed := w.status >= 500
+	if failed {
+		endpointErrors(name).Inc()
+		mErrors.Inc()
+	}
+	slow := s.cfg.SlowThreshold > 0 && dur >= s.cfg.SlowThreshold
+	if slow {
+		mSlow.Inc()
+	}
+
+	var traceID string
+	if st != nil {
+		traceID = st.id.String()
+	}
+	if name != "healthz" && name != "readyz" {
+		rec := accessRecord{
+			Time: nowRFC3339(start), Trace: traceID,
+			Method: r.Method, Path: r.URL.Path, Status: w.status,
+			DurMS: float64(dur) / float64(time.Millisecond), Slow: slow,
+		}
+		if st != nil {
+			rec.System, rec.Backend = st.system, st.backend
+			rec.Points, rec.Warm, rec.Error = st.points, st.warm, st.errMsg
+		}
+		s.access.log(rec)
+	}
+
+	if st == nil {
+		return
+	}
+	st.root.End()
+	spans, dropped := st.col.take()
+	t := &RequestTrace{
+		Trace: traceID, Start: start, DurNS: int64(dur),
+		Method: r.Method, Path: r.URL.Path, Status: w.status,
+		System: st.system, Backend: st.backend, Points: st.points,
+		Warm: st.warm, Error: st.errMsg, Slow: slow,
+		Dropped: dropped, Spans: spans,
+	}
+	s.ring.add(t)
+	if slow || failed {
+		s.slowRing.add(t)
 	}
 }
 
-func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+// ServeHTTP routes POST /estimate, the health probes, and the trace ring.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	var st *traceState
+	if r.URL.Path == "/estimate" && s.tracing() {
+		st = s.startTrace(sr, r)
+		r = r.WithContext(st.ctx)
+	}
+	switch r.URL.Path {
+	case "/healthz":
+		// Pure liveness: the process is up and serving. Draining does not
+		// make a process dead — routability is /readyz's job.
+		sr.WriteHeader(http.StatusOK)
+		fmt.Fprintln(sr, "ok")
+	case "/readyz":
+		// Routability: flips 503 the moment the daemon goes lame-duck
+		// (Unready) or starts draining, so a load balancer stops routing
+		// before real requests see 503s.
+		if s.notReady.Load() || s.isDraining() {
+			http.Error(sr, "draining", http.StatusServiceUnavailable)
+		} else {
+			sr.WriteHeader(http.StatusOK)
+			fmt.Fprintln(sr, "ok")
+		}
+	case "/estimate":
+		s.handleEstimate(sr, r, st)
+	case "/debug/requests":
+		s.DebugRequestsHandler().ServeHTTP(sr, r)
+	default:
+		http.NotFound(sr, r)
+	}
+	s.finish(sr, r, st, start)
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request, st *traceState) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
@@ -345,12 +629,17 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 
 	// Admission is a token, not a channel handoff, so shedding does not
 	// depend on worker scheduling: Workers+Queue requests may be in the
-	// system, the rest are rejected immediately.
+	// system, the rest are rejected immediately. The admission span opens
+	// here and is ended by the worker that dequeues the job — it measures
+	// slot wait plus queue wait.
+	admit := telemetry.SpanScopeFrom(ctx).Begin("admission", "")
+	enq := time.Now()
 	select {
 	case s.slots <- struct{}{}:
 	default:
 		// Backpressure: queue and workers are saturated. Shed load now so
 		// the client can retry a less-busy replica instead of piling on.
+		admit.End(0, 0)
 		mRejected.Inc()
 		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
 		http.Error(w, "queue full", http.StatusTooManyRequests)
@@ -358,13 +647,21 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 	defer func() { <-s.slots }()
 
-	j := &job{ctx: ctx, req: &req, done: make(chan jobOutcome, 1)}
+	j := &job{ctx: ctx, req: &req, done: make(chan jobOutcome, 1), enq: enq, admit: admit}
 	s.jobs <- j // cannot block: the slot guarantees room
 	gQueue.Add(1)
 	mRequests.Inc()
 	start := time.Now()
 	out := <-j.done
 	hLatency.Observe(time.Since(start).Seconds())
+	if st != nil {
+		if out.err != nil {
+			st.errMsg = out.err.Error()
+		} else if out.resp != nil {
+			st.system, st.backend = out.resp.System, out.resp.Backend
+			st.points, st.warm = len(out.resp.Points), out.resp.Warm
+		}
+	}
 	if out.err != nil {
 		switch {
 		case errors.Is(out.err, context.DeadlineExceeded):
@@ -377,11 +674,18 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	if st != nil {
+		out.resp.TraceID = st.id.String()
+	}
+	respondStart := time.Now()
+	mark := telemetry.SpanScopeFrom(ctx).Begin("respond", "")
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(out.resp); err != nil {
 		// Response already committed; nothing more to do.
 		_ = err
 	}
+	mark.End(0, 0)
+	hStageRespond.Observe(time.Since(respondStart).Seconds())
 }
 
 // Drain stops accepting new requests, waits for queued and in-flight ones

@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// Concurrent fan-out property test (run under -race): several goroutines
+// emit span begin/end pairs and simulation events through one Synchronized
+// Multi sink, the way parallel engine workers share a request's trace sink.
+// Afterwards every fanned-out sink must have seen the same complete stream,
+// each goroutine's events in its program order, and every span begin paired
+// with exactly one end that never precedes it.
+func TestSynchronizedMultiSinkSpanFanOut(t *testing.T) {
+	const goroutines = 8
+	const spansPer = 200
+
+	rec := &recorder{}
+	var jsonl bytes.Buffer
+	sink := Synchronized(Multi(rec, NewJSONLSink(&jsonl)))
+	if Synchronized(sink) != sink {
+		t.Fatal("Synchronized should be idempotent")
+	}
+	scope := NewSpanScope(sink, NewTraceID())
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < spansPer; i++ {
+				// Value encodes (goroutine, sequence) so the interleaved
+				// stream can be checked for per-goroutine order.
+				m := scope.BeginWith("work", "", int64(g*spansPer+i))
+				sink.Emit(Event{Kind: KindISSCall, Machine: g, Value: int64(i), Energy: units.Nanojoule})
+				m.End(uint64(i), 0)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := goroutines * spansPer * 3 // begin + iss + end
+	if len(rec.events) != want {
+		t.Fatalf("recorder saw %d events, want %d", len(rec.events), want)
+	}
+	if lines := strings.Count(jsonl.String(), "\n"); lines != want {
+		t.Fatalf("jsonl sink saw %d lines, want %d", lines, want)
+	}
+
+	// Span pairing: every begin gets exactly one end, and the end comes
+	// after it in the serialized stream.
+	open := map[uint64]bool{}
+	ended := map[uint64]bool{}
+	// Per-goroutine order: begin values within one goroutine's value range
+	// must appear in increasing order.
+	lastVal := make([]int64, goroutines)
+	for i := range lastVal {
+		lastVal[i] = -1
+	}
+	for _, ev := range rec.events {
+		switch ev.Kind {
+		case KindSpanBegin:
+			if open[ev.Span] || ended[ev.Span] {
+				t.Fatalf("span %x begun twice", ev.Span)
+			}
+			open[ev.Span] = true
+			g := int(ev.Value) / spansPer
+			if ev.Value <= lastVal[g] {
+				t.Fatalf("goroutine %d emitted out of order: %d after %d", g, ev.Value, lastVal[g])
+			}
+			lastVal[g] = ev.Value
+		case KindSpanEnd:
+			if !open[ev.Span] {
+				t.Fatalf("end before begin for span %x", ev.Span)
+			}
+			delete(open, ev.Span)
+			ended[ev.Span] = true
+		case KindISSCall:
+			// interleaved simulation traffic; sequenced per goroutine too
+		default:
+			t.Fatalf("unexpected kind %v", ev.Kind)
+		}
+	}
+	if len(open) != 0 {
+		t.Fatalf("%d spans never ended", len(open))
+	}
+	if len(ended) != goroutines*spansPer {
+		t.Fatalf("%d spans ended, want %d", len(ended), goroutines*spansPer)
+	}
+}

@@ -7,8 +7,30 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
+	"sync"
 	"time"
 )
+
+// debugExt holds handlers registered by other packages for inclusion in
+// DebugHandler — how internal/serve mounts /debug/requests on a daemon's
+// -debug-addr endpoint without telemetry importing serve.
+var debugExt struct {
+	mu       sync.Mutex
+	handlers map[string]http.Handler
+}
+
+// RegisterDebug mounts h at pattern on every DebugHandler built afterwards.
+// Registering the same pattern again replaces the handler (tests rebuild
+// servers freely).
+func RegisterDebug(pattern string, h http.Handler) {
+	debugExt.mu.Lock()
+	defer debugExt.mu.Unlock()
+	if debugExt.handlers == nil {
+		debugExt.handlers = make(map[string]http.Handler)
+	}
+	debugExt.handlers[pattern] = h
+}
 
 // DebugHandler returns the debug endpoint mux:
 //
@@ -30,12 +52,23 @@ func DebugHandler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	debugExt.mu.Lock()
+	extra := make([]string, 0, len(debugExt.handlers))
+	for pattern, h := range debugExt.handlers {
+		mux.Handle(pattern, h)
+		extra = append(extra, pattern)
+	}
+	debugExt.mu.Unlock()
+	sort.Strings(extra)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
 		fmt.Fprint(w, "coest debug endpoint\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
+		for _, pattern := range extra {
+			fmt.Fprintln(w, pattern)
+		}
 	})
 	return mux
 }

@@ -27,6 +27,9 @@ type jsonEvent struct {
 	Addr       uint32  `json:"addr,omitempty"`
 	Words      int     `json:"words,omitempty"`
 	Write      bool    `json:"write,omitempty"`
+	Trace      string  `json:"trace,omitempty"`
+	Span       string  `json:"span,omitempty"`
+	Parent     string  `json:"parent,omitempty"`
 }
 
 // JSONLSink writes one JSON object per event, newline-delimited — the
@@ -62,6 +65,13 @@ func (s *JSONLSink) Emit(ev Event) {
 	if ev.Path != 0 {
 		je.Path = fmt.Sprintf("%x", ev.Path)
 	}
+	if !ev.Trace.IsZero() {
+		je.Trace = ev.Trace.String()
+		je.Span = fmt.Sprintf("%x", ev.Span)
+		if ev.Parent != 0 {
+			je.Parent = fmt.Sprintf("%x", ev.Parent)
+		}
+	}
 	_ = s.enc.Encode(je) // error surfaces at Close via the flush
 }
 
@@ -75,6 +85,7 @@ const (
 	chromePIDMachines = 1 // one tid per CFSM process
 	chromePIDBus      = 2 // one tid per bus master
 	chromePIDMaster   = 3 // compaction, deadline warnings
+	chromePIDSpans    = 4 // request-trace spans (wall-clock flame graph)
 )
 
 // ChromeSink streams the event stream as a Chrome/Perfetto trace_event JSON
@@ -88,12 +99,35 @@ type ChromeSink struct {
 	first bool
 	err   error
 	named map[[2]int]bool // (pid,tid) lanes already given thread_name metadata
+
+	// Span (flame-graph) state: spans buffer at begin and render as one
+	// complete "X" slice at end. Lanes (tids under chromePIDSpans) follow
+	// stack discipline — a child shares its parent's lane only while the
+	// parent is the lane's innermost open span, so concurrent siblings
+	// (parallel sweep points) fan out to their own rows instead of
+	// producing overlapping non-nested slices.
+	open     map[uint64]*openSpan
+	laneTop  map[int]uint64 // innermost open span per lane
+	nextLane int
+	free     []int
+}
+
+// openSpan buffers a begun span until its end event arrives.
+type openSpan struct {
+	lane    int
+	parent  uint64
+	beginTS float64
+	name    string
+	args    map[string]any
 }
 
 // NewChromeSink returns a sink writing the trace_event JSON to w. The JSON
 // is only well-formed after Close.
 func NewChromeSink(w io.Writer) *ChromeSink {
-	s := &ChromeSink{bw: bufio.NewWriter(w), first: true, named: make(map[[2]int]bool)}
+	s := &ChromeSink{
+		bw: bufio.NewWriter(w), first: true, named: make(map[[2]int]bool),
+		open: make(map[uint64]*openSpan), laneTop: make(map[int]uint64), nextLane: 1,
+	}
 	_, s.err = s.bw.WriteString(`{"displayTimeUnit":"ns","traceEvents":[` + "\n")
 	return s
 }
@@ -144,8 +178,86 @@ func (s *ChromeSink) lane(pid, tid int, name string) {
 
 func usec(t units.Time) float64 { return float64(t) / 1e3 }
 
+// allocLane hands out the lowest free span lane, reusing rows freed by
+// closed spans so wide sweeps do not grow the viewer unboundedly.
+func (s *ChromeSink) allocLane() int {
+	if n := len(s.free); n > 0 {
+		lane := s.free[n-1]
+		s.free = s.free[:n-1]
+		return lane
+	}
+	lane := s.nextLane
+	s.nextLane++
+	return lane
+}
+
+func (s *ChromeSink) spanBegin(ev Event) {
+	sp := &openSpan{parent: ev.Parent, beginTS: usec(ev.Time), name: ev.Name}
+	if ev.Component != "" || ev.Value != 0 {
+		sp.args = map[string]any{}
+		if ev.Component != "" {
+			sp.args["detail"] = ev.Component
+		}
+		if ev.Value != 0 {
+			sp.args["value"] = ev.Value
+		}
+	}
+	if p, ok := s.open[ev.Parent]; ok && s.laneTop[p.lane] == ev.Parent {
+		sp.lane = p.lane
+	} else {
+		sp.lane = s.allocLane()
+	}
+	s.laneTop[sp.lane] = ev.Span
+	s.open[ev.Span] = sp
+	s.lane(chromePIDSpans, sp.lane, fmt.Sprintf("trace lane %d", sp.lane))
+}
+
+func (s *ChromeSink) spanEnd(ev Event) {
+	sp, ok := s.open[ev.Span]
+	if !ok {
+		return // unmatched end; drop rather than corrupt the document
+	}
+	delete(s.open, ev.Span)
+	if sp.args == nil {
+		sp.args = map[string]any{}
+	}
+	sp.args["span"] = fmt.Sprintf("%x", ev.Span)
+	if ev.Cycles != 0 {
+		sp.args["cycles"] = ev.Cycles
+	}
+	if ev.Energy != 0 {
+		sp.args["energy_j"] = ev.Energy.Joules()
+	}
+	dur := usec(ev.Time) - sp.beginTS
+	if d := usec(ev.Dur); d > dur {
+		dur = d
+	}
+	s.write(chromeEvent{
+		Name: sp.name, Ph: "X", TS: sp.beginTS, Dur: dur,
+		PID: chromePIDSpans, TID: sp.lane, Args: sp.args,
+	})
+	if s.laneTop[sp.lane] == ev.Span {
+		// Restore the parent as the lane's innermost open span when it
+		// lives on the same lane; otherwise retire the lane for reuse.
+		if p, ok := s.open[sp.parent]; ok && p.lane == sp.lane {
+			s.laneTop[sp.lane] = sp.parent
+		} else {
+			delete(s.laneTop, sp.lane)
+			s.free = append(s.free, sp.lane)
+		}
+	}
+}
+
 // Emit implements Sink.
 func (s *ChromeSink) Emit(ev Event) {
+	switch ev.Kind {
+	case KindSpanBegin:
+		s.spanBegin(ev)
+		return
+	case KindSpanEnd:
+		s.spanEnd(ev)
+		return
+	}
 	pid, tid := chromePIDMachines, ev.Machine+1
 	lane := ev.Component
 	switch ev.Kind {
@@ -217,9 +329,15 @@ type syncSink struct {
 // interleaved event streams of a parallel sweep's workers. Expect the
 // points' simulated timestamps to interleave; tag-by-point ordering is the
 // consumer's job (or run with one worker for a clean single stream).
+// Synchronizing an already-synchronized sink returns it unchanged, so the
+// simulation fan-out and a span scope can share one serialized sink without
+// stacking mutexes.
 func Synchronized(sink Sink) Sink {
 	if sink == nil {
 		return nil
+	}
+	if _, ok := sink.(*syncSink); ok {
+		return sink
 	}
 	return &syncSink{sink: sink}
 }

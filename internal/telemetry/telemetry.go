@@ -61,6 +61,13 @@ const (
 	// macro-model table was also run through the reference estimator (ISS
 	// or gate-level) and the divergence recorded.
 	KindShadowAudit
+	// KindSpanBegin: a request-trace span opened. Span events carry
+	// wall-clock time relative to the trace epoch in Time, not simulated
+	// time (see span.go).
+	KindSpanBegin
+	// KindSpanEnd: a request-trace span closed; Dur is the span's
+	// wall-clock duration.
+	KindSpanEnd
 )
 
 var kindNames = [...]string{
@@ -75,6 +82,8 @@ var kindNames = [...]string{
 	KindDeadlineWarning:    "deadline",
 	KindEnergyAttributed:   "energy",
 	KindShadowAudit:        "shadow",
+	KindSpanBegin:          "span-begin",
+	KindSpanEnd:            "span-end",
 }
 
 func (k Kind) String() string {
@@ -108,6 +117,9 @@ func (k Kind) String() string {
 //	ShadowAudit         Component (machine), Machine, Name (technique),
 //	                    Path, Cycles (reference), Energy (reference),
 //	                    Served (estimate under audit)
+//	SpanBegin           Trace, Span, Parent, Name (span name), Component
+//	                    (detail), Value; Time is trace-relative wall ns
+//	SpanEnd             Trace, Span, Parent, Dur (wall ns), Cycles, Energy
 type Event struct {
 	Time units.Time // simulated timestamp
 	Kind Kind
@@ -128,6 +140,10 @@ type Event struct {
 	Write bool   // bus transfer direction
 
 	Served units.Energy // shadow audit: the accelerated estimate under audit
+
+	Trace  TraceID // request-trace id (span events)
+	Span   uint64  // span id (span events)
+	Parent uint64  // parent span id, 0 at the trace root (span events)
 }
 
 // String renders the event as one human-readable trace line (the format
@@ -161,6 +177,13 @@ func (ev Event) String() string {
 		return prefix + fmt.Sprintf("attr  %s <- %v (%s)", ev.Component, ev.Energy, ev.Name)
 	case KindShadowAudit:
 		return prefix + fmt.Sprintf("shdw  %s path %x (%s): served %v, ref %v over %d cycles", ev.Component, ev.Path, ev.Name, ev.Served, ev.Energy, ev.Cycles)
+	case KindSpanBegin:
+		if ev.Component != "" {
+			return prefix + fmt.Sprintf("sbeg  %s (%s) span %x < %x trace %v", ev.Name, ev.Component, ev.Span, ev.Parent, ev.Trace)
+		}
+		return prefix + fmt.Sprintf("sbeg  %s span %x < %x trace %v", ev.Name, ev.Span, ev.Parent, ev.Trace)
+	case KindSpanEnd:
+		return prefix + fmt.Sprintf("send  span %x in %v trace %v", ev.Span, ev.Dur, ev.Trace)
 	}
 	return prefix + ev.Kind.String()
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ecache"
 	"repro/internal/engine"
+	"repro/internal/telemetry"
 )
 
 // Session is the compile-once/estimate-many form of the estimator — the
@@ -176,7 +177,11 @@ func (s *Session) Estimate(ctx context.Context, opts ...Option) (*Report, error)
 
 // run executes one configured estimation on a fresh clone.
 func (s *Session) run(ctx context.Context, cfg core.Config) (*Report, error) {
+	ctx, span := telemetry.StartSpan(ctx, "estimate")
+	defer span.End()
+	_, bspan := telemetry.StartSpan(ctx, "rebind")
 	cs, err := core.NewShared(s.spec.Clone(), cfg, s.art)
+	bspan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -229,6 +234,8 @@ func (s *Session) EstimateBatch(ctx context.Context, points [][]Option, opts ...
 	if n == 0 {
 		return nil, ctx.Err()
 	}
+	ctx, span := telemetry.StartSpanWith(ctx, "batch", backend, int64(n))
+	defer span.End()
 	outs, err := engine.RunOutcomes(ctx, n, engine.Options{
 		Workers:   st.workers,
 		Backend:   backend,
