@@ -64,7 +64,7 @@ func main() {
 		paramFile = flag.String("params", "", "macro-model parameter file (skips characterization; implies -macromodel)")
 		attribRep = flag.Bool("attrib", false, "print the hierarchical energy attribution ledger")
 		shadow    = flag.Float64("shadow-rate", 0, "shadow-audit this fraction of accelerated serves on the reference estimator (0..1)")
-		backend   = flag.String("backend", "", "estimator backend: interpreted (default) or packed64 (bit-identical reports)")
+		backend   = flag.String("backend", "", "estimator backend: interpreted (default), compiled or packed64 (bit-identical reports)")
 		serveURL  = flag.String("serve", "", "delegate the estimation to a coestd daemon at this base URL (e.g. http://localhost:8350)")
 		deadline  = flag.Duration("deadline", 0, "with -serve: per-request wall-clock deadline (0 = server default)")
 	)

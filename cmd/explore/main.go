@@ -28,7 +28,8 @@ import (
 	"repro/internal/systems"
 	"repro/internal/telemetry"
 
-	// Register the packed64 estimator backend for -backend.
+	// Register the non-default estimator backends for -backend.
+	_ "repro/internal/compiled"
 	_ "repro/internal/packed64"
 )
 
@@ -39,7 +40,7 @@ func main() {
 		ecache    = flag.Bool("ecache", false, "accelerate each point with energy caching")
 		attrib    = flag.Bool("attrib", false, "enable the energy attribution ledger on every point")
 		shadow    = flag.Float64("shadow-rate", 0, "shadow-audit this fraction of accelerated serves (0..1)")
-		backend   = flag.String("backend", "", "estimator backend: interpreted (default) or packed64 (bit-identical reports)")
+		backend   = flag.String("backend", "", "estimator backend: interpreted (default), compiled or packed64 (bit-identical reports)")
 		workers   = flag.Int("j", runtime.NumCPU(), "parallel co-estimations")
 		verbose   = flag.Bool("v", false, "print per-point progress metrics to stderr")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/pprof/ on this address during the sweep (e.g. localhost:6060)")

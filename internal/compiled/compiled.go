@@ -1,0 +1,55 @@
+// Package compiled implements the threaded-code estimator backend: sweep
+// points are scheduled exactly like the reference "interpreted" backend
+// (one core.CoSim per point over the bounded worker pool), but every
+// point's software estimator runs on the ISS's compiled tier — the SPARC
+// image's basic blocks are translated once into pre-bound closures and
+// dispatched by block (internal/iss.BlockCache) instead of being decoded
+// and dispatched per instruction.
+//
+// The backend registers itself as "compiled" in the internal/engine
+// backend registry on import. Its contract is bit-identity: every
+// per-point Report — energies, cycle counts, ISS-call counts, attribution
+// rollups, error budgets — must equal the reference backend's output
+// exactly; only throughput differs. The translation rides
+// core.Artifacts.SWBlocks, so a warm session compiles blocks once and
+// every rebound run (and every packed64 column lane, when both backends
+// compose) reuses them.
+package compiled
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+func init() { engine.RegisterBackend(Backend{}) }
+
+// Backend is the compiled sweep engine. It is stateless: all state lives
+// in the per-artifact block caches.
+type Backend struct{}
+
+// Name implements engine.Backend.
+func (Backend) Name() string { return "compiled" }
+
+// PrepareConfig implements engine.ConfigPreparer: flipping CompiledISS is
+// what routes a run's software estimation through the threaded-code tier,
+// including runs constructed outside Run (warm sessions, single
+// estimates).
+func (Backend) PrepareConfig(cfg *core.Config) { cfg.CompiledISS = true }
+
+// Run implements engine.Backend by delegating scheduling to the reference
+// pointwise strategy with every point's Config switched to the compiled
+// ISS tier. The build wrapper mutates the point's own Config copy — the
+// engine clones before construction, so callers' base Configs are never
+// touched.
+func (b Backend) Run(ctx context.Context, n int, opts engine.Options, failFast bool, build engine.BuildFunc) ([]engine.PointOutcome, error) {
+	wrapped := func(i int) (*core.System, core.Config, error) {
+		sys, cfg, err := build(i)
+		if err == nil {
+			b.PrepareConfig(&cfg)
+		}
+		return sys, cfg, err
+	}
+	return engine.RunPointwise(ctx, n, opts, failFast, wrapped)
+}

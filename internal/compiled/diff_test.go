@@ -1,0 +1,283 @@
+package compiled
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/cfsm"
+	"repro/internal/cfsmtest"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/iss"
+	"repro/internal/packed64"
+	"repro/internal/systems"
+	"repro/internal/telemetry"
+	"repro/internal/units"
+)
+
+// socBuild returns a sweep build function over a random SoC (the same
+// corpus shape as the packed64 differential): machine structure is fully
+// determined by seed, stimuli and acceleration config vary per point,
+// machine 0 maps to software, the rest to hardware. gp selects the
+// generation shape — cfsmtest.BranchyParams() produces the CTI-dense
+// images that stress compiled-block boundaries.
+func socBuild(seed int64, gp cfsmtest.Params, mutate func(i int, cfg *core.Config)) engine.BuildFunc {
+	return func(i int) (*core.System, core.Config, error) {
+		const nm = 3
+		mrng := rand.New(rand.NewSource(seed))
+		net := cfsm.NewNet()
+		procs := make(map[string]core.ProcessConfig, nm)
+		for mi := 0; mi < nm; mi++ {
+			name := fmt.Sprintf("m%d", mi)
+			m := cfsmtest.Machine(name, gp, mrng)
+			net.Add(m)
+			net.EnvInputByName(fmt.Sprintf("IN%d", mi), name, "IN")
+			net.EnvOutput(fmt.Sprintf("OUT%d", mi), net.MachineIndex(name), m.OutputIndex("OUT"))
+			mapping := core.HW
+			if mi == 0 {
+				mapping = core.SW
+			}
+			procs[name] = core.ProcessConfig{Mapping: mapping, Priority: mi + 1}
+		}
+		sys := &core.System{
+			Name:       fmt.Sprintf("soc%d", seed),
+			Net:        net,
+			Procs:      procs,
+			SharedInit: map[uint32]cfsm.Value{},
+		}
+
+		srng := rand.New(rand.NewSource(seed*1000 + int64(i)))
+		for a := uint32(0); a < 256; a++ {
+			sys.SharedInit[a] = cfsm.Value(srng.Intn(cfsmtest.Mask + 1))
+		}
+		for k := 0; k < 3+i; k++ {
+			sys.Stimuli = append(sys.Stimuli, core.Stimulus{
+				At:    units.Time(k+1) * 20 * units.Microsecond,
+				Input: fmt.Sprintf("IN%d", srng.Intn(nm)),
+				Value: cfsm.Value(srng.Intn(cfsmtest.Mask + 1)),
+			})
+		}
+
+		cfg := core.DefaultConfig()
+		cfg.Attribution = true
+		if i%2 == 0 {
+			cfg.Accel.ECache = true
+			cfg.Accel.ECacheParams.ThreshCalls = 2
+			cfg.Accel.ECacheParams.ThreshVariance = 0.02
+		}
+		if i%3 == 0 && i%2 == 0 {
+			cfg.ShadowAudit = audit.DefaultParams(0.5)
+		}
+		if mutate != nil {
+			mutate(i, &cfg)
+		}
+		return sys, cfg, nil
+	}
+}
+
+// scrub zeroes the fields that legitimately differ between runs (wall time).
+func scrub(rep *core.Report) core.Report {
+	r := *rep
+	r.Wall = 0
+	return r
+}
+
+// diff3 runs the same build through the interpreted reference, the compiled
+// backend and the packed64 backend, and requires all three report sets to
+// be bit-identical — energies, cycle counts, ISS-call counts, attribution
+// rollups and error budgets.
+func diff3(t *testing.T, n, workers int, build engine.BuildFunc) {
+	t.Helper()
+	want, err := engine.RunReports(context.Background(), n,
+		engine.Options{Workers: workers}, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, be := range map[string]engine.Backend{
+		"compiled": Backend{},
+		"packed64": packed64.New(64),
+	} {
+		got, err := be.Run(context.Background(), n,
+			engine.Options{Workers: workers}, true, build)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(want) != n || len(got) != n {
+			t.Fatalf("%s: lengths %d/%d, want %d", name, len(want), len(got), n)
+		}
+		for i := range want {
+			w, g := scrub(want[i].Value), scrub(got[i].Report)
+			if got[i].Index != want[i].Index {
+				t.Fatalf("%s outcome %d: index %d, want %d", name, i, got[i].Index, want[i].Index)
+			}
+			if !reflect.DeepEqual(w, g) {
+				t.Fatalf("%s point %d: report differs from interpreted:\n%v\nvs\n%v",
+					name, want[i].Index, w.String(), g.String())
+			}
+			if w.ISSCalls != g.ISSCalls || w.GateExecs != g.GateExecs {
+				t.Fatalf("%s point %d: estimator call counts differ", name, want[i].Index)
+			}
+		}
+	}
+}
+
+// TestCompiledMatchesInterpretedRandomSoCs is the corpus differential:
+// random SoCs (SW + 2 HW machines, shared memory, per-point stimuli,
+// caching and shadow auditing on a rotating subset of points) must produce
+// bit-identical reports across the interpreted, compiled and packed64
+// backends.
+func TestCompiledMatchesInterpretedRandomSoCs(t *testing.T) {
+	for seed := int64(200); seed < 203; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			diff3(t, 4, 2, socBuild(seed, cfsmtest.DefaultParams(), nil))
+		})
+	}
+}
+
+// TestCompiledBranchyShapes runs the CTI-dense generation shape: images
+// whose blocks branch into the middle of other blocks' straight-line runs
+// and chain CTIs back to back (the overlapping-suffix and unfusable-tail
+// paths of the block translator).
+func TestCompiledBranchyShapes(t *testing.T) {
+	for seed := int64(900); seed < 903; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			diff3(t, 3, 2, socBuild(seed, cfsmtest.BranchyParams(), nil))
+		})
+	}
+}
+
+// TestCompiledWindowTrapShapes shrinks the register file to two windows, so
+// the synthesized images' SAVE/RESTORE chains overflow and underflow
+// constantly — the dynamic-stall trap path a compiled block cannot fold
+// statically (SAVE/RESTORE keep runtime stall booking).
+func TestCompiledWindowTrapShapes(t *testing.T) {
+	shrink := func(i int, cfg *core.Config) {
+		timing := *iss.SPARCliteTiming()
+		timing.Windows = 2
+		cfg.Timing = &timing
+	}
+	diff3(t, 3, 2, socBuild(950, cfsmtest.BranchyParams(), shrink))
+}
+
+// TestCompiledSystemsSweepsMatch checks the case-study sweeps (the Table 1
+// TCPIP priority × DMA grid and a ProdCons workload sweep) through the
+// three-way differential.
+func TestCompiledSystemsSweepsMatch(t *testing.T) {
+	perms, dmas := []int{0, 5}, []int{2, 64}
+	tcpip := func(i int) (*core.System, core.Config, error) {
+		p := systems.DefaultTCPIP()
+		p.Packets = 2
+		p.PriorityPerm = perms[i/len(dmas)]
+		p.DMASize = dmas[i%len(dmas)]
+		sys, cfg := systems.TCPIP(p)
+		return sys, cfg, nil
+	}
+	diff3(t, len(perms)*len(dmas), 2, tcpip)
+}
+
+// TestCompiledArtifactBlockCacheReuse pins the warm path: the first
+// compiled run translates blocks and its Artifacts carry the cache; a
+// second run sharing those artifacts attaches the same cache, compiles
+// zero new blocks, skips re-precompilation and reproduces the report bit
+// for bit.
+func TestCompiledArtifactBlockCacheReuse(t *testing.T) {
+	build := socBuild(1000, cfsmtest.DefaultParams(), func(i int, cfg *core.Config) {
+		cfg.Accel.ECache = false // keep repeat runs deterministic
+		cfg.ShadowAudit = audit.Params{}
+		cfg.CompiledISS = true
+	})
+	sys, cfg, err := build(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs1, err := core.NewShared(sys.Clone(), cfg.Clone(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep1, err := cs1.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := cs1.Artifacts()
+	if art.SWBlocks == nil {
+		t.Fatal("compiled run's artifacts carry no block cache")
+	}
+	if art.SWBlocks.Blocks() == 0 || !art.SWBlocks.Precompiled() {
+		t.Fatalf("block cache not precompiled: %d blocks, precompiled=%v",
+			art.SWBlocks.Blocks(), art.SWBlocks.Precompiled())
+	}
+
+	compiles := telemetry.Default.Counter("coest_iss_blocks_compiled_total", "")
+	before := compiles.Value()
+	cs2, err := core.NewShared(sys.Clone(), cfg.Clone(), art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := cs2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compiles.Value() != before {
+		t.Fatalf("warm run compiled %d new blocks, want 0", compiles.Value()-before)
+	}
+	if cs2.Artifacts().SWBlocks != art.SWBlocks {
+		t.Fatal("warm run's artifacts do not share the block cache")
+	}
+	a, b := scrub(rep1), scrub(rep2)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("warm compiled report differs from cold:\n%v\nvs\n%v", a.String(), b.String())
+	}
+}
+
+// TestBackendRegistryNames pins the registry surface with all three
+// backends linked in: BackendNames is sorted and complete, and an unknown
+// lookup reports the same sorted list.
+func TestBackendRegistryNames(t *testing.T) {
+	names := engine.BackendNames()
+	want := []string{"compiled", "interpreted", "packed64"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("BackendNames() = %v, want %v", names, want)
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("BackendNames() not sorted: %v", names)
+	}
+	_, err := engine.LookupBackend("quantum")
+	var ube *engine.UnknownBackendError
+	if !errors.As(err, &ube) {
+		t.Fatalf("err = %v, want UnknownBackendError", err)
+	}
+	if !sort.StringsAreSorted(ube.Known) || !reflect.DeepEqual(ube.Known, want) {
+		t.Fatalf("UnknownBackendError.Known = %v, want sorted %v", ube.Known, want)
+	}
+}
+
+// TestPrepareConfig pins the ConfigPreparer seam: the compiled backend
+// flips CompiledISS, the reference backends leave the config alone, and
+// unknown names fail.
+func TestPrepareConfig(t *testing.T) {
+	var cfg core.Config
+	if err := engine.PrepareConfig("compiled", &cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.CompiledISS {
+		t.Fatal("PrepareConfig(compiled) did not set CompiledISS")
+	}
+	var plain core.Config
+	if err := engine.PrepareConfig("interpreted", &plain); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, core.Config{}) {
+		t.Fatal("PrepareConfig(interpreted) mutated the config")
+	}
+	if err := engine.PrepareConfig("quantum", &plain); !errors.Is(err, engine.ErrUnknownBackend) {
+		t.Fatalf("err = %v, want ErrUnknownBackend", err)
+	}
+}

@@ -180,6 +180,15 @@ type Config struct {
 	Timing *iss.TimingModel
 	Power  *iss.PowerModel
 
+	// CompiledISS switches the software estimator to the threaded-code
+	// execution tier: the SPARC image's basic blocks are translated once
+	// into pre-bound closures and dispatched by block instead of being
+	// re-interpreted per instruction. Estimation output is bit-identical to
+	// the interpreter — this is the "compiled" estimator backend's seam.
+	// The block cache rides Artifacts, so warm sessions translate once and
+	// reuse across runs.
+	CompiledISS bool
+
 	HWWidth int
 	HWVdd   units.Voltage
 	HWClock units.Frequency

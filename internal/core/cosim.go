@@ -237,6 +237,22 @@ func NewShared(sys *System, cfg Config, art *Artifacts) (*CoSim, error) {
 		cs.cpu.Reset(swsyn.StackTop)
 		cs.cpu.LoadProgram(img.Prog)
 		img.InitMemory(mem)
+		if cfg.CompiledISS {
+			// Reuse the session's threaded-code translation when it was built
+			// from exactly this image and model pair; translate fresh
+			// otherwise. Blocks compile lazily — RunContext front-loads the
+			// reachable set once per cache.
+			bc := (*iss.BlockCache)(nil)
+			if art != nil && art.SWBlocks != nil &&
+				art.SWBlocks.Matches(img.Prog, cfg.Timing, cfg.Power) {
+				bc = art.SWBlocks
+			} else {
+				bc = iss.CompileBlocks(img.Prog, cfg.Timing, cfg.Power)
+			}
+			if err := cs.cpu.AttachBlocks(bc); err != nil {
+				return nil, err
+			}
+		}
 	}
 
 	// Hardware synthesis + gate simulators (modules may come rebound from
@@ -539,6 +555,21 @@ func (cs *CoSim) RunContext(ctx context.Context) (*Report, error) {
 	}
 	mRuns.Inc()
 	cs.spans = telemetry.SpanScopeFrom(ctx)
+	if cs.cpu != nil {
+		if bc := cs.cpu.BlockCache(); bc != nil && !bc.Precompiled() {
+			// Front-load the statically reachable block set so first-run
+			// dispatch stays on the fast path; the span makes translation
+			// cost visible on request traces. Runs at most once per cache —
+			// warm sessions skip it entirely.
+			mark := cs.spans.Begin("iss_compile", cs.sys.Name)
+			var entries []uint32
+			for _, mc := range cs.image.Machines {
+				entries = append(entries, mc.Entries...)
+			}
+			n := bc.Precompile(entries)
+			mark.End(uint64(n), 0)
+		}
+	}
 	cs.scheduleStimuli()
 	interrupted := cs.kernel.RunUntilInterrupted(cs.cfg.MaxSimTime, ctx.Done())
 	if cs.err != nil {

@@ -112,12 +112,45 @@ func backendNamesLocked() []string {
 
 func init() { RegisterBackend(interpretedBackend{}) }
 
+// ConfigPreparer is an optional backend capability: a backend that needs
+// per-point Config adjustments before construction (e.g. the compiled
+// backend switching the ISS to its threaded-code tier) implements it, and
+// callers apply it to the base Config through PrepareConfig before building
+// points. It is separate from Run so the preparation also reaches paths
+// that construct CoSims directly (warm sessions, single estimates).
+type ConfigPreparer interface {
+	PrepareConfig(cfg *core.Config)
+}
+
+// PrepareConfig resolves the named backend and applies its Config
+// preparation when it has one. The empty name means the default backend.
+// Unknown names return the registry's UnknownBackendError.
+func PrepareConfig(name string, cfg *core.Config) error {
+	be, err := LookupBackend(name)
+	if err != nil {
+		return err
+	}
+	if p, ok := be.(ConfigPreparer); ok {
+		p.PrepareConfig(cfg)
+	}
+	return nil
+}
+
 // interpretedBackend is the reference strategy: one full co-simulation per
 // point over the bounded worker pool — today's path, and the definition of
 // correct output for every other backend.
 type interpretedBackend struct{}
 
 func (interpretedBackend) Name() string { return "interpreted" }
+
+// RunPointwise executes a sweep with the reference one-CoSim-per-point
+// strategy over the bounded worker pool. It is the interpreted backend's
+// Run, exported so wrapper backends (the compiled tier, which changes how
+// each point's ISS executes but not how points are scheduled) can delegate
+// their scheduling to it.
+func RunPointwise(ctx context.Context, n int, opts Options, failFast bool, build BuildFunc) ([]PointOutcome, error) {
+	return interpretedBackend{}.Run(ctx, n, opts, failFast, build)
+}
 
 func (interpretedBackend) Run(ctx context.Context, n int, opts Options, failFast bool, build BuildFunc) ([]PointOutcome, error) {
 	hook := opts.OnPoint

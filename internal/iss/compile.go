@@ -1,0 +1,1497 @@
+package iss
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sparc"
+	"repro/internal/telemetry"
+	"repro/internal/units"
+)
+
+// Process-wide compiled-tier metrics (aggregated across every BlockCache;
+// hit/miss counts accumulate in run-local state and flush once per run to
+// keep the atomics off the dispatch loop).
+var (
+	mBlocksCompiled = telemetry.Default.Counter("coest_iss_blocks_compiled_total",
+		"basic blocks translated to threaded code by the compiled ISS tier")
+	mBlockHits = telemetry.Default.Counter("coest_iss_block_cache_hits_total",
+		"compiled-block cache hits in the dispatch loop")
+	mBlockMisses = telemetry.Default.Counter("coest_iss_block_cache_misses_total",
+		"compiled-block cache misses (lazy block compilations)")
+)
+
+// maxBlockLen caps the straight-line portion of one compiled block, bounding
+// both per-block compile latency and the memory of overlapping suffix blocks.
+const maxBlockLen = 64
+
+// accum is the per-run accounting the interpreter keeps in loop locals:
+// threading it through the thunk chain by value keeps the hot accumulators
+// in registers (Go's register ABI) instead of memory round-trips per
+// instruction. The dispatch loop syncs it back to the stats at run end.
+type accum struct {
+	energy units.Energy
+	cycles uint64
+	stalls uint64
+	insts  uint64
+}
+
+// thunk is one pre-bound instruction: it executes against the CPU's compiled
+// run state (CPU.cx plus the architectural registers), threading the
+// register-resident accounting through, and returns false when execution
+// must stop, with the fault recorded in cx.err and the pipeline state synced
+// to the faulting instruction.
+type thunk func(c *CPU, a accum) (accum, bool)
+
+// block is one compiled basic block: a straight-line body of fused thunks,
+// optionally ended by a control-transfer tail (the CTI plus its delay slot).
+// Blocks are keyed by entry index, so a branch into the middle of another
+// block simply compiles its own (overlapping) suffix block. Runs of simple
+// ALU instructions inside the body collapse into a single micro-op thunk, so
+// len(body) can be smaller than bodyLen, the straight-line instruction count.
+type block struct {
+	body    []thunk
+	bodyLen uint32
+	tail    thunk // CTI + delay slot; nil for fallthrough blocks
+	// cost is the maximum Step-equivalents one full pass executes; the
+	// dispatch loop falls back to single-stepping when the remaining
+	// instruction budget is smaller (the Call-limit-lands-mid-block case).
+	cost uint64
+	// fallPC is the next fetch address after the body when tail is nil
+	// (length cap or program end).
+	fallPC uint32
+	// interpOnly marks entries the compiler refuses (a CTI whose delay slot
+	// is itself a CTI, or a CTI with no delay slot in range): the dispatch
+	// loop single-steps them generically.
+	interpOnly bool
+}
+
+// cexec is the compiled tier's run state: the same locals the interpreter
+// loop keeps, hoisted into the CPU so pre-bound thunks can reach them
+// without per-call captures. It is rebuilt from the architectural state at
+// every run and synced back at the end.
+type cexec struct {
+	pc, npc   uint32
+	traps     uint64
+	lastClass sparc.Class
+	pending   sparc.Reg
+	err       error
+}
+
+// BlockCache holds the threaded-code translation of one program under one
+// timing/power model pair. It is safe for concurrent use and is designed to
+// be shared: a warm session carries it in its Artifacts so every rebound run
+// (and every packed64 column lane) reuses the same compiled blocks. The
+// model pointers are part of the cache key — Config treats them as immutable
+// after construction, so pointer identity is the validity test.
+type BlockCache struct {
+	prog   *sparc.Program
+	timing *TimingModel
+	power  *PowerModel
+	base   uint32
+	dec    []decoded
+
+	mu     sync.Mutex
+	blocks []atomic.Pointer[block]
+
+	compiled atomic.Uint64 // blocks compiled so far
+	pre      atomic.Bool   // Precompile already ran
+}
+
+// CompileBlocks prepares a threaded-code cache for program p under the given
+// models. Blocks are compiled lazily as the dispatch loop first enters them;
+// use Precompile to front-load the statically reachable set.
+func CompileBlocks(p *sparc.Program, t *TimingModel, pw *PowerModel) *BlockCache {
+	bc := &BlockCache{prog: p, timing: t, power: pw, base: p.Base}
+	bc.dec = predecode(p, t)
+	bc.blocks = make([]atomic.Pointer[block], len(bc.dec))
+	return bc
+}
+
+// Matches reports whether the cache was compiled from exactly this program
+// and an equal model pair. The program compares by pointer (rebinding shares
+// the image); the models compare by value — the translation depends only on
+// their contents, so equal models yield an identical (and therefore
+// bit-identical) cache even when the configuration holds fresh copies.
+func (bc *BlockCache) Matches(p *sparc.Program, t *TimingModel, pw *PowerModel) bool {
+	if bc.prog != p || t == nil || pw == nil {
+		return false
+	}
+	return (bc.timing == t || *bc.timing == *t) && (bc.power == pw || *bc.power == *pw)
+}
+
+// Blocks returns how many basic blocks have been compiled so far.
+func (bc *BlockCache) Blocks() int { return int(bc.compiled.Load()) }
+
+// Precompiled reports whether Precompile has already run on this cache.
+func (bc *BlockCache) Precompiled() bool { return bc.pre.Load() }
+
+// Precompile eagerly compiles the blocks statically reachable from the given
+// entry addresses (following fallthroughs and static CALL/branch targets),
+// so first-run dispatch stays on the fast path. It runs at most once per
+// cache — later calls return 0 immediately — and reports how many blocks it
+// compiled.
+func (bc *BlockCache) Precompile(entries []uint32) int {
+	if !bc.pre.CompareAndSwap(false, true) {
+		return 0
+	}
+	n := uint32(len(bc.dec))
+	before := bc.compiled.Load()
+	seen := make(map[uint32]bool, len(entries)*4)
+	var work []uint32
+	push := func(pc uint32) {
+		if pc&3 != 0 {
+			return
+		}
+		idx := (pc - bc.base) >> 2
+		if idx < n && !seen[idx] {
+			seen[idx] = true
+			work = append(work, idx)
+		}
+	}
+	for _, e := range entries {
+		push(e)
+	}
+	for len(work) > 0 {
+		idx := work[len(work)-1]
+		work = work[:len(work)-1]
+		b := bc.blocks[idx].Load()
+		if b == nil {
+			b = bc.compileAt(idx)
+		}
+		if b.interpOnly {
+			continue
+		}
+		if b.tail == nil {
+			push(b.fallPC)
+			continue
+		}
+		// The tail is the CTI after the straight-line body plus its delay
+		// slot: follow the static target (CALL/branch) and the sequential
+		// path.
+		cti := &bc.dec[idx+b.bodyLen]
+		if cti.op != sparc.JMPL {
+			push(cti.target)
+		}
+		push(bc.base + (idx+b.bodyLen+2)*4)
+	}
+	return int(bc.compiled.Load() - before)
+}
+
+func (bc *BlockCache) compileAt(idx uint32) *block {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	if b := bc.blocks[idx].Load(); b != nil {
+		return b
+	}
+	b := bc.compile(idx)
+	bc.blocks[idx].Store(b)
+	bc.compiled.Add(1)
+	mBlocksCompiled.Inc()
+	return b
+}
+
+// compile translates the basic block entered at instruction index idx:
+// straight-line instructions become fused thunks; a terminating CTI and its
+// delay slot become the tail. Entries the translator cannot fuse (CTI in the
+// delay slot, CTI with no delay slot in range) are marked interpOnly and
+// single-stepped by the dispatch loop.
+func (bc *BlockCache) compile(idx uint32) *block {
+	dec := bc.dec
+	n := uint32(len(dec))
+	// First pass: find the straight-line extent, so each thunk knows its
+	// static predecessor and whether it is the last booked instruction on
+	// its path (the publication point for the exit pipeline state).
+	end := idx
+	for end < n && end-idx < maxBlockLen && !isCTI(dec[end].op) {
+		end++
+	}
+	hasTail := end < n && end-idx < maxBlockLen && isCTI(dec[end].op) &&
+		end+1 < n && !isCTI(dec[end+1].op)
+
+	b := &block{bodyLen: end - idx}
+	var prev *imeta
+	var run []uop // pending micro-op run, flushed into one thunk
+	flush := func() {
+		if len(run) > 0 {
+			b.body = append(b.body, uopRun(run))
+			run = nil
+		}
+	}
+	for i := idx; i < end; i++ {
+		m := bc.metaFor(i, false, prev)
+		m.publish = i == end-1 && !hasTail
+		if u, ok := uopFor(m); ok {
+			run = append(run, u)
+		} else {
+			flush()
+			b.body = append(b.body, bc.thunkFor(m))
+		}
+		prev = m
+	}
+	flush()
+	b.cost = uint64(b.bodyLen)
+	if !hasTail {
+		if b.bodyLen == 0 {
+			// The entry is a CTI the translator refuses (a CTI in the delay
+			// slot, or no delay slot in range): leave it to the generic
+			// stepper, which models delayed-branch chains exactly.
+			b.interpOnly = true
+			b.cost = 1
+			return b
+		}
+		// Length cap, program end, or an unfusable CTI boundary: fall
+		// through (a fetch past the end faults on the next dispatch
+		// iteration, like the interpreter).
+		b.fallPC = bc.base + end*4
+		return b
+	}
+	b.tail = bc.tailFor(end, prev)
+	b.cost += 2
+	return b
+}
+
+func isCTI(op sparc.Op) bool {
+	return op == sparc.CALL || op == sparc.JMPL || sparc.IsBranch(op)
+}
+
+// imeta is the pre-resolved execution metadata one thunk needs: operand
+// registers, the Tiwari energy terms with the current-class lookups already
+// collapsed (ov is the Overhead[*][class] column), static cycle counts and
+// the interlock constants. Thunks capture a single *imeta, so closure
+// environments stay one pointer wide.
+//
+// Within a block every instruction after the first has a statically known
+// predecessor, so the translator resolves the inter-instruction state at
+// compile time (statPrev): the class-overhead lookup collapses into eFix,
+// the load-use interlock into sInter, and — when no dynamic stall source
+// remains (dynStall false) — the whole stall-energy term folds into eFix
+// too. The folds replay the interpreter's exact IEEE operations on the same
+// operands, so precomputation cannot perturb a single bit of the energy sum.
+type imeta struct {
+	ov       [sparc.NumClasses]units.Energy // Overhead[prev][cl] for this cl
+	eBase    units.Energy                   // Base[cl]
+	eFix     units.Energy                   // static energy prefix (see above)
+	stallE   units.Energy                   // PowerModel.Stall
+	ddUnit   units.Energy
+	imm      uint32
+	o2i      uint32 // second-operand immediate (0 for register forms)
+	pc       uint32
+	extraSt  uint64 // cycles-1: static part of the stall-energy term
+	cycles   uint64
+	lu       uint64 // LoadUseStall
+	sInter   uint64 // statically resolved load-use stall (statPrev only)
+	op       sparc.Op
+	cl       sparc.Class
+	prevCl   sparc.Class // predecessor's class (statPrev only)
+	rd       sparc.Reg
+	rs1      sparc.Reg
+	rs2      sparc.Reg
+	o2r      sparc.Reg // second-operand register (G0 for immediate forms)
+	pend     sparc.Reg // pendingLoad after this instruction (rd for loads)
+	useImm   bool
+	store    bool
+	dd       bool
+	delay    bool // compiled as a delay slot: the tail owns npc on faults
+	statPrev bool // predecessor state resolved at compile time
+	dynOv    bool // class overhead still needs the runtime lastClass
+	dynStall bool // stall-energy term still needs the runtime stall count
+	publish  bool // last booked instruction on its path: write exit state
+}
+
+// metaFor resolves instruction i. prev is the statically known predecessor
+// within the block, or nil when the predecessor state is only known at run
+// time (block entry).
+func (bc *BlockCache) metaFor(i uint32, delay bool, prev *imeta) *imeta {
+	d := &bc.dec[i]
+	t, pw := bc.timing, bc.power
+	m := &imeta{
+		eBase:    pw.Base[d.class],
+		stallE:   pw.Stall,
+		ddUnit:   pw.DataUnit,
+		imm:      d.imm,
+		pc:       bc.base + i*4,
+		extraSt:  uint64(d.cycles) - 1,
+		cycles:   uint64(d.cycles),
+		lu:       t.LoadUseStall,
+		op:       d.op,
+		cl:       d.class,
+		rd:       d.rd,
+		rs1:      d.rs1,
+		rs2:      d.rs2,
+		useImm:   d.useImm,
+		store:    d.store,
+		dd:       pw.DataDependent,
+		delay:    delay,
+		dynStall: true,
+	}
+	for p := sparc.Class(0); p < sparc.NumClasses; p++ {
+		m.ov[p] = pw.Overhead[p][d.class]
+	}
+	if d.class == sparc.ClassLoad {
+		m.pend = d.rd
+	}
+	// Branchless second operand: %g0 is hardwired to zero, so rf[o2r]+o2i
+	// yields the immediate for i-forms and the register for r-forms.
+	if d.useImm {
+		m.o2i = d.imm
+	} else {
+		m.o2r = d.rs2
+	}
+	if prev == nil {
+		m.dynOv = true
+		m.eFix = m.eBase
+		return m
+	}
+	m.statPrev = true
+	m.prevCl = prev.cl
+	m.eFix = m.eBase + m.ov[prev.cl] // the interpreter's Base+Overhead add
+	if pp := prev.pend; pp != sparc.G0 && !d.exempt &&
+		(d.rs1 == pp || (!d.useImm && d.rs2 == pp) || (d.store && d.rd == pp)) {
+		m.sInter = t.LoadUseStall
+	}
+	return m
+}
+
+// foldStall collapses the stall-energy term for instructions whose stall
+// count is fully static (everything except SAVE/RESTORE window traps and
+// CTI tails). Must run after metaFor resolved statPrev and sInter.
+func (m *imeta) foldStall() {
+	m.dynStall = false
+	if extra := m.extraSt + m.sInter; extra != 0 {
+		m.eFix += units.Energy(extra) * m.stallE
+	}
+}
+
+// op2 is the second ALU operand (operand2d with the decode pre-resolved:
+// rf[%g0] reads as zero, so the add covers both immediate and register
+// forms without a branch).
+func (m *imeta) op2(c *CPU) uint32 {
+	return c.rf[m.o2r] + m.o2i
+}
+
+// interlock returns the load-use stall this instruction pays. With a static
+// predecessor the answer was resolved at compile time; otherwise it tests
+// the dynamic pending-load register. Callers are the non-exempt ops only.
+func (m *imeta) interlock(c *CPU) uint64 {
+	if m.statPrev {
+		return m.sInter
+	}
+	p := c.cx.pending
+	if p != sparc.G0 && (m.rs1 == p || (!m.useImm && m.rs2 == p) || (m.store && m.rd == p)) {
+		return m.lu
+	}
+	return 0
+}
+
+// book accounts one executed instruction: the inlined PowerModel.InstEnergy
+// term for term in the interpreter's order (so energies stay bit-identical),
+// then cycles/stalls/counts and the pipeline bookkeeping the interpreter
+// keeps in locals. The dyn* flags skip whatever metaFor/foldStall already
+// collapsed into eFix; exit pipeline state is written only at publication
+// points (fault paths restore it statically).
+func (m *imeta) book(a accum, c *CPU, result uint32, stalls uint64) accum {
+	e := m.eFix
+	if m.dynOv {
+		e += m.ov[c.cx.lastClass]
+	}
+	if m.dynStall {
+		if extra := m.extraSt + stalls; extra != 0 {
+			e += units.Energy(extra) * m.stallE
+		}
+	}
+	if m.dd {
+		e += units.Energy(bits.OnesCount32(result)) * m.ddUnit
+	}
+	a.energy += e
+	a.cycles += m.cycles + stalls
+	a.stalls += stalls
+	a.insts++
+	return a
+}
+
+// post finishes one booked instruction off the energy-critical path: the
+// per-opcode census and — at publication points — the exit pipeline state.
+// Split from book so both halves fit the inliner's budget.
+func (m *imeta) post(c *CPU) {
+	c.instCount[m.op]++
+	if m.publish {
+		c.cx.lastClass = m.cl
+		c.cx.pending = m.pend
+	}
+}
+
+// fault records an execution fault exactly as the interpreter's error break
+// does: the pending load was already consumed, the pipeline still points at
+// the faulting instruction, and nothing is booked. Delay-slot thunks leave
+// npc alone — the tail set it to the (possibly dynamic) branch destination.
+// When earlier thunks skipped publication (statPrev), the exit class is the
+// static predecessor's, so restore it here.
+func (m *imeta) fault(a accum, c *CPU, err error) (accum, bool) {
+	cx := &c.cx
+	cx.err = err
+	cx.pending = sparc.G0
+	if m.statPrev {
+		cx.lastClass = m.prevCl
+	}
+	cx.pc = m.pc
+	if !m.delay {
+		cx.npc = m.pc + 4
+	}
+	return a, false
+}
+
+// thunkFor compiles the non-CTI instruction described by m into a pre-bound
+// closure. Stall folding is applied here for every op whose stall count is
+// fully static once the predecessor is known (all but the window ops).
+func (bc *BlockCache) thunkFor(m *imeta) thunk {
+	if m.statPrev && m.op != sparc.SAVE && m.op != sparc.RESTORE {
+		m.foldStall()
+	}
+	t := bc.timing
+	switch m.op {
+	case sparc.SETHI:
+		return func(c *CPU, a accum) (accum, bool) { // exempt: no interlock
+			r := m.imm
+			c.rf[m.rd] = r
+			c.rf[sparc.G0] = 0
+			a = m.book(a, c, r, 0)
+			m.post(c)
+			return a, true
+		}
+	case sparc.ADD:
+		return func(c *CPU, a accum) (accum, bool) {
+			st := m.interlock(c)
+			r := c.rf[m.rs1] + m.op2(c)
+			c.rf[m.rd] = r
+			c.rf[sparc.G0] = 0
+			a = m.book(a, c, r, st)
+			m.post(c)
+			return a, true
+		}
+	case sparc.SUB:
+		return func(c *CPU, a accum) (accum, bool) {
+			st := m.interlock(c)
+			r := c.rf[m.rs1] - m.op2(c)
+			c.rf[m.rd] = r
+			c.rf[sparc.G0] = 0
+			a = m.book(a, c, r, st)
+			m.post(c)
+			return a, true
+		}
+	case sparc.AND:
+		return func(c *CPU, a accum) (accum, bool) {
+			st := m.interlock(c)
+			r := c.rf[m.rs1] & m.op2(c)
+			c.rf[m.rd] = r
+			c.rf[sparc.G0] = 0
+			a = m.book(a, c, r, st)
+			m.post(c)
+			return a, true
+		}
+	case sparc.OR:
+		return func(c *CPU, a accum) (accum, bool) {
+			st := m.interlock(c)
+			r := c.rf[m.rs1] | m.op2(c)
+			c.rf[m.rd] = r
+			c.rf[sparc.G0] = 0
+			a = m.book(a, c, r, st)
+			m.post(c)
+			return a, true
+		}
+	case sparc.XOR:
+		return func(c *CPU, a accum) (accum, bool) {
+			st := m.interlock(c)
+			r := c.rf[m.rs1] ^ m.op2(c)
+			c.rf[m.rd] = r
+			c.rf[sparc.G0] = 0
+			a = m.book(a, c, r, st)
+			m.post(c)
+			return a, true
+		}
+	case sparc.ADDCC:
+		return func(c *CPU, a accum) (accum, bool) {
+			st := m.interlock(c)
+			x, y := c.rf[m.rs1], m.op2(c)
+			r := x + y
+			c.iccN = int32(r) < 0
+			c.iccZ = r == 0
+			c.iccV = (^(x^y)&(x^r))>>31 == 1
+			c.iccC = r < x
+			c.rf[m.rd] = r
+			c.rf[sparc.G0] = 0
+			a = m.book(a, c, r, st)
+			m.post(c)
+			return a, true
+		}
+	case sparc.SUBCC:
+		return func(c *CPU, a accum) (accum, bool) {
+			st := m.interlock(c)
+			x, y := c.rf[m.rs1], m.op2(c)
+			r := x - y
+			c.iccN = int32(r) < 0
+			c.iccZ = r == 0
+			c.iccV = ((x^y)&(x^r))>>31 == 1
+			c.iccC = y > x
+			c.rf[m.rd] = r
+			c.rf[sparc.G0] = 0
+			a = m.book(a, c, r, st)
+			m.post(c)
+			return a, true
+		}
+	case sparc.ANDCC:
+		return func(c *CPU, a accum) (accum, bool) {
+			st := m.interlock(c)
+			r := c.rf[m.rs1] & m.op2(c)
+			c.iccN, c.iccZ, c.iccV, c.iccC = int32(r) < 0, r == 0, false, false
+			c.rf[m.rd] = r
+			c.rf[sparc.G0] = 0
+			a = m.book(a, c, r, st)
+			m.post(c)
+			return a, true
+		}
+	case sparc.ORCC:
+		return func(c *CPU, a accum) (accum, bool) {
+			st := m.interlock(c)
+			r := c.rf[m.rs1] | m.op2(c)
+			c.iccN, c.iccZ, c.iccV, c.iccC = int32(r) < 0, r == 0, false, false
+			c.rf[m.rd] = r
+			c.rf[sparc.G0] = 0
+			a = m.book(a, c, r, st)
+			m.post(c)
+			return a, true
+		}
+	case sparc.XORCC:
+		return func(c *CPU, a accum) (accum, bool) {
+			st := m.interlock(c)
+			r := c.rf[m.rs1] ^ m.op2(c)
+			c.iccN, c.iccZ, c.iccV, c.iccC = int32(r) < 0, r == 0, false, false
+			c.rf[m.rd] = r
+			c.rf[sparc.G0] = 0
+			a = m.book(a, c, r, st)
+			m.post(c)
+			return a, true
+		}
+	case sparc.SLL:
+		return func(c *CPU, a accum) (accum, bool) {
+			st := m.interlock(c)
+			r := c.rf[m.rs1] << (m.op2(c) & 31)
+			c.rf[m.rd] = r
+			c.rf[sparc.G0] = 0
+			a = m.book(a, c, r, st)
+			m.post(c)
+			return a, true
+		}
+	case sparc.SRL:
+		return func(c *CPU, a accum) (accum, bool) {
+			st := m.interlock(c)
+			r := c.rf[m.rs1] >> (m.op2(c) & 31)
+			c.rf[m.rd] = r
+			c.rf[sparc.G0] = 0
+			a = m.book(a, c, r, st)
+			m.post(c)
+			return a, true
+		}
+	case sparc.SRA:
+		return func(c *CPU, a accum) (accum, bool) {
+			st := m.interlock(c)
+			r := uint32(int32(c.rf[m.rs1]) >> (m.op2(c) & 31))
+			c.rf[m.rd] = r
+			c.rf[sparc.G0] = 0
+			a = m.book(a, c, r, st)
+			m.post(c)
+			return a, true
+		}
+	case sparc.UMUL:
+		return func(c *CPU, a accum) (accum, bool) {
+			st := m.interlock(c)
+			r := uint32(uint64(c.rf[m.rs1]) * uint64(m.op2(c)))
+			c.rf[m.rd] = r
+			c.rf[sparc.G0] = 0
+			a = m.book(a, c, r, st)
+			m.post(c)
+			return a, true
+		}
+	case sparc.SMUL:
+		return func(c *CPU, a accum) (accum, bool) {
+			st := m.interlock(c)
+			r := uint32(int64(int32(c.rf[m.rs1])) * int64(int32(m.op2(c))))
+			c.rf[m.rd] = r
+			c.rf[sparc.G0] = 0
+			a = m.book(a, c, r, st)
+			m.post(c)
+			return a, true
+		}
+	case sparc.UDIV:
+		return func(c *CPU, a accum) (accum, bool) {
+			st := m.interlock(c)
+			x, y := c.rf[m.rs1], m.op2(c)
+			var r uint32
+			if y == 0 {
+				c.cx.traps++
+			} else {
+				r = x / y
+			}
+			c.rf[m.rd] = r
+			c.rf[sparc.G0] = 0
+			a = m.book(a, c, r, st)
+			m.post(c)
+			return a, true
+		}
+	case sparc.SDIV:
+		return func(c *CPU, a accum) (accum, bool) {
+			st := m.interlock(c)
+			x, y := c.rf[m.rs1], m.op2(c)
+			var r uint32
+			if y == 0 || (int32(x) == -1<<31 && int32(y) == -1) {
+				c.cx.traps++
+			} else {
+				r = uint32(int32(x) / int32(y))
+			}
+			c.rf[m.rd] = r
+			c.rf[sparc.G0] = 0
+			a = m.book(a, c, r, st)
+			m.post(c)
+			return a, true
+		}
+	case sparc.LD:
+		return func(c *CPU, a accum) (accum, bool) {
+			st := m.interlock(c)
+			addr := c.rf[m.rs1] + m.op2(c)
+			if addr&3 != 0 {
+				return m.fault(a, c, fmt.Errorf("iss: misaligned word load at %#x (pc=%#x)", addr, m.pc))
+			}
+			r := c.Mem.Read32(addr)
+			c.rf[m.rd] = r
+			c.rf[sparc.G0] = 0
+			a = m.book(a, c, r, st)
+			m.post(c)
+			return a, true
+		}
+	case sparc.LDUB:
+		return func(c *CPU, a accum) (accum, bool) {
+			st := m.interlock(c)
+			addr := c.rf[m.rs1] + m.op2(c)
+			r := uint32(c.Mem.Read8(addr))
+			c.rf[m.rd] = r
+			c.rf[sparc.G0] = 0
+			a = m.book(a, c, r, st)
+			m.post(c)
+			return a, true
+		}
+	case sparc.LDUH:
+		return func(c *CPU, a accum) (accum, bool) {
+			st := m.interlock(c)
+			addr := c.rf[m.rs1] + m.op2(c)
+			if addr&1 != 0 {
+				return m.fault(a, c, fmt.Errorf("iss: misaligned halfword load at %#x (pc=%#x)", addr, m.pc))
+			}
+			r := uint32(c.Mem.Read16(addr))
+			c.rf[m.rd] = r
+			c.rf[sparc.G0] = 0
+			a = m.book(a, c, r, st)
+			m.post(c)
+			return a, true
+		}
+	case sparc.ST:
+		return func(c *CPU, a accum) (accum, bool) {
+			st := m.interlock(c)
+			addr := c.rf[m.rs1] + m.op2(c)
+			v := c.rf[m.rd]
+			if addr&3 != 0 {
+				return m.fault(a, c, fmt.Errorf("iss: misaligned word store at %#x (pc=%#x)", addr, m.pc))
+			}
+			c.Mem.Write32(addr, v)
+			a = m.book(a, c, v, st)
+			m.post(c)
+			return a, true
+		}
+	case sparc.STB:
+		return func(c *CPU, a accum) (accum, bool) {
+			st := m.interlock(c)
+			addr := c.rf[m.rs1] + m.op2(c)
+			v := c.rf[m.rd]
+			c.Mem.Write8(addr, uint8(v))
+			a = m.book(a, c, v, st)
+			m.post(c)
+			return a, true
+		}
+	case sparc.STH:
+		return func(c *CPU, a accum) (accum, bool) {
+			st := m.interlock(c)
+			addr := c.rf[m.rs1] + m.op2(c)
+			v := c.rf[m.rd]
+			if addr&1 != 0 {
+				return m.fault(a, c, fmt.Errorf("iss: misaligned halfword store at %#x (pc=%#x)", addr, m.pc))
+			}
+			c.Mem.Write16(addr, uint16(v))
+			a = m.book(a, c, v, st)
+			m.post(c)
+			return a, true
+		}
+	case sparc.SAVE:
+		winMax := t.Windows - 1
+		trapCyc := t.WindowTrapCycles
+		return func(c *CPU, a accum) (accum, bool) {
+			st := m.interlock(c)
+			r := c.rf[m.rs1] + m.op2(c)
+			var sw savedWindow
+			copy(sw[:], c.rf[16:32])
+			c.winss = append(c.winss, sw)
+			copy(c.rf[24:32], c.rf[8:16])
+			for i := 8; i < 24; i++ {
+				c.rf[i] = 0
+			}
+			if c.hwLive >= winMax {
+				c.cx.traps++
+				c.spilled++
+				st += trapCyc
+			} else {
+				c.hwLive++
+			}
+			c.rf[m.rd] = r
+			c.rf[sparc.G0] = 0
+			a = m.book(a, c, r, st)
+			m.post(c)
+			return a, true
+		}
+	case sparc.RESTORE:
+		trapCyc := t.WindowTrapCycles
+		return func(c *CPU, a accum) (accum, bool) {
+			st := m.interlock(c)
+			r := c.rf[m.rs1] + m.op2(c)
+			if len(c.winss) == 0 {
+				return m.fault(a, c, fmt.Errorf("iss: restore with empty window stack at pc=%#x", m.pc))
+			}
+			copy(c.rf[8:16], c.rf[24:32])
+			top := c.winss[len(c.winss)-1]
+			c.winss = c.winss[:len(c.winss)-1]
+			copy(c.rf[16:32], top[:])
+			if c.spilled > 0 && c.hwLive == 1 {
+				c.cx.traps++
+				c.spilled--
+				st += trapCyc
+			} else if c.hwLive > 1 {
+				c.hwLive--
+			}
+			c.rf[m.rd] = r
+			c.rf[sparc.G0] = 0
+			a = m.book(a, c, r, st)
+			m.post(c)
+			return a, true
+		}
+	default:
+		// Unimplemented opcode: fault at execution time like the
+		// interpreter (never at compile time — the block may be dead).
+		return func(c *CPU, a accum) (accum, bool) {
+			return m.fault(a, c, fmt.Errorf("iss: unimplemented opcode %v at pc=%#x", m.op, m.pc))
+		}
+	}
+}
+
+// tailFor compiles the CTI at index i plus its delay slot at i+1 into the
+// block tail. The caller guarantees i+1 is in range and not itself a CTI;
+// prev is the last body instruction (nil for a pure-tail block). The CTI
+// keeps runtime stall booking (branch stalls are dynamic), and publication
+// is left to the delay slot except on the annulled branch path.
+func (bc *BlockCache) tailFor(i uint32, prev *imeta) thunk {
+	m := bc.metaFor(i, false, prev)
+	dm := bc.metaFor(i+1, true, m)
+	dm.publish = true
+	delay := bc.thunkFor(dm)
+	t := bc.timing
+	pc := m.pc
+	switch {
+	case m.op == sparc.CALL:
+		target := bc.dec[i].target
+		return func(c *CPU, a accum) (accum, bool) {
+			cx := &c.cx
+			c.rf[sparc.O7] = pc
+			a = m.book(a, c, pc, 0) // exempt: no interlock; consumes pending
+			m.post(c)
+			cx.pc, cx.npc = pc+4, target
+			a, ok := delay(c, a)
+			if !ok {
+				return a, false
+			}
+			cx.pc, cx.npc = target, target+4
+			return a, true
+		}
+	case m.op == sparc.JMPL:
+		tStall := t.TakenBranchStall
+		return func(c *CPU, a accum) (accum, bool) {
+			cx := &c.cx
+			st := m.interlock(c) // JMPL is not interlock-exempt
+			target := c.rf[m.rs1] + m.op2(c)
+			c.rf[m.rd] = pc
+			c.rf[sparc.G0] = 0
+			a = m.book(a, c, pc, st+tStall)
+			m.post(c)
+			cx.pc, cx.npc = pc+4, target
+			a, ok := delay(c, a)
+			if !ok {
+				return a, false
+			}
+			cx.pc, cx.npc = target, target+4
+			return a, true
+		}
+	default: // conditional / unconditional delayed branch
+		// An annulled delay slot never books, so the branch itself is the
+		// last booked instruction on that path and must publish exit state.
+		m.publish = true
+		target := bc.dec[i].target
+		bop := m.op
+		annul := bc.dec[i].annul
+		tStall := t.TakenBranchStall
+		aStall := t.AnnulStall
+		return func(c *CPU, a accum) (accum, bool) {
+			cx := &c.cx
+			taken := condTaken(c, bop)
+			newPC, newNPC := pc+4, pc+8
+			var st uint64
+			annulled := false
+			if taken {
+				newNPC = target
+				st += tStall
+				if bop == sparc.BA && annul {
+					newPC = target
+					newNPC = target + 4
+					st += aStall
+					annulled = true
+				}
+			} else if annul {
+				newPC = pc + 8
+				newNPC = pc + 12
+				st += aStall
+				annulled = true
+			}
+			a = m.book(a, c, 0, st) // branches are exempt; result is 0
+			m.post(c)
+			cx.pc, cx.npc = newPC, newNPC
+			if annulled {
+				return a, true
+			}
+			a, ok := delay(c, a)
+			if !ok {
+				return a, false
+			}
+			cx.pc, cx.npc = newNPC, newNPC+4
+			return a, true
+		}
+	}
+}
+
+// condTaken evaluates a branch condition against the condition codes,
+// mirroring the interpreter's switch.
+func condTaken(c *CPU, op sparc.Op) bool {
+	switch op {
+	case sparc.BA:
+		return true
+	case sparc.BN:
+		return false
+	case sparc.BE:
+		return c.iccZ
+	case sparc.BNE:
+		return !c.iccZ
+	case sparc.BG:
+		return !(c.iccZ || (c.iccN != c.iccV))
+	case sparc.BLE:
+		return c.iccZ || (c.iccN != c.iccV)
+	case sparc.BGE:
+		return c.iccN == c.iccV
+	case sparc.BL:
+		return c.iccN != c.iccV
+	case sparc.BGU:
+		return !(c.iccC || c.iccZ)
+	case sparc.BLEU:
+		return c.iccC || c.iccZ
+	case sparc.BCC:
+		return !c.iccC
+	case sparc.BCS:
+		return c.iccC
+	case sparc.BPOS:
+		return !c.iccN
+	default: // BNEG
+		return c.iccN
+	}
+}
+
+// uop is one micro-operation in a fused ALU run: a simple computational
+// instruction whose predecessor state folded away completely (statPrev, no
+// dynamic stall source, no fault path). Runs of consecutive uops execute
+// inside a single thunk through an inline switch, so the per-instruction
+// indirect call, the closure prologue and the interlock/overhead branches all
+// disappear from the hot path.
+type uop struct {
+	eFix    units.Energy // full static energy (base+overhead+stalls folded)
+	ddUnit  units.Energy
+	cycTot  uint64 // cycles + statically resolved interlock stall
+	sInter  uint64
+	o2i     uint32
+	op      sparc.Op
+	kind    uint8
+	rs1     sparc.Reg
+	o2r     sparc.Reg
+	rd      sparc.Reg
+	cl      sparc.Class
+	dd      bool
+	publish bool
+}
+
+// uop kinds: the computation the switch in uopRun performs. SETHI rides on
+// uADD with rs1=o2r=%g0 and o2i=imm.
+const (
+	uADD = iota
+	uSUB
+	uAND
+	uOR
+	uXOR
+	uSLL
+	uSRL
+	uSRA
+	uUMUL
+	uSMUL
+	uUDIV
+	uSDIV
+	uADDCC
+	uSUBCC
+	uANDCC
+	uORCC
+	uXORCC
+)
+
+// uopFor converts instruction metadata into a micro-op when it qualifies:
+// statically resolved predecessor (so foldStall applies) and an opcode whose
+// execution cannot fault and touches no pipeline state. Folding happens here
+// for accepted ops; rejected ops go through thunkFor, which folds them
+// itself.
+func uopFor(m *imeta) (uop, bool) {
+	if !m.statPrev {
+		return uop{}, false
+	}
+	var kind uint8
+	rs1, o2r, o2i := m.rs1, m.o2r, m.o2i
+	switch m.op {
+	case sparc.SETHI:
+		kind, rs1, o2r, o2i = uADD, sparc.G0, sparc.G0, m.imm
+	case sparc.ADD:
+		kind = uADD
+	case sparc.SUB:
+		kind = uSUB
+	case sparc.AND:
+		kind = uAND
+	case sparc.OR:
+		kind = uOR
+	case sparc.XOR:
+		kind = uXOR
+	case sparc.SLL:
+		kind = uSLL
+	case sparc.SRL:
+		kind = uSRL
+	case sparc.SRA:
+		kind = uSRA
+	case sparc.UMUL:
+		kind = uUMUL
+	case sparc.SMUL:
+		kind = uSMUL
+	case sparc.UDIV:
+		kind = uUDIV
+	case sparc.SDIV:
+		kind = uSDIV
+	case sparc.ADDCC:
+		kind = uADDCC
+	case sparc.SUBCC:
+		kind = uSUBCC
+	case sparc.ANDCC:
+		kind = uANDCC
+	case sparc.ORCC:
+		kind = uORCC
+	case sparc.XORCC:
+		kind = uXORCC
+	default:
+		return uop{}, false
+	}
+	m.foldStall()
+	return uop{
+		eFix:    m.eFix,
+		ddUnit:  m.ddUnit,
+		cycTot:  m.cycles + m.sInter,
+		sInter:  m.sInter,
+		o2i:     o2i,
+		op:      m.op,
+		kind:    kind,
+		rs1:     rs1,
+		o2r:     o2r,
+		rd:      m.rd,
+		cl:      m.cl,
+		dd:      m.dd,
+		publish: m.publish,
+	}, true
+}
+
+// uopRun compiles a run of micro-ops into one thunk. The inline switch keeps
+// the whole run inside a single call frame with the accounting in registers;
+// the &31 masks discharge the register-file bounds checks (registers are
+// 5-bit by decode). Booking replays book() with every dyn* flag false, in the
+// same per-instruction order, so the energy sum stays bit-identical.
+func uopRun(ops []uop) thunk {
+	return func(c *CPU, a accum) (accum, bool) {
+		for i := range ops {
+			u := &ops[i]
+			x, y := c.rf[u.rs1&31], c.rf[u.o2r&31]+u.o2i
+			var r uint32
+			switch u.kind {
+			case uADD:
+				r = x + y
+			case uSUB:
+				r = x - y
+			case uAND:
+				r = x & y
+			case uOR:
+				r = x | y
+			case uXOR:
+				r = x ^ y
+			case uSLL:
+				r = x << (y & 31)
+			case uSRL:
+				r = x >> (y & 31)
+			case uSRA:
+				r = uint32(int32(x) >> (y & 31))
+			case uUMUL:
+				r = uint32(uint64(x) * uint64(y))
+			case uSMUL:
+				r = uint32(int64(int32(x)) * int64(int32(y)))
+			case uUDIV:
+				if y == 0 {
+					c.cx.traps++
+				} else {
+					r = x / y
+				}
+			case uSDIV:
+				if y == 0 || (int32(x) == -1<<31 && int32(y) == -1) {
+					c.cx.traps++
+				} else {
+					r = uint32(int32(x) / int32(y))
+				}
+			case uADDCC:
+				r = x + y
+				c.iccN = int32(r) < 0
+				c.iccZ = r == 0
+				c.iccV = (^(x^y)&(x^r))>>31 == 1
+				c.iccC = r < x
+			case uSUBCC:
+				r = x - y
+				c.iccN = int32(r) < 0
+				c.iccZ = r == 0
+				c.iccV = ((x^y)&(x^r))>>31 == 1
+				c.iccC = y > x
+			case uANDCC:
+				r = x & y
+				c.iccN, c.iccZ, c.iccV, c.iccC = int32(r) < 0, r == 0, false, false
+			case uORCC:
+				r = x | y
+				c.iccN, c.iccZ, c.iccV, c.iccC = int32(r) < 0, r == 0, false, false
+			default: // uXORCC
+				r = x ^ y
+				c.iccN, c.iccZ, c.iccV, c.iccC = int32(r) < 0, r == 0, false, false
+			}
+			c.rf[u.rd&31] = r
+			c.rf[sparc.G0] = 0
+			e := u.eFix
+			if u.dd {
+				e += units.Energy(bits.OnesCount32(r)) * u.ddUnit
+			}
+			a.energy += e
+			a.cycles += u.cycTot
+			a.stalls += u.sInter
+			a.insts++
+			c.instCount[u.op]++
+			if u.publish {
+				c.cx.lastClass = u.cl
+				c.cx.pending = sparc.G0
+			}
+		}
+		return a, true
+	}
+}
+
+// AttachBlocks switches the CPU to compiled (threaded-code) execution using
+// bc, which must have been compiled from the loaded program and the CPU's
+// exact model pointers. LoadProgram detaches any previous cache.
+func (c *CPU) AttachBlocks(bc *BlockCache) error {
+	if c.prog == nil || !bc.Matches(c.prog, c.Timing, c.Power) {
+		return fmt.Errorf("iss: block cache does not match the loaded program/models")
+	}
+	c.blocks = bc
+	// Share the predecoded stream: identical by construction (same program,
+	// same timing model), and sharing keeps one copy per warm session.
+	c.dec = bc.dec
+	return nil
+}
+
+// BlockCache returns the attached threaded-code cache, or nil when the CPU
+// runs interpreted.
+func (c *CPU) BlockCache() *BlockCache { return c.blocks }
+
+// runCompiled is the threaded-code dispatch loop: chain compiled blocks
+// while the pipeline is in sequential state and the instruction budget
+// covers a whole block, and fall back to the generic single-stepper for
+// everything else (delay-slot entry, CTI chains, limit-expires-mid-block,
+// interpOnly entries). Semantics — including the float accumulation order
+// of the energy sum — are bit-identical to the interpreter.
+func (c *CPU) runCompiled(limit uint64) (uint64, error) {
+	bc := c.blocks
+	base := c.progBase
+	n := uint32(len(c.dec))
+	cx := &c.cx
+	*cx = cexec{
+		pc:        c.pc,
+		npc:       c.npc,
+		traps:     c.stats.Traps,
+		lastClass: c.lastClass,
+		pending:   c.pendingLoad,
+	}
+	a := accum{
+		energy: c.stats.Energy,
+		cycles: c.stats.Cycles,
+		stalls: c.stats.Stalls,
+		insts:  c.stats.Insts,
+	}
+	// Booked instructions and Step-equivalents move in lockstep after the
+	// entry probe, so "executed" is derived instead of counted per thunk.
+	instsBase := a.insts
+	var probed, hits, misses uint64
+
+	// Entry halt probe: counts as one Step-equivalent, like the interpreter.
+	if cx.pc == HaltAddr && limit > 0 {
+		c.halted = true
+		probed = 1
+		limit = 0
+	}
+
+	var ok bool
+run:
+	for a.insts-instsBase+probed < limit {
+		pc := cx.pc
+		if pc == HaltAddr {
+			c.halted = true
+			break
+		}
+		idx := (pc - base) >> 2
+		if idx >= n || pc&3 != 0 {
+			cx.err = fmt.Errorf("iss: instruction fetch outside program: pc=%#x", pc)
+			break
+		}
+		if cx.npc != pc+4 {
+			// Mid delay slot (or any non-sequential pipeline state): blocks
+			// assume sequential entry, so step one instruction generically.
+			if a, ok = c.stepOne(idx, a); !ok {
+				break
+			}
+			continue
+		}
+		b := bc.blocks[idx].Load()
+		if b == nil {
+			misses++
+			b = bc.compileAt(idx)
+		} else {
+			hits++
+		}
+		if b.interpOnly || limit-(a.insts-instsBase+probed) < b.cost {
+			if a, ok = c.stepOne(idx, a); !ok {
+				break
+			}
+			continue
+		}
+		for _, th := range b.body {
+			if a, ok = th(c, a); !ok {
+				break run
+			}
+		}
+		if b.tail != nil {
+			if a, ok = b.tail(c, a); !ok {
+				break
+			}
+		} else {
+			cx.pc = b.fallPC
+			cx.npc = b.fallPC + 4
+		}
+	}
+	if cx.err == nil && cx.pc == HaltAddr {
+		// The budget can expire on the same instruction that returned; the
+		// interpreter's bottom-of-loop halt test catches that, so mirror it.
+		c.halted = true
+	}
+
+	c.pc, c.npc = cx.pc, cx.npc
+	c.stats.Energy = a.energy
+	c.stats.Cycles = a.cycles
+	c.stats.Stalls = a.stalls
+	c.stats.Traps = cx.traps
+	c.stats.Insts = a.insts
+	c.lastClass = cx.lastClass
+	c.pendingLoad = cx.pending
+	mBlockHits.Add(hits)
+	mBlockMisses.Add(misses)
+	return a.insts - instsBase + probed, cx.err
+}
+
+// stepOne executes the single instruction at cx.pc generically — the
+// interpreter's loop body operating on the compiled run state. The caller
+// has already bounds-checked the fetch. Used for every pipeline state the
+// block translator does not model: delay-slot entries, CTI chains, and the
+// final instructions of a budget-limited run.
+func (c *CPU) stepOne(idx uint32, a accum) (accum, bool) {
+	cx := &c.cx
+	d := &c.dec[idx]
+	t := c.Timing
+	pw := c.Power
+	pc, npc := cx.pc, cx.npc
+	op := d.op
+	cycles := uint64(d.cycles)
+	var stalls uint64
+
+	pending := cx.pending
+	if pending != sparc.G0 {
+		if !d.exempt &&
+			(d.rs1 == pending || (!d.useImm && d.rs2 == pending) || (d.store && d.rd == pending)) {
+			stalls += t.LoadUseStall
+		}
+		pending = sparc.G0
+	}
+
+	newPC, newNPC := npc, npc+4
+	var result uint32
+
+	switch op {
+	case sparc.SETHI:
+		result = d.imm
+		c.setReg(d.rd, result)
+
+	case sparc.CALL:
+		c.rf[sparc.O7] = pc
+		newNPC = d.target
+		result = pc
+
+	case sparc.BA, sparc.BN, sparc.BE, sparc.BNE, sparc.BG, sparc.BLE,
+		sparc.BGE, sparc.BL, sparc.BGU, sparc.BLEU, sparc.BCC,
+		sparc.BCS, sparc.BPOS, sparc.BNEG:
+		if condTaken(c, op) {
+			newNPC = d.target
+			stalls += t.TakenBranchStall
+			if op == sparc.BA && d.annul {
+				newPC = d.target
+				newNPC = d.target + 4
+				stalls += t.AnnulStall
+			}
+		} else if d.annul {
+			newPC = npc + 4
+			newNPC = npc + 8
+			stalls += t.AnnulStall
+		}
+
+	case sparc.JMPL:
+		target := c.rf[d.rs1] + c.operand2d(d)
+		c.setReg(d.rd, pc)
+		newNPC = target
+		stalls += t.TakenBranchStall
+		result = pc
+
+	case sparc.SAVE:
+		x, y := c.rf[d.rs1], c.operand2d(d)
+		result = x + y
+		var sw savedWindow
+		copy(sw[:], c.rf[16:32])
+		c.winss = append(c.winss, sw)
+		copy(c.rf[24:32], c.rf[8:16])
+		for i := 8; i < 24; i++ {
+			c.rf[i] = 0
+		}
+		if c.hwLive >= t.Windows-1 {
+			cx.traps++
+			c.spilled++
+			stalls += t.WindowTrapCycles
+		} else {
+			c.hwLive++
+		}
+		c.setReg(d.rd, result)
+
+	case sparc.RESTORE:
+		x, y := c.rf[d.rs1], c.operand2d(d)
+		result = x + y
+		if len(c.winss) == 0 {
+			cx.err = fmt.Errorf("iss: restore with empty window stack at pc=%#x", pc)
+			cx.pending = pending
+			return a, false
+		}
+		copy(c.rf[8:16], c.rf[24:32])
+		top := c.winss[len(c.winss)-1]
+		c.winss = c.winss[:len(c.winss)-1]
+		copy(c.rf[16:32], top[:])
+		if c.spilled > 0 && c.hwLive == 1 {
+			cx.traps++
+			c.spilled--
+			stalls += t.WindowTrapCycles
+		} else if c.hwLive > 1 {
+			c.hwLive--
+		}
+		c.setReg(d.rd, result)
+
+	case sparc.LD:
+		addr := c.rf[d.rs1] + c.operand2d(d)
+		if addr&3 != 0 {
+			cx.err = fmt.Errorf("iss: misaligned word load at %#x (pc=%#x)", addr, pc)
+			cx.pending = pending
+			return a, false
+		}
+		result = c.Mem.Read32(addr)
+		c.setReg(d.rd, result)
+		pending = d.rd
+
+	case sparc.LDUB:
+		addr := c.rf[d.rs1] + c.operand2d(d)
+		result = uint32(c.Mem.Read8(addr))
+		c.setReg(d.rd, result)
+		pending = d.rd
+
+	case sparc.LDUH:
+		addr := c.rf[d.rs1] + c.operand2d(d)
+		if addr&1 != 0 {
+			cx.err = fmt.Errorf("iss: misaligned halfword load at %#x (pc=%#x)", addr, pc)
+			cx.pending = pending
+			return a, false
+		}
+		result = uint32(c.Mem.Read16(addr))
+		c.setReg(d.rd, result)
+		pending = d.rd
+
+	case sparc.ST:
+		addr := c.rf[d.rs1] + c.operand2d(d)
+		v := c.rf[d.rd]
+		result = v
+		if addr&3 != 0 {
+			cx.err = fmt.Errorf("iss: misaligned word store at %#x (pc=%#x)", addr, pc)
+			cx.pending = pending
+			return a, false
+		}
+		c.Mem.Write32(addr, v)
+
+	case sparc.STB:
+		addr := c.rf[d.rs1] + c.operand2d(d)
+		v := c.rf[d.rd]
+		result = v
+		c.Mem.Write8(addr, uint8(v))
+
+	case sparc.STH:
+		addr := c.rf[d.rs1] + c.operand2d(d)
+		v := c.rf[d.rd]
+		result = v
+		if addr&1 != 0 {
+			cx.err = fmt.Errorf("iss: misaligned halfword store at %#x (pc=%#x)", addr, pc)
+			cx.pending = pending
+			return a, false
+		}
+		c.Mem.Write16(addr, uint16(v))
+
+	case sparc.ADD:
+		result = c.rf[d.rs1] + c.operand2d(d)
+		c.setReg(d.rd, result)
+	case sparc.ADDCC:
+		x, y := c.rf[d.rs1], c.operand2d(d)
+		result = x + y
+		c.iccN = int32(result) < 0
+		c.iccZ = result == 0
+		c.iccV = (^(x^y)&(x^result))>>31 == 1
+		c.iccC = result < x
+		c.setReg(d.rd, result)
+	case sparc.SUB:
+		result = c.rf[d.rs1] - c.operand2d(d)
+		c.setReg(d.rd, result)
+	case sparc.SUBCC:
+		x, y := c.rf[d.rs1], c.operand2d(d)
+		result = x - y
+		c.iccN = int32(result) < 0
+		c.iccZ = result == 0
+		c.iccV = ((x^y)&(x^result))>>31 == 1
+		c.iccC = y > x
+		c.setReg(d.rd, result)
+	case sparc.AND:
+		result = c.rf[d.rs1] & c.operand2d(d)
+		c.setReg(d.rd, result)
+	case sparc.ANDCC:
+		result = c.rf[d.rs1] & c.operand2d(d)
+		c.iccN, c.iccZ, c.iccV, c.iccC = int32(result) < 0, result == 0, false, false
+		c.setReg(d.rd, result)
+	case sparc.OR:
+		result = c.rf[d.rs1] | c.operand2d(d)
+		c.setReg(d.rd, result)
+	case sparc.ORCC:
+		result = c.rf[d.rs1] | c.operand2d(d)
+		c.iccN, c.iccZ, c.iccV, c.iccC = int32(result) < 0, result == 0, false, false
+		c.setReg(d.rd, result)
+	case sparc.XOR:
+		result = c.rf[d.rs1] ^ c.operand2d(d)
+		c.setReg(d.rd, result)
+	case sparc.XORCC:
+		result = c.rf[d.rs1] ^ c.operand2d(d)
+		c.iccN, c.iccZ, c.iccV, c.iccC = int32(result) < 0, result == 0, false, false
+		c.setReg(d.rd, result)
+	case sparc.SLL:
+		result = c.rf[d.rs1] << (c.operand2d(d) & 31)
+		c.setReg(d.rd, result)
+	case sparc.SRL:
+		result = c.rf[d.rs1] >> (c.operand2d(d) & 31)
+		c.setReg(d.rd, result)
+	case sparc.SRA:
+		result = uint32(int32(c.rf[d.rs1]) >> (c.operand2d(d) & 31))
+		c.setReg(d.rd, result)
+	case sparc.UMUL:
+		result = uint32(uint64(c.rf[d.rs1]) * uint64(c.operand2d(d)))
+		c.setReg(d.rd, result)
+	case sparc.SMUL:
+		result = uint32(int64(int32(c.rf[d.rs1])) * int64(int32(c.operand2d(d))))
+		c.setReg(d.rd, result)
+	case sparc.UDIV:
+		x, y := c.rf[d.rs1], c.operand2d(d)
+		if y == 0 {
+			cx.traps++
+		} else {
+			result = x / y
+		}
+		c.setReg(d.rd, result)
+	case sparc.SDIV:
+		x, y := c.rf[d.rs1], c.operand2d(d)
+		if y == 0 || (int32(x) == -1<<31 && int32(y) == -1) {
+			cx.traps++
+		} else {
+			result = uint32(int32(x) / int32(y))
+		}
+		c.setReg(d.rd, result)
+
+	default:
+		cx.err = fmt.Errorf("iss: unimplemented opcode %v at pc=%#x", op, pc)
+		cx.pending = pending
+		return a, false
+	}
+
+	cl := d.class
+	extra := (cycles - 1) + stalls
+	e := pw.Base[cl] + pw.Overhead[cx.lastClass][cl]
+	if extra != 0 {
+		e += units.Energy(extra) * pw.Stall
+	}
+	if pw.DataDependent {
+		e += units.Energy(bits.OnesCount32(result)) * pw.DataUnit
+	}
+	a.energy += e
+	a.cycles += cycles + stalls
+	a.stalls += stalls
+	a.insts++
+	c.instCount[op]++
+	cx.lastClass = cl
+	cx.pending = pending
+	cx.pc, cx.npc = newPC, newNPC
+	return a, true
+}

@@ -1,0 +1,481 @@
+package iss
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/sparc"
+)
+
+// cpuPair is one interpreted/compiled CPU pair over the same program and the
+// same (shared) model pointers, for lockstep differential runs.
+type cpuPair struct {
+	interp *CPU
+	comp   *CPU
+	bc     *BlockCache
+}
+
+func newPair(t *testing.T, p *sparc.Program, tm *TimingModel, pw *PowerModel) *cpuPair {
+	t.Helper()
+	ci := New(tm, pw, NewMem())
+	ci.LoadProgram(p)
+	cc := New(tm, pw, NewMem())
+	cc.LoadProgram(p)
+	bc := CompileBlocks(p, tm, pw)
+	if err := cc.AttachBlocks(bc); err != nil {
+		t.Fatalf("AttachBlocks: %v", err)
+	}
+	return &cpuPair{interp: ci, comp: cc, bc: bc}
+}
+
+// compare asserts the two CPUs are in the same architectural and statistical
+// state, including the bit pattern of the accumulated energy.
+func (p *cpuPair) compare(t *testing.T, tag string) {
+	t.Helper()
+	si, sc := p.interp.Stats(), p.comp.Stats()
+	if si != sc {
+		t.Fatalf("%s: stats diverge:\n interp %+v\n compiled %+v", tag, si, sc)
+	}
+	for r := sparc.Reg(0); r < 32; r++ {
+		if p.interp.Reg(r) != p.comp.Reg(r) {
+			t.Fatalf("%s: %v diverges: interp %#x compiled %#x", tag, r, p.interp.Reg(r), p.comp.Reg(r))
+		}
+	}
+	if p.interp.pc != p.comp.pc || p.interp.npc != p.comp.npc {
+		t.Fatalf("%s: pipeline diverges: interp pc=%#x npc=%#x, compiled pc=%#x npc=%#x",
+			tag, p.interp.pc, p.interp.npc, p.comp.pc, p.comp.npc)
+	}
+	if p.interp.lastClass != p.comp.lastClass || p.interp.pendingLoad != p.comp.pendingLoad {
+		t.Fatalf("%s: interlock state diverges: interp (%v,%v) compiled (%v,%v)", tag,
+			p.interp.lastClass, p.interp.pendingLoad, p.comp.lastClass, p.comp.pendingLoad)
+	}
+	if p.interp.hwLive != p.comp.hwLive || p.interp.spilled != p.comp.spilled ||
+		len(p.interp.winss) != len(p.comp.winss) {
+		t.Fatalf("%s: window state diverges", tag)
+	}
+	for op := sparc.Op(0); op < sparc.NumOpcodes; op++ {
+		if p.interp.InstCount(op) != p.comp.InstCount(op) {
+			t.Fatalf("%s: instCount[%v] diverges: interp %d compiled %d",
+				tag, op, p.interp.InstCount(op), p.comp.InstCount(op))
+		}
+	}
+}
+
+// call runs the same Call on both tiers and asserts identical results,
+// per-call stats and errors (by message).
+func (p *cpuPair) call(t *testing.T, tag string, entry uint32, args ...uint32) {
+	t.Helper()
+	ri, sti, erri := p.interp.Call(entry, args...)
+	rc, stc, errc := p.comp.Call(entry, args...)
+	if (erri == nil) != (errc == nil) || (erri != nil && erri.Error() != errc.Error()) {
+		t.Fatalf("%s: errors diverge:\n interp %v\n compiled %v", tag, erri, errc)
+	}
+	if ri != rc {
+		t.Fatalf("%s: return values diverge: interp %#x compiled %#x", tag, ri, rc)
+	}
+	if sti != stc {
+		t.Fatalf("%s: call stats diverge:\n interp %+v\n compiled %+v", tag, sti, stc)
+	}
+	p.compare(t, tag)
+}
+
+// loopProgram is the canonical mixed program: ALU, shifts, loads, stores, a
+// loop branch with a live delay slot, and a SAVE/RESTORE frame.
+func loopProgram() *sparc.Program {
+	a := sparc.NewAsm(0x1000)
+	a.Label("entry")
+	a.Save(-96)
+	a.Movi(sparc.O0, 0)
+	a.Movi(sparc.O1, 40)
+	a.Label("loop")
+	a.Op3(sparc.ADD, sparc.O0, sparc.O0, sparc.O1)
+	a.Op3i(sparc.XOR, sparc.O2, sparc.O0, 0x55)
+	a.Op3i(sparc.SLL, sparc.O3, sparc.O2, 3)
+	a.Op3i(sparc.SRA, sparc.O4, sparc.O3, 2)
+	a.Store(sparc.ST, sparc.O0, sparc.SP, 64)
+	a.Load(sparc.LD, sparc.O3, sparc.SP, 64)
+	a.Op3(sparc.ADD, sparc.O5, sparc.O3, sparc.O3) // load-use interlock
+	a.Op3i(sparc.SUBCC, sparc.O1, sparc.O1, 1)
+	a.Branch(sparc.BNE, "loop", false)
+	a.Op3i(sparc.ADD, sparc.O0, sparc.O0, 1) // live delay slot
+	a.Ret()
+	a.Restore()
+	return a.MustAssemble()
+}
+
+func TestCompiledDifferentialLoop(t *testing.T) {
+	for _, pw := range []*PowerModel{SPARCliteModel(), DSPModel()} {
+		p := newPair(t, loopProgram(), SPARCliteTiming(), pw)
+		for i := 0; i < 3; i++ {
+			p.call(t, fmt.Sprintf("%s call %d", pw.Name, i), 0x1000)
+		}
+		if p.bc.Blocks() == 0 {
+			t.Fatalf("no blocks compiled on the compiled tier")
+		}
+	}
+}
+
+// TestCompiledDifferentialAnnul covers every delayed-branch shape: taken and
+// untaken, with and without the annul bit, plus ba,a's immediate jump.
+func TestCompiledDifferentialAnnul(t *testing.T) {
+	a := sparc.NewAsm(0x2000)
+	a.Label("entry")
+	a.Movi(sparc.O0, 0)
+	a.Op3i(sparc.SUBCC, sparc.G1, sparc.G0, 0) // Z=1
+	a.Branch(sparc.BE, "t1", true)             // taken conditional, annul: delay runs
+	a.Op3i(sparc.ADD, sparc.O0, sparc.O0, 1)
+	a.Label("t1")
+	a.Branch(sparc.BNE, "skip1", true) // untaken with annul: delay squashed
+	a.Op3i(sparc.ADD, sparc.O0, sparc.O0, 100)
+	a.Label("skip1")
+	a.Branch(sparc.BA, "t2", true) // ba,a: delay squashed, immediate jump
+	a.Op3i(sparc.ADD, sparc.O0, sparc.O0, 100)
+	a.Label("t2")
+	a.Branch(sparc.BNE, "skip2", false) // untaken, no annul: delay runs
+	a.Op3i(sparc.ADD, sparc.O0, sparc.O0, 2)
+	a.Label("skip2")
+	a.Branch(sparc.BN, "entry", true) // bn,a: never taken, delay squashed
+	a.Op3i(sparc.ADD, sparc.O0, sparc.O0, 100)
+	a.Retl()
+	a.Op3i(sparc.ADD, sparc.O0, sparc.O0, 4)
+	prog := a.MustAssemble()
+
+	p := newPair(t, prog, SPARCliteTiming(), SPARCliteModel())
+	p.call(t, "annul", 0x2000)
+	if got := p.comp.Reg(sparc.O0); got != 7 {
+		t.Fatalf("annul program computed %d, want 7", got)
+	}
+}
+
+// TestCompiledDifferentialWindows drives window overflow and underflow traps
+// with a 2-window model: every nested SAVE spills and every RESTORE fills.
+func TestCompiledDifferentialWindows(t *testing.T) {
+	tm := SPARCliteTiming()
+	tm.Windows = 2
+	a := sparc.NewAsm(0x3000)
+	a.Label("entry")
+	a.Save(-96)
+	a.Save(-96)
+	a.Save(-96)
+	a.Movi(sparc.O0, 7)
+	a.Restore()
+	a.Restore()
+	a.Ret()
+	a.Restore()
+	p := newPair(t, a.MustAssemble(), tm, SPARCliteModel())
+	for i := 0; i < 2; i++ {
+		p.call(t, fmt.Sprintf("windows call %d", i), 0x3000)
+	}
+	if p.comp.Stats().Traps == 0 {
+		t.Fatal("expected window spill/fill traps")
+	}
+}
+
+// TestCompiledDifferentialDiv covers divide-by-zero and the INT_MIN/-1
+// overflow trap on both div opcodes.
+func TestCompiledDifferentialDiv(t *testing.T) {
+	a := sparc.NewAsm(0x4000)
+	a.Label("entry")
+	a.Movi(sparc.O1, 0)
+	a.Movi(sparc.O2, 7)
+	a.Op3(sparc.UDIV, sparc.O3, sparc.O2, sparc.O1) // /0 trap
+	a.Op3(sparc.SDIV, sparc.O4, sparc.O2, sparc.O1) // /0 trap
+	a.SetHi(sparc.O5, 0x80000000)                   // INT_MIN
+	a.Movi(sparc.G1, -1)
+	a.Op3(sparc.SDIV, sparc.O0, sparc.O5, sparc.G1) // overflow trap
+	a.Op3i(sparc.UDIV, sparc.O0, sparc.O2, 2)
+	a.Op3i(sparc.SDIV, sparc.O0, sparc.O0, -1)
+	a.Op3(sparc.UMUL, sparc.O0, sparc.O0, sparc.O2)
+	a.Op3i(sparc.SMUL, sparc.O0, sparc.O0, -3)
+	a.Retl()
+	a.Nop()
+	p := newPair(t, a.MustAssemble(), SPARCliteTiming(), DSPModel())
+	p.call(t, "div", 0x4000)
+	if p.comp.Stats().Traps != 3 {
+		t.Fatalf("got %d div traps, want 3", p.comp.Stats().Traps)
+	}
+}
+
+// TestCompiledDifferentialJmplMidBlock jumps into the middle of an already
+// compiled block: the compiled tier must translate a fresh suffix block for
+// the interior entry point and stay bit-identical.
+func TestCompiledDifferentialJmplMidBlock(t *testing.T) {
+	a := sparc.NewAsm(0x5000)
+	a.Label("entry")
+	a.Op3i(sparc.ADD, sparc.O0, sparc.G0, 1)
+	a.Label("mid")
+	a.Op3i(sparc.ADD, sparc.O0, sparc.O0, 2)
+	a.Op3i(sparc.ADD, sparc.O0, sparc.O0, 4)
+	a.Op3i(sparc.ADD, sparc.O0, sparc.O0, 8)
+	a.Retl()
+	a.Nop()
+	prog := a.MustAssemble()
+	p := newPair(t, prog, SPARCliteTiming(), SPARCliteModel())
+	p.call(t, "full block", 0x5000)
+	// Now enter at "mid": the interior of the block just compiled.
+	p.call(t, "mid-block entry", 0x5004)
+	p.call(t, "full again", 0x5000)
+	if p.bc.Blocks() < 2 {
+		t.Fatalf("expected an overlapping suffix block, got %d blocks", p.bc.Blocks())
+	}
+}
+
+// TestCompiledDifferentialFaults pins error parity: message, stats at the
+// fault, and the pipeline state left behind — including a fault inside a
+// taken branch's delay slot, where npc points at the branch target.
+func TestCompiledDifferentialFaults(t *testing.T) {
+	t.Run("misaligned load", func(t *testing.T) {
+		a := sparc.NewAsm(0x6000)
+		a.Movi(sparc.O1, 0x102)
+		a.Load(sparc.LD, sparc.O0, sparc.O1, 0)
+		a.Retl()
+		a.Nop()
+		p := newPair(t, a.MustAssemble(), SPARCliteTiming(), SPARCliteModel())
+		p.call(t, "misaligned load", 0x6000)
+	})
+	t.Run("misaligned store in delay slot", func(t *testing.T) {
+		a := sparc.NewAsm(0x6100)
+		a.Movi(sparc.O1, 0x81)
+		a.Branch(sparc.BA, "out", false)
+		a.Store(sparc.STH, sparc.O1, sparc.O1, 0) // faults in the delay slot
+		a.Label("out")
+		a.Retl()
+		a.Nop()
+		p := newPair(t, a.MustAssemble(), SPARCliteTiming(), SPARCliteModel())
+		p.call(t, "delay-slot fault", 0x6100)
+	})
+	t.Run("restore underflow", func(t *testing.T) {
+		a := sparc.NewAsm(0x6200)
+		a.Movi(sparc.O0, 1)
+		a.Restore()
+		a.Retl()
+		a.Nop()
+		p := newPair(t, a.MustAssemble(), SPARCliteTiming(), SPARCliteModel())
+		p.call(t, "restore underflow", 0x6200)
+	})
+	t.Run("fetch past end", func(t *testing.T) {
+		a := sparc.NewAsm(0x6300)
+		a.Movi(sparc.O0, 1)
+		a.Op3i(sparc.ADD, sparc.O0, sparc.O0, 1)
+		// No return: execution falls off the end of the program.
+		p := newPair(t, a.MustAssemble(), SPARCliteTiming(), SPARCliteModel())
+		p.call(t, "fetch past end", 0x6300)
+	})
+	t.Run("misaligned target", func(t *testing.T) {
+		a := sparc.NewAsm(0x6400)
+		a.Set32(sparc.O1, 0x6402) // misaligned code address
+		a.Jmpl(sparc.G0, sparc.O1, 0)
+		a.Nop()
+		p := newPair(t, a.MustAssemble(), SPARCliteTiming(), SPARCliteModel())
+		p.call(t, "misaligned target", 0x6400)
+	})
+}
+
+// TestCompiledDifferentialCTIChain puts a CALL in another CALL's delay slot:
+// the block translator refuses the shape and the generic stepper must model
+// the chained delayed transfers exactly.
+func TestCompiledDifferentialCTIChain(t *testing.T) {
+	a := sparc.NewAsm(0x7000)
+	a.Label("entry")
+	a.Call("f1")
+	a.Call("f2") // CTI in the delay slot
+	a.Op3i(sparc.ADD, sparc.O0, sparc.O0, 1)
+	a.Retl()
+	a.Nop()
+	a.Label("f1")
+	a.Retl()
+	a.Op3i(sparc.ADD, sparc.O0, sparc.O0, 10)
+	a.Label("f2")
+	a.Retl()
+	a.Op3i(sparc.ADD, sparc.O0, sparc.O0, 100)
+	p := newPair(t, a.MustAssemble(), SPARCliteTiming(), SPARCliteModel())
+	p.call(t, "cti chain", 0x7000)
+}
+
+// TestCompiledLimitSweep expires the instruction budget at every possible
+// point of the loop program — including mid-block — by sweeping MaxInsts.
+// Stats, registers and the runaway error must match the interpreter at every
+// cutoff.
+func TestCompiledLimitSweep(t *testing.T) {
+	prog := loopProgram()
+	tm, pw := SPARCliteTiming(), SPARCliteModel()
+	for maxInsts := uint64(0); maxInsts < 60; maxInsts++ {
+		p := newPair(t, prog, tm, pw)
+		p.interp.MaxInsts = maxInsts
+		p.comp.MaxInsts = maxInsts
+		ri, sti, erri := p.interp.Call(0x1000)
+		rc, stc, errc := p.comp.Call(0x1000)
+		tag := fmt.Sprintf("MaxInsts=%d", maxInsts)
+		if (erri == nil) != (errc == nil) || (erri != nil && erri.Error() != errc.Error()) {
+			t.Fatalf("%s: errors diverge:\n interp %v\n compiled %v", tag, erri, errc)
+		}
+		if erri != nil && !strings.Contains(erri.Error(), "runaway") {
+			t.Fatalf("%s: unexpected error %v", tag, erri)
+		}
+		if ri != rc || sti != stc {
+			t.Fatalf("%s: results diverge: interp (%#x %+v) compiled (%#x %+v)", tag, ri, sti, rc, stc)
+		}
+		p.compare(t, tag)
+	}
+}
+
+// TestCompiledStepParity single-steps both tiers in lockstep through the
+// loop program: run(1) must take the generic path and stay identical at
+// every instruction boundary.
+func TestCompiledStepParity(t *testing.T) {
+	p := newPair(t, loopProgram(), SPARCliteTiming(), SPARCliteModel())
+	const entry = 0x1000
+	for _, c := range []*CPU{p.interp, p.comp} {
+		c.rf[sparc.O7] = HaltAddr - 8
+		c.pc, c.npc = entry, entry+4
+		c.halted = false
+	}
+	for i := 0; i < 500; i++ {
+		erri := p.interp.Step()
+		errc := p.comp.Step()
+		if (erri == nil) != (errc == nil) || (erri != nil && erri.Error() != errc.Error()) {
+			t.Fatalf("step %d: errors diverge: interp %v compiled %v", i, erri, errc)
+		}
+		p.compare(t, fmt.Sprintf("step %d", i))
+		if p.interp.pc == HaltAddr {
+			break
+		}
+	}
+}
+
+// TestCompiledSelfModifyingParity writes over program memory mid-run: both
+// tiers execute the predecoded image (LoadProgram is the only decode point),
+// so the store must be visible to neither.
+func TestCompiledSelfModifyingParity(t *testing.T) {
+	a := sparc.NewAsm(0x8000)
+	a.Label("entry")
+	a.SetHi(sparc.O1, 0x8000)
+	a.Op3i(sparc.OR, sparc.O1, sparc.O1, 0x10)
+	a.Movi(sparc.O2, 0)
+	a.Store(sparc.ST, sparc.O2, sparc.O1, 0)  // overwrite the add below
+	a.Op3i(sparc.ADD, sparc.O0, sparc.G0, 21) // at 0x8010: the store's target
+	a.Op3(sparc.ADD, sparc.O0, sparc.O0, sparc.O0)
+	a.Retl()
+	a.Nop()
+	p := newPair(t, a.MustAssemble(), SPARCliteTiming(), SPARCliteModel())
+	p.call(t, "self-modifying", 0x8000)
+	if got := p.comp.Reg(sparc.O0); got != 42 {
+		t.Fatalf("predecoded stream should be immune to the store: got %d, want 42", got)
+	}
+}
+
+// TestCompiledBlockCacheSharing runs two CPUs off one BlockCache and checks
+// lazy compilation happens once; a third CPU with different models must be
+// rejected by AttachBlocks.
+func TestCompiledBlockCacheSharing(t *testing.T) {
+	prog := loopProgram()
+	tm, pw := SPARCliteTiming(), SPARCliteModel()
+	bc := CompileBlocks(prog, tm, pw)
+
+	c1 := New(tm, pw, NewMem())
+	c1.LoadProgram(prog)
+	if err := c1.AttachBlocks(bc); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c1.Call(0x1000); err != nil {
+		t.Fatal(err)
+	}
+	compiled := bc.Blocks()
+	if compiled == 0 {
+		t.Fatal("no blocks compiled")
+	}
+
+	c2 := New(tm, pw, NewMem())
+	c2.LoadProgram(prog)
+	if err := c2.AttachBlocks(bc); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c2.Call(0x1000); err != nil {
+		t.Fatal(err)
+	}
+	if bc.Blocks() != compiled {
+		t.Fatalf("second CPU recompiled blocks: %d -> %d", compiled, bc.Blocks())
+	}
+
+	// A fresh pointer to an equal-valued model is fine: the translation
+	// depends only on model contents.
+	same := New(SPARCliteTiming(), pw, NewMem())
+	same.LoadProgram(prog)
+	if err := same.AttachBlocks(bc); err != nil {
+		t.Fatalf("AttachBlocks rejected an equal-valued model copy: %v", err)
+	}
+
+	difft := SPARCliteTiming()
+	difft.LoadUseStall++
+	other := New(difft, pw, NewMem())
+	other.LoadProgram(prog)
+	if err := other.AttachBlocks(bc); err == nil {
+		t.Fatal("AttachBlocks accepted a cache built for a different timing model")
+	}
+
+	// Reloading a program detaches the stale cache.
+	c1.LoadProgram(prog)
+	if c1.BlockCache() != nil {
+		t.Fatal("LoadProgram kept a stale block cache attached")
+	}
+}
+
+// TestCompiledPrecompile checks the static-reachability walk compiles the
+// entry closure of the program and runs at most once.
+func TestCompiledPrecompile(t *testing.T) {
+	prog := loopProgram()
+	tm, pw := SPARCliteTiming(), SPARCliteModel()
+	bc := CompileBlocks(prog, tm, pw)
+	if bc.Precompiled() {
+		t.Fatal("fresh cache claims to be precompiled")
+	}
+	n := bc.Precompile([]uint32{0x1000})
+	if n == 0 {
+		t.Fatal("Precompile compiled nothing")
+	}
+	if !bc.Precompiled() {
+		t.Fatal("Precompiled not set")
+	}
+	if again := bc.Precompile([]uint32{0x1000}); again != 0 {
+		t.Fatalf("second Precompile compiled %d blocks, want 0", again)
+	}
+
+	// A precompiled cache should serve the whole run without compiling any
+	// further blocks (every dispatch lookup hits).
+	c := New(tm, pw, NewMem())
+	c.LoadProgram(prog)
+	if err := c.AttachBlocks(bc); err != nil {
+		t.Fatal(err)
+	}
+	before := bc.Blocks()
+	if _, _, err := c.Call(0x1000); err != nil {
+		t.Fatal(err)
+	}
+	if after := bc.Blocks(); after != before {
+		t.Fatalf("run after Precompile still compiled %d more blocks", after-before)
+	}
+}
+
+// TestCompiledFetchHookFallsBack pins the observation contract: a FetchHook
+// forces the interpreter even when a block cache is attached.
+func TestCompiledFetchHookFallsBack(t *testing.T) {
+	prog := loopProgram()
+	c := New(SPARCliteTiming(), SPARCliteModel(), NewMem())
+	c.LoadProgram(prog)
+	bc := CompileBlocks(prog, c.Timing, c.Power)
+	if err := c.AttachBlocks(bc); err != nil {
+		t.Fatal(err)
+	}
+	fetches := 0
+	c.FetchHook = func(uint32) { fetches++ }
+	if _, _, err := c.Call(0x1000); err != nil {
+		t.Fatal(err)
+	}
+	if fetches == 0 {
+		t.Fatal("FetchHook not observed: compiled tier did not fall back")
+	}
+	if bc.Blocks() != 0 {
+		t.Fatalf("interpreted fallback still compiled %d blocks", bc.Blocks())
+	}
+}

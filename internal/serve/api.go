@@ -21,9 +21,10 @@ type Request struct {
 	// to different stimuli.
 	Packets int `json:"packets,omitempty"`
 	// Backend names the estimator backend the request's points execute on:
-	// "interpreted" (the reference per-point path, the default) or
-	// "packed64" (the 64-lane bit-parallel sweep engine). Reports are
-	// bit-identical across backends; unknown names are rejected with 400.
+	// "interpreted" (the reference per-point path, the default),
+	// "compiled" (the threaded-code ISS tier) or "packed64" (the 64-lane
+	// bit-parallel sweep engine). Reports are bit-identical across
+	// backends; unknown names are rejected with 400.
 	Backend string `json:"backend,omitempty"`
 	// DeadlineMS bounds the request's wall-clock time in milliseconds
 	// (0 = the server default). On expiry in-flight simulation aborts

@@ -359,8 +359,8 @@ func TestBadRequests(t *testing.T) {
 }
 
 // TestBackendSelection: requests pick an estimator backend by name — unknown
-// names fail fast with 400, the resolved backend is echoed, and packed64
-// results are bit-identical to the default interpreted ones.
+// names fail fast with 400, the resolved backend is echoed, and compiled and
+// packed64 results are bit-identical to the default interpreted ones.
 func TestBackendSelection(t *testing.T) {
 	_, ts := startServer(t, serve.Config{})
 
@@ -377,24 +377,26 @@ func TestBackendSelection(t *testing.T) {
 		t.Fatalf("default backend echoed as %q, want \"interpreted\"", ref.Backend)
 	}
 
-	packedReqs := telemetry.Default.Counter("serve_backend_packed64_requests_total", "")
-	before := packedReqs.Value()
-	req.Backend = "packed64"
-	code, _, packed := post(t, ts.URL, req)
-	if code != http.StatusOK {
-		t.Fatalf("packed64 request: status %d", code)
-	}
-	if packed.Backend != "packed64" {
-		t.Fatalf("backend echoed as %q, want \"packed64\"", packed.Backend)
-	}
-	if packedReqs.Value() != before+1 {
-		t.Fatalf("packed64 request counter %d, want %d", packedReqs.Value(), before+1)
-	}
-	for i := range ref.Points {
-		r, p := ref.Points[i], packed.Points[i]
-		if r.TotalJ != p.TotalJ || r.SWJ != p.SWJ || r.HWJ != p.HWJ ||
-			r.ISSCalls != p.ISSCalls || r.SimulatedNS != p.SimulatedNS {
-			t.Fatalf("point %d differs across backends:\ninterpreted %+v\npacked64    %+v", i, r, p)
+	for _, backend := range []string{"compiled", "packed64"} {
+		reqs := telemetry.Default.Counter("serve_backend_"+backend+"_requests_total", "")
+		before := reqs.Value()
+		req.Backend = backend
+		code, _, got := post(t, ts.URL, req)
+		if code != http.StatusOK {
+			t.Fatalf("%s request: status %d", backend, code)
+		}
+		if got.Backend != backend {
+			t.Fatalf("backend echoed as %q, want %q", got.Backend, backend)
+		}
+		if reqs.Value() != before+1 {
+			t.Fatalf("%s request counter %d, want %d", backend, reqs.Value(), before+1)
+		}
+		for i := range ref.Points {
+			r, p := ref.Points[i], got.Points[i]
+			if r.TotalJ != p.TotalJ || r.SWJ != p.SWJ || r.HWJ != p.HWJ ||
+				r.ISSCalls != p.ISSCalls || r.SimulatedNS != p.SimulatedNS {
+				t.Fatalf("point %d differs across backends:\ninterpreted %+v\n%s %+v", i, r, backend, p)
+			}
 		}
 	}
 }

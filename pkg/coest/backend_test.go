@@ -15,7 +15,7 @@ func TestBackendsRegistry(t *testing.T) {
 	if !sort.StringsAreSorted(names) {
 		t.Fatalf("Backends() not sorted: %v", names)
 	}
-	want := map[string]bool{"interpreted": false, "packed64": false}
+	want := map[string]bool{"compiled": false, "interpreted": false, "packed64": false}
 	for _, n := range names {
 		if _, ok := want[n]; ok {
 			want[n] = true
@@ -53,27 +53,81 @@ func TestWithBackendUnknown(t *testing.T) {
 }
 
 // TestSweepBackendBitIdentical is the public-API face of the backend
-// contract: a packed64 sweep reproduces the interpreted sweep bit for bit.
+// contract: a compiled or packed64 sweep reproduces the interpreted sweep
+// bit for bit.
 func TestSweepBackendBitIdentical(t *testing.T) {
 	grid := coest.TCPIPGrid(quickTCPIP(), []int{0, 5}, []int{2, 64})
 	ref, err := coest.Sweep(context.Background(), grid, coest.WithWorkers(2))
 	if err != nil {
 		t.Fatal(err)
 	}
-	packed, err := coest.Sweep(context.Background(), grid,
-		coest.WithWorkers(2), coest.WithBackend("packed64"))
+	for _, backend := range []string{"compiled", "packed64"} {
+		got, err := coest.Sweep(context.Background(), grid,
+			coest.WithWorkers(2), coest.WithBackend(backend))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("%s sweep returned %d points, interpreted %d", backend, len(got), len(ref))
+		}
+		for i := range ref {
+			a, b := *ref[i].Report, *got[i].Report
+			a.Wall, b.Wall = 0, 0
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("point %d: %s report differs from interpreted", i, backend)
+			}
+		}
+	}
+}
+
+// TestEstimateCompiledBackendBitIdentical: WithBackend("compiled") changes
+// how a single estimation executes (threaded-code ISS tier), never what it
+// reports.
+func TestEstimateCompiledBackendBitIdentical(t *testing.T) {
+	sys := coest.TCPIP(quickTCPIP())
+	ref, err := coest.Estimate(context.Background(), sys)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(packed) != len(ref) {
-		t.Fatalf("packed sweep returned %d points, interpreted %d", len(packed), len(ref))
+	got, err := coest.Estimate(context.Background(), sys, coest.WithBackend("compiled"))
+	if err != nil {
+		t.Fatal(err)
 	}
-	for i := range ref {
-		a, b := *ref[i].Report, *packed[i].Report
-		a.Wall, b.Wall = 0, 0
-		if !reflect.DeepEqual(a, b) {
-			t.Fatalf("point %d: packed64 report differs from interpreted", i)
-		}
+	a, b := *ref, *got
+	a.Wall, b.Wall = 0, 0
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("compiled estimate differs from interpreted:\n%v\nvs\n%v", a, b)
+	}
+}
+
+// TestSessionCompiledBackend: a compiled session compiles the block cache
+// once at NewSession time and every warm Estimate reuses it, with reports
+// bit-identical to an interpreted session's.
+func TestSessionCompiledBackend(t *testing.T) {
+	sys := coest.TCPIP(quickTCPIP())
+	ref, err := coest.NewSession(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := coest.NewSession(sys, coest.WithBackend("compiled"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.Backend(); got != "compiled" {
+		t.Fatalf("session backend %q, want \"compiled\"", got)
+	}
+	a, err := ref.Estimate(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sess.Estimate(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := *a, *b
+	ra.Wall, rb.Wall = 0, 0
+	if !reflect.DeepEqual(ra, rb) {
+		t.Fatalf("compiled session estimate differs from interpreted:\n%v\nvs\n%v", ra, rb)
 	}
 }
 
@@ -123,22 +177,24 @@ func TestEstimateBatchBackendOverride(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	packed, err := sess.EstimateBatch(context.Background(), points,
-		coest.WithBackend("packed64"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(ref) != len(points) || len(packed) != len(points) {
-		t.Fatalf("batch sizes %d/%d, want %d", len(ref), len(packed), len(points))
-	}
-	for i := range ref {
-		if ref[i].Err != nil || packed[i].Err != nil {
-			t.Fatalf("point %d failed: %v / %v", i, ref[i].Err, packed[i].Err)
+	for _, backend := range []string{"compiled", "packed64"} {
+		got, err := sess.EstimateBatch(context.Background(), points,
+			coest.WithBackend(backend))
+		if err != nil {
+			t.Fatal(err)
 		}
-		a, b := *ref[i].Report, *packed[i].Report
-		a.Wall, b.Wall = 0, 0
-		if !reflect.DeepEqual(a, b) {
-			t.Fatalf("point %d: packed64 batch report differs from interpreted", i)
+		if len(ref) != len(points) || len(got) != len(points) {
+			t.Fatalf("batch sizes %d/%d, want %d", len(ref), len(got), len(points))
+		}
+		for i := range ref {
+			if ref[i].Err != nil || got[i].Err != nil {
+				t.Fatalf("point %d failed: %v / %v", i, ref[i].Err, got[i].Err)
+			}
+			a, b := *ref[i].Report, *got[i].Report
+			a.Wall, b.Wall = 0, 0
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("point %d: %s batch report differs from interpreted", i, backend)
+			}
 		}
 	}
 	if _, err := sess.EstimateBatch(context.Background(), points,

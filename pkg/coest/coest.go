@@ -38,8 +38,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 
-	// Register the packed64 estimator backend: importing coest makes every
-	// registered backend selectable with WithBackend.
+	// Register the non-default estimator backends: importing coest makes
+	// every registered backend selectable with WithBackend.
+	_ "repro/internal/compiled"
 	_ "repro/internal/packed64"
 )
 

@@ -152,6 +152,12 @@ func (s *System) configured(call string, allowed optionScope, opts []Option) (co
 	if err := st.resolveMacro(); err != nil {
 		return core.Config{}, nil, err
 	}
+	// Backend-specific Config preparation (the compiled backend switches the
+	// ISS to its threaded-code tier here), so the choice also reaches single
+	// estimations and session baselines, not just sweep scheduling.
+	if err := engine.PrepareConfig(st.backend, &cfg); err != nil {
+		return core.Config{}, nil, fmt.Errorf("coest: %w", err)
+	}
 	return cfg, st, nil
 }
 
@@ -367,15 +373,16 @@ func WithShadowAuditParams(p ShadowAuditParams) Option {
 }
 
 // WithBackend selects the estimator backend by registered name — see
-// Backends for the choices ("interpreted", the reference path, and
-// "packed64", the 64-lane bit-parallel sweep engine). Every backend
-// produces bit-identical reports; they differ only in throughput, so the
-// choice matters on multi-point runs (Sweep, Session.EstimateBatch), where
+// Backends for the choices ("interpreted", the reference path; "compiled",
+// the threaded-code ISS tier; and "packed64", the 64-lane bit-parallel
+// sweep engine). Every backend produces bit-identical reports; they differ
+// only in throughput. On multi-point runs (Sweep, Session.EstimateBatch)
 // the named backend schedules the whole grid. On single estimations the
-// name is validated and recorded for inspection (Compiled.Backend,
-// Session.Backend) but execution takes the reference path, which every
-// backend degenerates to for one point. An unregistered name fails with
-// ErrUnknownBackend.
+// name is recorded for inspection (Compiled.Backend, Session.Backend) and
+// its Config preparation still applies — "compiled" runs the software
+// estimator on translated basic blocks even for one point, while backends
+// that only change sweep scheduling ("packed64") degenerate to the
+// reference path. An unregistered name fails with ErrUnknownBackend.
 func WithBackend(name string) Option {
 	return configOption("WithBackend", func(st *settings) {
 		if _, err := engine.LookupBackend(name); err != nil {

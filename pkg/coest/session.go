@@ -131,6 +131,13 @@ func (s *Session) runConfig(call string, opts []Option) (core.Config, error) {
 	if err := st.resolveMacro(); err != nil {
 		return core.Config{}, err
 	}
+	if st.backend != "" {
+		// A per-call WithBackend override layers its Config preparation on
+		// the session baseline (which was prepared at NewSession/Compile).
+		if err := engine.PrepareConfig(st.backend, &cfg); err != nil {
+			return core.Config{}, fmt.Errorf("coest: %w", err)
+		}
+	}
 	if cfg.HWWidth != s.art.HWWidth {
 		return core.Config{}, fmt.Errorf(
 			"coest: %s: HW width %d differs from the session's compiled width %d (start a new session)",
