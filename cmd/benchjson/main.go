@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -179,8 +180,35 @@ func loadBaseline(path string) (map[string]Bench, error) {
 	return rep.Current, nil
 }
 
+// Meta is the provenance stamp of an emitted artifact: what toolchain and
+// host produced the numbers, and (via -rev, from scripts/bench.sh) which
+// commit. Check mode ignores it — older baselines without it stay valid.
+type Meta struct {
+	GoVersion string `json:"go_version"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+	CPUs      int    `json:"cpus"`
+	Host      string `json:"host,omitempty"`
+	Revision  string `json:"revision,omitempty"`
+}
+
+// newMeta stamps the running toolchain and host; rev comes from the caller
+// (git is not assumed to be available at run time).
+func newMeta(rev string) Meta {
+	host, _ := os.Hostname()
+	return Meta{
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Host:      host,
+		Revision:  rev,
+	}
+}
+
 // Report is the emitted artifact.
 type Report struct {
+	Meta Meta `json:"meta"`
 	// Baseline is present only when -baseline was given; Speedup then maps
 	// benchmark name to baseline/current median ns/op (>1 means faster).
 	Baseline map[string]Bench   `json:"baseline,omitempty"`
@@ -193,6 +221,7 @@ func run() error {
 	baseline := flag.String("baseline", "", "prior bench output to compare against")
 	check := flag.String("check", "", "baseline JSON artifact; fail on median ns/op or alloc regressions")
 	tolerance := flag.Float64("tolerance", 0.35, "relative ns/op slack allowed in -check mode")
+	rev := flag.String("rev", "", "VCS revision to stamp into the artifact metadata")
 	flag.Parse()
 
 	in := io.Reader(os.Stdin)
@@ -230,7 +259,7 @@ func run() error {
 			len(cur), *tolerance*100, *check)
 		return nil
 	}
-	rep := Report{Current: cur}
+	rep := Report{Meta: newMeta(*rev), Current: cur}
 	if *baseline != "" {
 		f, err := os.Open(*baseline)
 		if err != nil {

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -109,5 +111,32 @@ func TestRegressionsMismatchedSetsAreNotesOnly(t *testing.T) {
 	}
 	if len(info) != 2 {
 		t.Fatalf("want a note per mismatched benchmark, got %v", info)
+	}
+}
+
+func TestMetaStampsProvenance(t *testing.T) {
+	m := newMeta("abc123")
+	if m.GoVersion == "" || m.OS == "" || m.Arch == "" || m.CPUs < 1 {
+		t.Fatalf("toolchain/host fields not stamped: %+v", m)
+	}
+	if m.Revision != "abc123" {
+		t.Fatalf("revision = %q", m.Revision)
+	}
+}
+
+// A pre-Meta baseline artifact (no "meta" key) must still load in -check
+// mode: provenance is additive, not a format break.
+func TestLoadBaselineIgnoresMissingMeta(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "old.json")
+	old := `{"current":{"Run":{"iterations":100,"metrics":{"ns/op":{"count":1,"min":1,"median":1,"mean":1,"max":1}}}}}`
+	if err := os.WriteFile(path, []byte(old), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := base["Run"]; !ok {
+		t.Fatalf("baseline lost benchmarks: %v", base)
 	}
 }

@@ -49,6 +49,7 @@ func main() {
 		useSamp   = flag.Bool("sampling", false, "enable reaction-level statistical sampling (sec. 4.3)")
 		dsp       = flag.Bool("dsp", false, "use the data-dependent DSP-flavored power model")
 		waveform  = flag.Bool("waveform", false, "record and summarize the power waveform")
+		waveCSV   = flag.String("waveform-csv", "", "write the per-component power waveform as a CSV file")
 		vcdPath   = flag.String("vcd", "", "write the per-component power waveform as a VCD file")
 		vlogDir   = flag.String("verilog", "", "export each HW block's synthesized netlist as Verilog into this directory")
 		trace     = flag.Bool("trace", false, "print the simulation master's event trace")
@@ -123,7 +124,7 @@ func main() {
 	if *shadow > 0 {
 		opts = append(opts, coest.WithShadowAudit(*shadow))
 	}
-	if *waveform || *vcdPath != "" {
+	if *waveform || *vcdPath != "" || *waveCSV != "" {
 		opts = append(opts, coest.WithWaveform(10*time.Microsecond))
 	}
 	if *trace {
@@ -263,6 +264,12 @@ func main() {
 		}
 		fmt.Printf("  power waveform written to %s\n", *vcdPath)
 	}
+	if *waveCSV != "" && rep.Waveform != nil {
+		if err := writeWaveformCSV(*waveCSV, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  power waveform written to %s\n", *waveCSV)
+	}
 	if *probEst {
 		fmt.Println("  probabilistic HW power (uniform input statistics):")
 		for name, nl := range c.HWNetlists() {
@@ -371,6 +378,20 @@ func writeVCD(path string, rep *coest.Report) error {
 		}
 	}
 	return w.Close()
+}
+
+// writeWaveformCSV exports the waveform through the library's CSV accessor
+// — the same series the paper harness records under analysis/.
+func writeWaveformCSV(path string, rep *coest.Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.Waveform.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeJSON emits a machine-readable summary of the report.

@@ -1,0 +1,160 @@
+// Command paperrun is the paper-grade experiment harness: it executes a
+// declarative experiments.json grid through pkg/coest sessions and writes a
+// timestamped, provenance-carrying run directory under paper_runs/, then
+// groups the repeats into statistics and renders the paper's tables as
+// Markdown. With -check it diffs the fresh run against a committed baseline
+// run and exits non-zero on drift beyond tolerance.
+//
+// Examples:
+//
+//	paperrun                                     # built-in paper-scale grid
+//	paperrun -spec scripts/paper/experiments.json
+//	paperrun -spec ... -check paper_runs/baseline
+//	paperrun -analyze paper_runs/20260809T120000Z # re-analyze, no re-run
+//	paperrun -print-spec > experiments.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/paper"
+	"repro/internal/telemetry"
+
+	// Register the non-default estimator backends the grid may name.
+	_ "repro/internal/compiled"
+	_ "repro/internal/packed64"
+)
+
+func main() {
+	var (
+		specPath  = flag.String("spec", "", "experiments.json grid (empty = built-in paper-scale default)")
+		outRoot   = flag.String("o", "paper_runs", "parent directory for run directories")
+		stamp     = flag.String("stamp", "", "fixed run id instead of a UTC timestamp (for committed baselines)")
+		analyze   = flag.String("analyze", "", "re-analyze this existing run directory instead of running")
+		check     = flag.String("check", "", "baseline run directory to diff against (exit 1 on drift)")
+		checkWall = flag.Bool("check-wall", false, "include wall-time means in -check (off: baselines cross machines)")
+		tolEnergy = flag.Float64("tol-energy", 0, "override energy-metric relative tolerance for -check")
+		tolCount  = flag.Float64("tol-count", 0, "override counter-metric relative tolerance for -check")
+		tolBudget = flag.Float64("tol-budget", 0, "override budget-metric relative tolerance for -check")
+		tolWall   = flag.Float64("tol-wall", 0, "override wall-time relative tolerance for -check-wall")
+		repeats   = flag.Int("repeats", 0, "override the spec's repeat count")
+		packets   = flag.Int("packets", 0, "override the spec's packet count")
+		seed      = flag.Int64("seed", 0, "override the spec's workload seed")
+		workersN  = flag.Int("j", 0, "override the spec's sweep worker pool size")
+		printSpec = flag.Bool("print-spec", false, "print the built-in default spec as JSON and exit")
+		traceChr  = flag.String("trace-chrome", "", "write the run's span trace as a Chrome/Perfetto trace_event file")
+	)
+	flag.Parse()
+
+	if *printSpec {
+		b, err := json.MarshalIndent(paper.DefaultSpec(), "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(b))
+		return
+	}
+
+	tol := paper.DefaultTolerances()
+	tol.CheckWall = *checkWall
+	if *tolEnergy > 0 {
+		tol.Energy = *tolEnergy
+	}
+	if *tolCount > 0 {
+		tol.Count = *tolCount
+	}
+	if *tolBudget > 0 {
+		tol.Budget = *tolBudget
+	}
+	if *tolWall > 0 {
+		tol.Wall = *tolWall
+	}
+
+	// -analyze: re-summarize an existing run directory, optionally gating it
+	// against a baseline, without re-running any experiment.
+	if *analyze != "" {
+		if err := paper.AnalyzeDir(*analyze); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "paperrun: re-analyzed %s\n", *analyze)
+		if *check != "" {
+			runCheck(*check, *analyze, tol)
+		}
+		return
+	}
+
+	spec := paper.DefaultSpec()
+	if *specPath != "" {
+		var err error
+		spec, err = paper.LoadSpec(*specPath)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *repeats > 0 {
+		spec.Repeats = *repeats
+	}
+	if *packets > 0 {
+		spec.Packets = *packets
+	}
+	if *seed != 0 {
+		spec.Seed = *seed
+	}
+	if *workersN > 0 {
+		spec.Workers = *workersN
+	}
+
+	ctx := context.Background()
+	if *traceChr != "" {
+		f, err := os.Create(*traceChr)
+		if err != nil {
+			fatal(err)
+		}
+		sink := telemetry.Synchronized(telemetry.NewChromeSink(f))
+		id := telemetry.NewTraceID()
+		var rootSpan *telemetry.Span
+		ctx, rootSpan = telemetry.StartSpanWith(
+			telemetry.ContextWithSpanScope(ctx, telemetry.NewSpanScope(sink, id)),
+			"paperrun", strings.Join(os.Args[1:], " "), 0)
+		defer func() {
+			rootSpan.End()
+			if err := sink.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "paperrun: trace sink:", err)
+			}
+			f.Close()
+		}()
+		fmt.Fprintf(os.Stderr, "paperrun: trace id %s -> %s\n", id, *traceChr)
+	}
+
+	r := &paper.Runner{Spec: spec, OutRoot: *outRoot, Stamp: *stamp, Log: os.Stderr}
+	dir, err := r.Run(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	if *check != "" {
+		runCheck(*check, dir, tol)
+	}
+}
+
+// runCheck diffs fresh against baseline, printing the report and exiting 1
+// on drift.
+func runCheck(baselineDir, freshDir string, tol paper.Tolerances) {
+	res, err := paper.CheckDirs(baselineDir, freshDir, tol)
+	if err != nil {
+		fatal(err)
+	}
+	res.Report(os.Stdout)
+	if !res.OK() {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paperrun:", err)
+	os.Exit(1)
+}

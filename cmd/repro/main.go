@@ -14,6 +14,11 @@
 //
 //	repro -all
 //	repro -table1 -packets 16 -repeats 3
+//
+// repro renders each artifact once as prose. For the statistics-carrying
+// form — repeated runs, grouped mean/std/CI95, provenance manifests and a
+// baseline regression gate — use cmd/paperrun, the paper-grade experiment
+// harness.
 package main
 
 import (

@@ -1,6 +1,11 @@
 package core
 
 import (
+	"encoding/csv"
+	"io"
+	"sort"
+	"strconv"
+
 	"repro/internal/cfsm"
 	"repro/internal/units"
 )
@@ -117,4 +122,46 @@ func (w *Waveform) Peak() (units.Time, units.Power) {
 		return 0, 0
 	}
 	return units.Time(bestI) * w.Bucket, units.Energy(best).Over(w.Bucket)
+}
+
+// WriteCSV exports the waveform as CSV: a time_ns column, one average-power
+// column (watts) per component in sorted name order, and a total_w column;
+// shorter series are zero-padded to the longest. A nil or empty waveform
+// writes the header row only.
+func (w *Waveform) WriteCSV(out io.Writer) error {
+	var names []string
+	n := 0
+	if w != nil {
+		names = w.Names()
+		sort.Strings(names)
+		for _, s := range w.series {
+			if len(s) > n {
+				n = len(s)
+			}
+		}
+	}
+	cw := csv.NewWriter(out)
+	header := append([]string{"time_ns"}, names...)
+	if err := cw.Write(append(header, "total_w")); err != nil {
+		return err
+	}
+	rec := make([]string, len(names)+2)
+	for i := 0; i < n; i++ {
+		rec[0] = strconv.FormatInt(int64(units.Time(i)*w.Bucket), 10)
+		total := 0.0
+		for j, name := range names {
+			var e float64
+			if s := w.series[name]; i < len(s) {
+				e = s[i]
+			}
+			total += e
+			rec[j+1] = strconv.FormatFloat(float64(units.Energy(e).Over(w.Bucket)), 'g', -1, 64)
+		}
+		rec[len(rec)-1] = strconv.FormatFloat(float64(units.Energy(total).Over(w.Bucket)), 'g', -1, 64)
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }

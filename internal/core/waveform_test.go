@@ -1,11 +1,16 @@
 package core_test
 
 import (
+	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/units"
 )
+
+// formatG matches WriteCSV's float rendering.
+func formatG(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
 func TestWaveformEmptyPeak(t *testing.T) {
 	w := core.NewWaveform(units.Microsecond)
@@ -84,5 +89,74 @@ func TestWaveformZeroBucketNoOp(t *testing.T) {
 	w.Add("cpu", units.Microsecond, units.Energy(1))
 	if at, p := w.Peak(); at != 0 || p != 0 {
 		t.Fatalf("zero-bucket waveform Peak() = (%v, %v)", at, p)
+	}
+}
+
+// A series holding only explicit zero charges has no peak: Peak must keep
+// the empty-waveform answer rather than electing bucket 0 of an all-zero
+// total.
+func TestWaveformAllZeroPeak(t *testing.T) {
+	w := core.NewWaveform(units.Microsecond)
+	w.Add("cpu", 0, 0)
+	w.Add("cpu", 3*units.Microsecond, 0)
+	w.Add("bus", units.Microsecond, 0)
+	if at, p := w.Peak(); at != 0 || p != 0 {
+		t.Fatalf("all-zero waveform Peak() = (%v, %v), want (0, 0)", at, p)
+	}
+}
+
+// Asking a populated waveform for a component it never recorded yields an
+// empty series, not the neighbours' data and not a panic.
+func TestWaveformSeriesUnknownName(t *testing.T) {
+	w := core.NewWaveform(units.Microsecond)
+	w.Add("cpu", 0, units.Energy(1e-6))
+	if s := w.Series("dsp"); len(s) != 0 {
+		t.Fatalf("Series(unknown) = %v, want empty", s)
+	}
+	if s := w.Series("cpu"); len(s) != 1 {
+		t.Fatalf("Series(cpu) = %v, want 1 bucket", s)
+	}
+}
+
+// WriteCSV emits one sorted power column per component plus a total, with
+// shorter series zero-padded.
+func TestWaveformWriteCSV(t *testing.T) {
+	b := 10 * units.Microsecond
+	w := core.NewWaveform(b)
+	w.Add("cpu", 0, units.Energy(1e-6))
+	w.Add("cpu", b, units.Energy(2e-6))
+	w.Add("bus", 0, units.Energy(4e-6)) // one bucket only: padded in row 2
+
+	var sb strings.Builder
+	if err := w.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), sb.String())
+	}
+	if lines[0] != "time_ns,bus,cpu,total_w" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	pw := func(e units.Energy) string { return strings.TrimSpace(formatG(float64(e.Over(b)))) }
+	// The total column accumulates raw joules in column order (bus + cpu),
+	// so the expectation must sum in the same order to match bit-for-bit.
+	want1 := "0," + pw(4e-6) + "," + pw(1e-6) + "," + pw(units.Energy(float64(4e-6)+float64(1e-6)))
+	want2 := "10000,0," + pw(2e-6) + "," + pw(2e-6)
+	if lines[1] != want1 || lines[2] != want2 {
+		t.Fatalf("rows = %q, %q; want %q, %q", lines[1], lines[2], want1, want2)
+	}
+}
+
+// An empty or nil waveform still writes a parseable header-only CSV.
+func TestWaveformWriteCSVEmpty(t *testing.T) {
+	for _, w := range []*core.Waveform{nil, core.NewWaveform(units.Microsecond)} {
+		var sb strings.Builder
+		if err := w.WriteCSV(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if got := strings.TrimSpace(sb.String()); got != "time_ns,total_w" {
+			t.Fatalf("empty waveform CSV = %q", got)
+		}
 	}
 }

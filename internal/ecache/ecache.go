@@ -42,6 +42,15 @@ func DefaultParams() Params {
 	return Params{ThreshVariance: 0.02, ThreshCalls: 2}
 }
 
+// Table1Params are the thresholds of the Table 1 reproduction: robust
+// caching of gate-level paths whose energy spreads a few percent with
+// operand values (thresh_variance / thresh_iss_calls, paper §4.2). Defined
+// once so internal/experiments and the paper harness measure the same
+// configuration.
+func Table1Params() Params {
+	return Params{ThreshVariance: 0.15, ThreshCalls: 3}
+}
+
 // Key identifies one cached path: the machine and its path key.
 type Key struct {
 	Machine int

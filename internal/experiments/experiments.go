@@ -88,14 +88,15 @@ func (p Params) tcpip() systems.TCPIPParams {
 	return tp
 }
 
-// ECacheOn returns the Table 1 acceleration mutator. The thresholds are set
-// for robust caching of the gate-level paths, whose energy has a few percent
-// of data-dependent spread (the paper's thresh_variance/thresh_iss_calls
+// ECacheOn returns the Table 1 acceleration mutator. The thresholds
+// (ecache.Table1Params, shared with the paper harness) are set for robust
+// caching of the gate-level paths, whose energy has a few percent of
+// data-dependent spread (the paper's thresh_variance/thresh_iss_calls
 // aggressiveness knobs, §4.2); the software paths are data-independent and
 // cache exactly.
 func ECacheOn(cfg *core.Config) {
 	cfg.Accel.ECache = true
-	cfg.Accel.ECacheParams = ecache.Params{ThreshVariance: 0.15, ThreshCalls: 3}
+	cfg.Accel.ECacheParams = ecache.Table1Params()
 }
 
 // MacromodelOn returns the Table 2 acceleration mutator for a table.

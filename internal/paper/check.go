@@ -1,0 +1,167 @@
+package paper
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Tolerances classifies the grouped metrics into drift budgets. Energies
+// and counters are deterministic per seed, so their tolerances are tight
+// (they absorb only float-accumulation-order noise); error-budget metrics
+// are derived statistics with a looser band; wall times are machine load
+// and hardware, so the gate skips them unless explicitly enabled.
+type Tolerances struct {
+	// Energy is the relative tolerance of the energy-denominated metrics
+	// (energy_j, sw_j, hw_j, bus_j, attrib_total_j, peak_w).
+	Energy float64
+	// Count is the relative tolerance of the discrete execution counters
+	// (iss_calls, iss_insts, gate_execs, sim_ns).
+	Count float64
+	// Budget is the relative tolerance of the audit-layer budget metrics
+	// (budget_bound_j, budget_ci95_j).
+	Budget float64
+	// Wall is the relative tolerance of wall_ns when CheckWall is set.
+	Wall float64
+	// CheckWall compares wall-time means too. Off by default: committed
+	// baselines come from other machines.
+	CheckWall bool
+}
+
+// DefaultTolerances is the regression gate's drift budget. Relative
+// differences are |a-b|/max(|a|,|b|), so they saturate at 1.0; the wall
+// default 0.5 corresponds to a 2x slowdown/speedup.
+func DefaultTolerances() Tolerances {
+	return Tolerances{Energy: 0.002, Count: 0.001, Budget: 0.10, Wall: 0.5}
+}
+
+// metricClass returns the tolerance for one metric, false when the metric
+// is outside the gate (wall times unless enabled).
+func (t Tolerances) metricClass(metric string) (float64, bool) {
+	switch metric {
+	case "energy_j", "sw_j", "hw_j", "bus_j", "attrib_total_j", "peak_w":
+		return t.Energy, true
+	case "iss_calls", "iss_insts", "gate_execs", "sim_ns":
+		return t.Count, true
+	case "budget_bound_j", "budget_ci95_j":
+		return t.Budget, true
+	case "wall_ns":
+		return t.Wall, t.CheckWall
+	}
+	return 0, false
+}
+
+// Drift is one gate violation: a grouped metric mean that moved beyond its
+// tolerance, or a baseline group the fresh run no longer produces.
+type Drift struct {
+	Key      GroupKey
+	Metric   string
+	Baseline float64
+	Fresh    float64
+	Rel      float64 // relative difference; -1 for a missing group
+	Tol      float64
+}
+
+func (d Drift) String() string {
+	where := fmt.Sprintf("%s/%s", d.Key.Experiment, d.Key.Variant)
+	if d.Key.Backend != "" {
+		where += "/" + d.Key.Backend
+	}
+	if d.Key.DMA >= 0 {
+		where += fmt.Sprintf("/dma=%d", d.Key.DMA)
+	}
+	if d.Rel < 0 {
+		return fmt.Sprintf("%s: group missing from fresh run", where)
+	}
+	return fmt.Sprintf("%s %s: baseline %.9g, fresh %.9g (rel %.3g > tol %.3g)",
+		where, d.Metric, d.Baseline, d.Fresh, d.Rel, d.Tol)
+}
+
+// CheckResult is the outcome of a baseline comparison.
+type CheckResult struct {
+	Groups  int     // baseline groups compared
+	Metrics int     // metric comparisons inside tolerance scope
+	Drifts  []Drift // violations, empty on a pass
+	Extra   []GroupKey
+}
+
+// OK reports whether the fresh run is inside the drift budget.
+func (r *CheckResult) OK() bool { return len(r.Drifts) == 0 }
+
+// Check compares the grouped means of a fresh result set against a
+// baseline's, group by group and metric by metric. A baseline group the
+// fresh run lacks is a drift (the run shrank); a fresh group absent from
+// the baseline is reported in Extra but does not fail the gate (specs are
+// allowed to grow ahead of their baselines).
+func Check(baseline, fresh []Row, tol Tolerances) *CheckResult {
+	ab, af := Analyze(baseline), Analyze(fresh)
+	res := &CheckResult{}
+	for _, k := range ab.Keys() {
+		res.Groups++
+		for _, metric := range metricNames {
+			t, gated := tol.metricClass(metric)
+			if !gated {
+				continue
+			}
+			bs, _ := ab.Stat(k, metric)
+			fs, ok := af.Stat(k, metric)
+			if !ok {
+				res.Drifts = append(res.Drifts, Drift{Key: k, Rel: -1})
+				break
+			}
+			res.Metrics++
+			if rel := relDiff(bs.Mean, fs.Mean); rel > t {
+				res.Drifts = append(res.Drifts, Drift{
+					Key: k, Metric: metric, Baseline: bs.Mean, Fresh: fs.Mean, Rel: rel, Tol: t,
+				})
+			}
+		}
+	}
+	base := map[GroupKey]bool{}
+	for _, k := range ab.Keys() {
+		base[k] = true
+	}
+	for _, k := range af.Keys() {
+		if !base[k] {
+			res.Extra = append(res.Extra, k)
+		}
+	}
+	return res
+}
+
+// CheckDirs runs Check over two run directories' results.csv files.
+func CheckDirs(baselineDir, freshDir string, tol Tolerances) (*CheckResult, error) {
+	baseline, err := ReadResultsFile(filepath.Join(baselineDir, "results.csv"))
+	if err != nil {
+		return nil, fmt.Errorf("paper: baseline: %w", err)
+	}
+	fresh, err := ReadResultsFile(filepath.Join(freshDir, "results.csv"))
+	if err != nil {
+		return nil, fmt.Errorf("paper: fresh run: %w", err)
+	}
+	return Check(baseline, fresh, tol), nil
+}
+
+// Report renders the check outcome for humans.
+func (r *CheckResult) Report(w io.Writer) {
+	if r.OK() {
+		fmt.Fprintf(w, "check: PASS — %d groups, %d metric comparisons inside tolerance\n",
+			r.Groups, r.Metrics)
+	} else {
+		fmt.Fprintf(w, "check: FAIL — %d drift(s) across %d groups:\n", len(r.Drifts), r.Groups)
+		for _, d := range r.Drifts {
+			fmt.Fprintf(w, "  %s\n", d)
+		}
+	}
+	if len(r.Extra) > 0 {
+		names := make([]string, 0, len(r.Extra))
+		for _, k := range r.Extra {
+			names = append(names, fmt.Sprintf("%s/%s", k.Experiment, k.Variant))
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "note: %d fresh group(s) not in baseline (spec grew?): %s\n",
+			len(r.Extra), strings.Join(names, ", "))
+	}
+}

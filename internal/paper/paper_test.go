@@ -1,0 +1,286 @@
+package paper
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	// The tiny test grid names the non-default backends.
+	_ "repro/internal/compiled"
+	_ "repro/internal/packed64"
+)
+
+// tinySpec is a fast everything-kind grid for runner tests.
+func tinySpec() *Spec {
+	return &Spec{
+		Name:     "tiny",
+		Repeats:  2,
+		Seed:     1,
+		Packets:  2,
+		DMASizes: []int{4, 8},
+		Experiments: []Experiment{
+			{ID: "t1", Kind: KindTable1},
+			{ID: "bk", Kind: KindBackends, Backends: []string{"interpreted", "packed64"}},
+			{ID: "sv", Kind: KindServing},
+			{ID: "wf", Kind: KindWaveform},
+		},
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := DefaultSpec().Validate(); err != nil {
+		t.Fatalf("default spec invalid: %v", err)
+	}
+	bad := []func(*Spec){
+		func(s *Spec) { s.Name = "" },
+		func(s *Spec) { s.Repeats = 0 },
+		func(s *Spec) { s.Packets = 0 },
+		func(s *Spec) { s.DMASizes = nil },
+		func(s *Spec) { s.Experiments = nil },
+		func(s *Spec) { s.Experiments[0].ID = "" },
+		func(s *Spec) { s.Experiments[1].ID = s.Experiments[0].ID },
+		func(s *Spec) { s.Experiments[0].Kind = "table9" },
+		func(s *Spec) { s.Experiments[3].Backends = []string{"interpreted"} }, // backends kind needs >= 2
+		func(s *Spec) { s.Experiments[0].System = "prodcons" },                // table kinds are tcpip-only
+		func(s *Spec) { s.Experiments[0].System = "nosuch" },
+		func(s *Spec) { s.Experiments[0].DMASizes = []int{0} },
+	}
+	for i, mutate := range bad {
+		s := DefaultSpec()
+		mutate(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d validated", i)
+		}
+	}
+}
+
+func TestLoadSpecRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "experiments.json")
+	b, err := json.Marshal(DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadSpec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "lajolo-rdl00" || len(s.Experiments) != 6 {
+		t.Fatalf("round-tripped spec = %+v", s)
+	}
+	if _, err := LoadSpec(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("loading a missing spec succeeded")
+	}
+}
+
+func TestResultsCSVRoundTrip(t *testing.T) {
+	rows := []Row{
+		{
+			RunID: "r1", Experiment: "t1", Kind: KindTable1, System: "tcpip",
+			Variant: "base", DMA: 8, Packets: 4, Repeat: 1, Seed: 7,
+			EnergyJ: 1.25e-5, SWJ: 9.5e-6, HWJ: 3.5e-8, BusJ: 2.7e-7,
+			SimNS: 415200, WallNS: 123456, ISSCalls: 20, ISSInsts: 5192, GateExecs: 4,
+			BudgetBoundJ: 1e-10, BudgetCI95J: 1.6e-11, BudgetUncal: true,
+			AttribTotalJ: 1.25e-5, PeakW: 0.29, PeakAtNS: 10000,
+		},
+		{RunID: "r1", Experiment: "bk", Kind: KindBackends, Backend: "packed64", Variant: "sweep", DMA: -1},
+	}
+	var sb strings.Builder
+	if err := WriteResults(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadResults(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("got %d rows, want %d", len(got), len(rows))
+	}
+	for i := range rows {
+		if got[i] != rows[i] {
+			t.Errorf("row %d round-trip mismatch:\n got %+v\nwant %+v", i, got[i], rows[i])
+		}
+	}
+	if _, err := ReadResults(strings.NewReader("")); err == nil {
+		t.Fatal("empty results parsed")
+	}
+}
+
+func TestAnalyzeStats(t *testing.T) {
+	mk := func(rep int, wall int64) Row {
+		return Row{RunID: "r", Experiment: "t1", Kind: KindTable1, Variant: "base",
+			DMA: 4, Repeat: rep, EnergyJ: 2e-6, WallNS: wall}
+	}
+	a := Analyze([]Row{mk(0, 100), mk(1, 200), mk(2, 300)})
+	k := GroupKey{Experiment: "t1", Kind: KindTable1, Variant: "base", DMA: 4}
+	s, ok := a.Stat(k, "wall_ns")
+	if !ok {
+		t.Fatal("group not found")
+	}
+	if s.N != 3 || s.Mean != 200 || s.Min != 100 || s.Max != 300 {
+		t.Fatalf("wall stat = %+v", s)
+	}
+	wantStd := math.Sqrt((100.0*100 + 0 + 100*100) / 3) // population std
+	if math.Abs(s.Std-wantStd) > 1e-9 {
+		t.Fatalf("std = %g, want %g", s.Std, wantStd)
+	}
+	wantCI := 1.96 * wantStd / math.Sqrt(3)
+	if math.Abs(s.CI95-wantCI) > 1e-9 {
+		t.Fatalf("ci95 = %g, want %g", s.CI95, wantCI)
+	}
+	if e, _ := a.Stat(k, "energy_j"); e.Std != 0 || e.Mean != 2e-6 {
+		t.Fatalf("energy stat = %+v", e)
+	}
+	if _, ok := a.Stat(k, "nosuch"); ok {
+		t.Fatal("unknown metric found")
+	}
+	if _, ok := a.Stat(GroupKey{Experiment: "zz"}, "energy_j"); ok {
+		t.Fatal("unknown group found")
+	}
+}
+
+func TestCheckGate(t *testing.T) {
+	base := []Row{
+		{Experiment: "t1", Kind: KindTable1, Variant: "base", DMA: 4, EnergyJ: 1e-5, ISSCalls: 20},
+		{Experiment: "t1", Kind: KindTable1, Variant: "ecache", DMA: 4, EnergyJ: 1.0001e-5, ISSCalls: 17},
+	}
+	tol := DefaultTolerances()
+
+	// Identical runs pass.
+	if res := Check(base, base, tol); !res.OK() {
+		t.Fatalf("identical runs drifted: %+v", res.Drifts)
+	}
+
+	// Energy drift beyond tolerance fails.
+	drifted := append([]Row(nil), base...)
+	drifted[0].EnergyJ *= 1.01
+	res := Check(base, drifted, tol)
+	if res.OK() || res.Drifts[0].Metric != "energy_j" {
+		t.Fatalf("1%% energy drift not caught: %+v", res)
+	}
+	if !strings.Contains(res.Drifts[0].String(), "t1/base/dma=4") {
+		t.Fatalf("drift rendering = %q", res.Drifts[0].String())
+	}
+
+	// A vanished baseline group fails; an extra fresh group only notes.
+	res = Check(base, base[:1], tol)
+	if res.OK() {
+		t.Fatal("missing group passed")
+	}
+	extra := append(append([]Row(nil), base...),
+		Row{Experiment: "new", Kind: KindServing, Variant: servCold, EnergyJ: 1})
+	res = Check(base, extra, tol)
+	if !res.OK() || len(res.Extra) != 1 {
+		t.Fatalf("extra group mishandled: %+v", res)
+	}
+
+	// Wall times are outside the gate until CheckWall.
+	slow := append([]Row(nil), base...)
+	slow[0].WallNS = 1 << 40
+	if res := Check(base, slow, tol); !res.OK() {
+		t.Fatalf("wall drift gated by default: %+v", res.Drifts)
+	}
+	tol.CheckWall = true
+	if res := Check(base, slow, tol); res.OK() {
+		t.Fatal("wall drift not gated with CheckWall")
+	}
+}
+
+func TestRunnerEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full tiny grid")
+	}
+	dirRoot := t.TempDir()
+	r := &Runner{Spec: tinySpec(), OutRoot: dirRoot, Stamp: "t0"}
+	dir, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dir != filepath.Join(dirRoot, "t0") {
+		t.Fatalf("run dir = %s", dir)
+	}
+	for _, f := range []string{
+		"manifest.json", "results.csv",
+		"logs/t1.log", "logs/bk.log", "logs/sv.log", "logs/wf.log",
+		"analysis/summary_grouped.csv", "analysis/tables.md", "analysis/waveform-wf.csv",
+	} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing artifact %s: %v", f, err)
+		}
+	}
+
+	rows, err := ReadResultsFile(filepath.Join(dir, "results.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 dma x 2 repeats x 2 variants + 2 backends x 2 repeats +
+	// 4 serving variants x 2 + 2 waveform repeats.
+	if want := 8 + 4 + 8 + 2; len(rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rows), want)
+	}
+	for _, row := range rows {
+		if row.RunID != "t0" || row.EnergyJ <= 0 {
+			t.Fatalf("bad row provenance: %+v", row)
+		}
+	}
+
+	// The manifest records the spec snapshot, seed, and per-experiment phases.
+	mb, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man struct {
+		Tool   string `json:"tool"`
+		Seed   int64  `json:"seed"`
+		Phases []struct {
+			Name string `json:"name"`
+		} `json:"phases"`
+		Config Spec `json:"config"`
+	}
+	if err := json.Unmarshal(mb, &man); err != nil {
+		t.Fatal(err)
+	}
+	if man.Tool != "paperrun" || man.Seed != 1 || man.Config.Name != "tiny" {
+		t.Fatalf("manifest provenance = %+v", man)
+	}
+	phases := map[string]bool{}
+	for _, p := range man.Phases {
+		phases[p.Name] = true
+	}
+	for _, want := range []string{"t1", "bk", "sv", "wf", "analyze"} {
+		if !phases[want] {
+			t.Errorf("manifest missing phase %s (got %v)", want, man.Phases)
+		}
+	}
+
+	// The generated tables cover every experiment of the grid.
+	tb, err := os.ReadFile(filepath.Join(dir, "analysis", "tables.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table 1", "Backend speedup", "Serving warmth", "Peak power", "run t0"} {
+		if !strings.Contains(string(tb), want) {
+			t.Errorf("tables.md missing %q", want)
+		}
+	}
+
+	// A same-spec rerun passes the regression gate against the first run.
+	r2 := &Runner{Spec: tinySpec(), OutRoot: dirRoot, Stamp: "t1"}
+	dir2, err := r2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CheckDirs(dir, dir2, DefaultTolerances())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("same-spec rerun drifted: %+v", res.Drifts)
+	}
+}

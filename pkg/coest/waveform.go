@@ -1,0 +1,11 @@
+package coest
+
+import "repro/internal/core"
+
+// Waveform is the per-component power waveform recorder attached to
+// Report.Waveform when WithWaveform is set: time-bucketed average power per
+// named component, with Series/Names/Peak accessors and a WriteCSV exporter
+// that emits the same series the paper harness and cmd/coest plot. The
+// alias gives library users a name for the type — Report.Waveform's concrete
+// type lives in an internal package.
+type Waveform = core.Waveform

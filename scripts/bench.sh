@@ -31,9 +31,15 @@ fi
 # shellcheck disable=SC2086
 go test $ARGS . | tee "$RAW"
 
+# Stamp the commit into the artifact metadata so baselines are attributable.
+REV=$(git rev-parse --short=12 HEAD 2>/dev/null || true)
+if [ -n "$REV" ] && ! git diff --quiet HEAD 2>/dev/null; then
+    REV="$REV-dirty"
+fi
+
 if [ -n "${BASELINE:-}" ]; then
-    go run ./cmd/benchjson -baseline "$BASELINE" -o "$OUT" "$RAW"
+    go run ./cmd/benchjson -rev "$REV" -baseline "$BASELINE" -o "$OUT" "$RAW"
 else
-    go run ./cmd/benchjson -o "$OUT" "$RAW"
+    go run ./cmd/benchjson -rev "$REV" -o "$OUT" "$RAW"
 fi
 echo "bench: wrote $OUT (raw: $RAW)" >&2
