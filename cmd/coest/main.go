@@ -15,13 +15,12 @@
 package main
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
@@ -29,11 +28,12 @@ import (
 	"time"
 
 	"repro/internal/gate"
-	"repro/internal/serve"
 	"repro/internal/telemetry"
 	"repro/internal/units"
 	"repro/internal/vcd"
 	"repro/pkg/coest"
+	"repro/pkg/coest/coestapi"
+	"repro/pkg/coest/coestclient"
 )
 
 func main() {
@@ -463,52 +463,32 @@ func writeJSON(w io.Writer, rep *coest.Report) error {
 	return enc.Encode(out)
 }
 
-// runRemote sends the estimation to a coestd daemon instead of running it in
-// process. Only the knobs in the service's wire API travel; flags outside it
-// (modes, waveforms, traces) stay local-only.
+// runRemote sends the estimation to a coestd daemon (or a coest-router
+// front) through the coestclient library instead of running it in process.
+// Only the knobs in the service's wire API travel; flags outside it (modes,
+// waveforms, traces) stay local-only.
 func runRemote(base, file, system, backend string, packets, dma int, ecache, macro, sampling bool, deadline time.Duration, asJSON bool) error {
 	if file != "" {
 		return fmt.Errorf("-serve estimates named case-study systems only (got -file)")
 	}
-	req := serve.Request{
+	cli := coestclient.New(base)
+	resp, err := cli.Estimate(context.Background(), coestapi.Request{
 		System:     system,
 		Backend:    backend,
 		Packets:    packets,
 		DeadlineMS: int(deadline / time.Millisecond),
-		Points: []serve.PointSpec{{
+		Points: []coestapi.PointSpec{{
 			DMASize:  dma,
 			ECache:   ecache,
 			Macro:    macro,
 			Sampling: sampling,
 		}},
-	}
-	body, err := json.Marshal(&req)
+	})
 	if err != nil {
-		return err
-	}
-	httpReq, err := http.NewRequest(http.MethodPost, strings.TrimSuffix(base, "/")+"/estimate", bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	httpReq.Header.Set("Content-Type", "application/json")
-	// Mint the trace id client-side so a failed request is still findable in
-	// the daemon's /debug/requests ring; the server adopts inbound ids.
-	httpReq.Header.Set(serve.TraceHeader, telemetry.NewTraceID().String())
-	httpResp, err := http.DefaultClient.Do(httpReq)
-	if err != nil {
-		return err
-	}
-	defer httpResp.Body.Close()
-	if httpResp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 4096))
-		if httpResp.StatusCode == http.StatusTooManyRequests {
-			return fmt.Errorf("server busy (retry after %ss): %s",
-				httpResp.Header.Get("Retry-After"), strings.TrimSpace(string(msg)))
+		var apiErr *coestclient.APIError
+		if errors.Is(err, coestclient.ErrOverloaded) && errors.As(err, &apiErr) {
+			return fmt.Errorf("server busy (retry after %v): %s", apiErr.RetryAfter, apiErr.Message)
 		}
-		return fmt.Errorf("server: %s: %s", httpResp.Status, strings.TrimSpace(string(msg)))
-	}
-	var resp serve.Response
-	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
 		return err
 	}
 	if len(resp.Points) != 1 {
@@ -521,20 +501,34 @@ func runRemote(base, file, system, backend string, packets, dma int, ecache, mac
 	if asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(&resp)
+		return enc.Encode(resp)
 	}
 	warmth := "cold session (compiled for this request)"
 	if resp.Warm {
 		warmth = "warm session (no recompilation)"
 	}
-	fmt.Printf("system %s via %s: %s, %s backend\n", resp.System, base, warmth, resp.Backend)
-	if id := httpResp.Header.Get(serve.TraceHeader); id != "" {
-		fmt.Printf("  trace %s (%s/debug/requests?trace=%s)\n", id, strings.TrimSuffix(base, "/"), id)
+	where := base
+	if resp.Shard != "" {
+		where += " (shard " + resp.Shard + ")"
+	}
+	fmt.Printf("system %s via %s: %s, %s backend\n", resp.System, where, warmth, resp.Backend)
+	if resp.Degraded {
+		fmt.Printf("  DEGRADED answer (%s): macro-model fast tier, see error budget below\n", resp.DegradedReason)
+	}
+	if resp.TraceID != "" {
+		fmt.Printf("  trace %s (%s/debug/requests?trace=%s)\n", resp.TraceID, strings.TrimSuffix(base, "/"), resp.TraceID)
 	}
 	fmt.Printf("  simulated %v\n", units.Time(pt.SimulatedNS))
 	fmt.Printf("  TOTAL %v (sw %v, hw %v)\n",
 		units.Energy(pt.TotalJ), units.Energy(pt.SWJ), units.Energy(pt.HWJ))
 	fmt.Printf("  iss calls %d, iss instructions %d\n", pt.ISSCalls, pt.ISSInsts)
+	if b := pt.Budget; b != nil {
+		fmt.Printf("  error budget: ±%v bound, ±%v ci95", units.Energy(b.BoundJ), units.Energy(b.CI95J))
+		if b.Uncalibrated {
+			fmt.Printf(" (uncalibrated)")
+		}
+		fmt.Println()
+	}
 	return nil
 }
 

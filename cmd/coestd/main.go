@@ -41,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/ecachesync"
 	"repro/internal/serve"
 	"repro/internal/telemetry"
 )
@@ -60,6 +61,13 @@ func main() {
 		slowThresh   = flag.Duration("slow-threshold", 0, "requests at least this slow are flagged and kept in the slow-capture ring (0 = off)")
 		maxSpans     = flag.Int("max-spans", 0, "spans captured per request before dropping (0 = default 2048)")
 		accessLog    = flag.String("access-log", "", "append JSONL access lines (with trace ids) to this file, \"-\" for stderr (empty = off)")
+
+		shardName     = flag.String("shard-name", "", "fleet shard identity echoed on every response (empty = standalone)")
+		degradedSlots = flag.Int("degraded-slots", 0, "concurrent macro fast-tier answers under overload (0 = default 2, negative = off)")
+		macroPrewarm  = flag.Bool("macro-prewarm", false, "characterize macro tables in the background after each cold compile, so the degraded fast tier is ready before any macro request")
+		ecacheSync    = flag.String("ecache-sync", "", "fleet energy-cache store URL (e.g. http://router:8400/ecache/sync; empty = no cache sync)")
+		ecacheIntv    = flag.Duration("ecache-sync-interval", 2*time.Second, "write-behind period of the fleet cache sync")
+		restorePath   = flag.String("restore", "", "restore warm sessions on boot from this snapshot file (the bytes of POST /snapshot)")
 	)
 	flag.Parse()
 
@@ -78,19 +86,41 @@ func main() {
 	}
 
 	cfg := serve.Config{
-		Workers:         *workers,
-		Queue:           *queue,
-		PointWorkers:    *pointWorkers,
-		DefaultDeadline: *deadline,
-		RetryAfter:      *retryAfter,
-		TraceRing:       *traceRing,
-		MaxSpans:        *maxSpans,
-		SlowThreshold:   *slowThresh,
+		Workers:            *workers,
+		Queue:              *queue,
+		PointWorkers:       *pointWorkers,
+		DefaultDeadline:    *deadline,
+		RetryAfter:         *retryAfter,
+		TraceRing:          *traceRing,
+		MaxSpans:           *maxSpans,
+		SlowThreshold:      *slowThresh,
+		ShardName:          *shardName,
+		DegradedSlots:      *degradedSlots,
+		MacroPrewarm:       *macroPrewarm,
+		ECacheSyncInterval: *ecacheIntv,
 	}
 	if accessW != nil {
 		cfg.AccessLog = accessW
 	}
+	if *ecacheSync != "" {
+		cfg.ECacheStore = &ecachesync.HTTPStore{URL: *ecacheSync}
+	}
 	srv := serve.New(cfg)
+
+	if *restorePath != "" {
+		// Restore-on-boot: the node comes up with the snapshot's design
+		// already warm, so its first request skips the cold compile.
+		data, err := os.ReadFile(*restorePath)
+		if err != nil {
+			fatal(err)
+		}
+		restored, err := srv.RestoreSnapshot(data)
+		if err != nil {
+			fatal(fmt.Errorf("restoring %s: %w", *restorePath, err))
+		}
+		fmt.Fprintf(os.Stderr, "coestd: restored warm session %s/%d (%d cache paths)\n",
+			restored.System, restored.Packets, restored.Paths)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

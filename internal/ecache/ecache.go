@@ -66,6 +66,13 @@ type Entry struct {
 	// survives Invalidate so the exposure stays truthful across
 	// re-characterization.
 	Hits uint64
+
+	// pendE/pendC accumulate the observations folded in since the last
+	// ExportDelta — the write-behind delta a fleet-wide cache tier ships to
+	// the central store. Energy/Cycles always remain the effective view
+	// (merged global base plus pending locals).
+	pendE stats.Running
+	pendC stats.Running
 }
 
 // Ready reports whether the entry satisfies the thresholds.
@@ -254,6 +261,16 @@ func (c *Cache) Invalidate(k Key) {
 func (c *Cache) Update(k Key, energy units.Energy, cycles uint64) {
 	c.lock()
 	defer c.unlock()
+	e := c.findOrCreate(k)
+	e.Energy.Add(float64(energy))
+	e.Cycles.Add(float64(cycles))
+	e.pendE.Add(float64(energy))
+	e.pendC.Add(float64(cycles))
+}
+
+// findOrCreate returns k's entry, interning a fresh one on first sight.
+// Callers hold the lock of a Shared cache.
+func (c *Cache) findOrCreate(k Key) *Entry {
 	h := keyHash(k)
 	e, slot := c.find(k, h)
 	if e == nil {
@@ -264,8 +281,124 @@ func (c *Cache) Update(k Key, energy units.Energy, cycles uint64) {
 			c.grow()
 		}
 	}
-	e.Energy.Add(float64(energy))
-	e.Cycles.Add(float64(cycles))
+	return e
+}
+
+// PathStat is the portable form of one path's accumulated statistics — the
+// unit of fleet-wide cache replication (write-behind deltas and pulled
+// global state) and of session snapshots. Hits ride along only in full
+// Dump/Load snapshots; sync deltas leave it zero (hit exposure is local).
+type PathStat struct {
+	Key    Key                `json:"key"`
+	Energy stats.RunningState `json:"energy"`
+	Cycles stats.RunningState `json:"cycles"`
+	Hits   uint64             `json:"hits,omitempty"`
+}
+
+// ExportDelta drains the per-path observations accumulated since the last
+// export — the write-behind delta for a central cache store. Entries with
+// nothing pending are skipped; an empty cache exports nil.
+func (c *Cache) ExportDelta() []PathStat {
+	c.lock()
+	defer c.unlock()
+	var out []PathStat
+	for i := range c.recs {
+		r := &c.recs[i]
+		if r.ent.pendE.N() == 0 {
+			continue
+		}
+		out = append(out, PathStat{
+			Key:    r.key,
+			Energy: r.ent.pendE.State(),
+			Cycles: r.ent.pendC.State(),
+		})
+		r.ent.pendE = stats.Running{}
+		r.ent.pendC = stats.Running{}
+	}
+	return out
+}
+
+// MergeGlobal folds the central store's per-path global statistics into the
+// cache: each path's effective stats become the global view combined with
+// whatever local observations are still pending (unpushed), so nothing is
+// counted twice as long as the global state already contains this cache's
+// exported deltas. Unknown paths are interned — this is how warmth learned
+// on one shard reaches every other shard's cache.
+func (c *Cache) MergeGlobal(global []PathStat) {
+	c.lock()
+	defer c.unlock()
+	for _, ps := range global {
+		e := c.findOrCreate(ps.Key)
+		en := stats.RunningFromState(ps.Energy)
+		cy := stats.RunningFromState(ps.Cycles)
+		en.Merge(&e.pendE)
+		cy.Merge(&e.pendC)
+		e.Energy, e.Cycles = en, cy
+	}
+}
+
+// MergeDelta folds exported deltas into this cache's effective statistics —
+// the store-side half of the sync protocol. Unlike MergeGlobal it treats
+// the incoming stats as new evidence (merged in), not as a replacement
+// base, and leaves this cache's own pending accumulators untouched.
+func (c *Cache) MergeDelta(delta []PathStat) {
+	c.lock()
+	defer c.unlock()
+	for _, ps := range delta {
+		e := c.findOrCreate(ps.Key)
+		en := stats.RunningFromState(ps.Energy)
+		cy := stats.RunningFromState(ps.Cycles)
+		e.Energy.Merge(&en)
+		e.Cycles.Merge(&cy)
+	}
+}
+
+// RequeueDelta returns a previously exported (but undelivered) delta to the
+// pending accumulators, so a failed store round-trip loses no observations:
+// the next export carries them again.
+func (c *Cache) RequeueDelta(delta []PathStat) {
+	c.lock()
+	defer c.unlock()
+	for _, ps := range delta {
+		e := c.findOrCreate(ps.Key)
+		en := stats.RunningFromState(ps.Energy)
+		cy := stats.RunningFromState(ps.Cycles)
+		e.pendE.Merge(&en)
+		e.pendC.Merge(&cy)
+	}
+}
+
+// Dump captures the cache's full effective per-path state for a session
+// snapshot. Pending (unpushed) deltas are folded in — the snapshot is the
+// effective view; a restored cache starts with nothing pending.
+func (c *Cache) Dump() []PathStat {
+	c.lock()
+	defer c.unlock()
+	out := make([]PathStat, 0, len(c.recs))
+	for i := range c.recs {
+		r := &c.recs[i]
+		out = append(out, PathStat{
+			Key:    r.key,
+			Energy: r.ent.Energy.State(),
+			Cycles: r.ent.Cycles.State(),
+			Hits:   r.ent.Hits,
+		})
+	}
+	return out
+}
+
+// Load restores dumped path state into the cache (fresh caches only:
+// existing entries are overwritten, counters untouched).
+func (c *Cache) Load(paths []PathStat) {
+	c.lock()
+	defer c.unlock()
+	for _, ps := range paths {
+		e := c.findOrCreate(ps.Key)
+		e.Energy = stats.RunningFromState(ps.Energy)
+		e.Cycles = stats.RunningFromState(ps.Cycles)
+		e.Hits = ps.Hits
+		e.pendE, e.pendC = stats.Running{}, stats.Running{}
+	}
 }
 
 // Entry exposes a path's record (nil if never observed) for reporting —

@@ -1,0 +1,232 @@
+// Package ecachesync replicates energy-cache warmth across an estimation
+// fleet. The §4.2 energy cache learns per-path mean/variance statistics
+// locally; this package ships those statistics — as exact Welford deltas —
+// to a central store on a write-behind interval and folds the store's
+// global view back into the local cache, so a path characterized on one
+// shard skips the low-level simulator on every shard after at most one
+// sync interval.
+//
+// The protocol is a single idempotent-shaped RPC: Sync(scope, delta)
+// merges the caller's unpushed observations into the store and returns the
+// full global state of the scope. Because the local cache keeps pushed
+// history only as part of the merged global base (see ecache.ExportDelta /
+// MergeGlobal), no observation is ever counted twice, and the merge is
+// exact: fleet-wide statistics equal what one giant shared cache would
+// have accumulated.
+package ecachesync
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/ecache"
+	"repro/internal/telemetry"
+)
+
+// RED metrics of the cache-sync tier.
+var (
+	mSyncs      = telemetry.Default.Counter("ecachesync_syncs_total", "cache sync rounds completed")
+	mSyncErrs   = telemetry.Default.Counter("ecachesync_sync_errors_total", "cache sync rounds failed")
+	mPushed     = telemetry.Default.Counter("ecachesync_paths_pushed_total", "path deltas pushed to the store")
+	mPulled     = telemetry.Default.Counter("ecachesync_paths_pulled_total", "path entries pulled from the store")
+	mSyncNanos  = telemetry.Default.Counter("ecachesync_sync_nanos_total", "wall time spent in sync rounds")
+	mStoreScope = telemetry.Default.Counter("ecachesync_store_scopes_total", "scopes created in the central store")
+)
+
+// Scope names one fleet-wide statistics namespace: a design (by wire
+// fingerprint), the cache role within the estimator, and the cache
+// parameter setting. Distinct scopes never mix — SW and HW path keys live
+// in different index spaces, and caches with different admission thresholds
+// must not share evidence.
+type Scope struct {
+	// Design is coestapi.Fingerprint(system, packets).
+	Design uint64 `json:"design"`
+	// Role is "sw" or "hw".
+	Role string `json:"role"`
+	// Params is the cache's admission parameter setting.
+	Params ecache.Params `json:"params"`
+}
+
+func (s Scope) String() string {
+	return fmt.Sprintf("%016x/%s/v%g-c%d", s.Design, s.Role, s.Params.ThreshVariance, s.Params.ThreshCalls)
+}
+
+// Store is the central path-statistics store of the fleet.
+type Store interface {
+	// Sync merges delta (the caller's unpushed observations) into the
+	// scope's global statistics and returns the scope's full global state.
+	// An empty delta is a pure pull — the prime-on-miss path.
+	Sync(ctx context.Context, scope Scope, delta []ecache.PathStat) ([]ecache.PathStat, error)
+}
+
+// Memory is an in-process Store — the store a router embeds, and the
+// reference semantics HTTP stores transport.
+type Memory struct {
+	mu     sync.Mutex
+	scopes map[Scope]*ecache.Cache
+}
+
+// NewMemory returns an empty in-process store.
+func NewMemory() *Memory { return &Memory{scopes: make(map[Scope]*ecache.Cache)} }
+
+// Sync implements Store: exact Welford merge of the delta, full dump back.
+func (m *Memory) Sync(_ context.Context, scope Scope, delta []ecache.PathStat) ([]ecache.PathStat, error) {
+	m.mu.Lock()
+	c, ok := m.scopes[scope]
+	if !ok {
+		c = ecache.New(scope.Params)
+		m.scopes[scope] = c
+		mStoreScope.Inc()
+	}
+	m.mu.Unlock()
+	// The scope cache is used as a plain statistics holder; MergeDelta and
+	// Dump are internally locked, so concurrent shards may sync freely.
+	c.MergeDelta(delta)
+	return c.Dump(), nil
+}
+
+// Scopes returns the number of scopes the store holds.
+func (m *Memory) Scopes() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.scopes)
+}
+
+// Paths returns the number of path entries the store holds for one scope.
+func (m *Memory) Paths(scope Scope) int {
+	m.mu.Lock()
+	c, ok := m.scopes[scope]
+	m.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return len(c.Dump())
+}
+
+// attached is one cache enrolled with a Syncer.
+type attached struct {
+	scope Scope
+	cache *ecache.Cache
+}
+
+// Syncer drives the write-behind loop of one fleet node: every interval it
+// exports each attached cache's pending delta, ships it to the store, and
+// folds the returned global state back in. Attach also performs an
+// immediate synchronous sync — the pull-on-miss that lets a cache created
+// cold on this node start from the fleet's accumulated warmth.
+type Syncer struct {
+	store    Store
+	interval time.Duration
+
+	mu      sync.Mutex
+	caches  []attached
+	stop    chan struct{}
+	stopped sync.WaitGroup
+}
+
+// New returns a syncer against store. interval is the write-behind period
+// for the background loop started by Start; a Syncer is fully usable
+// without Start by calling SyncNow (how deterministic tests drive it).
+func New(store Store, interval time.Duration) *Syncer {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	return &Syncer{store: store, interval: interval}
+}
+
+// Attach enrolls a cache under the given scope and immediately syncs it
+// once (pushing nothing if the cache is fresh, pulling the scope's global
+// state). Attaching the same cache twice is a no-op.
+func (y *Syncer) Attach(ctx context.Context, scope Scope, c *ecache.Cache) error {
+	y.mu.Lock()
+	for _, a := range y.caches {
+		if a.cache == c {
+			y.mu.Unlock()
+			return nil
+		}
+	}
+	y.caches = append(y.caches, attached{scope: scope, cache: c})
+	y.mu.Unlock()
+	return y.syncOne(ctx, attached{scope: scope, cache: c})
+}
+
+// SyncNow runs one full write-behind round over every attached cache.
+// Errors are joined; caches that fail keep their pending deltas (nothing
+// re-pushed observations are lost — ExportDelta is only called when the
+// store round-trip is attempted, and a failed round re-accumulates).
+func (y *Syncer) SyncNow(ctx context.Context) error {
+	y.mu.Lock()
+	caches := append([]attached(nil), y.caches...)
+	y.mu.Unlock()
+	var firstErr error
+	for _, a := range caches {
+		if err := y.syncOne(ctx, a); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// syncOne pushes one cache's pending delta and folds back the global view.
+func (y *Syncer) syncOne(ctx context.Context, a attached) error {
+	start := time.Now()
+	delta := a.cache.ExportDelta()
+	global, err := y.store.Sync(ctx, a.scope, delta)
+	if err != nil {
+		// The exported delta must not be lost: feed it back so the next
+		// round re-pushes the same observations.
+		a.cache.RequeueDelta(delta)
+		mSyncErrs.Inc()
+		return fmt.Errorf("ecachesync: scope %v: %w", a.scope, err)
+	}
+	a.cache.MergeGlobal(global)
+	mSyncs.Inc()
+	mPushed.Add(uint64(len(delta)))
+	mPulled.Add(uint64(len(global)))
+	mSyncNanos.Add(uint64(time.Since(start).Nanoseconds()))
+	return nil
+}
+
+// Start launches the background write-behind loop. Stop with Stop.
+func (y *Syncer) Start() {
+	y.mu.Lock()
+	if y.stop != nil {
+		y.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	y.stop = stop
+	y.mu.Unlock()
+	y.stopped.Add(1)
+	go func() {
+		defer y.stopped.Done()
+		t := time.NewTicker(y.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				ctx, cancel := context.WithTimeout(context.Background(), y.interval)
+				_ = y.SyncNow(ctx) // errors already counted; retried next tick
+				cancel()
+			}
+		}
+	}()
+}
+
+// Stop halts the background loop (if running) and runs one final sync so
+// shutdown does not strand pending deltas.
+func (y *Syncer) Stop(ctx context.Context) error {
+	y.mu.Lock()
+	stop := y.stop
+	y.stop = nil
+	y.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		y.stopped.Wait()
+	}
+	return y.SyncNow(ctx)
+}

@@ -1,0 +1,223 @@
+package ecachesync
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/cfsm"
+	"repro/internal/ecache"
+	"repro/internal/units"
+)
+
+func key(m int, p uint64) ecache.Key {
+	return ecache.Key{Machine: m, Path: cfsm.PathKey(p)}
+}
+
+func testScope() Scope {
+	return Scope{Design: 42, Role: "sw", Params: ecache.DefaultParams()}
+}
+
+// statsOf returns (n, mean, variance) of a key's energy entry, or zeros.
+func statsOf(c *ecache.Cache, k ecache.Key) (uint64, float64, float64) {
+	e := c.Entry(k)
+	if e == nil {
+		return 0, 0, 0
+	}
+	return e.Energy.N(), e.Energy.Mean(), e.Energy.Variance()
+}
+
+// TestFleetMergeMatchesSharedCache: statistics accumulated on two synced
+// shards must equal (to float tolerance) what one shared cache would hold.
+func TestFleetMergeMatchesSharedCache(t *testing.T) {
+	ctx := context.Background()
+	store := NewMemory()
+	scope := testScope()
+	a := ecache.New(scope.Params)
+	b := ecache.New(scope.Params)
+	ya := New(store, time.Hour)
+	yb := New(store, time.Hour)
+	if err := ya.Attach(ctx, scope, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := yb.Attach(ctx, scope, b); err != nil {
+		t.Fatal(err)
+	}
+
+	ref := ecache.New(scope.Params)
+	obs := []struct {
+		shard *ecache.Cache
+		k     ecache.Key
+		e     float64
+		cyc   uint64
+	}{
+		{a, key(0, 1), 1.0e-9, 10},
+		{a, key(0, 1), 1.1e-9, 11},
+		{b, key(0, 1), 0.9e-9, 9},
+		{a, key(1, 2), 5.0e-9, 50},
+		{b, key(1, 3), 7.0e-9, 70},
+		{b, key(1, 2), 5.2e-9, 52},
+	}
+	for _, o := range obs {
+		o.shard.Update(o.k, units.Energy(o.e), o.cyc)
+		ref.Update(o.k, units.Energy(o.e), o.cyc)
+	}
+	// Two rounds: after the first, each shard's local evidence is global;
+	// after the second, each shard has pulled the other's contribution.
+	for i := 0; i < 2; i++ {
+		if err := ya.SyncNow(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if err := yb.SyncNow(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range []ecache.Key{key(0, 1), key(1, 2), key(1, 3)} {
+		wn, wm, wv := statsOf(ref, k)
+		for name, c := range map[string]*ecache.Cache{"a": a, "b": b} {
+			gn, gm, gv := statsOf(c, k)
+			if gn != wn {
+				t.Fatalf("shard %s key %v: n=%d want %d", name, k, gn, wn)
+			}
+			if math.Abs(gm-wm) > 1e-12*math.Abs(wm)+1e-30 {
+				t.Fatalf("shard %s key %v: mean=%g want %g", name, k, gm, wm)
+			}
+			if math.Abs(gv-wv) > 1e-9*math.Abs(wv)+1e-30 {
+				t.Fatalf("shard %s key %v: var=%g want %g", name, k, gv, wv)
+			}
+		}
+	}
+}
+
+// TestNoDoubleCounting: syncing repeatedly without new observations must
+// not inflate sample counts — the echo-free property of the delta protocol.
+func TestNoDoubleCounting(t *testing.T) {
+	ctx := context.Background()
+	store := NewMemory()
+	scope := testScope()
+	c := ecache.New(scope.Params)
+	y := New(store, time.Hour)
+	c.Update(key(0, 7), 2e-9, 20)
+	c.Update(key(0, 7), 2e-9, 20)
+	if err := y.Attach(ctx, scope, c); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := y.SyncNow(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, _, _ := statsOf(c, key(0, 7)); n != 2 {
+		t.Fatalf("n=%d after idle syncs, want 2", n)
+	}
+	// And local evidence accumulated between syncs still counts exactly once.
+	c.Update(key(0, 7), 2e-9, 20)
+	for i := 0; i < 3; i++ {
+		if err := y.SyncNow(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, _, _ := statsOf(c, key(0, 7)); n != 3 {
+		t.Fatalf("n=%d, want 3", n)
+	}
+}
+
+// TestPullOnMiss: a cache attached cold must immediately hold the fleet's
+// accumulated statistics, ready to serve without local observations.
+func TestPullOnMiss(t *testing.T) {
+	ctx := context.Background()
+	store := NewMemory()
+	scope := testScope()
+	warm := ecache.New(scope.Params)
+	yw := New(store, time.Hour)
+	if err := yw.Attach(ctx, scope, warm); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		warm.Update(key(0, 9), 3e-9, 30)
+	}
+	if err := yw.SyncNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	cold := ecache.New(scope.Params)
+	yc := New(store, time.Hour)
+	if err := yc.Attach(ctx, scope, cold); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := cold.Lookup(key(0, 9)); !ok {
+		t.Fatal("cold cache did not inherit a ready path from the store")
+	}
+}
+
+// errStore fails every sync.
+type errStore struct{}
+
+func (errStore) Sync(context.Context, Scope, []ecache.PathStat) ([]ecache.PathStat, error) {
+	return nil, errors.New("store down")
+}
+
+// TestRequeueOnStoreFailure: a failed round must not lose observations.
+func TestRequeueOnStoreFailure(t *testing.T) {
+	ctx := context.Background()
+	scope := testScope()
+	c := ecache.New(scope.Params)
+	c.Update(key(2, 5), 4e-9, 40)
+
+	bad := New(errStore{}, time.Hour)
+	if err := bad.Attach(ctx, scope, c); err == nil {
+		t.Fatal("attach against a dead store reported success")
+	}
+	if err := bad.SyncNow(ctx); err == nil {
+		t.Fatal("sync against a dead store reported success")
+	}
+
+	store := NewMemory()
+	good := New(store, time.Hour)
+	if err := good.Attach(ctx, scope, c); err != nil {
+		t.Fatal(err)
+	}
+	if got := store.Paths(scope); got != 1 {
+		t.Fatalf("store holds %d paths after recovery, want 1", got)
+	}
+	global, err := store.Sync(ctx, scope, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(global) != 1 || global[0].Energy.N != 1 {
+		t.Fatalf("store state %+v, want one path with n=1", global)
+	}
+}
+
+// TestHTTPStore: the HTTP transport preserves Sync semantics end to end.
+func TestHTTPStore(t *testing.T) {
+	ctx := context.Background()
+	mem := NewMemory()
+	srv := httptest.NewServer(Handler(mem))
+	defer srv.Close()
+	scope := testScope()
+	remote := &HTTPStore{URL: srv.URL, Client: srv.Client()}
+
+	c := ecache.New(scope.Params)
+	c.Update(key(3, 11), 6e-9, 60)
+	c.Update(key(3, 11), 6e-9, 60)
+	y := New(remote, time.Hour)
+	if err := y.Attach(ctx, scope, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := y.SyncNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	cold := ecache.New(scope.Params)
+	yc := New(remote, time.Hour)
+	if err := yc.Attach(ctx, scope, cold); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := cold.Lookup(key(3, 11)); !ok {
+		t.Fatal("HTTP-synced cold cache missing the warm path")
+	}
+}

@@ -1,0 +1,64 @@
+package gate
+
+// NetlistState is the serializable form of a Netlist: identical structural
+// content with every field exported, so a synthesized circuit can cross a
+// process boundary (session snapshots) and be rebuilt net-for-net. NetIDs
+// are dense indices, which makes the representation position-stable: a
+// netlist restored from its state simulates gate-for-gate identically.
+type NetlistState struct {
+	Name      string
+	NetNames  []string
+	Gates     []Gate
+	DFFs      []DFF
+	Inputs    []NetID
+	Outputs   []NetID
+	ConstZero NetID
+	ConstOne  NetID
+}
+
+// State exports the netlist for serialization. The netlist must not be
+// mutated while the state (which shares slices) is being encoded.
+func (n *Netlist) State() NetlistState {
+	return NetlistState{
+		Name:      n.Name,
+		NetNames:  n.netNames,
+		Gates:     n.Gates,
+		DFFs:      n.DFFs,
+		Inputs:    n.Inputs,
+		Outputs:   n.Outputs,
+		ConstZero: n.constZero,
+		ConstOne:  n.constOne,
+	}
+}
+
+// NetlistFromState rebuilds a netlist from its exported state. The driven
+// map (a build-time double-driver guard) is reconstructed, so the restored
+// netlist supports further building as well as simulation.
+func NetlistFromState(s NetlistState) *Netlist {
+	n := &Netlist{
+		Name:      s.Name,
+		netNames:  s.NetNames,
+		Gates:     s.Gates,
+		DFFs:      s.DFFs,
+		Inputs:    s.Inputs,
+		Outputs:   s.Outputs,
+		constZero: s.ConstZero,
+		constOne:  s.ConstOne,
+		driven:    make(map[NetID]bool, len(s.NetNames)),
+	}
+	if n.constZero == 0 && n.constOne == 0 {
+		// Zero-value state (e.g. a decoded empty netlist): keep the
+		// NewNetlist convention of "not yet created".
+		n.constZero, n.constOne = -1, -1
+	}
+	for _, id := range n.Inputs {
+		n.driven[id] = true
+	}
+	for _, g := range n.Gates {
+		n.driven[g.Out] = true
+	}
+	for _, ff := range n.DFFs {
+		n.driven[ff.Q] = true
+	}
+	return n
+}

@@ -1,0 +1,98 @@
+package router
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// health tracks shard routability by polling each shard's /readyz. The
+// router consults it to skip dead or draining shards without spending a
+// request to find out; the prober notices recoveries, so a restarted shard
+// rejoins the rotation within one probe interval.
+type health struct {
+	client   *http.Client
+	urls     []string
+	interval time.Duration
+	timeout  time.Duration
+
+	ready []atomic.Bool
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+}
+
+func newHealth(client *http.Client, urls []string, interval time.Duration) *health {
+	h := &health{
+		client:   client,
+		urls:     urls,
+		interval: interval,
+		timeout:  interval, // a probe slower than the interval is a failure
+		ready:    make([]atomic.Bool, len(urls)),
+		stop:     make(chan struct{}),
+	}
+	for i := range h.ready {
+		h.ready[i].Store(true) // optimistic until the first probe says otherwise
+	}
+	return h
+}
+
+// Ready reports the last probed routability of shard i.
+func (h *health) Ready(i int) bool { return h.ready[i].Load() }
+
+// CheckNow probes every shard once, synchronously — the deterministic
+// handle tests use instead of waiting out the interval.
+func (h *health) CheckNow(ctx context.Context) {
+	var wg sync.WaitGroup
+	for i := range h.urls {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h.probe(ctx, i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+func (h *health) probe(ctx context.Context, i int) {
+	ctx, cancel := context.WithTimeout(ctx, h.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.urls[i]+"/readyz", nil)
+	if err != nil {
+		h.ready[i].Store(false)
+		return
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		h.ready[i].Store(false)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	h.ready[i].Store(resp.StatusCode == http.StatusOK)
+}
+
+// Start launches the periodic prober (idempotent).
+func (h *health) Start() {
+	h.startOnce.Do(func() {
+		go func() {
+			t := time.NewTicker(h.interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-h.stop:
+					return
+				case <-t.C:
+					h.CheckNow(context.Background())
+				}
+			}
+		}()
+	})
+}
+
+// Stop halts the prober (idempotent).
+func (h *health) Stop() { h.stopOnce.Do(func() { close(h.stop) }) }

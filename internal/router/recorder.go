@@ -1,0 +1,55 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+
+	"repro/pkg/coest/coestapi"
+)
+
+// recorder captures one routed sub-request's answer in memory — how the
+// batch fan-out reuses the full route() retry/failover machinery per shard
+// group without touching the real response writer.
+type recorder struct {
+	status int
+	header http.Header
+	body   bytes.Buffer
+}
+
+func newRecorder() *recorder {
+	return &recorder{status: http.StatusOK, header: make(http.Header)}
+}
+
+func (r *recorder) Header() http.Header { return r.header }
+
+func (r *recorder) WriteHeader(status int) {
+	if r.status == http.StatusOK {
+		r.status = status
+	}
+}
+
+func (r *recorder) Write(b []byte) (int, error) { return r.body.Write(b) }
+
+// batchItems converts the captured shard answer into exactly n items: the
+// shard's own index-ordered items on success, or the shard-level error
+// envelope replicated onto every item of the group.
+func (r *recorder) batchItems(n int) []coestapi.BatchItem {
+	if r.status == http.StatusOK {
+		var resp coestapi.BatchResponse
+		if err := json.Unmarshal(r.body.Bytes(), &resp); err == nil && len(resp.Items) == n {
+			return resp.Items
+		}
+	}
+	info := &coestapi.ErrorInfo{Code: coestapi.CodeUnavailable, Message: "shard round failed"}
+	var env coestapi.ErrorResponse
+	if err := json.Unmarshal(r.body.Bytes(), &env); err == nil && env.Error.Code != "" {
+		e := env.Error
+		info = &e
+	}
+	items := make([]coestapi.BatchItem, n)
+	for i := range items {
+		items[i].Error = info
+	}
+	return items
+}

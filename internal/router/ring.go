@@ -1,0 +1,82 @@
+package router
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over shard indices: each shard owns
+// `replicas` virtual nodes, so a design fingerprint maps to a stable owner
+// and membership changes only move the keys adjacent to the changed shard —
+// the property that keeps warm sessions (compile-once) pinned while the
+// fleet grows or a shard dies.
+type ring struct {
+	points []ringPoint // sorted by hash
+	shards int
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// newRing builds the ring from the shard names (the hash identity — stable
+// across restarts and reorderings) with the given virtual-node count.
+func newRing(names []string, replicas int) *ring {
+	if replicas <= 0 {
+		replicas = 64
+	}
+	r := &ring{points: make([]ringPoint, 0, len(names)*replicas), shards: len(names)}
+	for i, name := range names {
+		for v := 0; v < replicas; v++ {
+			h := fnv.New64a()
+			fmt.Fprintf(h, "%s#%d", name, v)
+			// FNV clusters on short correlated inputs; the finalizer spreads
+			// the vnodes so ownership balances across shards.
+			r.points = append(r.points, ringPoint{hash: mix64(h.Sum64()), shard: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r
+}
+
+// mix64 is the splitmix64 finalizer — a cheap bijective avalanche.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// sequence returns every shard index exactly once, in ring order starting
+// from the fingerprint's successor: sequence(fp)[0] is the design's owner,
+// the rest are its failover order. The order is a pure function of
+// (membership, fp), so every router instance agrees on placement.
+func (r *ring) sequence(fp uint64) []int {
+	if len(r.points) == 0 {
+		return nil
+	}
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= fp })
+	out := make([]int, 0, r.shards)
+	seen := make([]bool, r.shards)
+	for i := 0; i < len(r.points) && len(out) < r.shards; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.shard] {
+			seen[p.shard] = true
+			out = append(out, p.shard)
+		}
+	}
+	return out
+}
+
+// owner is sequence(fp)[0].
+func (r *ring) owner(fp uint64) int {
+	seq := r.sequence(fp)
+	if len(seq) == 0 {
+		return -1
+	}
+	return seq[0]
+}

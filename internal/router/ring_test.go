@@ -1,0 +1,96 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingSequenceCoversAllShards: every fingerprint's sequence visits each
+// shard exactly once — the failover order is a permutation.
+func TestRingSequenceCoversAllShards(t *testing.T) {
+	r := newRing([]string{"a", "b", "c", "d"}, 64)
+	for fp := uint64(0); fp < 1000; fp += 13 {
+		seq := r.sequence(fp * 0x9e3779b97f4a7c15)
+		if len(seq) != 4 {
+			t.Fatalf("sequence(%d) has %d shards, want 4", fp, len(seq))
+		}
+		seen := map[int]bool{}
+		for _, s := range seq {
+			if seen[s] {
+				t.Fatalf("sequence(%d) repeats shard %d", fp, s)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// TestRingStability: removing one shard only moves the keys it owned —
+// every other design keeps its shard, so warm sessions survive membership
+// churn. This is the property a modulo hash does not have.
+func TestRingStability(t *testing.T) {
+	full := newRing([]string{"a", "b", "c"}, 64)
+	reduced := newRing([]string{"a", "b"}, 64) // "c" died
+	moved, kept := 0, 0
+	for i := 0; i < 5000; i++ {
+		fp := uint64(i) * 0x9e3779b97f4a7c15
+		was := full.owner(fp)
+		now := reduced.owner(fp)
+		if was == 2 {
+			continue // c's keys must move somewhere, any answer is fine
+		}
+		if was == now {
+			kept++
+		} else {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d designs moved between surviving shards (kept %d); consistent hashing must keep them", moved, kept)
+	}
+}
+
+// TestRingBalance: virtual nodes spread ownership roughly evenly.
+func TestRingBalance(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	r := newRing(names, 64)
+	counts := make([]int, len(names))
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[r.owner(uint64(i)*0x9e3779b97f4a7c15)]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / n
+		if frac < 0.15 || frac > 0.55 {
+			t.Fatalf("shard %s owns %.1f%% of keys: %v", names[i], 100*frac, counts)
+		}
+	}
+}
+
+// TestRingOrderIndependence: placement depends on shard names, not the
+// order they were configured in — two routers with shuffled -shard flags
+// must agree.
+func TestRingOrderIndependence(t *testing.T) {
+	a := newRing([]string{"a", "b", "c"}, 64)
+	b := newRing([]string{"c", "a", "b"}, 64)
+	namesA := []string{"a", "b", "c"}
+	namesB := []string{"c", "a", "b"}
+	for i := 0; i < 1000; i++ {
+		fp := uint64(i) * 0x9e3779b97f4a7c15
+		if namesA[a.owner(fp)] != namesB[b.owner(fp)] {
+			t.Fatalf("fp %x: owner %s vs %s", fp,
+				namesA[a.owner(fp)], namesB[b.owner(fp)])
+		}
+	}
+}
+
+func BenchmarkRingOwner(b *testing.B) {
+	names := make([]string, 16)
+	for i := range names {
+		names[i] = fmt.Sprintf("shard-%d", i)
+	}
+	r := newRing(names, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.owner(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+}

@@ -3,87 +3,37 @@
 // design once (software image, gate netlists, shared macro tables) and keeps
 // persistent energy caches, so repeat requests skip synthesis entirely; the
 // server coalesces each request's grid points into one batched sweep over a
-// bounded worker pool, applies backpressure when the queue fills, enforces
-// per-request deadlines with prompt mid-run cancellation, and drains
+// bounded worker pool, applies backpressure when the queue fills (answering
+// from the macro-model fast tier when it can instead of shedding), enforces
+// per-request deadlines with prompt mid-run cancellation, serializes and
+// restores warm sessions as binary snapshots, optionally replicates
+// energy-cache warmth through a fleet cache-sync tier, and drains
 // gracefully on shutdown.
+//
+// The wire contract lives in pkg/coest/coestapi — one versioned package
+// shared by this daemon, the fleet router and the client library. The
+// aliases below keep the serve-internal names working.
 package serve
 
-// Request asks for the co-estimation of one design under one or more
-// configuration points. Points in a single request are coalesced into one
-// batched sweep on the design's warm session; an empty point list estimates
-// the baseline configuration once.
-type Request struct {
-	// System names the design: "tcpip" (default), "prodcons" or
-	// "automotive".
-	System string `json:"system,omitempty"`
-	// Packets sizes the tcpip stimulus (0 = the case-study default). It is
-	// part of the session key: designs with different packet counts compile
-	// to different stimuli.
-	Packets int `json:"packets,omitempty"`
-	// Backend names the estimator backend the request's points execute on:
-	// "interpreted" (the reference per-point path, the default),
-	// "compiled" (the threaded-code ISS tier) or "packed64" (the 64-lane
-	// bit-parallel sweep engine). Reports are bit-identical across
-	// backends; unknown names are rejected with 400.
-	Backend string `json:"backend,omitempty"`
-	// DeadlineMS bounds the request's wall-clock time in milliseconds
-	// (0 = the server default). On expiry in-flight simulation aborts
-	// mid-run and the request fails with 504.
-	DeadlineMS int `json:"deadline_ms,omitempty"`
-	// Points are the configuration points to estimate.
-	Points []PointSpec `json:"points,omitempty"`
-}
+import "repro/pkg/coest/coestapi"
 
-// PointSpec is one configuration point: the sweepable knobs of the public
-// estimator API in wire form. The zero value is the baseline configuration.
-type PointSpec struct {
-	// DMASize sets the DMA transfer size in words (0 = no DMA refinement;
-	// negative values are rejected by the estimator and surface as the
-	// point's error).
-	DMASize int `json:"dma_size,omitempty"`
-	// ECache enables the §4.2 energy/delay cache. Cache state persists in
-	// the session across requests, so repeat points run cache-warm.
-	ECache bool `json:"ecache,omitempty"`
-	// Macro enables §4.1 macro-model estimation (shared characterization
-	// tables; no per-request recharacterization).
-	Macro bool `json:"macro,omitempty"`
-	// Sampling enables §4.3 statistical sampling.
-	Sampling bool `json:"sampling,omitempty"`
-	// MaxSimTimeNS truncates the simulation at this simulated time
-	// (nanoseconds; 0 = the configuration default).
-	MaxSimTimeNS int64 `json:"max_sim_time_ns,omitempty"`
-}
+// Wire types, aliased from the versioned API package.
+type (
+	// Request asks for the co-estimation of one design; see coestapi.Request.
+	Request = coestapi.Request
+	// PointSpec is one configuration point; see coestapi.PointSpec.
+	PointSpec = coestapi.PointSpec
+	// PointResult is one point's outcome; see coestapi.PointResult.
+	PointResult = coestapi.PointResult
+	// Response is the reply to one Request; see coestapi.Response.
+	Response = coestapi.Response
+)
 
-// PointResult is the outcome of one configuration point. Exactly one of
-// Error or the result fields is meaningful.
-type PointResult struct {
-	Index int    `json:"index"`
-	Error string `json:"error,omitempty"`
-
-	// Energies in joules. JSON's shortest-round-trip float encoding keeps
-	// them bit-identical to the estimator's own float64 values.
-	TotalJ float64 `json:"total_j,omitempty"`
-	SWJ    float64 `json:"sw_j,omitempty"`
-	HWJ    float64 `json:"hw_j,omitempty"`
-
-	SimulatedNS int64  `json:"simulated_ns,omitempty"`
-	ISSCalls    uint64 `json:"iss_calls,omitempty"`
-	ISSInsts    uint64 `json:"iss_insts,omitempty"`
-}
-
-// Response is the reply to one Request.
-type Response struct {
-	System string `json:"system"`
-	// TraceID echoes the request's trace id (also on the X-Coest-Trace-Id
-	// response header); empty when tracing is disabled. Feed it to
-	// /debug/requests?trace= for the span tree, &format=chrome for a
-	// flame graph.
-	TraceID string `json:"trace_id,omitempty"`
-	// Backend echoes the resolved estimator backend the points ran on
-	// ("interpreted" when the request named none).
-	Backend string `json:"backend"`
-	// Warm reports whether the request hit an existing session: true means
-	// zero recompilation, resynthesis or recharacterization happened.
-	Warm   bool          `json:"warm"`
-	Points []PointResult `json:"points"`
-}
+// Trace-propagation headers, aliased from the wire package.
+const (
+	// TraceHeader carries the 32-hex-digit trace id.
+	TraceHeader = coestapi.TraceHeader
+	// ParentSpanHeader carries the caller's span id (hex) — this node's
+	// root request span parents under it.
+	ParentSpanHeader = coestapi.ParentSpanHeader
+)

@@ -164,10 +164,11 @@ func TestBatchCoalescing(t *testing.T) {
 	}
 }
 
-// TestBackpressure: with one worker and no queue, a request arriving while
-// the worker is busy is shed with 429 and a Retry-After hint.
+// TestBackpressure: with one worker, no queue and the degraded fast tier
+// off, a request arriving while the worker is busy is shed with 429 and a
+// Retry-After hint.
 func TestBackpressure(t *testing.T) {
-	_, ts := startServer(t, serve.Config{Workers: 1, Queue: -1, RetryAfter: 2 * time.Second})
+	_, ts := startServer(t, serve.Config{Workers: 1, Queue: -1, RetryAfter: 2 * time.Second, DegradedSlots: -1})
 
 	// A long request to occupy the single admission slot. A fast probe can
 	// win the slot race and shed the long request instead, so relaunch it

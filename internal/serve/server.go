@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"bytes"
 	"context"
+	"encoding/gob"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -13,19 +15,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/ecache"
+	"repro/internal/ecachesync"
 	"repro/internal/telemetry"
 	"repro/pkg/coest"
-)
-
-// Trace-propagation headers: the response always carries the request's
-// trace id; inbound values are adopted so a front-end router can stitch
-// one logical request across nodes.
-const (
-	// TraceHeader carries the 32-hex-digit trace id.
-	TraceHeader = "X-Coest-Trace-Id"
-	// ParentSpanHeader carries the caller's span id (hex) — this node's
-	// root request span parents under it.
-	ParentSpanHeader = "X-Coest-Parent-Span"
+	"repro/pkg/coest/coestapi"
 )
 
 // Service-level metrics, on the process-wide registry so cmd/coestd's debug
@@ -42,6 +36,13 @@ var (
 		"request wall time (accepted requests)", telemetry.ExpBuckets(1e-4, 2, 22))
 	mErrors = telemetry.Default.Counter("serve_errors_total", "requests that finished with a 5xx status")
 	mSlow   = telemetry.Default.Counter("serve_slow_requests_total", "requests slower than the slow-threshold")
+
+	// Fleet-tier metrics: degraded fast-path answers served under overload,
+	// sessions restored from snapshots, snapshots served.
+	mDegraded        = telemetry.Default.Counter("serve_degraded_total", "overloaded requests answered from the macro fast tier")
+	mDegradedUnavail = telemetry.Default.Counter("serve_degraded_unavailable_total", "overloaded requests shed because no warm macro tier existed")
+	mRestored        = telemetry.Default.Counter("serve_sessions_restored_total", "warm sessions restored from snapshots")
+	mSnapshots       = telemetry.Default.Counter("serve_snapshots_total", "session snapshots served")
 
 	// Per-stage latency histograms: where an accepted /estimate request
 	// spends its wall time. "admission" is slot+queue wait, "session" the
@@ -91,6 +92,12 @@ func endpointName(path string) string {
 	switch path {
 	case "/estimate":
 		return "estimate"
+	case "/batch":
+		return "batch"
+	case "/snapshot":
+		return "snapshot"
+	case "/restore":
+		return "restore"
 	case "/healthz":
 		return "healthz"
 	case "/readyz":
@@ -157,6 +164,28 @@ type Config struct {
 	// AccessLog, when non-nil, receives one JSONL line per request
 	// carrying the trace id (health probes excluded).
 	AccessLog io.Writer
+
+	// ShardName identifies this node in a fleet; it is echoed on every
+	// Response so clients (and the router's tests) can observe placement.
+	// Empty on standalone nodes.
+	ShardName string
+	// DegradedSlots bounds how many overloaded requests may run on the
+	// macro fast tier concurrently (default 2; negative disables the
+	// degraded tier entirely — overload always sheds with 429).
+	DegradedSlots int
+	// MacroPrewarm characterizes the macro tables in the background after
+	// each cold session compile, so the degraded fast tier is available
+	// before any client asks for a macro point. Off by default: prewarming
+	// moves the process-wide characterization counter, which strict
+	// warmth tests account for.
+	MacroPrewarm bool
+	// ECacheStore, when non-nil, replicates session energy-cache warmth
+	// through the fleet cache-sync tier: write-behind pushes every
+	// ECacheSyncInterval plus a prime pull the moment a session cache is
+	// created.
+	ECacheStore ecachesync.Store
+	// ECacheSyncInterval is the write-behind period (default 2s).
+	ECacheSyncInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -182,6 +211,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSpans <= 0 {
 		c.MaxSpans = 2048
+	}
+	if c.DegradedSlots == 0 {
+		c.DegradedSlots = 2
+	} else if c.DegradedSlots < 0 {
+		c.DegradedSlots = 0
+	}
+	if c.ECacheSyncInterval <= 0 {
+		c.ECacheSyncInterval = 2 * time.Second
 	}
 	return c
 }
@@ -231,6 +268,14 @@ type Server struct {
 	mu       sync.Mutex
 	sessions map[sessionKey]*coest.Session
 
+	// degradedSlots bounds concurrent macro fast-tier answers (nil when the
+	// degraded tier is disabled).
+	degradedSlots chan struct{}
+
+	// syncer replicates session energy caches through the fleet cache tier
+	// (nil without Config.ECacheStore).
+	syncer *ecachesync.Syncer
+
 	// Request tracing (nil when Config.TraceRing < 0): ring holds the most
 	// recent completed traces, slowRing the slow/error capture that fast
 	// traffic must not evict.
@@ -274,10 +319,27 @@ func New(cfg Config) *Server {
 		s.ring = newTraceRing(cfg.TraceRing)
 		s.slowRing = newTraceRing(cfg.TraceRing)
 	}
+	if cfg.DegradedSlots > 0 {
+		s.degradedSlots = make(chan struct{}, cfg.DegradedSlots)
+	}
+	if cfg.ECacheStore != nil {
+		s.syncer = ecachesync.New(cfg.ECacheStore, cfg.ECacheSyncInterval)
+		s.syncer.Start()
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
 	return s
+}
+
+// ECacheSyncNow forces one synchronous write-behind round against the fleet
+// cache store — the deterministic handle tests and operators use instead of
+// waiting out the interval. A server without a store returns nil.
+func (s *Server) ECacheSyncNow(ctx context.Context) error {
+	if s.syncer == nil {
+		return nil
+	}
+	return s.syncer.SyncNow(ctx)
 }
 
 // Unready flips /readyz to 503 without refusing work — the lame-duck step
@@ -306,12 +368,16 @@ func (s *Server) worker() {
 	}
 }
 
+// canonicalSystem resolves the default design name, so session keys, shard
+// fingerprints and cache-sync scopes agree across every fleet node.
+func canonicalSystem(name string) string { return coestapi.CanonicalSystem(name) }
+
 // session returns the design's warm session, compiling it on first use, and
 // whether it already existed. The compile-or-reuse decision lands on the
 // request trace: a cold build opens a "compile" span, a warm hit records a
 // "reuse" instant.
 func (s *Server) session(ctx context.Context, req *Request) (*coest.Session, bool, error) {
-	key := sessionKey{system: req.System, packets: req.Packets}
+	key := sessionKey{system: canonicalSystem(req.System), packets: req.Packets}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if sess, ok := s.sessions[key]; ok {
@@ -331,8 +397,46 @@ func (s *Server) session(ctx context.Context, req *Request) (*coest.Session, boo
 		return nil, false, err
 	}
 	mSessions.Inc()
-	s.sessions[key] = sess
+	s.installSessionLocked(key, sess)
 	return sess, false, nil
+}
+
+// sessionFor returns an existing session without compiling, or nil.
+func (s *Server) sessionFor(system string, packets int) *coest.Session {
+	key := sessionKey{system: canonicalSystem(system), packets: packets}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[key]
+}
+
+// installSessionLocked registers a session (cold-compiled or restored) and
+// wires it into the fleet tiers: its energy caches attach to the cache-sync
+// tier the moment they are created (the attach primes them from the store —
+// pull-on-miss), and, when macro prewarm is on and the tables are cold, a
+// background characterization run makes the degraded fast tier available
+// without waiting for a client to ask for a macro point. Callers hold s.mu.
+func (s *Server) installSessionLocked(key sessionKey, sess *coest.Session) {
+	s.sessions[key] = sess
+	if s.syncer != nil {
+		design := coestapi.Fingerprint(key.system, key.packets)
+		syncer := s.syncer
+		sess.OnECachePair(func(p coest.ECacheParams, sw, hw *ecache.Cache) {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			// Attach errors only delay warmth sharing — the next interval
+			// retries — so they must not fail the request that created the
+			// pair.
+			_ = syncer.Attach(ctx, ecachesync.Scope{Design: design, Role: "sw", Params: p}, sw)
+			_ = syncer.Attach(ctx, ecachesync.Scope{Design: design, Role: "hw", Params: p}, hw)
+		})
+	}
+	if s.cfg.MacroPrewarm && !sess.MacroReady() {
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DefaultDeadline)
+			defer cancel()
+			_, _ = sess.Estimate(ctx, coest.WithMacroModel())
+		}()
+	}
 }
 
 func buildSystem(req *Request) (*coest.System, error) {
@@ -412,27 +516,105 @@ func (s *Server) estimate(ctx context.Context, req *Request) (*Response, error) 
 	if err != nil {
 		return nil, err
 	}
-	name := req.System
-	if name == "" {
-		name = "tcpip"
+	resp := &Response{
+		Version: coestapi.Version, System: canonicalSystem(req.System),
+		Shard: s.cfg.ShardName, Backend: backend, Warm: warm,
+		Points: make([]PointResult, 0, len(results)),
 	}
-	resp := &Response{System: name, Backend: backend, Warm: warm, Points: make([]PointResult, 0, len(results))}
 	for _, r := range results {
-		pr := PointResult{Index: r.Index}
-		if r.Err != nil {
-			pr.Error = r.Err.Error()
-		} else {
-			pr.TotalJ = r.Report.Total.Joules()
-			pr.SWJ = r.Report.SWEnergy.Joules()
-			pr.HWJ = r.Report.HWEnergy.Joules()
-			pr.SimulatedNS = int64(r.Report.SimulatedTime)
-			pr.ISSCalls = r.Report.ISSCalls
-			pr.ISSInsts = r.Report.ISSInsts
-		}
+		resp.Points = append(resp.Points, wirePoint(r, false))
 		mPoints.Inc()
-		resp.Points = append(resp.Points, pr)
 	}
 	return resp, nil
+}
+
+// wirePoint converts one batch outcome to its wire form. The error budget
+// rides along whenever the run accumulated one worth reporting — always on
+// degraded answers (the budget is the answer's accuracy contract there).
+func wirePoint(r coest.PointResult, degraded bool) PointResult {
+	pr := PointResult{Index: r.Index}
+	if r.Err != nil {
+		pr.Error = r.Err.Error()
+		return pr
+	}
+	pr.TotalJ = r.Report.Total.Joules()
+	pr.SWJ = r.Report.SWEnergy.Joules()
+	pr.HWJ = r.Report.HWEnergy.Joules()
+	pr.SimulatedNS = int64(r.Report.SimulatedTime)
+	pr.ISSCalls = r.Report.ISSCalls
+	pr.ISSInsts = r.Report.ISSInsts
+	if b := r.Report.Budget; b != nil && (degraded || b.Bound != 0 || b.CI95 != 0 || b.Uncalibrated) {
+		pr.Budget = &coestapi.ErrorBudget{
+			TotalJ:       b.Total.Joules(),
+			BoundJ:       b.Bound.Joules(),
+			CI95J:        b.CI95.Joules(),
+			Uncalibrated: b.Uncalibrated,
+		}
+	}
+	return pr
+}
+
+// estimateDegraded answers an overloaded request from the macro-model fast
+// tier: only when the design's session is already warm in the registry and
+// the macro tables are characterized (MacroTableReady — under overload we
+// never start a characterization), and only within the degraded-slot bound.
+// Every point runs macro-only; the response is marked Degraded with each
+// point's error budget attached, so the client knows exactly how approximate
+// the answer is. Returns nil when the fast tier cannot answer — the caller
+// then sheds with 429 as before.
+func (s *Server) estimateDegraded(ctx context.Context, req *Request) *Response {
+	if s.degradedSlots == nil || req.NoDegraded {
+		return nil
+	}
+	sess := s.sessionFor(req.System, req.Packets)
+	if sess == nil || !sess.MacroReady() {
+		mDegradedUnavail.Inc()
+		return nil
+	}
+	select {
+	case s.degradedSlots <- struct{}{}:
+	default:
+		return nil
+	}
+	defer func() { <-s.degradedSlots }()
+
+	specs := req.Points
+	if len(specs) == 0 {
+		specs = []PointSpec{{}}
+	}
+	points := make([][]coest.Option, len(specs))
+	for i, p := range specs {
+		// The fast tier honors the point's architecture knobs but replaces
+		// its estimation technique: macro-model only, which skips the ISS
+		// and gate-level simulation the saturated full tier is drowning in.
+		var opts []coest.Option
+		if p.DMASize != 0 {
+			opts = append(opts, coest.WithDMASize(p.DMASize))
+		}
+		if p.MaxSimTimeNS > 0 {
+			opts = append(opts, coest.WithMaxSimTime(time.Duration(p.MaxSimTimeNS)))
+		}
+		opts = append(opts, coest.WithMacroModel())
+		points[i] = opts
+	}
+	_, dspan := telemetry.StartSpanWith(ctx, "degraded", canonicalSystem(req.System), int64(len(points)))
+	results, err := sess.EstimateBatch(ctx, points, coest.WithWorkers(1))
+	dspan.End()
+	if err != nil {
+		return nil
+	}
+	resp := &Response{
+		Version: coestapi.Version, System: canonicalSystem(req.System),
+		Shard: s.cfg.ShardName, Backend: sess.Backend(), Warm: true,
+		Degraded: true, DegradedReason: "overloaded",
+		Points: make([]PointResult, 0, len(results)),
+	}
+	for _, r := range results {
+		resp.Points = append(resp.Points, wirePoint(r, true))
+		mPoints.Inc()
+	}
+	mDegraded.Inc()
+	return resp
 }
 
 // statusRecorder captures the response status for metrics, access logs and
@@ -554,12 +736,14 @@ func (s *Server) finish(w *statusRecorder, r *http.Request, st *traceState, star
 	}
 }
 
-// ServeHTTP routes POST /estimate, the health probes, and the trace ring.
+// ServeHTTP routes the estimation endpoints (POST /estimate, /batch), the
+// snapshot pair (POST /snapshot, /restore), the health probes, and the
+// trace ring.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 	var st *traceState
-	if r.URL.Path == "/estimate" && s.tracing() {
+	if (r.URL.Path == "/estimate" || r.URL.Path == "/batch") && s.tracing() {
 		st = s.startTrace(sr, r)
 		r = r.WithContext(st.ctx)
 	}
@@ -581,50 +765,79 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 	case "/estimate":
 		s.handleEstimate(sr, r, st)
+	case "/batch":
+		s.handleBatch(sr, r, st)
+	case "/snapshot":
+		s.handleSnapshot(sr, r, st)
+	case "/restore":
+		s.handleRestore(sr, r, st)
 	case "/debug/requests":
 		s.DebugRequestsHandler().ServeHTTP(sr, r)
 	default:
-		http.NotFound(sr, r)
+		s.writeError(sr, st, &reqError{status: http.StatusNotFound, code: coestapi.CodeNotFound,
+			msg: "no such endpoint: " + r.URL.Path})
 	}
 	s.finish(sr, r, st, start)
 }
 
-func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request, st *traceState) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
+// reqError is a request failure on its way to the wire error envelope.
+type reqError struct {
+	status     int
+	code       string
+	msg        string
+	retryAfter time.Duration
+}
+
+// writeError emits the JSON error envelope of the versioned wire API. Every
+// non-2xx answer of the API endpoints goes through here, so clients always
+// get a stable machine-readable code alongside the HTTP status.
+func (s *Server) writeError(w http.ResponseWriter, st *traceState, e *reqError) {
+	if st != nil && st.errMsg == "" {
+		st.errMsg = e.msg
 	}
-	var req Request
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
-		return
+	info := coestapi.ErrorInfo{Code: e.code, Message: e.msg, Shard: s.cfg.ShardName}
+	if e.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(int((e.retryAfter+time.Second-1)/time.Second)))
+		info.RetryAfterMS = int(e.retryAfter / time.Millisecond)
+	}
+	resp := coestapi.ErrorResponse{Version: coestapi.Version, Error: info}
+	if st != nil {
+		resp.TraceID = st.id.String()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(e.status)
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// validateRequest admission-checks one wire request: version negotiation
+// (400 with unsupported_version on an unknown major), then the shape checks.
+func validateRequest(req *Request) *reqError {
+	if err := coestapi.CheckVersion(req.Version); err != nil {
+		return &reqError{status: http.StatusBadRequest, code: coestapi.CodeUnsupportedVersion, msg: err.Error()}
 	}
 	if req.DeadlineMS < 0 {
-		http.Error(w, "bad request: negative deadline", http.StatusBadRequest)
-		return
+		return &reqError{status: http.StatusBadRequest, code: coestapi.CodeBadRequest, msg: "bad request: negative deadline"}
 	}
-	if _, err := buildSystem(&req); err != nil {
-		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
-		return
+	if _, err := buildSystem(req); err != nil {
+		return &reqError{status: http.StatusBadRequest, code: coestapi.CodeBadRequest, msg: "bad request: " + err.Error()}
 	}
 	if !validBackend(req.Backend) {
-		http.Error(w, fmt.Sprintf("bad request: unknown backend %q (known: %s)",
-			req.Backend, strings.Join(coest.Backends(), ", ")), http.StatusBadRequest)
-		return
+		return &reqError{status: http.StatusBadRequest, code: coestapi.CodeBadRequest,
+			msg: fmt.Sprintf("bad request: unknown backend %q (known: %s)", req.Backend, strings.Join(coest.Backends(), ", "))}
 	}
+	return nil
+}
 
-	if !s.accept() {
-		mDrained.Inc()
-		http.Error(w, "draining", http.StatusServiceUnavailable)
-		return
-	}
-	defer s.inflight.Done()
-
+// runOne executes one validated, accepted request: admission token, worker
+// handoff, and error mapping. Under overload it first tries the macro
+// fast tier (estimateDegraded); only when that cannot answer does the
+// request shed with 429. Shared by /estimate and /batch.
+func (s *Server) runOne(rctx context.Context, req *Request, st *traceState) (*Response, *reqError) {
 	deadline := s.cfg.DefaultDeadline
 	if req.DeadlineMS > 0 {
 		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	ctx, cancel := context.WithTimeout(rctx, deadline)
 	defer cancel()
 
 	// Admission is a token, not a channel handoff, so shedding does not
@@ -637,17 +850,24 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request, st *trac
 	select {
 	case s.slots <- struct{}{}:
 	default:
-		// Backpressure: queue and workers are saturated. Shed load now so
-		// the client can retry a less-busy replica instead of piling on.
+		// Backpressure: queue and workers are saturated. Answer from the
+		// degraded macro tier when it is warm; shed otherwise, so the
+		// client can retry a less-busy replica instead of piling on.
 		admit.End(0, 0)
+		if resp := s.estimateDegraded(ctx, req); resp != nil {
+			if st != nil {
+				st.system, st.backend = resp.System, resp.Backend
+				st.points, st.warm = len(resp.Points), resp.Warm
+			}
+			return resp, nil
+		}
 		mRejected.Inc()
-		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
-		http.Error(w, "queue full", http.StatusTooManyRequests)
-		return
+		return nil, &reqError{status: http.StatusTooManyRequests, code: coestapi.CodeOverloaded,
+			msg: "queue full", retryAfter: s.cfg.RetryAfter}
 	}
 	defer func() { <-s.slots }()
 
-	j := &job{ctx: ctx, req: &req, done: make(chan jobOutcome, 1), enq: enq, admit: admit}
+	j := &job{ctx: ctx, req: req, done: make(chan jobOutcome, 1), enq: enq, admit: admit}
 	s.jobs <- j // cannot block: the slot guarantees room
 	gQueue.Add(1)
 	mRequests.Inc()
@@ -665,27 +885,201 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request, st *trac
 	if out.err != nil {
 		switch {
 		case errors.Is(out.err, context.DeadlineExceeded):
-			http.Error(w, "deadline exceeded", http.StatusGatewayTimeout)
+			return nil, &reqError{status: http.StatusGatewayTimeout, code: coestapi.CodeDeadlineExceeded, msg: "deadline exceeded"}
 		case errors.Is(out.err, context.Canceled):
 			// The client went away; the status is a formality.
-			http.Error(w, "canceled", http.StatusServiceUnavailable)
+			return nil, &reqError{status: http.StatusServiceUnavailable, code: coestapi.CodeCanceled, msg: "canceled"}
 		default:
-			http.Error(w, out.err.Error(), http.StatusInternalServerError)
+			return nil, &reqError{status: http.StatusInternalServerError, code: coestapi.CodeInternal, msg: out.err.Error()}
 		}
+	}
+	return out.resp, nil
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request, st *traceState) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, st, &reqError{status: http.StatusMethodNotAllowed, code: coestapi.CodeMethodNotAllowed, msg: "POST only"})
+		return
+	}
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, st, &reqError{status: http.StatusBadRequest, code: coestapi.CodeBadRequest, msg: "bad request: " + err.Error()})
+		return
+	}
+	if e := validateRequest(&req); e != nil {
+		s.writeError(w, st, e)
+		return
+	}
+
+	if !s.accept() {
+		mDrained.Inc()
+		s.writeError(w, st, &reqError{status: http.StatusServiceUnavailable, code: coestapi.CodeDraining,
+			msg: "draining", retryAfter: s.cfg.RetryAfter})
+		return
+	}
+	defer s.inflight.Done()
+
+	resp, rerr := s.runOne(r.Context(), &req, st)
+	if rerr != nil {
+		s.writeError(w, st, rerr)
 		return
 	}
 	if st != nil {
-		out.resp.TraceID = st.id.String()
+		resp.TraceID = st.id.String()
 	}
 	respondStart := time.Now()
-	mark := telemetry.SpanScopeFrom(ctx).Begin("respond", "")
+	mark := telemetry.SpanScopeFrom(r.Context()).Begin("respond", "")
+	if resp.Degraded {
+		w.Header().Set(coestapi.DegradedHeader, resp.DegradedReason)
+	}
 	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(out.resp); err != nil {
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
 		// Response already committed; nothing more to do.
 		_ = err
 	}
 	mark.End(0, 0)
 	hStageRespond.Observe(time.Since(respondStart).Seconds())
+}
+
+// handleBatch estimates several designs in one round trip: each entry runs
+// the same validation/admission/fast-tier path as /estimate, with per-entry
+// error envelopes so one bad entry never fails the batch.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, st *traceState) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, st, &reqError{status: http.StatusMethodNotAllowed, code: coestapi.CodeMethodNotAllowed, msg: "POST only"})
+		return
+	}
+	var breq coestapi.BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&breq); err != nil {
+		s.writeError(w, st, &reqError{status: http.StatusBadRequest, code: coestapi.CodeBadRequest, msg: "bad request: " + err.Error()})
+		return
+	}
+	if err := coestapi.CheckVersion(breq.Version); err != nil {
+		s.writeError(w, st, &reqError{status: http.StatusBadRequest, code: coestapi.CodeUnsupportedVersion, msg: err.Error()})
+		return
+	}
+	if !s.accept() {
+		mDrained.Inc()
+		s.writeError(w, st, &reqError{status: http.StatusServiceUnavailable, code: coestapi.CodeDraining,
+			msg: "draining", retryAfter: s.cfg.RetryAfter})
+		return
+	}
+	defer s.inflight.Done()
+
+	out := coestapi.BatchResponse{Version: coestapi.Version, Items: make([]coestapi.BatchItem, len(breq.Requests))}
+	for i := range breq.Requests {
+		req := breq.Requests[i]
+		out.Items[i].Index = i
+		if e := validateRequest(&req); e != nil {
+			out.Items[i].Error = &coestapi.ErrorInfo{Code: e.code, Message: e.msg, Shard: s.cfg.ShardName}
+			continue
+		}
+		resp, rerr := s.runOne(r.Context(), &req, st)
+		if rerr != nil {
+			info := coestapi.ErrorInfo{Code: rerr.code, Message: rerr.msg, Shard: s.cfg.ShardName}
+			if rerr.retryAfter > 0 {
+				info.RetryAfterMS = int(rerr.retryAfter / time.Millisecond)
+			}
+			out.Items[i].Error = &info
+			continue
+		}
+		if st != nil {
+			resp.TraceID = st.id.String()
+		}
+		out.Items[i].Response = resp
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(&out)
+}
+
+// handleSnapshot serializes one warm session. The session must already
+// exist — snapshotting never compiles.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request, st *traceState) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, st, &reqError{status: http.StatusMethodNotAllowed, code: coestapi.CodeMethodNotAllowed, msg: "POST only"})
+		return
+	}
+	var req coestapi.SnapshotRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, st, &reqError{status: http.StatusBadRequest, code: coestapi.CodeBadRequest, msg: "bad request: " + err.Error()})
+		return
+	}
+	if err := coestapi.CheckVersion(req.Version); err != nil {
+		s.writeError(w, st, &reqError{status: http.StatusBadRequest, code: coestapi.CodeUnsupportedVersion, msg: err.Error()})
+		return
+	}
+	sess := s.sessionFor(req.System, req.Packets)
+	if sess == nil {
+		s.writeError(w, st, &reqError{status: http.StatusNotFound, code: coestapi.CodeNotFound,
+			msg: fmt.Sprintf("no warm session for %s/%d", canonicalSystem(req.System), req.Packets)})
+		return
+	}
+	var blob bytes.Buffer
+	if err := sess.WriteSnapshot(&blob); err != nil {
+		s.writeError(w, st, &reqError{status: http.StatusInternalServerError, code: coestapi.CodeInternal, msg: err.Error()})
+		return
+	}
+	env := coestapi.SnapshotEnvelope{System: canonicalSystem(req.System), Packets: req.Packets, Blob: blob.Bytes()}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := gob.NewEncoder(w).Encode(&env); err != nil {
+		_ = err // committed; nothing more to do
+	}
+	mSnapshots.Inc()
+}
+
+// RestoreSnapshot installs a warm session from a snapshot envelope (the
+// bytes served by POST /snapshot): the design is rebuilt from its name, the
+// artifacts rebound without any compilation, and the session registered
+// under its key — unless the key is already warm, in which case the
+// existing session (and its locally learned state) wins. Used by both
+// POST /restore and the daemon's restore-on-boot.
+func (s *Server) RestoreSnapshot(data []byte) (coestapi.RestoreResponse, error) {
+	var env coestapi.SnapshotEnvelope
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
+		return coestapi.RestoreResponse{}, fmt.Errorf("decoding snapshot envelope: %w", err)
+	}
+	req := Request{System: env.System, Packets: env.Packets}
+	sys, err := buildSystem(&req)
+	if err != nil {
+		return coestapi.RestoreResponse{}, err
+	}
+	sess, err := coest.RestoreSession(sys, bytes.NewReader(env.Blob))
+	if err != nil {
+		return coestapi.RestoreResponse{}, err
+	}
+	key := sessionKey{system: canonicalSystem(env.System), packets: env.Packets}
+	s.mu.Lock()
+	if existing, ok := s.sessions[key]; ok {
+		sess = existing
+	} else {
+		s.installSessionLocked(key, sess)
+		mRestored.Inc()
+	}
+	s.mu.Unlock()
+	return coestapi.RestoreResponse{
+		Version: coestapi.Version, System: key.system, Packets: key.packets,
+		Paths: sess.SnapshotPaths(),
+	}, nil
+}
+
+// handleRestore accepts a snapshot envelope and installs the warm session.
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request, st *traceState) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, st, &reqError{status: http.StatusMethodNotAllowed, code: coestapi.CodeMethodNotAllowed, msg: "POST only"})
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, 256<<20))
+	if err != nil {
+		s.writeError(w, st, &reqError{status: http.StatusBadRequest, code: coestapi.CodeBadRequest, msg: "reading snapshot: " + err.Error()})
+		return
+	}
+	resp, err := s.RestoreSnapshot(data)
+	if err != nil {
+		s.writeError(w, st, &reqError{status: http.StatusBadRequest, code: coestapi.CodeBadRequest, msg: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(&resp)
 }
 
 // Drain stops accepting new requests, waits for queued and in-flight ones
@@ -706,6 +1100,13 @@ func (s *Server) Drain(ctx context.Context) error {
 	case <-ctx.Done():
 		return fmt.Errorf("serve: drain aborted: %w", context.Cause(ctx))
 	}
-	s.stop.Do(func() { close(s.quit) })
+	s.stop.Do(func() {
+		close(s.quit)
+		if s.syncer != nil {
+			// Final write-behind round: locally learned paths reach the
+			// fleet store before the process exits.
+			_ = s.syncer.Stop(ctx)
+		}
+	})
 	return nil
 }

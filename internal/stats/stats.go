@@ -99,6 +99,28 @@ func (r *Running) Merge(o *Running) {
 	r.n, r.mean, r.m2 = n, mean, m2
 }
 
+// RunningState is the wire/storage form of a Running accumulator: the same
+// five Welford components with exported fields, so accumulators can cross
+// process boundaries (energy-cache replication, session snapshots) and be
+// recombined exactly with Merge on the other side.
+type RunningState struct {
+	N    uint64  `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// State exports the accumulator.
+func (r *Running) State() RunningState {
+	return RunningState{N: r.n, Mean: r.mean, M2: r.m2, Min: r.min, Max: r.max}
+}
+
+// RunningFromState rebuilds an accumulator from its exported state.
+func RunningFromState(s RunningState) Running {
+	return Running{n: s.N, mean: s.Mean, m2: s.M2, min: s.Min, max: s.Max}
+}
+
 // Histogram is a fixed-bin histogram over [Lo, Hi); samples outside the
 // range are clamped into the first/last bin so no energy sample is dropped.
 type Histogram struct {

@@ -1,0 +1,193 @@
+package swsyn
+
+import (
+	"fmt"
+
+	"repro/internal/cfsm"
+	"repro/internal/sparc"
+)
+
+// Statement-layout snapshot kinds (the tagged-union encoding of the private
+// stmtLayout tree).
+const (
+	SnapStraight uint8 = iota
+	SnapEmit
+	SnapIf
+	SnapLoop
+)
+
+// StmtSnap is the serializable form of one statement layout. The layout
+// tree is pure address-range data — which Range means what depends on Kind:
+//
+//	SnapStraight: R0 = the straight-line range
+//	SnapEmit:     R0 = the call site (setup + call + slot)
+//	SnapIf:       R0 = cond, R1 = then-jump (empty without else), A = then, B = else
+//	SnapLoop:     R0 = init, R1 = header, R2 = latch, A = body
+type StmtSnap struct {
+	Kind       uint8
+	R0, R1, R2 Range
+	A, B       []StmtSnap
+}
+
+// TransSnap is the serializable layout of one transition's generated code.
+type TransSnap struct {
+	Pre      Range
+	HasGuard bool
+	Body     []StmtSnap
+	Post     Range
+}
+
+// MachineSnap is the serializable artifact of one machine: everything in
+// MachineCode except the CFSM binding, plus the identity (name, transition
+// count) needed to validate a rebind at restore time.
+type MachineSnap struct {
+	Name        string
+	Transitions int
+
+	Index    int
+	VarsBase uint32
+	InBase   uint32
+	OutBase  uint32
+	Entries  []uint32
+	CodeSize uint32
+	Layouts  []TransSnap
+}
+
+// CompiledState is the serializable form of a Compiled image. The SPARC
+// program is plain data; machine bindings are recorded by name and rebound
+// against live CFSM instances at restore.
+type CompiledState struct {
+	Prog      sparc.Program
+	EmitRange Range
+	Machines  []MachineSnap
+}
+
+func snapStmts(ls []stmtLayout) []StmtSnap {
+	if len(ls) == 0 {
+		return nil
+	}
+	out := make([]StmtSnap, 0, len(ls))
+	for _, l := range ls {
+		switch l := l.(type) {
+		case straightL:
+			out = append(out, StmtSnap{Kind: SnapStraight, R0: l.r})
+		case emitL:
+			out = append(out, StmtSnap{Kind: SnapEmit, R0: l.call})
+		case ifL:
+			out = append(out, StmtSnap{Kind: SnapIf, R0: l.cond, R1: l.thenJump,
+				A: snapStmts(l.thenB), B: snapStmts(l.elseB)})
+		case loopL:
+			out = append(out, StmtSnap{Kind: SnapLoop, R0: l.init, R1: l.header, R2: l.latch,
+				A: snapStmts(l.body)})
+		default:
+			panic(fmt.Sprintf("swsyn: unknown layout %T", l))
+		}
+	}
+	return out
+}
+
+func unsnapStmts(ss []StmtSnap) ([]stmtLayout, error) {
+	if len(ss) == 0 {
+		return nil, nil
+	}
+	out := make([]stmtLayout, 0, len(ss))
+	for _, s := range ss {
+		switch s.Kind {
+		case SnapStraight:
+			out = append(out, straightL{r: s.R0})
+		case SnapEmit:
+			out = append(out, emitL{call: s.R0})
+		case SnapIf:
+			thenB, err := unsnapStmts(s.A)
+			if err != nil {
+				return nil, err
+			}
+			elseB, err := unsnapStmts(s.B)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ifL{cond: s.R0, thenJump: s.R1, thenB: thenB, elseB: elseB})
+		case SnapLoop:
+			body, err := unsnapStmts(s.A)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, loopL{init: s.R0, header: s.R1, latch: s.R2, body: body})
+		default:
+			return nil, fmt.Errorf("swsyn: snapshot has unknown layout kind %d", s.Kind)
+		}
+	}
+	return out, nil
+}
+
+// State exports the compiled image for serialization. The image must not be
+// mutated while the state (which shares slices) is encoded — compiled
+// images are immutable after Compile, so in practice any time is fine.
+func (c *Compiled) State() CompiledState {
+	st := CompiledState{Prog: *c.Prog, EmitRange: c.EmitRange}
+	for _, mc := range c.Machines {
+		ms := MachineSnap{
+			Name:        mc.M.Name,
+			Transitions: len(mc.M.Transitions),
+			Index:       mc.Index,
+			VarsBase:    mc.VarsBase,
+			InBase:      mc.InBase,
+			OutBase:     mc.OutBase,
+			Entries:     mc.Entries,
+			CodeSize:    mc.CodeSize,
+		}
+		for _, lay := range mc.layouts {
+			ms.Layouts = append(ms.Layouts, TransSnap{
+				Pre:      lay.pre,
+				HasGuard: lay.hasGuard,
+				Body:     snapStmts(lay.body),
+				Post:     lay.post,
+			})
+		}
+		st.Machines = append(st.Machines, ms)
+	}
+	return st
+}
+
+// CompiledFromState rebuilds a compiled image from its exported state,
+// binding it to live machine instances looked up by name in byName. It is
+// the restore-side counterpart of Rebind: no compilation happens, and the
+// rebuilt image replays fetch traces identically to the snapshot origin.
+func CompiledFromState(st CompiledState, byName map[string]*cfsm.CFSM) (*Compiled, error) {
+	prog := st.Prog
+	c := &Compiled{Prog: &prog, EmitRange: st.EmitRange}
+	for _, ms := range st.Machines {
+		m, ok := byName[ms.Name]
+		if !ok {
+			return nil, fmt.Errorf("swsyn: snapshot machine %q not present in the restored system", ms.Name)
+		}
+		if len(m.Transitions) != ms.Transitions {
+			return nil, fmt.Errorf("swsyn: snapshot machine %q has %d transitions, restored system has %d",
+				ms.Name, ms.Transitions, len(m.Transitions))
+		}
+		mc := &MachineCode{
+			Index:    ms.Index,
+			M:        m,
+			VarsBase: ms.VarsBase,
+			InBase:   ms.InBase,
+			OutBase:  ms.OutBase,
+			Entries:  ms.Entries,
+			CodeSize: ms.CodeSize,
+		}
+		mc.emitRange = &c.EmitRange
+		for ti, ts := range ms.Layouts {
+			body, err := unsnapStmts(ts.Body)
+			if err != nil {
+				return nil, fmt.Errorf("swsyn: machine %q transition %d: %w", ms.Name, ti, err)
+			}
+			mc.layouts = append(mc.layouts, &transLayout{
+				pre:      ts.Pre,
+				hasGuard: ts.HasGuard,
+				body:     body,
+				post:     ts.Post,
+			})
+		}
+		c.Machines = append(c.Machines, mc)
+	}
+	return c, nil
+}

@@ -1,0 +1,84 @@
+package coestapi
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestCheckVersion(t *testing.T) {
+	for _, ok := range []string{"", "v1", "v1.0", "v1.7"} {
+		if err := CheckVersion(ok); err != nil {
+			t.Errorf("CheckVersion(%q) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range []string{"v2", "v2.0", "v0", "1", "vx", "1.0", "V1"} {
+		if err := CheckVersion(bad); err == nil {
+			t.Errorf("CheckVersion(%q) accepted an unsupported version", bad)
+		}
+	}
+}
+
+// TestFingerprintStability: the fingerprint is part of the cross-node
+// contract — ring placement and cache scopes — so it must never drift.
+func TestFingerprintStability(t *testing.T) {
+	a := Fingerprint("tcpip", 6)
+	if b := Fingerprint("tcpip", 6); b != a {
+		t.Fatalf("fingerprint not deterministic: %x vs %x", a, b)
+	}
+	if Fingerprint("tcpip", 7) == a {
+		t.Fatal("packet count must change the fingerprint")
+	}
+	if Fingerprint("prodcons", 6) == a {
+		t.Fatal("system name must change the fingerprint")
+	}
+	// "" and "tcpip" are distinct inputs; canonicalize before hashing.
+	if Fingerprint(CanonicalSystem(""), 6) != a {
+		t.Fatal("canonicalized default system must fingerprint as tcpip")
+	}
+}
+
+func TestCanonicalSystem(t *testing.T) {
+	if got := CanonicalSystem(""); got != DefaultSystem {
+		t.Fatalf("CanonicalSystem(\"\") = %q", got)
+	}
+	if got := CanonicalSystem("automotive"); got != "automotive" {
+		t.Fatalf("CanonicalSystem(automotive) = %q", got)
+	}
+}
+
+// TestErrorEnvelopeRoundTrip: the envelope survives JSON intact — what a
+// client decodes is what the server meant.
+func TestErrorEnvelopeRoundTrip(t *testing.T) {
+	in := ErrorResponse{
+		Version: Version, TraceID: "abc123",
+		Error: ErrorInfo{Code: CodeOverloaded, Message: "queue full", RetryAfterMS: 1500, Shard: "a"},
+	}
+	b, err := json.Marshal(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out ErrorResponse
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip changed the envelope: %+v vs %+v", out, in)
+	}
+	if out.Error.Error() != "overloaded: queue full" {
+		t.Fatalf("Error() = %q", out.Error.Error())
+	}
+}
+
+func TestCodeForStatus(t *testing.T) {
+	cases := map[int]string{
+		400: CodeBadRequest, 404: CodeNotFound, 405: CodeMethodNotAllowed,
+		408: CodeDeadlineExceeded, 504: CodeDeadlineExceeded,
+		429: CodeOverloaded, 502: CodeUnavailable, 503: CodeUnavailable,
+		500: CodeInternal, 418: CodeInternal,
+	}
+	for status, want := range cases {
+		if got := CodeForStatus(status); got != want {
+			t.Errorf("CodeForStatus(%d) = %q, want %q", status, got, want)
+		}
+	}
+}

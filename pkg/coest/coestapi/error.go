@@ -1,0 +1,68 @@
+package coestapi
+
+import "fmt"
+
+// Error codes carried in the ErrorInfo envelope. Codes are the stable,
+// machine-readable contract; HTTP status and Message may vary per server.
+const (
+	CodeBadRequest         = "bad_request"
+	CodeUnsupportedVersion = "unsupported_version"
+	CodeOverloaded         = "overloaded"
+	CodeDraining           = "draining"
+	CodeDeadlineExceeded   = "deadline_exceeded"
+	CodeCanceled           = "canceled"
+	CodeNotFound           = "not_found"
+	CodeMethodNotAllowed   = "method_not_allowed"
+	CodeUnavailable        = "unavailable"
+	CodeInternal           = "internal"
+)
+
+// ErrorInfo is the body of every non-2xx response: a stable code, a
+// human-readable message, and optional retry advice.
+type ErrorInfo struct {
+	// Code is one of the Code* constants.
+	Code string `json:"code"`
+	// Message describes the failure for humans.
+	Message string `json:"message"`
+	// RetryAfterMS hints when a retry may succeed (0 = no advice). Set on
+	// overloaded/draining rejections alongside the Retry-After header.
+	RetryAfterMS int `json:"retry_after_ms,omitempty"`
+	// Shard names the node that produced the error, when known.
+	Shard string `json:"shard,omitempty"`
+}
+
+// Error implements error so envelopes can flow through Go error paths.
+func (e *ErrorInfo) Error() string {
+	if e == nil {
+		return "coestapi: <nil> error"
+	}
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}
+
+// ErrorResponse is the JSON document wrapping an ErrorInfo on the wire.
+type ErrorResponse struct {
+	Version string    `json:"version"`
+	TraceID string    `json:"trace_id,omitempty"`
+	Error   ErrorInfo `json:"error"`
+}
+
+// CodeForStatus maps an HTTP status to the conventional error code, used
+// when a server produced a bare (non-envelope) error body.
+func CodeForStatus(status int) string {
+	switch status {
+	case 400:
+		return CodeBadRequest
+	case 404:
+		return CodeNotFound
+	case 405:
+		return CodeMethodNotAllowed
+	case 408, 504:
+		return CodeDeadlineExceeded
+	case 429:
+		return CodeOverloaded
+	case 502, 503:
+		return CodeUnavailable
+	default:
+		return CodeInternal
+	}
+}

@@ -1,0 +1,38 @@
+package coestapi
+
+// DefaultSystem is the design an empty Request.System names.
+const DefaultSystem = "tcpip"
+
+// CanonicalSystem resolves the default design name. Session keys, ring
+// placement and cache-sync scopes all canonicalize first, so "" and "tcpip"
+// are one design everywhere in the fleet.
+func CanonicalSystem(name string) string {
+	if name == "" {
+		return DefaultSystem
+	}
+	return name
+}
+
+// Fingerprint hashes a design identity — (system, packets), the session key
+// of the serving layer — to a stable 64-bit value. The router's consistent-
+// hash ring places designs on shards by this fingerprint, and the shared
+// energy-cache tier scopes path statistics by it, so every fleet node must
+// compute the identical value: FNV-1a over the system name and the packet
+// count's little-endian bytes.
+func Fingerprint(system string, packets int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(system); i++ {
+		h ^= uint64(system[i])
+		h *= prime64
+	}
+	p := uint64(packets)
+	for i := 0; i < 8; i++ {
+		h ^= (p >> (8 * i)) & 0xff
+		h *= prime64
+	}
+	return h
+}

@@ -41,6 +41,7 @@ type Session struct {
 
 	mu     sync.Mutex
 	caches map[ECacheParams]*cachePair
+	onPair func(p ECacheParams, sw, hw *ecache.Cache)
 	last   *core.CoSim // most recently completed run, for cache reports
 }
 
@@ -120,6 +121,15 @@ func (s *Session) SWCacheReport() []CachePathReport {
 	return last.SWCacheReport()
 }
 
+// MacroReady reports whether the process-wide macro-model characterization
+// table for this session's timing/power models is already warm. A serving
+// layer's degraded fast tier answers from the macro tier only when this is
+// true — macro estimation is only cheap once characterization has happened,
+// and an overloaded node must not start one.
+func (s *Session) MacroReady() bool {
+	return engine.MacroTableReady(s.base.Timing, s.base.Power)
+}
+
 // runConfig resolves per-run options on top of the session baseline and
 // attaches the session's persistent caches.
 func (s *Session) runConfig(call string, opts []Option) (core.Config, error) {
@@ -155,13 +165,46 @@ func (s *Session) runConfig(call string, opts []Option) (core.Config, error) {
 // concurrent: batch points and overlapping requests may share them.
 func (s *Session) cachePairFor(p ECacheParams) *cachePair {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	pair, ok := s.caches[p]
 	if !ok {
 		pair = &cachePair{sw: ecache.New(p).Shared(), hw: ecache.New(p).Shared()}
 		s.caches[p] = pair
 	}
+	fn := s.onPair
+	s.mu.Unlock()
+	if !ok && fn != nil {
+		fn(p, pair.sw, pair.hw)
+	}
 	return pair
+}
+
+// OnECachePair registers fn to observe every persistent energy-cache pair
+// the session holds: it is called immediately for pairs that already exist
+// and again whenever a new parameter setting creates one. The serving layer
+// uses this to attach session caches to a fleet-wide cache-sync tier the
+// moment they come into being — which is also the pull-on-miss point: the
+// attach handler's first sync primes a brand-new cache from the central
+// store before it serves its first lookup.
+//
+// fn is invoked without the session lock held; at most one callback is
+// registered (a later call replaces the earlier one).
+func (s *Session) OnECachePair(fn func(p ECacheParams, sw, hw *ecache.Cache)) {
+	s.mu.Lock()
+	s.onPair = fn
+	existing := make([]ECacheParams, 0, len(s.caches))
+	for p := range s.caches {
+		existing = append(existing, p)
+	}
+	s.mu.Unlock()
+	if fn == nil {
+		return
+	}
+	for _, p := range existing {
+		s.mu.Lock()
+		pair := s.caches[p]
+		s.mu.Unlock()
+		fn(p, pair.sw, pair.hw)
+	}
 }
 
 // Estimate runs one co-estimation on the warm session: the network is
