@@ -353,21 +353,6 @@ func (c *Cache) MergeDelta(delta []PathStat) {
 	}
 }
 
-// RequeueDelta returns a previously exported (but undelivered) delta to the
-// pending accumulators, so a failed store round-trip loses no observations:
-// the next export carries them again.
-func (c *Cache) RequeueDelta(delta []PathStat) {
-	c.lock()
-	defer c.unlock()
-	for _, ps := range delta {
-		e := c.findOrCreate(ps.Key)
-		en := stats.RunningFromState(ps.Energy)
-		cy := stats.RunningFromState(ps.Cycles)
-		e.pendE.Merge(&en)
-		e.pendC.Merge(&cy)
-	}
-}
-
 // Dump captures the cache's full effective per-path state for a session
 // snapshot. Pending (unpushed) deltas are folded in — the snapshot is the
 // effective view; a restored cache starts with nothing pending.

@@ -6,17 +6,21 @@
 // shard skips the low-level simulator on every shard after at most one
 // sync interval.
 //
-// The protocol is a single idempotent-shaped RPC: Sync(scope, delta)
-// merges the caller's unpushed observations into the store and returns the
-// full global state of the scope. Because the local cache keeps pushed
-// history only as part of the merged global base (see ecache.ExportDelta /
-// MergeGlobal), no observation is ever counted twice, and the merge is
-// exact: fleet-wide statistics equal what one giant shared cache would
-// have accumulated.
+// The protocol is a single idempotent RPC: Sync(scope, node, pushes)
+// merges the caller's unapplied pushes into the store and returns the full
+// global state of the scope. Each push carries a per-node sequence number
+// and the store applies it at most once, so a push whose response was lost
+// (timeout, decode error) is retried verbatim without double-counting.
+// Because the local cache keeps pushed history only as part of the merged
+// global base (see ecache.ExportDelta / MergeGlobal), no observation is
+// ever counted twice, and the merge is exact: fleet-wide statistics equal
+// what one giant shared cache would have accumulated.
 package ecachesync
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"fmt"
 	"sync"
 	"time"
@@ -53,37 +57,66 @@ func (s Scope) String() string {
 	return fmt.Sprintf("%016x/%s/v%g-c%d", s.Design, s.Role, s.Params.ThreshVariance, s.Params.ThreshCalls)
 }
 
+// Push is one write-behind batch of observations. Seq is a per-node
+// sequence number — strictly increasing over the pushes a node exports for
+// one scope — and the store applies each (node, seq) at most once, which is
+// what lets a syncer retry a push whose outcome is unknown.
+type Push struct {
+	Seq   uint64            `json:"seq"`
+	Paths []ecache.PathStat `json:"paths"`
+}
+
 // Store is the central path-statistics store of the fleet.
 type Store interface {
-	// Sync merges delta (the caller's unpushed observations) into the
-	// scope's global statistics and returns the scope's full global state.
-	// An empty delta is a pure pull — the prime-on-miss path.
-	Sync(ctx context.Context, scope Scope, delta []ecache.PathStat) ([]ecache.PathStat, error)
+	// Sync merges the caller's pushes into the scope's global statistics —
+	// deduplicating by (node, push seq), so retried pushes count once —
+	// and returns the scope's full global state. An empty push list is a
+	// pure pull — the prime-on-miss path.
+	Sync(ctx context.Context, scope Scope, node string, pushes []Push) ([]ecache.PathStat, error)
 }
 
 // Memory is an in-process Store — the store a router embeds, and the
 // reference semantics HTTP stores transport.
 type Memory struct {
-	mu     sync.Mutex
-	scopes map[Scope]*ecache.Cache
+	mu      sync.Mutex
+	scopes  map[Scope]*ecache.Cache
+	applied map[Scope]map[string]uint64 // highest push seq applied, per node
 }
 
 // NewMemory returns an empty in-process store.
-func NewMemory() *Memory { return &Memory{scopes: make(map[Scope]*ecache.Cache)} }
+func NewMemory() *Memory {
+	return &Memory{
+		scopes:  make(map[Scope]*ecache.Cache),
+		applied: make(map[Scope]map[string]uint64),
+	}
+}
 
-// Sync implements Store: exact Welford merge of the delta, full dump back.
-func (m *Memory) Sync(_ context.Context, scope Scope, delta []ecache.PathStat) ([]ecache.PathStat, error) {
+// Sync implements Store: exact Welford merge of the unapplied pushes, full
+// dump back. The store lock covers the seq check, the merge and the dump as
+// one atomic step, so concurrent retries of the same push (a timed-out sync
+// racing its own replay) cannot both apply it.
+func (m *Memory) Sync(_ context.Context, scope Scope, node string, pushes []Push) ([]ecache.PathStat, error) {
 	m.mu.Lock()
+	defer m.mu.Unlock()
 	c, ok := m.scopes[scope]
 	if !ok {
-		c = ecache.New(scope.Params)
+		// Shared: Paths (and any future reader) dumps outside m.mu.
+		c = ecache.New(scope.Params).Shared()
 		m.scopes[scope] = c
 		mStoreScope.Inc()
 	}
-	m.mu.Unlock()
-	// The scope cache is used as a plain statistics holder; MergeDelta and
-	// Dump are internally locked, so concurrent shards may sync freely.
-	c.MergeDelta(delta)
+	seqs := m.applied[scope]
+	if seqs == nil {
+		seqs = make(map[string]uint64)
+		m.applied[scope] = seqs
+	}
+	for _, p := range pushes {
+		if p.Seq <= seqs[node] {
+			continue // already applied; a retry after a lost response
+		}
+		c.MergeDelta(p.Paths)
+		seqs[node] = p.Seq
+	}
 	return c.Dump(), nil
 }
 
@@ -105,10 +138,18 @@ func (m *Memory) Paths(scope Scope) int {
 	return len(c.Dump())
 }
 
-// attached is one cache enrolled with a Syncer.
+// attached is one cache enrolled with a Syncer, plus its push bookkeeping:
+// deltas exported but not yet acknowledged by the store stay queued here
+// (with the seq they were first pushed under) and are retried verbatim
+// until a round succeeds — the store's (node, seq) dedup makes the retry
+// safe even when the failed round actually reached the store.
 type attached struct {
 	scope Scope
 	cache *ecache.Cache
+
+	mu      sync.Mutex // serializes sync rounds for this cache
+	nextSeq uint64
+	unacked []Push
 }
 
 // Syncer drives the write-behind loop of one fleet node: every interval it
@@ -119,9 +160,10 @@ type attached struct {
 type Syncer struct {
 	store    Store
 	interval time.Duration
+	node     string // unique per Syncer instance, scopes push seqs
 
 	mu      sync.Mutex
-	caches  []attached
+	caches  []*attached
 	stop    chan struct{}
 	stopped sync.WaitGroup
 }
@@ -133,7 +175,12 @@ func New(store Store, interval time.Duration) *Syncer {
 	if interval <= 0 {
 		interval = 2 * time.Second
 	}
-	return &Syncer{store: store, interval: interval}
+	// The node id must be unique per Syncer *instance*, not per host: a
+	// restarted shard's seqs start over at 0, and reusing the old id would
+	// make the store drop every push as already-applied.
+	var id [8]byte
+	_, _ = rand.Read(id[:])
+	return &Syncer{store: store, interval: interval, node: hex.EncodeToString(id[:])}
 }
 
 // Attach enrolls a cache under the given scope and immediately syncs it
@@ -147,18 +194,18 @@ func (y *Syncer) Attach(ctx context.Context, scope Scope, c *ecache.Cache) error
 			return nil
 		}
 	}
-	y.caches = append(y.caches, attached{scope: scope, cache: c})
+	a := &attached{scope: scope, cache: c}
+	y.caches = append(y.caches, a)
 	y.mu.Unlock()
-	return y.syncOne(ctx, attached{scope: scope, cache: c})
+	return y.syncOne(ctx, a)
 }
 
-// SyncNow runs one full write-behind round over every attached cache.
-// Errors are joined; caches that fail keep their pending deltas (nothing
-// re-pushed observations are lost — ExportDelta is only called when the
-// store round-trip is attempted, and a failed round re-accumulates).
+// SyncNow runs one full write-behind round over every attached cache. The
+// first error is returned; caches whose round fails keep their exported
+// pushes queued, so no observation is lost and none is counted twice.
 func (y *Syncer) SyncNow(ctx context.Context) error {
 	y.mu.Lock()
-	caches := append([]attached(nil), y.caches...)
+	caches := append([]*attached(nil), y.caches...)
 	y.mu.Unlock()
 	var firstErr error
 	for _, a := range caches {
@@ -169,21 +216,33 @@ func (y *Syncer) SyncNow(ctx context.Context) error {
 	return firstErr
 }
 
-// syncOne pushes one cache's pending delta and folds back the global view.
-func (y *Syncer) syncOne(ctx context.Context, a attached) error {
+// syncOne ships one cache's queued pushes (the pending delta freshly
+// exported as a new push, plus any unacknowledged earlier ones) and folds
+// back the global view.
+func (y *Syncer) syncOne(ctx context.Context, a *attached) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	start := time.Now()
-	delta := a.cache.ExportDelta()
-	global, err := y.store.Sync(ctx, a.scope, delta)
+	if delta := a.cache.ExportDelta(); len(delta) > 0 {
+		a.nextSeq++
+		a.unacked = append(a.unacked, Push{Seq: a.nextSeq, Paths: delta})
+	}
+	global, err := y.store.Sync(ctx, a.scope, y.node, a.unacked)
 	if err != nil {
-		// The exported delta must not be lost: feed it back so the next
-		// round re-pushes the same observations.
-		a.cache.RequeueDelta(delta)
+		// Outcome unknown (the store may or may not have applied the
+		// pushes): keep them queued. The next round retries them under
+		// their original seqs and the store deduplicates.
 		mSyncErrs.Inc()
 		return fmt.Errorf("ecachesync: scope %v: %w", a.scope, err)
 	}
+	pushed := 0
+	for _, p := range a.unacked {
+		pushed += len(p.Paths)
+	}
+	a.unacked = nil
 	a.cache.MergeGlobal(global)
 	mSyncs.Inc()
-	mPushed.Add(uint64(len(delta)))
+	mPushed.Add(uint64(pushed))
 	mPulled.Add(uint64(len(global)))
 	mSyncNanos.Add(uint64(time.Since(start).Nanoseconds()))
 	return nil

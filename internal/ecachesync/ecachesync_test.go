@@ -153,42 +153,111 @@ func TestPullOnMiss(t *testing.T) {
 	}
 }
 
-// errStore fails every sync.
-type errStore struct{}
-
-func (errStore) Sync(context.Context, Scope, []ecache.PathStat) ([]ecache.PathStat, error) {
-	return nil, errors.New("store down")
+// downStore rejects the first downN Sync calls without applying anything —
+// a store that is unreachable, then recovers.
+type downStore struct {
+	inner *Memory
+	downN int
 }
 
-// TestRequeueOnStoreFailure: a failed round must not lose observations.
-func TestRequeueOnStoreFailure(t *testing.T) {
+func (d *downStore) Sync(ctx context.Context, scope Scope, node string, pushes []Push) ([]ecache.PathStat, error) {
+	if d.downN > 0 {
+		d.downN--
+		return nil, errors.New("store down")
+	}
+	return d.inner.Sync(ctx, scope, node, pushes)
+}
+
+// TestNoLossOnStoreFailure: rounds failed while the store is down must not
+// lose observations — the syncer keeps them queued and delivers them once
+// the store recovers.
+func TestNoLossOnStoreFailure(t *testing.T) {
 	ctx := context.Background()
 	scope := testScope()
+	mem := NewMemory()
+	store := &downStore{inner: mem, downN: 2}
 	c := ecache.New(scope.Params)
 	c.Update(key(2, 5), 4e-9, 40)
 
-	bad := New(errStore{}, time.Hour)
-	if err := bad.Attach(ctx, scope, c); err == nil {
+	y := New(store, time.Hour)
+	if err := y.Attach(ctx, scope, c); err == nil {
 		t.Fatal("attach against a dead store reported success")
 	}
-	if err := bad.SyncNow(ctx); err == nil {
+	if err := y.SyncNow(ctx); err == nil {
 		t.Fatal("sync against a dead store reported success")
 	}
-
-	store := NewMemory()
-	good := New(store, time.Hour)
-	if err := good.Attach(ctx, scope, c); err != nil {
+	if err := y.SyncNow(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if got := store.Paths(scope); got != 1 {
+	if got := mem.Paths(scope); got != 1 {
 		t.Fatalf("store holds %d paths after recovery, want 1", got)
 	}
-	global, err := store.Sync(ctx, scope, nil)
+	global, err := mem.Sync(ctx, scope, "probe", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(global) != 1 || global[0].Energy.N != 1 {
 		t.Fatalf("store state %+v, want one path with n=1", global)
+	}
+	if n, _, _ := statsOf(c, key(2, 5)); n != 1 {
+		t.Fatalf("local n=%d after recovery, want 1", n)
+	}
+}
+
+// lossyStore applies every push but pretends the response was lost for the
+// first failN calls — the failure mode that forces the syncer to retry a
+// push the store has already counted.
+type lossyStore struct {
+	inner *Memory
+	failN int
+}
+
+func (l *lossyStore) Sync(ctx context.Context, scope Scope, node string, pushes []Push) ([]ecache.PathStat, error) {
+	global, err := l.inner.Sync(ctx, scope, node, pushes)
+	if l.failN > 0 {
+		l.failN--
+		return nil, errors.New("response lost")
+	}
+	return global, err
+}
+
+// TestExactlyOnceOnLostResponse: a push whose response is lost is retried,
+// and the store's (node, seq) dedup must count it exactly once — across
+// several queued pushes with fresh observations arriving between failures.
+func TestExactlyOnceOnLostResponse(t *testing.T) {
+	ctx := context.Background()
+	scope := testScope()
+	mem := NewMemory()
+	store := &lossyStore{inner: mem, failN: 2}
+	c := ecache.New(scope.Params)
+	k := key(2, 6)
+	c.Update(k, 4e-9, 40)
+	c.Update(k, 4e-9, 40)
+
+	y := New(store, time.Hour)
+	// Attach's push is applied but its response lost.
+	if err := y.Attach(ctx, scope, c); err == nil {
+		t.Fatal("attach with a lost response reported success")
+	}
+	// A second push queues behind the first; the round is again applied
+	// (first push deduplicated, second counted) but the response lost.
+	c.Update(k, 4e-9, 40)
+	if err := y.SyncNow(ctx); err == nil {
+		t.Fatal("sync with a lost response reported success")
+	}
+	// Recovery: both queued pushes retried, both deduplicated.
+	if err := y.SyncNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	global, err := mem.Sync(ctx, scope, "probe", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(global) != 1 || global[0].Energy.N != 3 {
+		t.Fatalf("store state %+v, want one path with n=3", global)
+	}
+	if n, _, _ := statsOf(c, k); n != 3 {
+		t.Fatalf("local n=%d, want 3", n)
 	}
 }
 

@@ -13,10 +13,13 @@ import (
 )
 
 // syncWire is the JSON body of one Sync round-trip: the request carries the
-// scope and the pushed delta, the response the scope's full global state.
+// scope, the pushing node's id and its seq-tagged pushes; the response the
+// scope's full global state.
 type syncWire struct {
-	Scope Scope             `json:"scope"`
-	Paths []ecache.PathStat `json:"paths"`
+	Scope  Scope             `json:"scope"`
+	Node   string            `json:"node,omitempty"`
+	Pushes []Push            `json:"pushes,omitempty"`
+	Paths  []ecache.PathStat `json:"paths,omitempty"`
 }
 
 // Handler serves a Store over HTTP: POST with a syncWire body, syncWire
@@ -33,7 +36,7 @@ func Handler(s Store) http.Handler {
 			http.Error(w, fmt.Sprintf("bad sync body: %v", err), http.StatusBadRequest)
 			return
 		}
-		global, err := s.Sync(r.Context(), req.Scope, req.Paths)
+		global, err := s.Sync(r.Context(), req.Scope, req.Node, req.Pushes)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
@@ -70,8 +73,8 @@ func (h *HTTPStore) client() *http.Client {
 }
 
 // Sync implements Store over HTTP.
-func (h *HTTPStore) Sync(ctx context.Context, scope Scope, delta []ecache.PathStat) ([]ecache.PathStat, error) {
-	body, err := json.Marshal(syncWire{Scope: scope, Paths: delta})
+func (h *HTTPStore) Sync(ctx context.Context, scope Scope, node string, pushes []Push) ([]ecache.PathStat, error) {
+	body, err := json.Marshal(syncWire{Scope: scope, Node: node, Pushes: pushes})
 	if err != nil {
 		return nil, err
 	}

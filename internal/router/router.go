@@ -263,7 +263,13 @@ func (rt *Router) route(w http.ResponseWriter, r *http.Request, fp uint64, path,
 				}
 			} else if err != nil {
 				mFailovers.Inc()
-				rt.health.probe(r.Context(), cands[pos]) // fast prober update
+				// Fast prober update — off a background context: if the
+				// transport error was really the client disconnecting, a
+				// request-scoped probe would fail too and wrongly bench a
+				// healthy shard for a probe interval.
+				if r.Context().Err() == nil {
+					rt.health.probe(context.Background(), cands[pos])
+				}
 				if pos+1 < len(cands) {
 					pos++
 				}
@@ -291,9 +297,25 @@ func (rt *Router) route(w http.ResponseWriter, r *http.Request, fp uint64, path,
 	writeError(w, http.StatusBadGateway, coestapi.CodeUnavailable, "all shards unreachable", rt.cfg.RetryBackoff)
 }
 
+// cancelBody releases a hedged attempt's request context when its body is
+// closed, so the response the caller keeps stays readable until it has been
+// fully relayed or drained.
+type cancelBody struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b *cancelBody) Close() error {
+	err := b.ReadCloser.Close()
+	b.cancel()
+	return err
+}
+
 // trySend performs one attempt against cands[pos], optionally hedged: when
 // the target has not answered within HedgeAfter, a racing copy launches on
-// the next candidate and the first answer wins (the loser is cancelled).
+// the next candidate and the first answer wins. Only losing attempts are
+// cancelled eagerly; the returned response keeps its context alive until
+// its body is closed, so a kept non-200 envelope relays intact.
 func (rt *Router) trySend(ctx context.Context, cands []int, pos int, path, contentType string, body []byte, inbound http.Header, hedge bool) (*http.Response, error) {
 	if !hedge || rt.cfg.HedgeAfter <= 0 || pos+1 >= len(cands) {
 		return rt.send(ctx, cands[pos], path, contentType, body, inbound)
@@ -310,6 +332,24 @@ func (rt *Router) trySend(ctx context.Context, cands []int, pos int, path, conte
 			resp, err := rt.send(cctx, shard, path, contentType, body, inbound)
 			results <- outcome{resp: resp, err: err, cancel: cancel}
 		}()
+	}
+	// discard drains and closes a losing attempt, then releases its context.
+	discard := func(o outcome) {
+		if o.resp != nil {
+			io.Copy(io.Discard, o.resp.Body)
+			o.resp.Body.Close()
+		}
+		o.cancel()
+	}
+	// keep hands an outcome to the caller; its cancel moves onto Body.Close
+	// so the body can still be read (relayed or drained) after we return.
+	keep := func(o outcome) (*http.Response, error) {
+		if o.resp == nil {
+			o.cancel()
+			return nil, o.err
+		}
+		o.resp.Body = &cancelBody{ReadCloser: o.resp.Body, cancel: o.cancel}
+		return o.resp, o.err
 	}
 	launch(cands[pos])
 	hedged := false
@@ -329,38 +369,24 @@ func (rt *Router) trySend(ctx context.Context, cands []int, pos int, path, conte
 		case out := <-results:
 			pending--
 			if out.err == nil && out.resp.StatusCode == http.StatusOK {
-				// Winner: cancel the straggler once it reports in.
+				// Winner: discard the straggler once it reports in.
 				if fallback != nil {
-					fallback.cancel()
-					if fallback.resp != nil {
-						io.Copy(io.Discard, fallback.resp.Body)
-						fallback.resp.Body.Close()
-					}
+					discard(*fallback)
 				} else if pending > 0 {
-					go func() {
-						straggler := <-results
-						straggler.cancel()
-						if straggler.resp != nil {
-							io.Copy(io.Discard, straggler.resp.Body)
-							straggler.resp.Body.Close()
-						}
-					}()
+					go func() { discard(<-results) }()
 				}
-				return out.resp, nil
+				return keep(out)
 			}
+			// Non-200: keep it as the answer of last resort, alive —
+			// cancelling now would sever its still-unread body.
 			if fallback != nil {
-				fallback.cancel()
-				if fallback.resp != nil {
-					io.Copy(io.Discard, fallback.resp.Body)
-					fallback.resp.Body.Close()
-				}
+				discard(*fallback)
 			}
-			out.cancel()
 			fb := out
 			fallback = &fb
 		}
 	}
-	return fallback.resp, fallback.err
+	return keep(*fallback)
 }
 
 // relay copies one shard answer to the client: status, the wire headers
